@@ -1,0 +1,467 @@
+// Command benchreport regenerates every table and figure of the
+// reconstructed evaluation (DESIGN.md, Experiment index) and prints them
+// in paper style. Timing rows are medians over repeated runs on the
+// local machine; simulated rows come from the deterministic models and
+// are machine-independent.
+//
+// Usage:
+//
+//	benchreport [table|figure id ...]   # default: all
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/admin"
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/drivers/lxc"
+	"repro/internal/drivers/qemu"
+	"repro/internal/drivers/remote"
+	drvtest "repro/internal/drivers/test"
+	"repro/internal/drivers/xen"
+	"repro/internal/hyper"
+	"repro/internal/hyper/qsim"
+	"repro/internal/hyper/xsim"
+	"repro/internal/logging"
+	"repro/internal/migrate"
+	"repro/internal/nodeinfo"
+	"repro/internal/rpc"
+	"repro/internal/typedparams"
+	"repro/internal/uri"
+)
+
+var quiet = logging.NewQuiet(logging.Error)
+
+func main() {
+	all := map[string]func(){
+		"T1": tableT1, "T2": tableT2, "T3": tableT3, "T4": tableT4, "T5": tableT5,
+		"F1": figureF1, "F2": figureF2, "F3": figureF3, "F4": figureF4,
+		"A3": ablationA3,
+	}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "A3"}
+	want := os.Args[1:]
+	if len(want) == 0 {
+		want = order
+	}
+	for _, id := range want {
+		fn, ok := all[strings.ToUpper(id)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s)\n", id, strings.Join(order, " "))
+			os.Exit(1)
+		}
+		fn()
+		fmt.Println()
+	}
+}
+
+// median measures fn over runs iterations and returns the median.
+func median(runs int, fn func()) time.Duration {
+	times := make([]time.Duration, runs)
+	for i := range times {
+		start := time.Now()
+		fn()
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[runs/2]
+}
+
+// perOp measures fn over iters iterations, repeated, returning median
+// per-operation time.
+func perOp(iters int, fn func()) time.Duration {
+	return median(7, func() {
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+	}) / time.Duration(iters)
+}
+
+func openDriver(name string) core.DriverConn {
+	u := &uri.URI{Driver: name, Path: "/system"}
+	var (
+		drv core.DriverConn
+		err error
+	)
+	switch name {
+	case "qsim":
+		drv, err = qemu.New(u, quiet)
+	case "xsim":
+		drv, err = xen.New(u, quiet)
+	case "csim":
+		drv, err = lxc.New(u, quiet)
+	case "test":
+		u.Path = "/empty"
+		drv, err = drvtest.New(u, quiet)
+	}
+	if err != nil {
+		panic(err)
+	}
+	return drv
+}
+
+func domainXML(driver, name string) string {
+	return fmt.Sprintf(`<domain type='%s'><name>%s</name><description>cpu_util=0.4 dirty_pages_sec=1000</description><memory unit='MiB'>512</memory><vcpu>2</vcpu><os><type arch='x86_64'>hvm</type></os></domain>`, driver, name)
+}
+
+func header(id, title string, cols ...string) {
+	fmt.Printf("== %s: %s ==\n", id, title)
+	for _, c := range cols {
+		fmt.Print(c)
+	}
+	fmt.Println()
+	fmt.Println(strings.Repeat("-", 72))
+}
+
+func tableT1() {
+	header("Table T1", "management-operation latency: uniform API vs native interface",
+		fmt.Sprintf("%-10s %-14s %-14s %-10s", "driver", "uniform", "native", "overhead"))
+
+	row := func(driver string, uniform, native time.Duration) {
+		over := "n/a"
+		if native > 0 {
+			over = fmt.Sprintf("%.2fx", float64(uniform)/float64(native))
+		}
+		nat := "n/a"
+		if native > 0 {
+			nat = native.String()
+		}
+		fmt.Printf("%-10s %-14s %-14s %-10s\n", driver, uniform, nat, over)
+	}
+
+	// qsim
+	{
+		drv := openDriver("qsim")
+		must(defStart(drv, "qsim", "vm"))
+		uniform := perOp(2000, func() { drv.DomainInfo("vm") }) //nolint:errcheck
+
+		node, _ := nodeinfo.NewNode("n", nodeinfo.ProfileServer)
+		hv := qsim.New(node)
+		e, err := hv.Launch(hyper.Config{Name: "vm", VCPUs: 2, MemKiB: 512 * 1024})
+		must(err)
+		must(e.Monitor().ExecuteCommand("system_boot", nil, nil))
+		var st struct {
+			Status string `json:"status"`
+		}
+		native := perOp(2000, func() { e.Monitor().ExecuteCommand("query-status", nil, &st) }) //nolint:errcheck
+		row("qsim", uniform, native)
+	}
+	// xsim
+	{
+		drv := openDriver("xsim")
+		must(defStart(drv, "xsim", "vm"))
+		uniform := perOp(2000, func() { drv.DomainInfo("vm") }) //nolint:errcheck
+
+		node, _ := nodeinfo.NewNode("n", nodeinfo.ProfileServer)
+		hv := xsim.New(node)
+		res := hv.Call(xsim.Domain0, xsim.Hypercall{Op: xsim.OpDomainCreate, Args: xsim.CreateArgs{
+			Name: "vm", VCPUs: 2, MemKiB: 512 * 1024,
+		}})
+		must(res.Err)
+		id := res.Value.(xsim.DomID)
+		native := perOp(2000, func() {
+			hv.Call(xsim.Domain0, xsim.Hypercall{Op: xsim.OpDomainGetInfo, Dom: id})
+		})
+		row("xsim", uniform, native)
+	}
+	// csim
+	{
+		drv := openDriver("csim")
+		must(defStart(drv, "csim", "vm"))
+		uniform := perOp(2000, func() { drv.DomainInfo("vm") }) //nolint:errcheck
+		row("csim", uniform, 0)
+	}
+}
+
+func tableT2() {
+	header("Table T2", "round-trip latency by transport (Hostname / DomainInfo)",
+		fmt.Sprintf("%-10s %-14s %-14s", "transport", "hostname", "dominfo"))
+
+	measure := func(conn *core.Connect) (time.Duration, time.Duration) {
+		dom, err := conn.LookupDomain("test")
+		must(err)
+		h := perOp(500, func() { conn.Hostname() }) //nolint:errcheck
+		d := perOp(500, func() { dom.Info() })      //nolint:errcheck
+		return h, d
+	}
+
+	// Local in-process.
+	{
+		u, _ := uri.Parse("test:///default")
+		drv, err := drvtest.New(u, quiet)
+		must(err)
+		conn := core.OpenWith(u, drv)
+		h, d := measure(conn)
+		fmt.Printf("%-10s %-14s %-14s\n", "local", h, d)
+	}
+	// unix / tcp via daemon.
+	for _, tr := range []string{"unix", "tcp"} {
+		conn, shutdown := benchDaemon(tr)
+		h, d := measure(conn)
+		fmt.Printf("%-10s %-14s %-14s\n", tr, h, d)
+		shutdown()
+	}
+}
+
+func benchDaemon(transport string) (*core.Connect, func()) {
+	core.ResetRegistryForTest()
+	drvtest.Register(quiet)
+	remote.Register()
+	d := daemon.New(quiet)
+	srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{MaxClients: 64})
+	must(err)
+	srv.AddProgram(daemon.NewRemoteProgram(srv))
+	var uriStr string
+	switch transport {
+	case "unix":
+		dir, err := os.MkdirTemp("", "benchreport")
+		must(err)
+		sock := filepath.Join(dir, "b.sock")
+		must(srv.ListenUnix(sock, daemon.ServiceConfig{}))
+		uriStr = "test+unix:///default?socket=" + strings.ReplaceAll(sock, "/", "%2F")
+	case "tcp":
+		addr, err := srv.ListenTCP("127.0.0.1:0", daemon.ServiceConfig{Transport: daemon.TransportTCP})
+		must(err)
+		host, port, _ := strings.Cut(addr, ":")
+		uriStr = fmt.Sprintf("test+tcp://%s:%s/default", host, port)
+	}
+	conn, err := core.Open(uriStr)
+	must(err)
+	return conn, func() {
+		conn.Close()
+		d.Shutdown()
+		core.ResetRegistryForTest()
+	}
+}
+
+func tableT3() {
+	header("Table T3", "lifecycle timings per driver (modelled guest latency, mgmt overhead)",
+		fmt.Sprintf("%-8s %-16s %-16s %-16s", "driver", "boot(sim)", "shutdown(sim)", "mgmt ns/cycle"))
+	for _, driver := range []string{"qsim", "xsim", "csim"} {
+		drv := openDriver(driver)
+		_, err := drv.DefineDomain(domainXML(driver, "vm"))
+		must(err)
+		ma := drv.(core.MachineAccess)
+
+		must(drv.CreateDomain("vm"))
+		m, err := ma.Machine("vm")
+		must(err)
+		boot := m.Stats().SimTimeNs
+		before := m.Stats().SimTimeNs
+		_ = before
+		must(drv.ShutdownDomain("vm"))
+
+		mgmt := perOp(200, func() {
+			drv.CreateDomain("vm")  //nolint:errcheck
+			drv.DestroyDomain("vm") //nolint:errcheck
+		})
+		// Shutdown sim time: measure one graceful cycle.
+		must(drv.CreateDomain("vm"))
+		m2, err := ma.Machine("vm")
+		must(err)
+		preShut := m2.Stats().SimTimeNs
+		must(drv.ShutdownDomain("vm"))
+		shutdownSim := m2.Stats().SimTimeNs - preShut
+
+		fmt.Printf("%-8s %-16s %-16s %-16s\n", driver,
+			fmt.Sprintf("%.0f ms", float64(boot)/1e6),
+			fmt.Sprintf("%.0f ms", float64(shutdownSim)/1e6),
+			mgmt)
+	}
+}
+
+func tableT4() {
+	header("Table T4", "non-intrusive monitoring cost per fleet poll",
+		fmt.Sprintf("%-10s %-16s %-16s", "domains", "per-poll", "per-domain"))
+	for _, fleet := range []int{10, 100, 1000} {
+		drv := openDriver("test")
+		for i := 0; i < fleet; i++ {
+			must(defStart(drv, "test", fmt.Sprintf("vm%04d", i)))
+		}
+		names, err := drv.ListDomains(core.ListActive)
+		must(err)
+		poll := perOp(20, func() {
+			for _, n := range names {
+				drv.DomainStats(n) //nolint:errcheck
+			}
+		})
+		fmt.Printf("%-10d %-16s %-16s\n", fleet, poll, poll/time.Duration(fleet))
+	}
+}
+
+func tableT5() {
+	header("Table T5", "admin-plane operation latency (unix socket)",
+		fmt.Sprintf("%-24s %-14s", "operation", "latency"))
+	d := daemon.New(quiet)
+	srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{MaxClients: 64})
+	must(err)
+	srv.AddProgram(daemon.NewRemoteProgram(srv))
+	adm, err := d.AddServer("admin", 1, 2, 1, daemon.ClientLimits{MaxClients: 8})
+	must(err)
+	adm.AddProgram(admin.NewProgram(d))
+	dir, err := os.MkdirTemp("", "benchreport")
+	must(err)
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "a.sock")
+	must(adm.ListenUnix(sock, daemon.ServiceConfig{}))
+	conn, err := admin.Open(sock)
+	must(err)
+	defer d.Shutdown()
+	defer conn.Close()
+
+	set := typedparams.NewList()
+	set.AddUInt(admin.FieldMaxWorkers, 8) //nolint:errcheck
+	rows := []struct {
+		name string
+		fn   func()
+	}{
+		{"srv-list", func() { conn.ListServers() }},                                 //nolint:errcheck
+		{"srv-threadpool-info", func() { conn.ThreadpoolParams("govirtd") }},        //nolint:errcheck
+		{"srv-threadpool-set", func() { conn.SetThreadpoolParams("govirtd", set) }}, //nolint:errcheck
+		{"srv-clients-info", func() { conn.ClientLimits("govirtd") }},               //nolint:errcheck
+		{"client-list", func() { conn.ListClients("admin") }},                       //nolint:errcheck
+		{"dmn-log-define", func() { conn.SetLoggingFilters("3:rpc 1:driver") }},     //nolint:errcheck
+	}
+	for _, r := range rows {
+		fmt.Printf("%-24s %-14s\n", r.name, perOp(500, r.fn))
+	}
+}
+
+func figureF1() {
+	header("Figure F1", "list/lookup latency vs number of defined domains",
+		fmt.Sprintf("%-10s %-16s %-16s", "domains", "list", "lookup"))
+	for _, count := range []int{10, 100, 1000, 10000} {
+		drv := openDriver("test")
+		for i := 0; i < count; i++ {
+			_, err := drv.DefineDomain(domainXML("test", fmt.Sprintf("vm%05d", i)))
+			must(err)
+		}
+		iters := 2000 / count
+		if iters < 3 {
+			iters = 3
+		}
+		list := perOp(iters, func() { drv.ListDomains(0) }) //nolint:errcheck
+		target := fmt.Sprintf("vm%05d", count/2)
+		lookup := perOp(2000, func() { drv.LookupDomain(target) }) //nolint:errcheck
+		fmt.Printf("%-10d %-16s %-16s\n", count, list, lookup)
+	}
+}
+
+func figureF2() {
+	header("Figure F2", "request throughput vs workerpool size (100µs hypervisor wait per job)",
+		fmt.Sprintf("%-10s %-16s %-12s", "workers", "jobs/sec", "speedup"))
+	const jobs = 2000
+	var base float64
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		pool, err := daemon.NewWorkerpool(workers, workers, 0)
+		must(err)
+		elapsed := median(3, func() {
+			var wg sync.WaitGroup
+			wg.Add(jobs)
+			for i := 0; i < jobs; i++ {
+				pool.Submit(func() { //nolint:errcheck
+					workUnit()
+					wg.Done()
+				}, false)
+			}
+			wg.Wait()
+		})
+		pool.Shutdown()
+		rate := float64(jobs) / elapsed.Seconds()
+		if base == 0 {
+			base = rate
+		}
+		fmt.Printf("%-10d %-16.0f %.2fx\n", workers, rate, rate/base)
+	}
+}
+
+// workUnit models one request's service time: daemon workers spend most
+// of a request waiting on the hypervisor, so the cost is a wait, not
+// CPU — which is exactly why additional workers raise throughput.
+func workUnit() {
+	time.Sleep(100 * time.Microsecond)
+}
+
+func figureF3() {
+	header("Figure F3", "live migration: total time & downtime vs memory × dirty rate (1000 MB/s link)",
+		fmt.Sprintf("%-10s %-14s %-7s %-14s %-14s %s", "mem", "dirty pg/s", "iters", "total", "downtime", "converged"))
+	for _, memGiB := range []uint64{1, 4, 16} {
+		for _, dirty := range []uint64{1_000, 100_000, 1_000_000} {
+			res, err := migrate.Estimate(memGiB*1024*1024, dirty, core.MigrateOptions{
+				BandwidthMBps: 1000, MaxDowntimeMs: 300, MaxIterations: 30,
+			})
+			must(err)
+			fmt.Printf("%-10s %-14d %-7d %-14s %-14s %v\n",
+				fmt.Sprintf("%d GiB", memGiB), dirty, res.Iterations,
+				fmt.Sprintf("%.0f ms", res.TotalTimeMs()),
+				fmt.Sprintf("%.1f ms", res.DowntimeMs()),
+				res.Converged)
+		}
+	}
+}
+
+func figureF4() {
+	header("Figure F4", "XDR serialization throughput by payload",
+		fmt.Sprintf("%-12s %-14s %-14s", "payload", "marshal", "unmarshal"))
+	run := func(name string, v interface{}, mk func() interface{}) {
+		data, err := rpc.Marshal(v)
+		must(err)
+		m := perOp(5000, func() { rpc.Marshal(v) })            //nolint:errcheck
+		u := perOp(5000, func() { rpc.Unmarshal(data, mk()) }) //nolint:errcheck
+		fmt.Printf("%-12s %-14s %-14s\n", name, m, u)
+	}
+	type small struct {
+		A uint32
+		B uint64
+		S string
+	}
+	run("small", &small{1, 2, "domain"}, func() interface{} { return &small{} })
+	run("xml-4KiB", &struct{ X string }{strings.Repeat("<x/>", 1024)},
+		func() interface{} { return &struct{ X string }{} })
+	run("xml-64KiB", &struct{ X string }{strings.Repeat("<x/>", 16384)},
+		func() interface{} { return &struct{ X string }{} })
+}
+
+func ablationA3() {
+	header("Ablation A3", "xsim hypercall batching: privilege transitions per shutdown cycle",
+		fmt.Sprintf("%-12s %-18s %-12s", "mode", "hypercalls/cycle", "saved/cycle"))
+	for _, batch := range []bool{true, false} {
+		node, _ := nodeinfo.NewNode("n", nodeinfo.ProfileServer)
+		hv := xsim.New(node)
+		drv := xen.NewOn(hv, node, batch, quiet)
+		_, err := drv.DefineDomain(domainXML("xsim", "vm"))
+		must(err)
+		const cycles = 200
+		for i := 0; i < cycles; i++ {
+			must(drv.CreateDomain("vm"))
+			must(drv.ShutdownDomain("vm"))
+		}
+		served, saved := hv.HypercallCount()
+		mode := "batched"
+		if !batch {
+			mode = "unbatched"
+		}
+		fmt.Printf("%-12s %-18.2f %-12.2f\n", mode,
+			float64(served)/cycles, float64(saved)/cycles)
+	}
+}
+
+func defStart(drv core.DriverConn, driver, name string) error {
+	if _, err := drv.DefineDomain(domainXML(driver, name)); err != nil {
+		return err
+	}
+	return drv.CreateDomain(name)
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,141 @@
+// Command govirtd is the management daemon: it hosts the hypervisor
+// drivers server-side, accepts client connections over unix and TCP
+// sockets, and exposes the admin server for its own runtime management.
+//
+// Usage:
+//
+//	govirtd [-config govirtd.conf] [-sock path] [-admin-sock path] [-tcp addr:port]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/admin"
+	"repro/internal/daemon"
+	"repro/internal/drivers/lxc"
+	"repro/internal/drivers/qemu"
+	drvtest "repro/internal/drivers/test"
+	"repro/internal/drivers/xen"
+	"repro/internal/logging"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "govirtd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	configPath := flag.String("config", "", "configuration file (govirtd.conf syntax)")
+	sockOverride := flag.String("sock", "", "management unix socket path (overrides config)")
+	adminSockOverride := flag.String("admin-sock", "", "admin unix socket path (overrides config)")
+	tcpOverride := flag.String("tcp", "", "listen on this TCP address (overrides config)")
+	flag.Parse()
+
+	cfg := daemon.DefaultConfig()
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		cfg, err = daemon.ParseConfig(string(data))
+		if err != nil {
+			return err
+		}
+	}
+	if *sockOverride != "" {
+		cfg.UnixSocketPath = *sockOverride
+	}
+	if *adminSockOverride != "" {
+		cfg.AdminSocketPath = *adminSockOverride
+	}
+
+	log := logging.New(logging.Priority(cfg.LogLevel))
+	if cfg.LogFilters != "" {
+		if err := log.DefineFilters(cfg.LogFilters); err != nil {
+			return err
+		}
+	}
+	if cfg.LogOutputs != "" {
+		if err := log.DefineOutputs(cfg.LogOutputs); err != nil {
+			return err
+		}
+	}
+
+	// Server-side drivers.
+	drvtest.Register(log)
+	qemu.Register(log)
+	xen.Register(log)
+	lxc.Register(log)
+
+	d := daemon.New(log)
+	mgmt, err := d.AddServer("govirtd", cfg.MinWorkers, cfg.MaxWorkers, cfg.PrioWorkers,
+		daemon.ClientLimits{MaxClients: cfg.MaxClients, MaxUnauthClients: cfg.MaxUnauthClients})
+	if err != nil {
+		return err
+	}
+	mgmt.AddProgram(daemon.NewRemoteProgram(mgmt))
+	if len(cfg.SASLCredentials) > 0 {
+		mgmt.SetCredentials(cfg.SASLCredentials)
+	}
+
+	if err := os.MkdirAll(filepath.Dir(cfg.UnixSocketPath), 0o755); err != nil {
+		return err
+	}
+	removeStale(cfg.UnixSocketPath)
+	if err := mgmt.ListenUnix(cfg.UnixSocketPath, daemon.ServiceConfig{}); err != nil {
+		return err
+	}
+	log.Infof("daemon", "management server listening on %s", cfg.UnixSocketPath)
+
+	if *tcpOverride != "" || cfg.ListenTCP {
+		addr := *tcpOverride
+		if addr == "" {
+			addr = fmt.Sprintf("%s:%d", cfg.TCPBindAddress, cfg.TCPPort)
+		}
+		tcpCfg := daemon.ServiceConfig{Transport: daemon.TransportTCP}
+		if cfg.AuthTCP == "sasl" {
+			tcpCfg.AuthSASL = true
+		}
+		bound, err := mgmt.ListenTCP(addr, tcpCfg)
+		if err != nil {
+			return err
+		}
+		log.Infof("daemon", "management server listening on tcp %s (auth=%s)", bound, cfg.AuthTCP)
+	}
+
+	// Admin server: small dedicated pool so it stays responsive while the
+	// management workers are saturated.
+	adm, err := d.AddServer("admin", 1, 4, 1, daemon.ClientLimits{MaxClients: 10})
+	if err != nil {
+		return err
+	}
+	adm.AddProgram(admin.NewProgram(d))
+	removeStale(cfg.AdminSocketPath)
+	if err := adm.ListenUnix(cfg.AdminSocketPath, daemon.ServiceConfig{}); err != nil {
+		return err
+	}
+	log.Infof("daemon", "admin server listening on %s", cfg.AdminSocketPath)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	log.Infof("daemon", "received %s, shutting down", s)
+	d.Shutdown()
+	removeStale(cfg.UnixSocketPath)
+	removeStale(cfg.AdminSocketPath)
+	return nil
+}
+
+// removeStale deletes a leftover socket file so rebinding succeeds.
+func removeStale(path string) {
+	if fi, err := os.Stat(path); err == nil && fi.Mode()&os.ModeSocket != 0 {
+		os.Remove(path) //nolint:errcheck
+	}
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+// virshx invokes the CLI entry point against a fresh registry.
+func virshx(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	core.ResetRegistryForTest()
+	t.Cleanup(core.ResetRegistryForTest)
+	return capture(t, func() error { return run(args) })
+}
+
+func TestHelpListsCommands(t *testing.T) {
+	out, err := virshx(t, "help")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"list", "dominfo", "migrate", "snapshot-create", "net-list", "pool-info"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("help missing %q", want)
+		}
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	if _, err := virshx(t, "teleport"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestUsageErrorOnMissingArgs(t *testing.T) {
+	if _, err := virshx(t, "dominfo"); err == nil || !strings.Contains(err.Error(), "usage:") {
+		t.Fatalf("missing args: %v", err)
+	}
+}
+
+func TestListDefaultEnvironment(t *testing.T) {
+	out, err := virshx(t, "-c", "test:///default", "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "test") || !strings.Contains(out, "running") {
+		t.Fatalf("list output:\n%s", out)
+	}
+}
+
+func TestDomInfoAndStats(t *testing.T) {
+	out, err := virshx(t, "-c", "test:///default", "dominfo", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Name:", "UUID:", "State:", "running", "Max memory:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dominfo missing %q:\n%s", want, out)
+		}
+	}
+	out, err = virshx(t, "-c", "test:///default", "domstats", "test")
+	if err != nil || !strings.Contains(out, "state") {
+		t.Fatalf("domstats: %v\n%s", err, out)
+	}
+}
+
+func TestLifecycleCommands(t *testing.T) {
+	// Each CLI invocation opens a fresh test:///default environment, so
+	// drive a full cycle in separate invocations against the canned
+	// running domain.
+	if _, err := virshx(t, "-c", "test:///default", "suspend", "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := virshx(t, "-c", "test:///default", "destroy", "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := virshx(t, "-c", "test:///default", "resume", "test"); err == nil {
+		t.Fatal("resume of running domain must fail")
+	}
+}
+
+func TestDefineFromFileAndDumpXML(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dom.xml")
+	xml := `<domain type='test'><name>fromfile</name><memory unit='MiB'>128</memory><vcpu>1</vcpu><os><type>hvm</type></os></domain>`
+	if err := os.WriteFile(path, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := virshx(t, "-c", "test:///default", "define", path)
+	if err != nil || !strings.Contains(out, "fromfile defined") {
+		t.Fatalf("define: %v\n%s", err, out)
+	}
+	out, err = virshx(t, "-c", "test:///default", "dumpxml", "test")
+	if err != nil || !strings.Contains(out, "<name>test</name>") {
+		t.Fatalf("dumpxml: %v", err)
+	}
+}
+
+func TestNetworkAndPoolCommands(t *testing.T) {
+	out, err := virshx(t, "-c", "test:///default", "net-list")
+	if err != nil || !strings.Contains(out, "default") || !strings.Contains(out, "active") {
+		t.Fatalf("net-list: %v\n%s", err, out)
+	}
+	out, err = virshx(t, "-c", "test:///default", "net-dhcp-leases", "default")
+	if err != nil || !strings.Contains(out, "MAC") {
+		t.Fatalf("net-dhcp-leases: %v\n%s", err, out)
+	}
+	out, err = virshx(t, "-c", "test:///default", "pool-list")
+	if err != nil || !strings.Contains(out, "default-pool") {
+		t.Fatalf("pool-list: %v\n%s", err, out)
+	}
+	out, err = virshx(t, "-c", "test:///default", "pool-info", "default-pool")
+	if err != nil || !strings.Contains(out, "Capacity:") {
+		t.Fatalf("pool-info: %v\n%s", err, out)
+	}
+}
+
+func TestNodeAndVersionCommands(t *testing.T) {
+	out, err := virshx(t, "-c", "test:///default", "nodeinfo")
+	if err != nil || !strings.Contains(out, "CPU model:") {
+		t.Fatalf("nodeinfo: %v\n%s", err, out)
+	}
+	out, err = virshx(t, "-c", "test:///default", "hostname")
+	if err != nil || !strings.Contains(out, "testhost") {
+		t.Fatalf("hostname: %v\n%s", err, out)
+	}
+	out, err = virshx(t, "-c", "test:///default", "version")
+	if err != nil || !strings.Contains(out, "Driver: test") {
+		t.Fatalf("version: %v\n%s", err, out)
+	}
+	out, err = virshx(t, "-c", "test:///default", "capabilities")
+	if err != nil || !strings.Contains(out, "<capabilities>") {
+		t.Fatalf("capabilities: %v\n%s", err, out)
+	}
+}
+
+func TestSnapshotCommands(t *testing.T) {
+	out, err := virshx(t, "-c", "test:///default", "snapshot-create", "test", "before")
+	if err != nil || !strings.Contains(out, "before created") {
+		t.Fatalf("snapshot-create: %v\n%s", err, out)
+	}
+	// Fresh environment per invocation means the snapshot is gone in a
+	// second call; verify list errors cleanly on missing snapshots.
+	out, err = virshx(t, "-c", "test:///default", "snapshot-list", "test")
+	if err != nil || strings.TrimSpace(out) != "" {
+		t.Fatalf("snapshot-list: %v\n%q", err, out)
+	}
+}
+
+func TestTuningCommands(t *testing.T) {
+	if _, err := virshx(t, "-c", "test:///default", "setmem", "test", "262144"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := virshx(t, "-c", "test:///default", "setmem", "test", "not-a-number"); err == nil {
+		t.Fatal("bad setmem value accepted")
+	}
+	if _, err := virshx(t, "-c", "test:///default", "setvcpus", "test", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := virshx(t, "-c", "test:///default", "setvcpus", "test", "x"); err == nil {
+		t.Fatal("bad setvcpus value accepted")
+	}
+}
+
+func TestBadURIFails(t *testing.T) {
+	if _, err := virshx(t, "-c", "://", "list"); err == nil {
+		t.Fatal("bad URI accepted")
+	}
+}
+
+func TestURIAliasFromConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "client.conf")
+	cfg := "uri_aliases = [\n  \"lab=test:///default\",\n]\n"
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("VIRSHX_CONFIG", cfgPath)
+	out, err := virshx(t, "-c", "lab", "hostname")
+	if err != nil || !strings.Contains(out, "testhost") {
+		t.Fatalf("alias resolution: %v\n%s", err, out)
+	}
+	// Unknown alias falls through to URI parsing and fails cleanly.
+	if _, err := virshx(t, "-c", "nonexistent-alias", "hostname"); err == nil {
+		t.Fatal("unknown alias accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestShellSessionKeepsState drives the interactive shell with a scripted
+// session; because the shell holds one connection, snapshots created in
+// one command are visible to the next — unlike one-shot invocations.
+func TestShellSessionKeepsState(t *testing.T) {
+	core.ResetRegistryForTest()
+	t.Cleanup(core.ResetRegistryForTest)
+	script := strings.Join([]string{
+		"list",
+		"snapshot-create test before",
+		"snapshot-list test",
+		"suspend test",
+		"snapshot-revert test before",
+		"dominfo test",
+		"bogus-command",
+		"dominfo", // usage error, shell must survive
+		"",
+		"quit",
+	}, "\n") + "\n"
+
+	out, err := capture(t, func() error {
+		registerDrivers()
+		return runShell("test:///default", strings.NewReader(script))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Welcome to virshx",
+		"before created",
+		"reverted to snapshot before",
+		"running", // dominfo after revert
+		`error: unknown command "bogus-command"`,
+		"error: usage: virshx dominfo",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shell output missing %q:\n%s", want, out)
+		}
+	}
+	// snapshot-list inside the session sees the snapshot.
+	if !strings.Contains(out, "before\n") {
+		t.Errorf("snapshot not visible within session:\n%s", out)
+	}
+}
+
+func TestShellEOFExitsCleanly(t *testing.T) {
+	core.ResetRegistryForTest()
+	t.Cleanup(core.ResetRegistryForTest)
+	_, err := capture(t, func() error {
+		registerDrivers()
+		return runShell("test:///default", strings.NewReader("list\n"))
+	})
+	if err != nil {
+		t.Fatalf("EOF exit: %v", err)
+	}
+}

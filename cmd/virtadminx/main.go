@@ -1,0 +1,293 @@
+// Command virtadminx is the daemon administration client — the
+// virt-admin equivalent. It connects to the daemon's admin server over
+// its unix socket and manages workerpools, client limits, connected
+// clients and the logging subsystem at runtime.
+//
+// Usage:
+//
+//	virtadminx [-sock path] <command> [args...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/admin"
+	"repro/internal/logging"
+	"repro/internal/typedparams"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("virtadminx", flag.ContinueOnError)
+	sock := fs.String("sock", admin.DefaultAdminSocket, "admin unix socket path")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	args := fs.Args()
+	if len(args) == 0 || args[0] == "help" {
+		printHelp()
+		return nil
+	}
+	conn, err := admin.Open(*sock)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	switch args[0] {
+	case "srv-list":
+		return srvList(conn)
+	case "srv-threadpool-info":
+		return needArgs(args, 2, func() error { return threadpoolInfo(conn, args[1]) })
+	case "srv-threadpool-set":
+		return needArgs(args, 2, func() error { return threadpoolSet(conn, args[1], args[2:]) })
+	case "srv-clients-info":
+		return needArgs(args, 2, func() error { return clientsInfo(conn, args[1]) })
+	case "srv-clients-set":
+		return needArgs(args, 2, func() error { return clientsSet(conn, args[1], args[2:]) })
+	case "client-list":
+		return needArgs(args, 2, func() error { return clientList(conn, args[1]) })
+	case "client-info":
+		return needArgs(args, 3, func() error { return clientInfo(conn, args[1], args[2]) })
+	case "client-disconnect":
+		return needArgs(args, 3, func() error { return clientDisconnect(conn, args[1], args[2]) })
+	case "dmn-log-info":
+		return logInfo(conn)
+	case "dmn-log-define":
+		return logDefine(conn, args[1:])
+	default:
+		return fmt.Errorf("unknown command %q (try \"help\")", args[0])
+	}
+}
+
+func needArgs(args []string, n int, fn func() error) error {
+	if len(args) < n {
+		return fmt.Errorf("command %s needs %d argument(s)", args[0], n-1)
+	}
+	return fn()
+}
+
+func printHelp() {
+	fmt.Print(`virtadminx — daemon administration client
+usage: virtadminx [-sock path] <command> [args...]
+
+Monitoring commands:
+  srv-list                          list servers on the daemon
+  srv-threadpool-info <server>      show workerpool parameters
+  srv-clients-info <server>         show client limits and counts
+  client-list <server>              list connected clients
+  client-info <server> <id>         show a client's identity
+  dmn-log-info                      show logging level, filters, outputs
+
+Management commands:
+  srv-threadpool-set <server> [--min-workers N] [--max-workers N] [--prio-workers N]
+  srv-clients-set <server> [--max-clients N] [--max-unauth-clients N]
+  client-disconnect <server> <id>   force-close a client connection
+  dmn-log-define [--level N] [--filters "..."] [--outputs "..."]
+`)
+}
+
+func srvList(conn *admin.Connect) error {
+	servers, err := conn.ListServers()
+	if err != nil {
+		return err
+	}
+	fmt.Printf(" %-4s %s\n ---------------\n", "Id", "Name")
+	for i, s := range servers {
+		fmt.Printf(" %-4d %s\n", i, s)
+	}
+	return nil
+}
+
+func printParams(l *typedparams.List) {
+	for _, p := range l.Params() {
+		fmt.Printf("%-24s: %v\n", p.Field, p.Value())
+	}
+}
+
+func threadpoolInfo(conn *admin.Connect, server string) error {
+	params, err := conn.ThreadpoolParams(server)
+	if err != nil {
+		return err
+	}
+	printParams(params)
+	return nil
+}
+
+// parseFlagUInts maps "--flag value" pairs onto typed-parameter fields.
+func parseFlagUInts(args []string, mapping map[string]string) (*typedparams.List, error) {
+	l := typedparams.NewList()
+	for i := 0; i < len(args); i++ {
+		field, ok := mapping[args[i]]
+		if !ok {
+			return nil, fmt.Errorf("unknown flag %q", args[i])
+		}
+		if i+1 >= len(args) {
+			return nil, fmt.Errorf("flag %s needs a value", args[i])
+		}
+		v, err := strconv.ParseUint(args[i+1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("flag %s: bad value %q", args[i], args[i+1])
+		}
+		if err := l.AddUInt(field, uint32(v)); err != nil {
+			return nil, err
+		}
+		i++
+	}
+	if l.Len() == 0 {
+		return nil, fmt.Errorf("nothing to set")
+	}
+	return l, nil
+}
+
+func threadpoolSet(conn *admin.Connect, server string, args []string) error {
+	params, err := parseFlagUInts(args, map[string]string{
+		"--min-workers":  admin.FieldMinWorkers,
+		"--max-workers":  admin.FieldMaxWorkers,
+		"--prio-workers": admin.FieldPrioWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	return conn.SetThreadpoolParams(server, params)
+}
+
+func clientsInfo(conn *admin.Connect, server string) error {
+	params, err := conn.ClientLimits(server)
+	if err != nil {
+		return err
+	}
+	printParams(params)
+	return nil
+}
+
+func clientsSet(conn *admin.Connect, server string, args []string) error {
+	params, err := parseFlagUInts(args, map[string]string{
+		"--max-clients":        admin.FieldMaxClients,
+		"--max-unauth-clients": admin.FieldMaxUnauthClients,
+	})
+	if err != nil {
+		return err
+	}
+	return conn.SetClientLimits(server, params)
+}
+
+func clientList(conn *admin.Connect, server string) error {
+	clients, err := conn.ListClients(server)
+	if err != nil {
+		return err
+	}
+	fmt.Printf(" %-5s %-10s %-6s %s\n -----------------------------------------------\n",
+		"Id", "Transport", "Auth", "Connected since")
+	for _, c := range clients {
+		auth := "no"
+		if c.AuthDone {
+			auth = "yes"
+		}
+		fmt.Printf(" %-5d %-10s %-6s %s\n", c.ID, c.Transport, auth,
+			c.Connected.Format("2006-01-02 15:04:05-0700"))
+	}
+	return nil
+}
+
+func clientInfo(conn *admin.Connect, server, idStr string) error {
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad client id %q", idStr)
+	}
+	info, err := conn.GetClientInfo(server, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s: %d\n", "id", info.ID)
+	fmt.Printf("%-24s: %s\n", "transport", info.Transport)
+	fmt.Printf("%-24s: %s\n", "connected since", info.Connected.Format("2006-01-02 15:04:05-0700"))
+	printParams(info.Identity)
+	return nil
+}
+
+func clientDisconnect(conn *admin.Connect, server, idStr string) error {
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad client id %q", idStr)
+	}
+	if err := conn.DisconnectClient(server, id); err != nil {
+		return err
+	}
+	fmt.Printf("Client %d disconnected from server %s\n", id, server)
+	return nil
+}
+
+func logInfo(conn *admin.Connect) error {
+	level, err := conn.LoggingLevel()
+	if err != nil {
+		return err
+	}
+	filters, err := conn.LoggingFilters()
+	if err != nil {
+		return err
+	}
+	outputs, err := conn.LoggingOutputs()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Logging level:   %s\n", level)
+	fmt.Printf("Logging filters: %s\n", filters)
+	fmt.Printf("Logging outputs: %s\n", outputs)
+	return nil
+}
+
+func logDefine(conn *admin.Connect, args []string) error {
+	did := false
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "--level":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--level needs a value")
+			}
+			p, err := logging.ParsePriority(args[i+1])
+			if err != nil {
+				return err
+			}
+			if err := conn.SetLoggingLevel(p); err != nil {
+				return err
+			}
+			did = true
+			i++
+		case "--filters":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--filters needs a value")
+			}
+			if err := conn.SetLoggingFilters(strings.TrimSpace(args[i+1])); err != nil {
+				return err
+			}
+			did = true
+			i++
+		case "--outputs":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--outputs needs a value")
+			}
+			if err := conn.SetLoggingOutputs(strings.TrimSpace(args[i+1])); err != nil {
+				return err
+			}
+			did = true
+			i++
+		default:
+			return fmt.Errorf("unknown flag %q", args[i])
+		}
+	}
+	if !did {
+		return fmt.Errorf("nothing to define; pass --level, --filters or --outputs")
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/admin"
+	"repro/internal/daemon"
+	"repro/internal/logging"
+)
+
+// startTestDaemon brings up a daemon with an admin server and returns
+// the admin socket path.
+func startTestDaemon(t *testing.T) string {
+	t.Helper()
+	d := daemon.New(logging.NewQuiet(logging.Error))
+	if _, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{MaxClients: 20}); err != nil {
+		t.Fatal(err)
+	}
+	adm, err := d.AddServer("admin", 1, 2, 1, daemon.ClientLimits{MaxClients: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm.AddProgram(admin.NewProgram(d))
+	sock := filepath.Join(t.TempDir(), "admin.sock")
+	if err := adm.ListenUnix(sock, daemon.ServiceConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Shutdown)
+	return sock
+}
+
+func adminCLI(t *testing.T, sock string, args ...string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	full := append([]string{"-sock", sock}, args...)
+	runErr := run(full)
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func TestHelp(t *testing.T) {
+	out, err := adminCLI(t, "/nonexistent", "help")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"srv-list", "srv-threadpool-set", "client-disconnect", "dmn-log-define"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("help missing %q", want)
+		}
+	}
+}
+
+func TestSrvList(t *testing.T) {
+	sock := startTestDaemon(t)
+	out, err := adminCLI(t, sock, "srv-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "govirtd") || !strings.Contains(out, "admin") {
+		t.Fatalf("srv-list:\n%s", out)
+	}
+}
+
+func TestThreadpoolInfoAndSet(t *testing.T) {
+	sock := startTestDaemon(t)
+	out, err := adminCLI(t, sock, "srv-threadpool-info", "govirtd")
+	if err != nil || !strings.Contains(out, "maxWorkers") {
+		t.Fatalf("info: %v\n%s", err, out)
+	}
+	if _, err := adminCLI(t, sock, "srv-threadpool-set", "govirtd", "--max-workers", "32", "--prio-workers", "4"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = adminCLI(t, sock, "srv-threadpool-info", "govirtd")
+	if !strings.Contains(out, ": 32") {
+		t.Fatalf("set not applied:\n%s", out)
+	}
+	// Error paths.
+	if _, err := adminCLI(t, sock, "srv-threadpool-set", "govirtd", "--warp", "9"); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if _, err := adminCLI(t, sock, "srv-threadpool-set", "govirtd", "--max-workers"); err == nil {
+		t.Fatal("flag without value accepted")
+	}
+	if _, err := adminCLI(t, sock, "srv-threadpool-set", "govirtd", "--max-workers", "x"); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+	if _, err := adminCLI(t, sock, "srv-threadpool-set", "govirtd"); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+func TestClientsInfoAndSet(t *testing.T) {
+	sock := startTestDaemon(t)
+	out, err := adminCLI(t, sock, "srv-clients-info", "govirtd")
+	if err != nil || !strings.Contains(out, "nclients_max") {
+		t.Fatalf("info: %v\n%s", err, out)
+	}
+	if _, err := adminCLI(t, sock, "srv-clients-set", "govirtd", "--max-clients", "99"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = adminCLI(t, sock, "srv-clients-info", "govirtd")
+	if !strings.Contains(out, ": 99") {
+		t.Fatalf("set not applied:\n%s", out)
+	}
+}
+
+func TestClientListAndInfo(t *testing.T) {
+	sock := startTestDaemon(t)
+	// Our own admin connection appears in the admin server's client list.
+	out, err := adminCLI(t, sock, "client-list", "admin")
+	if err != nil || !strings.Contains(out, "unix") {
+		t.Fatalf("client-list: %v\n%s", err, out)
+	}
+	if _, err := adminCLI(t, sock, "client-info", "admin", "notanumber"); err == nil {
+		t.Fatal("bad id accepted")
+	}
+	if _, err := adminCLI(t, sock, "client-disconnect", "admin", "99999"); err == nil {
+		t.Fatal("missing client disconnect accepted")
+	}
+}
+
+func TestLogCommands(t *testing.T) {
+	sock := startTestDaemon(t)
+	out, err := adminCLI(t, sock, "dmn-log-info")
+	if err != nil || !strings.Contains(out, "Logging level:") {
+		t.Fatalf("log-info: %v\n%s", err, out)
+	}
+	if _, err := adminCLI(t, sock, "dmn-log-define", "--level", "debug", "--filters", "3:rpc"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = adminCLI(t, sock, "dmn-log-info")
+	if !strings.Contains(out, "debug") || !strings.Contains(out, "3:rpc") {
+		t.Fatalf("log-define not applied:\n%s", out)
+	}
+	if _, err := adminCLI(t, sock, "dmn-log-define"); err == nil {
+		t.Fatal("empty define accepted")
+	}
+	if _, err := adminCLI(t, sock, "dmn-log-define", "--level", "verbose"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := adminCLI(t, sock, "dmn-log-define", "--mystery", "x"); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestUnknownCommandAndBadSocket(t *testing.T) {
+	sock := startTestDaemon(t)
+	if _, err := adminCLI(t, sock, "warp"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if _, err := adminCLI(t, "/does/not/exist.sock", "srv-list"); err == nil {
+		t.Fatal("bad socket accepted")
+	}
+}

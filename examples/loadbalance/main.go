@@ -1,0 +1,158 @@
+// Loadbalance: the admin interface's flagship use case. A daemon serves
+// a burst of clients with a deliberately small workerpool; the operator
+// watches the job queue build up through the admin API and widens the
+// pool at runtime — no restart, no dropped connections — then watches
+// the queue drain. Ends by bumping the client connection limit after
+// observing rejected connections, the exact scenario that motivated the
+// administration interface.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/admin"
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/drivers/remote"
+	drvtest "repro/internal/drivers/test"
+	"repro/internal/logging"
+	"repro/internal/typedparams"
+)
+
+func main() {
+	logger := logging.NewQuiet(logging.Error)
+	drvtest.Register(logger)
+	remote.Register()
+
+	dir, err := os.MkdirTemp("", "loadbalance")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Daemon with a deliberately tiny pool and low client limit.
+	d := daemon.New(logger)
+	mgmt, err := d.AddServer("govirtd", 1, 2, 1, daemon.ClientLimits{MaxClients: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgmt.AddProgram(daemon.NewRemoteProgram(mgmt))
+	mgmtSock := filepath.Join(dir, "govirtd.sock")
+	if err := mgmt.ListenUnix(mgmtSock, daemon.ServiceConfig{}); err != nil {
+		log.Fatal(err)
+	}
+	adm, err := d.AddServer("admin", 1, 2, 1, daemon.ClientLimits{MaxClients: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adm.AddProgram(admin.NewProgram(d))
+	admSock := filepath.Join(dir, "admin.sock")
+	if err := adm.ListenUnix(admSock, daemon.ServiceConfig{}); err != nil {
+		log.Fatal(err)
+	}
+	defer d.Shutdown()
+
+	admConn, err := admin.Open(admSock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer admConn.Close()
+
+	mgmtURI := "test+unix:///default?socket=" + strings.ReplaceAll(mgmtSock, "/", "%2F")
+
+	show := func(when string) {
+		params, err := admConn.ThreadpoolParams("govirtd")
+		if err != nil {
+			log.Fatal(err)
+		}
+		max, _ := params.GetUInt("maxWorkers")
+		n, _ := params.GetUInt("nWorkers")
+		free, _ := params.GetUInt("freeWorkers")
+		depth, _ := params.GetUInt("jobQueueDepth")
+		fmt.Printf("%-28s maxWorkers=%-3d nWorkers=%-3d free=%-3d queueDepth=%d\n",
+			when, max, n, free, depth)
+	}
+
+	// Phase 1: burst of clients against the tiny pool.
+	show("before burst:")
+	var wg sync.WaitGroup
+	runBurst := func() {
+		for i := 0; i < 6; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				conn, err := core.Open(mgmtURI)
+				if err != nil {
+					return
+				}
+				defer conn.Close()
+				for j := 0; j < 300; j++ {
+					if _, err := conn.Hostname(); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	t0 := time.Now()
+	runBurst()
+	smallPool := time.Since(t0)
+	show("after burst (2 workers):")
+
+	// Phase 2: the operator widens the pool at runtime.
+	set := typedparams.NewList()
+	set.AddUInt("maxWorkers", 16) //nolint:errcheck
+	set.AddUInt("minWorkers", 8)  //nolint:errcheck
+	if err := admConn.SetThreadpoolParams("govirtd", set); err != nil {
+		log.Fatal(err)
+	}
+	show("after srv-threadpool-set:")
+
+	t0 = time.Now()
+	runBurst()
+	bigPool := time.Since(t0)
+	show("after burst (16 workers):")
+
+	fmt.Printf("\nburst wall time: %-8v with 2 workers max\n", smallPool.Round(time.Millisecond))
+	fmt.Printf("burst wall time: %-8v with 16 workers max\n", bigPool.Round(time.Millisecond))
+
+	// Phase 3: connection-limit management. Overload the limit, observe
+	// rejections, raise the limit through the admin API.
+	var conns []*core.Connect
+	rejected := 0
+	for i := 0; i < 10; i++ {
+		c, err := core.Open(mgmtURI)
+		if err != nil {
+			rejected++
+			continue
+		}
+		conns = append(conns, c)
+	}
+	limits, _ := admConn.ClientLimits("govirtd")
+	cur, _ := limits.GetUInt("nclients")
+	max, _ := limits.GetUInt("nclients_max")
+	fmt.Printf("\nconnections: %d accepted, %d rejected (nclients=%d, nclients_max=%d)\n",
+		len(conns), rejected, cur, max)
+
+	raise := typedparams.NewList()
+	raise.AddUInt("nclients_max", 64) //nolint:errcheck
+	if err := admConn.SetClientLimits("govirtd", raise); err != nil {
+		log.Fatal(err)
+	}
+	extra, err := core.Open(mgmtURI)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after srv-clients-set --max-clients 64: new connection accepted")
+	extra.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}

@@ -1,0 +1,115 @@
+// Statemgmt: the day-two operations workflow — snapshot before a risky
+// change, hot-plug a disk and a NIC while the guest runs, clone the
+// tested configuration for a second instance, roll back when the
+// "upgrade" goes wrong, and carry state across a host restart with
+// managed save.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/drivers/qemu"
+	"repro/internal/logging"
+	"repro/internal/uri"
+)
+
+const appXML = `
+<domain type='qsim'>
+  <name>app01</name>
+  <title>Application server</title>
+  <description>cpu_util=0.5 dirty_pages_sec=1000</description>
+  <memory unit='MiB'>2048</memory>
+  <currentMemory unit='MiB'>1024</currentMemory>
+  <vcpu>2</vcpu>
+  <os><type arch='x86_64'>hvm</type></os>
+  <devices>
+    <disk type='file' device='disk'>
+      <source file='/images/app01.qcow2'/>
+      <target dev='vda' bus='virtio'/>
+    </disk>
+    <interface type='user'>
+      <mac address='52:54:00:ap:p0:01'/>
+    </interface>
+  </devices>
+</domain>`
+
+func main() {
+	drv, err := qemu.New(&uri.URI{Driver: "qsim", Path: "/system"}, logging.NewQuiet(logging.Error))
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn := core.OpenWith(&uri.URI{Driver: "qsim"}, drv)
+	defer conn.Close()
+
+	fixed := fixMAC(appXML)
+	dom, err := conn.CreateDomainXML(fixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("app01 defined and running")
+
+	// 1. Snapshot before the risky change.
+	snap, err := dom.CreateSnapshot(`<domainsnapshot><name>pre-upgrade</name><description>known good</description></domainsnapshot>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot %q taken while running\n", snap)
+
+	// 2. Hot-plug a scratch disk and an extra NIC for the upgrade.
+	if err := dom.AttachDevice(`<disk type='file' device='disk'><source file='/images/scratch.img'/><target dev='vdb' bus='virtio'/></disk>`); err != nil {
+		log.Fatal(err)
+	}
+	if err := dom.AttachDevice(`<interface type='user'><mac address='52:54:00:00:99:01'/></interface>`); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hot-plugged scratch disk vdb and a second NIC")
+
+	// 3. The "upgrade" misbehaves: balloon climbs, then the guest wedges.
+	if err := dom.SetMemory(2048 * 1024); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("upgrade misbehaving (memory ballooned to max) — rolling back")
+
+	// 4. Roll back to the snapshot: fresh instance, pre-upgrade state.
+	if err := dom.RevertSnapshot("pre-upgrade"); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := dom.State()
+	info, _ := dom.Info()
+	fmt.Printf("reverted: state=%s memory=%d KiB\n", st, info.MemKiB)
+
+	// 5. Clone the known-good definition for a second instance.
+	clone, err := core.CloneDomain(conn, "app01", "app02")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := clone.Create(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cloned to %s (fresh UUID %s, fresh MACs, own disk paths)\n",
+		clone.Name(), clone.UUID()[:8])
+
+	// 6. Host maintenance: save both guests' state, "reboot", restore.
+	for _, d := range []*core.Domain{dom, clone} {
+		if err := d.ManagedSave(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("both guests saved for host maintenance")
+	for _, d := range []*core.Domain{dom, clone} {
+		if err := d.Create(); err != nil { // restores, does not boot fresh
+			log.Fatal(err)
+		}
+	}
+	doms, _ := conn.ListAllDomains(core.ListActive)
+	fmt.Printf("after 'reboot': %d guests restored and running\n", len(doms))
+}
+
+// fixMAC replaces the intentionally eye-catching placeholder MAC so the
+// example XML above stays readable.
+func fixMAC(s string) string {
+	return strings.Replace(s, "52:54:00:ap:p0:01", "52:54:00:0a:00:01", 1)
+}

@@ -1,0 +1,197 @@
+package admin
+
+import (
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/rpc"
+	"repro/internal/typedparams"
+)
+
+// Connect is a client connection to a daemon's admin server — the
+// client-side API of the administration interface.
+type Connect struct {
+	client *rpc.Client
+}
+
+// DefaultAdminSocket is the admin server's conventional unix socket.
+const DefaultAdminSocket = "/var/run/govirt/govirt-admin-sock"
+
+// Open dials the admin server at the given unix socket path ("" for the
+// default) and opens the admin connection.
+func Open(socket string) (*Connect, error) {
+	if socket == "" {
+		socket = DefaultAdminSocket
+	}
+	nc, err := net.DialTimeout("unix", socket, 5*time.Second)
+	if err != nil {
+		return nil, core.Errorf(core.ErrNoConnect, "dial admin socket %s: %v", socket, err)
+	}
+	return OpenConn(nc)
+}
+
+// OpenConn wraps an established transport as an admin connection.
+func OpenConn(nc net.Conn) (*Connect, error) {
+	c := &Connect{client: rpc.NewClient(nc, rpc.ProgramAdmin, nil)}
+	if err := c.call(ProcConnectOpen, &struct{}{}, nil); err != nil {
+		c.client.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close releases the connection.
+func (c *Connect) Close() error { return c.client.Close() }
+
+func (c *Connect) call(proc uint32, args, ret interface{}) error {
+	err := c.client.Call(proc, args, ret)
+	if err == nil {
+		return nil
+	}
+	if re, ok := err.(*rpc.RemoteError); ok {
+		return &core.Error{Code: core.ErrorCode(re.Code), Message: re.Message}
+	}
+	return core.Errorf(core.ErrRPC, "%v", err)
+}
+
+// ListServers returns the daemon's server names.
+func (c *Connect) ListServers() ([]string, error) {
+	var r ServerListReply
+	if err := c.call(ProcServerList, &struct{}{}, &r); err != nil {
+		return nil, err
+	}
+	return r.Servers, nil
+}
+
+// LookupServer verifies a server exists.
+func (c *Connect) LookupServer(name string) error {
+	return c.call(ProcServerLookup, &ServerArgs{Server: name}, nil)
+}
+
+// ThreadpoolParams retrieves a server's workerpool attributes.
+func (c *Connect) ThreadpoolParams(server string) (*typedparams.List, error) {
+	var r ParamsReply
+	if err := c.call(ProcThreadpoolGet, &ServerArgs{Server: server}, &r); err != nil {
+		return nil, err
+	}
+	return ParamsFromWire(r.Params)
+}
+
+// SetThreadpoolParams installs workerpool attributes on a server.
+// Read-only fields are rejected by the daemon.
+func (c *Connect) SetThreadpoolParams(server string, params *typedparams.List) error {
+	return c.call(ProcThreadpoolSet, &SetParamsArgs{
+		Server: server, Params: ParamsToWire(params),
+	}, nil)
+}
+
+// ClientLimits retrieves a server's client limits and current counts.
+func (c *Connect) ClientLimits(server string) (*typedparams.List, error) {
+	var r ParamsReply
+	if err := c.call(ProcClientLimitsGet, &ServerArgs{Server: server}, &r); err != nil {
+		return nil, err
+	}
+	return ParamsFromWire(r.Params)
+}
+
+// SetClientLimits installs client limits on a server.
+func (c *Connect) SetClientLimits(server string, params *typedparams.List) error {
+	return c.call(ProcClientLimitsSet, &SetParamsArgs{
+		Server: server, Params: ParamsToWire(params),
+	}, nil)
+}
+
+// ClientInfo describes one connected client.
+type ClientInfo struct {
+	ID        uint64
+	Transport string
+	Connected time.Time
+	AuthDone  bool
+	Identity  *typedparams.List
+}
+
+// ListClients returns the clients connected to a server.
+func (c *Connect) ListClients(server string) ([]ClientInfo, error) {
+	var r ClientListReply
+	if err := c.call(ProcClientList, &ServerArgs{Server: server}, &r); err != nil {
+		return nil, err
+	}
+	out := make([]ClientInfo, len(r.Clients))
+	for i, rec := range r.Clients {
+		out[i] = ClientInfo{
+			ID:        rec.ID,
+			Transport: rec.Transport,
+			Connected: time.Unix(rec.Connected, 0),
+			AuthDone:  rec.AuthDone,
+		}
+	}
+	return out, nil
+}
+
+// GetClientInfo retrieves the identity details of one client.
+func (c *Connect) GetClientInfo(server string, id uint64) (ClientInfo, error) {
+	var r ClientInfoReply
+	if err := c.call(ProcClientInfo, &ClientArgs{Server: server, ID: id}, &r); err != nil {
+		return ClientInfo{}, err
+	}
+	identity, err := ParamsFromWire(r.Params)
+	if err != nil {
+		return ClientInfo{}, core.Errorf(core.ErrInternal, "%v", err)
+	}
+	return ClientInfo{
+		ID:        r.Record.ID,
+		Transport: r.Record.Transport,
+		Connected: time.Unix(r.Record.Connected, 0),
+		AuthDone:  r.Record.AuthDone,
+		Identity:  identity,
+	}, nil
+}
+
+// DisconnectClient forcefully closes a client's connection.
+func (c *Connect) DisconnectClient(server string, id uint64) error {
+	return c.call(ProcClientDisconnect, &ClientArgs{Server: server, ID: id}, nil)
+}
+
+// LoggingLevel retrieves the daemon's global logging level.
+func (c *Connect) LoggingLevel() (logging.Priority, error) {
+	var r LevelReply
+	if err := c.call(ProcLogLevelGet, &struct{}{}, &r); err != nil {
+		return 0, err
+	}
+	return logging.Priority(r.Level), nil
+}
+
+// SetLoggingLevel installs a new global logging level.
+func (c *Connect) SetLoggingLevel(p logging.Priority) error {
+	return c.call(ProcLogLevelSet, &LevelArgs{Level: uint32(p)}, nil)
+}
+
+// LoggingFilters retrieves the daemon's filters in configuration syntax.
+func (c *Connect) LoggingFilters() (string, error) {
+	var r StringReply
+	if err := c.call(ProcLogFiltersGet, &struct{}{}, &r); err != nil {
+		return "", err
+	}
+	return r.Value, nil
+}
+
+// SetLoggingFilters atomically replaces the daemon's filter set.
+func (c *Connect) SetLoggingFilters(filters string) error {
+	return c.call(ProcLogFiltersSet, &StringArgs{Value: filters}, nil)
+}
+
+// LoggingOutputs retrieves the daemon's outputs in configuration syntax.
+func (c *Connect) LoggingOutputs() (string, error) {
+	var r StringReply
+	if err := c.call(ProcLogOutputsGet, &struct{}{}, &r); err != nil {
+		return "", err
+	}
+	return r.Value, nil
+}
+
+// SetLoggingOutputs atomically replaces the daemon's output set.
+func (c *Connect) SetLoggingOutputs(outputs string) error {
+	return c.call(ProcLogOutputsSet, &StringArgs{Value: outputs}, nil)
+}

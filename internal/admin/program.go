@@ -1,0 +1,291 @@
+package admin
+
+import (
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/logging"
+	"repro/internal/rpc"
+	"repro/internal/typedparams"
+)
+
+// Program dispatches the admin protocol against a daemon. Every admin
+// procedure is a priority operation: none of them depend on a hypervisor
+// answering, so a daemon wedged on guest operations stays administrable.
+type Program struct {
+	d *daemon.Daemon
+}
+
+// NewProgram creates the admin program for a daemon.
+func NewProgram(d *daemon.Daemon) *Program { return &Program{d: d} }
+
+// ID implements daemon.Program.
+func (p *Program) ID() uint32 { return rpc.ProgramAdmin }
+
+// IsPriority implements daemon.Program.
+func (p *Program) IsPriority(uint32) bool { return true }
+
+// ClientClosed implements daemon.Program; the admin program keeps no
+// per-client state.
+func (p *Program) ClientClosed(*daemon.Client) {}
+
+// Dispatch implements daemon.Program.
+func (p *Program) Dispatch(c *daemon.Client, proc uint32, payload []byte) ([]byte, error) {
+	switch proc {
+	case ProcConnectOpen:
+		return marshal(&struct{}{})
+	case ProcServerList:
+		return marshal(&ServerListReply{Servers: p.d.Servers()})
+	case ProcServerLookup:
+		srv, err := p.server(payload)
+		if err != nil {
+			return nil, err
+		}
+		return marshal(&ServerListReply{Servers: []string{srv.Name()}})
+	case ProcThreadpoolGet:
+		return p.threadpoolGet(payload)
+	case ProcThreadpoolSet:
+		return p.threadpoolSet(payload)
+	case ProcClientLimitsGet:
+		return p.clientLimitsGet(payload)
+	case ProcClientLimitsSet:
+		return p.clientLimitsSet(payload)
+	case ProcClientList:
+		return p.clientList(payload)
+	case ProcClientInfo:
+		return p.clientInfo(payload)
+	case ProcClientDisconnect:
+		return p.clientDisconnect(c, payload)
+	case ProcLogLevelGet:
+		return marshal(&LevelReply{Level: uint32(p.d.Log().Level())})
+	case ProcLogLevelSet:
+		var args LevelArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		if err := p.d.Log().SetLevel(logging.Priority(args.Level)); err != nil {
+			return nil, core.Errorf(core.ErrInvalidArg, "%v", err)
+		}
+		return marshal(&struct{}{})
+	case ProcLogFiltersGet:
+		return marshal(&StringReply{Value: p.d.Log().FiltersString()})
+	case ProcLogFiltersSet:
+		var args StringArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		if err := p.d.Log().DefineFilters(args.Value); err != nil {
+			return nil, core.Errorf(core.ErrInvalidArg, "%v", err)
+		}
+		return marshal(&struct{}{})
+	case ProcLogOutputsGet:
+		return marshal(&StringReply{Value: p.d.Log().OutputsString()})
+	case ProcLogOutputsSet:
+		var args StringArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		if err := p.d.Log().DefineOutputs(args.Value); err != nil {
+			return nil, core.Errorf(core.ErrInvalidArg, "%v", err)
+		}
+		return marshal(&struct{}{})
+	default:
+		return nil, core.Errorf(core.ErrNoSupport, "unknown admin procedure %d", proc)
+	}
+}
+
+func (p *Program) server(payload []byte) (*daemon.Server, error) {
+	var args ServerArgs
+	if err := rpc.Unmarshal(payload, &args); err != nil {
+		return nil, badArgs(err)
+	}
+	return p.serverByName(args.Server)
+}
+
+func (p *Program) serverByName(name string) (*daemon.Server, error) {
+	srv, ok := p.d.Server(name)
+	if !ok {
+		return nil, core.Errorf(core.ErrAdmin, "no server %q", name)
+	}
+	return srv, nil
+}
+
+func (p *Program) threadpoolGet(payload []byte) ([]byte, error) {
+	srv, err := p.server(payload)
+	if err != nil {
+		return nil, err
+	}
+	params := srv.Pool().Params()
+	l := typedparams.NewList()
+	l.AddUInt(FieldMinWorkers, uint32(params.MinWorkers))       //nolint:errcheck
+	l.AddUInt(FieldMaxWorkers, uint32(params.MaxWorkers))       //nolint:errcheck
+	l.AddUInt(FieldCurrentWorkers, uint32(params.NWorkers))     //nolint:errcheck
+	l.AddUInt(FieldFreeWorkers, uint32(params.FreeWorkers))     //nolint:errcheck
+	l.AddUInt(FieldPrioWorkers, uint32(params.PrioWorkers))     //nolint:errcheck
+	l.AddUInt(FieldJobQueueDepth, uint32(params.JobQueueDepth)) //nolint:errcheck
+	return marshal(&ParamsReply{Params: ParamsToWire(l)})
+}
+
+func (p *Program) threadpoolSet(payload []byte) ([]byte, error) {
+	var args SetParamsArgs
+	if err := rpc.Unmarshal(payload, &args); err != nil {
+		return nil, badArgs(err)
+	}
+	srv, err := p.serverByName(args.Server)
+	if err != nil {
+		return nil, err
+	}
+	l, err := ParamsFromWire(args.Params)
+	if err != nil {
+		return nil, core.Errorf(core.ErrInvalidArg, "%v", err)
+	}
+	if err := l.Validate(ThreadpoolSetSchema, ThreadpoolReadOnly); err != nil {
+		return nil, core.Errorf(core.ErrInvalidArg, "%v", err)
+	}
+	cur := srv.Pool().Params()
+	min, max, prio := cur.MinWorkers, cur.MaxWorkers, cur.PrioWorkers
+	if v, err := l.GetUInt(FieldMinWorkers); err == nil {
+		min = int(v)
+	}
+	if v, err := l.GetUInt(FieldMaxWorkers); err == nil {
+		max = int(v)
+	}
+	if v, err := l.GetUInt(FieldPrioWorkers); err == nil {
+		prio = int(v)
+	}
+	if err := srv.Pool().SetParams(min, max, prio); err != nil {
+		return nil, core.Errorf(core.ErrInvalidArg, "%v", err)
+	}
+	return marshal(&struct{}{})
+}
+
+func (p *Program) clientLimitsGet(payload []byte) ([]byte, error) {
+	srv, err := p.server(payload)
+	if err != nil {
+		return nil, err
+	}
+	limits, cur, unauth := srv.Limits()
+	l := typedparams.NewList()
+	l.AddUInt(FieldMaxClients, uint32(limits.MaxClients))             //nolint:errcheck
+	l.AddUInt(FieldCurrentClients, uint32(cur))                       //nolint:errcheck
+	l.AddUInt(FieldMaxUnauthClients, uint32(limits.MaxUnauthClients)) //nolint:errcheck
+	l.AddUInt(FieldCurrentUnauthClients, uint32(unauth))              //nolint:errcheck
+	return marshal(&ParamsReply{Params: ParamsToWire(l)})
+}
+
+func (p *Program) clientLimitsSet(payload []byte) ([]byte, error) {
+	var args SetParamsArgs
+	if err := rpc.Unmarshal(payload, &args); err != nil {
+		return nil, badArgs(err)
+	}
+	srv, err := p.serverByName(args.Server)
+	if err != nil {
+		return nil, err
+	}
+	l, err := ParamsFromWire(args.Params)
+	if err != nil {
+		return nil, core.Errorf(core.ErrInvalidArg, "%v", err)
+	}
+	if err := l.Validate(ClientLimitsSetSchema, ClientLimitsReadOnly); err != nil {
+		return nil, core.Errorf(core.ErrInvalidArg, "%v", err)
+	}
+	limits, _, _ := srv.Limits()
+	if v, err := l.GetUInt(FieldMaxClients); err == nil {
+		limits.MaxClients = int(v)
+	}
+	if v, err := l.GetUInt(FieldMaxUnauthClients); err == nil {
+		limits.MaxUnauthClients = int(v)
+	}
+	if err := srv.SetLimits(limits); err != nil {
+		return nil, err
+	}
+	return marshal(&struct{}{})
+}
+
+func (p *Program) clientList(payload []byte) ([]byte, error) {
+	srv, err := p.server(payload)
+	if err != nil {
+		return nil, err
+	}
+	clients := srv.Clients()
+	out := ClientListReply{Clients: make([]ClientRecord, len(clients))}
+	for i, c := range clients {
+		out.Clients[i] = clientRecord(c)
+	}
+	return marshal(&out)
+}
+
+func clientRecord(c *daemon.Client) ClientRecord {
+	return ClientRecord{
+		ID:        c.ID(),
+		Transport: c.Transport().String(),
+		Connected: c.ConnectedAt().Unix(),
+		AuthDone:  c.Authenticated(),
+	}
+}
+
+func (p *Program) clientInfo(payload []byte) ([]byte, error) {
+	var args ClientArgs
+	if err := rpc.Unmarshal(payload, &args); err != nil {
+		return nil, badArgs(err)
+	}
+	srv, err := p.serverByName(args.Server)
+	if err != nil {
+		return nil, err
+	}
+	client, ok := srv.Client(args.ID)
+	if !ok {
+		return nil, core.Errorf(core.ErrAdmin, "server %q has no client %d", args.Server, args.ID)
+	}
+	id := client.Identity()
+	l := typedparams.NewList()
+	l.AddBoolean(FieldReadOnly, id.ReadOnly) //nolint:errcheck
+	switch client.Transport() {
+	case daemon.TransportUnix:
+		l.AddInt(FieldUnixUserID, int32(id.UID))    //nolint:errcheck
+		l.AddString(FieldUnixUserName, id.Username) //nolint:errcheck
+		l.AddInt(FieldUnixGroupID, int32(id.GID))   //nolint:errcheck
+		l.AddInt(FieldUnixProcessID, int32(id.PID)) //nolint:errcheck
+	default:
+		l.AddString(FieldSockAddr, id.SockAddr) //nolint:errcheck
+		if id.SASLUser != "" {
+			l.AddString(FieldSASLUserName, id.SASLUser) //nolint:errcheck
+		}
+	}
+	return marshal(&ClientInfoReply{Record: clientRecord(client), Params: ParamsToWire(l)})
+}
+
+func (p *Program) clientDisconnect(self *daemon.Client, payload []byte) ([]byte, error) {
+	var args ClientArgs
+	if err := rpc.Unmarshal(payload, &args); err != nil {
+		return nil, badArgs(err)
+	}
+	srv, err := p.serverByName(args.Server)
+	if err != nil {
+		return nil, err
+	}
+	client, ok := srv.Client(args.ID)
+	if !ok {
+		return nil, core.Errorf(core.ErrAdmin, "server %q has no client %d", args.Server, args.ID)
+	}
+	if client == self {
+		return nil, core.Errorf(core.ErrOperationInvalid, "refusing to disconnect the calling client")
+	}
+	if err := client.Close(); err != nil {
+		return nil, core.Errorf(core.ErrAdmin, "disconnect client %d: %v", args.ID, err)
+	}
+	return marshal(&struct{}{})
+}
+
+func marshal(v interface{}) ([]byte, error) {
+	out, err := rpc.Marshal(v)
+	if err != nil {
+		return nil, core.Errorf(core.ErrInternal, "marshal reply: %v", err)
+	}
+	return out, nil
+}
+
+func badArgs(err error) error {
+	return core.Errorf(core.ErrInvalidArg, "decode arguments: %v", err)
+}
+
+var _ daemon.Program = (*Program)(nil)

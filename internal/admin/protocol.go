@@ -1,0 +1,228 @@
+// Package admin implements the administration interface: runtime
+// management of the daemon itself — servers, workerpools, client limits,
+// connected-client introspection and forced disconnect, and the logging
+// subsystem — over its own protocol program. This is the published
+// follow-on feature set to the management architecture (daemon
+// self-management), built on the same RPC substrate.
+package admin
+
+import (
+	"repro/internal/typedparams"
+)
+
+// Admin program procedures.
+const (
+	ProcConnectOpen uint32 = 1 + iota
+	ProcServerList
+	ProcServerLookup
+	ProcThreadpoolGet
+	ProcThreadpoolSet
+	ProcClientLimitsGet
+	ProcClientLimitsSet
+	ProcClientList
+	ProcClientInfo
+	ProcClientDisconnect
+	ProcLogLevelGet
+	ProcLogLevelSet
+	ProcLogFiltersGet
+	ProcLogFiltersSet
+	ProcLogOutputsGet
+	ProcLogOutputsSet
+)
+
+// Typed-parameter field names of the threadpool interface. Read-only
+// fields are reported by Get and rejected by Set.
+const (
+	FieldMinWorkers     = "minWorkers"
+	FieldMaxWorkers     = "maxWorkers"
+	FieldPrioWorkers    = "prioWorkers"
+	FieldFreeWorkers    = "freeWorkers"   // read-only
+	FieldCurrentWorkers = "nWorkers"      // read-only
+	FieldJobQueueDepth  = "jobQueueDepth" // read-only
+)
+
+// Typed-parameter field names of the client-limits interface.
+const (
+	FieldMaxClients           = "nclients_max"
+	FieldCurrentClients       = "nclients" // read-only
+	FieldMaxUnauthClients     = "nclients_unauth_max"
+	FieldCurrentUnauthClients = "nclients_unauth" // read-only
+)
+
+// Typed-parameter field names of client identity.
+const (
+	FieldReadOnly      = "readonly"
+	FieldSockAddr      = "sock_addr"
+	FieldSASLUserName  = "sasl_user_name"
+	FieldUnixUserID    = "unix_user_id"
+	FieldUnixUserName  = "unix_user_name"
+	FieldUnixGroupID   = "unix_group_id"
+	FieldUnixProcessID = "unix_process_id"
+)
+
+// ThreadpoolSetSchema validates Set parameters.
+var ThreadpoolSetSchema = map[string]typedparams.Kind{
+	FieldMinWorkers:     typedparams.UInt,
+	FieldMaxWorkers:     typedparams.UInt,
+	FieldPrioWorkers:    typedparams.UInt,
+	FieldFreeWorkers:    typedparams.UInt,
+	FieldCurrentWorkers: typedparams.UInt,
+	FieldJobQueueDepth:  typedparams.UInt,
+}
+
+// ThreadpoolReadOnly lists fields rejected by ThreadpoolSet.
+var ThreadpoolReadOnly = map[string]bool{
+	FieldFreeWorkers:    true,
+	FieldCurrentWorkers: true,
+	FieldJobQueueDepth:  true,
+}
+
+// ClientLimitsSetSchema validates Set parameters.
+var ClientLimitsSetSchema = map[string]typedparams.Kind{
+	FieldMaxClients:           typedparams.UInt,
+	FieldMaxUnauthClients:     typedparams.UInt,
+	FieldCurrentClients:       typedparams.UInt,
+	FieldCurrentUnauthClients: typedparams.UInt,
+}
+
+// ClientLimitsReadOnly lists fields rejected by ClientLimitsSet.
+var ClientLimitsReadOnly = map[string]bool{
+	FieldCurrentClients:       true,
+	FieldCurrentUnauthClients: true,
+}
+
+// WireParam is one typed parameter on the wire.
+type WireParam struct {
+	Field string
+	Kind  uint32
+	I     int32
+	U     uint32
+	L     int64
+	UL    uint64
+	D     float64
+	B     bool
+	S     string
+}
+
+// ParamsToWire flattens a typed-parameter list for transport.
+func ParamsToWire(l *typedparams.List) []WireParam {
+	if l == nil {
+		return nil
+	}
+	ps := l.Params()
+	out := make([]WireParam, len(ps))
+	for i, p := range ps {
+		out[i] = WireParam{
+			Field: p.Field, Kind: uint32(p.Kind),
+			I: p.I, U: p.U, L: p.L, UL: p.UL, D: p.D, B: p.B, S: p.S,
+		}
+	}
+	return out
+}
+
+// ParamsFromWire rebuilds a typed-parameter list, validating kinds and
+// rejecting duplicates.
+func ParamsFromWire(ws []WireParam) (*typedparams.List, error) {
+	l := typedparams.NewList()
+	for _, w := range ws {
+		var err error
+		switch typedparams.Kind(w.Kind) {
+		case typedparams.Int:
+			err = l.AddInt(w.Field, w.I)
+		case typedparams.UInt:
+			err = l.AddUInt(w.Field, w.U)
+		case typedparams.LLong:
+			err = l.AddLLong(w.Field, w.L)
+		case typedparams.ULLong:
+			err = l.AddULLong(w.Field, w.UL)
+		case typedparams.Double:
+			err = l.AddDouble(w.Field, w.D)
+		case typedparams.Boolean:
+			err = l.AddBoolean(w.Field, w.B)
+		case typedparams.String:
+			err = l.AddString(w.Field, w.S)
+		default:
+			return nil, &badKindError{field: w.Field, kind: w.Kind}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+type badKindError struct {
+	field string
+	kind  uint32
+}
+
+func (e *badKindError) Error() string {
+	return "admin: parameter " + e.field + " has unknown kind"
+}
+
+// ServerArgs addresses a server by name.
+type ServerArgs struct {
+	Server string
+}
+
+// ServerListReply returns the daemon's server names in creation order.
+type ServerListReply struct {
+	Servers []string
+}
+
+// ParamsReply returns typed parameters.
+type ParamsReply struct {
+	Params []WireParam
+}
+
+// SetParamsArgs carries typed parameters to install on a server.
+type SetParamsArgs struct {
+	Server string
+	Params []WireParam
+}
+
+// ClientRecord summarises one connected client.
+type ClientRecord struct {
+	ID        uint64
+	Transport string
+	Connected int64 // unix seconds
+	AuthDone  bool
+}
+
+// ClientListReply returns the clients of a server.
+type ClientListReply struct {
+	Clients []ClientRecord
+}
+
+// ClientArgs addresses one client on a server.
+type ClientArgs struct {
+	Server string
+	ID     uint64
+}
+
+// ClientInfoReply returns a client's identity as typed parameters plus
+// the fixed fields.
+type ClientInfoReply struct {
+	Record ClientRecord
+	Params []WireParam
+}
+
+// LevelArgs carries a logging level.
+type LevelArgs struct {
+	Level uint32
+}
+
+// LevelReply returns a logging level.
+type LevelReply struct {
+	Level uint32
+}
+
+// StringArgs carries a definition string (filters or outputs).
+type StringArgs struct {
+	Value string
+}
+
+// StringReply returns a definition string.
+type StringReply struct {
+	Value string
+}

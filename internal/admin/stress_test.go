@@ -1,0 +1,131 @@
+package admin_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/admin"
+	"repro/internal/core"
+	"repro/internal/typedparams"
+)
+
+// TestStressMixedLoadWithAdminChurn hammers the daemon with concurrent
+// management clients running full lifecycles while the admin connection
+// continuously resizes the workerpool and rewrites logging settings. It
+// passes when nothing deadlocks, no operation fails unexpectedly, and
+// the daemon stays coherent afterwards.
+func TestStressMixedLoadWithAdminChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	td := startDaemon(t)
+
+	const (
+		clients   = 6
+		cyclesPer = 25
+	)
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+
+	// Management load.
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn, err := core.Open("test+unix:///default?socket=" +
+				strings.ReplaceAll(td.mgmtSock, "/", "%2F"))
+			if err != nil {
+				t.Errorf("client %d: open: %v", id, err)
+				failures.Add(1)
+				return
+			}
+			defer conn.Close()
+			name := fmt.Sprintf("stress%d", id)
+			xml := fmt.Sprintf(`<domain type='test'><name>%s</name><memory unit='MiB'>64</memory><vcpu>1</vcpu><os><type>hvm</type></os></domain>`, name)
+			dom, err := conn.DefineDomain(xml)
+			if err != nil {
+				t.Errorf("client %d: define: %v", id, err)
+				failures.Add(1)
+				return
+			}
+			for c := 0; c < cyclesPer; c++ {
+				ops := []func() error{
+					dom.Create,
+					dom.Suspend,
+					dom.Resume,
+					func() error { _, err := dom.Stats(); return err },
+					func() error { _, err := dom.CreateSnapshot(""); return err },
+					dom.Destroy,
+				}
+				for _, op := range ops {
+					if err := op(); err != nil {
+						t.Errorf("client %d cycle %d: %v", id, c, err)
+						failures.Add(1)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+
+	// Admin churn in parallel.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			set := typedparams.NewList()
+			set.AddUInt(admin.FieldMaxWorkers, uint32(4+i%12)) //nolint:errcheck
+			set.AddUInt(admin.FieldPrioWorkers, uint32(i%4))   //nolint:errcheck
+			if err := td.adm.SetThreadpoolParams("govirtd", set); err != nil {
+				t.Errorf("admin churn %d: %v", i, err)
+				failures.Add(1)
+				return
+			}
+			if err := td.adm.SetLoggingFilters(fmt.Sprintf("%d:daemon %d:rpc", i%4+1, (i+1)%4+1)); err != nil {
+				t.Errorf("log churn %d: %v", i, err)
+				failures.Add(1)
+				return
+			}
+			if _, err := td.adm.ListClients("govirtd"); err != nil {
+				t.Errorf("client list churn %d: %v", i, err)
+				failures.Add(1)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d failures under stress", failures.Load())
+	}
+	// The daemon is still coherent: workerpool params readable, within
+	// bounds, and no clients leaked (they all closed).
+	params, err := td.adm.ThreadpoolParams("govirtd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, _ := params.GetUInt(admin.FieldMinWorkers)
+	max, _ := params.GetUInt(admin.FieldMaxWorkers)
+	if min > max {
+		t.Fatalf("pool limits incoherent after stress: min=%d max=%d", min, max)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		limits, err := td.adm.ClientLimits("govirtd")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, _ := limits.GetUInt(admin.FieldCurrentClients)
+		if cur == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d clients leaked", cur)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/uuid"
+	"repro/internal/xmlspec"
+)
+
+// CloneDomain creates a new persistent domain from an existing one's
+// definition: the clone gets the new name, a fresh UUID, fresh MAC
+// addresses and per-clone disk paths, so both can run side by side. Like
+// the classic virt-clone tool this is a pure client-side operation built
+// on the stable API, so it works identically against local drivers and
+// remote daemons.
+func CloneDomain(c *Connect, srcName, newName string) (*Domain, error) {
+	if newName == "" || newName == srcName {
+		return nil, Errorf(ErrInvalidArg, "clone needs a distinct new name")
+	}
+	src, err := c.LookupDomain(srcName)
+	if err != nil {
+		return nil, err
+	}
+	xmlDesc, err := src.XML()
+	if err != nil {
+		return nil, err
+	}
+	def, err := xmlspec.ParseDomain([]byte(xmlDesc))
+	if err != nil {
+		return nil, Errorf(ErrXML, "source definition unparsable: %v", err)
+	}
+	def.Name = newName
+	def.UUID = uuid.New().String()
+	if def.Title != "" {
+		def.Title = def.Title + " (clone)"
+	}
+	// Fresh MACs derived from the clone's identity: deterministic for a
+	// given clone, distinct from the source.
+	for i := range def.Devices.Interfaces {
+		nic := &def.Devices.Interfaces[i]
+		if nic.MAC != nil {
+			nic.MAC.Address = cloneMAC(def.UUID, i)
+		}
+	}
+	// Per-clone storage: file-backed disks move to a sibling path keyed
+	// by the clone name; volume- and block-backed disks are shared
+	// infrastructure and stay untouched.
+	for i := range def.Devices.Disks {
+		disk := &def.Devices.Disks[i]
+		if disk.Type == "file" && disk.Source.File != "" {
+			disk.Source.File = fmt.Sprintf("%s.%s", disk.Source.File, newName)
+		}
+	}
+	out, err := def.Marshal()
+	if err != nil {
+		return nil, Errorf(ErrXML, "%v", err)
+	}
+	return c.DefineDomain(string(out))
+}
+
+// cloneMAC derives a locally administered unicast MAC from the clone's
+// UUID and NIC index.
+func cloneMAC(uuidStr string, nicIndex int) string {
+	u := uuid.FromName("clone-mac:" + uuidStr + ":" + fmt.Sprint(nicIndex))
+	// 0x52 keeps the conventional virtual-NIC prefix: locally
+	// administered, unicast.
+	return fmt.Sprintf("52:54:00:%02x:%02x:%02x", u[0], u[1], u[2])
+}
+
+// CloneVolume creates a new volume in the same pool with the source's
+// capacity and format — again a pure client-side composition of stable
+// API calls.
+func CloneVolume(c *Connect, pool, srcName, newName string) error {
+	if newName == "" || newName == srcName {
+		return Errorf(ErrInvalidArg, "clone needs a distinct new name")
+	}
+	xmlDesc, err := c.VolumeXML(pool, srcName)
+	if err != nil {
+		return err
+	}
+	def, err := xmlspec.ParseStorageVolume([]byte(xmlDesc))
+	if err != nil {
+		return Errorf(ErrXML, "source volume unparsable: %v", err)
+	}
+	def.Name = newName
+	def.Key = ""
+	if def.Target != nil {
+		def.Target.Path = "" // the backend derives the clone's path
+	}
+	out, err := def.Marshal()
+	if err != nil {
+		return Errorf(ErrXML, "%v", err)
+	}
+	return c.CreateVolume(pool, string(out))
+}

@@ -1,0 +1,554 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/events"
+	"repro/internal/uri"
+)
+
+// Connect is an open management connection — the root object of the API.
+type Connect struct {
+	mu     sync.Mutex
+	uri    *uri.URI
+	drv    DriverConn
+	closed bool
+}
+
+// Open establishes a connection for the given URI string, selecting the
+// driver through the registry (remote URIs route to the remote driver).
+func Open(uriStr string) (*Connect, error) {
+	u, err := uri.Parse(uriStr)
+	if err != nil {
+		return nil, wrap(ErrInvalidArg, err)
+	}
+	factory, err := lookupFactory(u)
+	if err != nil {
+		return nil, err
+	}
+	drv, err := factory(u)
+	if err != nil {
+		return nil, wrap(ErrNoConnect, err)
+	}
+	return &Connect{uri: u, drv: drv}, nil
+}
+
+// OpenWith wraps an already-constructed driver connection; the daemon
+// uses it to run API calls against its server-side drivers.
+func OpenWith(u *uri.URI, drv DriverConn) *Connect {
+	return &Connect{uri: u, drv: drv}
+}
+
+// Close releases the connection. Further use returns ErrConnectionClosed.
+func (c *Connect) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Errorf(ErrConnectionClosed, "connection already closed")
+	}
+	c.closed = true
+	return c.drv.Close()
+}
+
+// conn returns the live driver or an error if closed.
+func (c *Connect) conn() (DriverConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, Errorf(ErrConnectionClosed, "connection is closed")
+	}
+	return c.drv, nil
+}
+
+// URI returns the connection URI.
+func (c *Connect) URI() *uri.URI { return c.uri }
+
+// Driver exposes the underlying driver connection for subsystems that
+// need optional interfaces (migration, daemon dispatch).
+func (c *Connect) Driver() DriverConn { return c.drv }
+
+// Type returns the driver name.
+func (c *Connect) Type() (string, error) {
+	d, err := c.conn()
+	if err != nil {
+		return "", err
+	}
+	return d.Type(), nil
+}
+
+// Version returns the hypervisor version banner.
+func (c *Connect) Version() (string, error) {
+	d, err := c.conn()
+	if err != nil {
+		return "", err
+	}
+	return d.Version()
+}
+
+// Hostname returns the managed host's name.
+func (c *Connect) Hostname() (string, error) {
+	d, err := c.conn()
+	if err != nil {
+		return "", err
+	}
+	return d.Hostname()
+}
+
+// CapabilitiesXML returns the capabilities document.
+func (c *Connect) CapabilitiesXML() (string, error) {
+	d, err := c.conn()
+	if err != nil {
+		return "", err
+	}
+	return d.CapabilitiesXML()
+}
+
+// NodeInfo returns the host node summary.
+func (c *Connect) NodeInfo() (NodeInfo, error) {
+	d, err := c.conn()
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	return d.NodeInfo()
+}
+
+// ListAllDomains enumerates domains matching flags (0 = all) as handles.
+func (c *Connect) ListAllDomains(flags ListFlags) ([]*Domain, error) {
+	d, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	names, err := d.ListDomains(flags)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Domain, 0, len(names))
+	for _, n := range names {
+		meta, err := d.LookupDomain(n)
+		if err != nil {
+			// Racing undefine between list and lookup: skip.
+			if IsCode(err, ErrNoDomain) {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, &Domain{c: c, meta: meta})
+	}
+	return out, nil
+}
+
+// LookupDomain returns a handle for the named domain.
+func (c *Connect) LookupDomain(name string) (*Domain, error) {
+	d, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	meta, err := d.LookupDomain(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Domain{c: c, meta: meta}, nil
+}
+
+// LookupDomainByUUID returns a handle for the domain with the given UUID.
+func (c *Connect) LookupDomainByUUID(uuidStr string) (*Domain, error) {
+	d, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	meta, err := d.LookupDomainByUUID(uuidStr)
+	if err != nil {
+		return nil, err
+	}
+	return &Domain{c: c, meta: meta}, nil
+}
+
+// DefineDomain registers a persistent domain from its XML definition.
+func (c *Connect) DefineDomain(xmlDesc string) (*Domain, error) {
+	d, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	meta, err := d.DefineDomain(xmlDesc)
+	if err != nil {
+		return nil, err
+	}
+	return &Domain{c: c, meta: meta}, nil
+}
+
+// CreateDomainXML defines and immediately starts a domain.
+func (c *Connect) CreateDomainXML(xmlDesc string) (*Domain, error) {
+	dom, err := c.DefineDomain(xmlDesc)
+	if err != nil {
+		return nil, err
+	}
+	if err := dom.Create(); err != nil {
+		// Keep the system clean: a failed create leaves no definition.
+		_ = dom.Undefine()
+		return nil, err
+	}
+	return dom, nil
+}
+
+// SubscribeEvents registers a lifecycle callback; domain filters to one
+// name ("" for all). It returns a subscription id, or an error when the
+// driver cannot deliver events.
+func (c *Connect) SubscribeEvents(domain string, types []events.Type, cb events.Callback) (int, error) {
+	d, err := c.conn()
+	if err != nil {
+		return 0, err
+	}
+	src, ok := d.(EventSource)
+	if !ok {
+		return 0, Errorf(ErrNoSupport, "driver %q does not deliver events", d.Type())
+	}
+	return src.EventBus().Subscribe(domain, types, cb), nil
+}
+
+// UnsubscribeEvents removes a previously registered callback.
+func (c *Connect) UnsubscribeEvents(id int) error {
+	d, err := c.conn()
+	if err != nil {
+		return err
+	}
+	src, ok := d.(EventSource)
+	if !ok {
+		return Errorf(ErrNoSupport, "driver %q does not deliver events", d.Type())
+	}
+	src.EventBus().Unsubscribe(id)
+	return nil
+}
+
+// Domain is a handle on one domain.
+type Domain struct {
+	c    *Connect
+	meta DomainMeta
+}
+
+// Name returns the domain name.
+func (d *Domain) Name() string { return d.meta.Name }
+
+// UUID returns the domain UUID string.
+func (d *Domain) UUID() string { return d.meta.UUID }
+
+// ID returns the runtime id at handle-creation time (-1 if inactive).
+func (d *Domain) ID() int { return d.meta.ID }
+
+// Connect returns the owning connection.
+func (d *Domain) Connect() *Connect { return d.c }
+
+func (d *Domain) drv() (DriverConn, error) { return d.c.conn() }
+
+// Create starts the defined domain.
+func (d *Domain) Create() error {
+	drv, err := d.drv()
+	if err != nil {
+		return err
+	}
+	return drv.CreateDomain(d.meta.Name)
+}
+
+// Destroy force-stops the domain.
+func (d *Domain) Destroy() error {
+	drv, err := d.drv()
+	if err != nil {
+		return err
+	}
+	return drv.DestroyDomain(d.meta.Name)
+}
+
+// Shutdown asks the guest to shut down gracefully.
+func (d *Domain) Shutdown() error {
+	drv, err := d.drv()
+	if err != nil {
+		return err
+	}
+	return drv.ShutdownDomain(d.meta.Name)
+}
+
+// Reboot restarts the guest.
+func (d *Domain) Reboot() error {
+	drv, err := d.drv()
+	if err != nil {
+		return err
+	}
+	return drv.RebootDomain(d.meta.Name)
+}
+
+// Suspend pauses the domain, keeping memory resident.
+func (d *Domain) Suspend() error {
+	drv, err := d.drv()
+	if err != nil {
+		return err
+	}
+	return drv.SuspendDomain(d.meta.Name)
+}
+
+// Resume continues a suspended domain.
+func (d *Domain) Resume() error {
+	drv, err := d.drv()
+	if err != nil {
+		return err
+	}
+	return drv.ResumeDomain(d.meta.Name)
+}
+
+// Undefine removes the persistent definition (the domain must be off).
+func (d *Domain) Undefine() error {
+	drv, err := d.drv()
+	if err != nil {
+		return err
+	}
+	return drv.UndefineDomain(d.meta.Name)
+}
+
+// Info returns the compact info block.
+func (d *Domain) Info() (DomainInfo, error) {
+	drv, err := d.drv()
+	if err != nil {
+		return DomainInfo{}, err
+	}
+	return drv.DomainInfo(d.meta.Name)
+}
+
+// Stats returns the extended monitoring snapshot.
+func (d *Domain) Stats() (DomainStats, error) {
+	drv, err := d.drv()
+	if err != nil {
+		return DomainStats{}, err
+	}
+	return drv.DomainStats(d.meta.Name)
+}
+
+// State returns just the lifecycle state.
+func (d *Domain) State() (DomainState, error) {
+	info, err := d.Info()
+	if err != nil {
+		return DomainNoState, err
+	}
+	return info.State, nil
+}
+
+// XML returns the live definition document.
+func (d *Domain) XML() (string, error) {
+	drv, err := d.drv()
+	if err != nil {
+		return "", err
+	}
+	return drv.DomainXML(d.meta.Name)
+}
+
+// SetMemory adjusts the domain's memory balloon.
+func (d *Domain) SetMemory(kib uint64) error {
+	drv, err := d.drv()
+	if err != nil {
+		return err
+	}
+	return drv.SetDomainMemory(d.meta.Name, kib)
+}
+
+// SetVCPUs adjusts the domain's active vCPU count.
+func (d *Domain) SetVCPUs(n int) error {
+	drv, err := d.drv()
+	if err != nil {
+		return err
+	}
+	return drv.SetDomainVCPUs(d.meta.Name, n)
+}
+
+// network/storage delegation helpers
+
+func (c *Connect) networkDrv() (NetworkSupport, error) {
+	d, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := d.(NetworkSupport)
+	if !ok {
+		return nil, Errorf(ErrNoSupport, "driver %q does not manage networks", d.Type())
+	}
+	return ns, nil
+}
+
+// ListNetworks enumerates virtual network names.
+func (c *Connect) ListNetworks() ([]string, error) {
+	ns, err := c.networkDrv()
+	if err != nil {
+		return nil, err
+	}
+	return ns.ListNetworks()
+}
+
+// DefineNetwork registers a virtual network from XML.
+func (c *Connect) DefineNetwork(xmlDesc string) error {
+	ns, err := c.networkDrv()
+	if err != nil {
+		return err
+	}
+	return ns.DefineNetwork(xmlDesc)
+}
+
+// UndefineNetwork removes a network definition.
+func (c *Connect) UndefineNetwork(name string) error {
+	ns, err := c.networkDrv()
+	if err != nil {
+		return err
+	}
+	return ns.UndefineNetwork(name)
+}
+
+// StartNetwork brings a network up.
+func (c *Connect) StartNetwork(name string) error {
+	ns, err := c.networkDrv()
+	if err != nil {
+		return err
+	}
+	return ns.StartNetwork(name)
+}
+
+// StopNetwork tears a network down.
+func (c *Connect) StopNetwork(name string) error {
+	ns, err := c.networkDrv()
+	if err != nil {
+		return err
+	}
+	return ns.StopNetwork(name)
+}
+
+// NetworkXML returns a network's definition document.
+func (c *Connect) NetworkXML(name string) (string, error) {
+	ns, err := c.networkDrv()
+	if err != nil {
+		return "", err
+	}
+	return ns.NetworkXML(name)
+}
+
+// NetworkIsActive reports whether the network is up.
+func (c *Connect) NetworkIsActive(name string) (bool, error) {
+	ns, err := c.networkDrv()
+	if err != nil {
+		return false, err
+	}
+	return ns.NetworkIsActive(name)
+}
+
+// NetworkDHCPLeases lists active leases on the network.
+func (c *Connect) NetworkDHCPLeases(name string) ([]DHCPLease, error) {
+	ns, err := c.networkDrv()
+	if err != nil {
+		return nil, err
+	}
+	return ns.NetworkDHCPLeases(name)
+}
+
+func (c *Connect) storageDrv() (StorageSupport, error) {
+	d, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	ss, ok := d.(StorageSupport)
+	if !ok {
+		return nil, Errorf(ErrNoSupport, "driver %q does not manage storage", d.Type())
+	}
+	return ss, nil
+}
+
+// ListStoragePools enumerates pool names.
+func (c *Connect) ListStoragePools() ([]string, error) {
+	ss, err := c.storageDrv()
+	if err != nil {
+		return nil, err
+	}
+	return ss.ListStoragePools()
+}
+
+// DefineStoragePool registers a pool from XML.
+func (c *Connect) DefineStoragePool(xmlDesc string) error {
+	ss, err := c.storageDrv()
+	if err != nil {
+		return err
+	}
+	return ss.DefineStoragePool(xmlDesc)
+}
+
+// UndefineStoragePool removes a pool definition.
+func (c *Connect) UndefineStoragePool(name string) error {
+	ss, err := c.storageDrv()
+	if err != nil {
+		return err
+	}
+	return ss.UndefineStoragePool(name)
+}
+
+// StartStoragePool activates a pool.
+func (c *Connect) StartStoragePool(name string) error {
+	ss, err := c.storageDrv()
+	if err != nil {
+		return err
+	}
+	return ss.StartStoragePool(name)
+}
+
+// StopStoragePool deactivates a pool.
+func (c *Connect) StopStoragePool(name string) error {
+	ss, err := c.storageDrv()
+	if err != nil {
+		return err
+	}
+	return ss.StopStoragePool(name)
+}
+
+// StoragePoolXML returns a pool's definition document.
+func (c *Connect) StoragePoolXML(name string) (string, error) {
+	ss, err := c.storageDrv()
+	if err != nil {
+		return "", err
+	}
+	return ss.StoragePoolXML(name)
+}
+
+// StoragePoolInfo returns a pool's space accounting.
+func (c *Connect) StoragePoolInfo(name string) (StoragePoolInfo, error) {
+	ss, err := c.storageDrv()
+	if err != nil {
+		return StoragePoolInfo{}, err
+	}
+	return ss.StoragePoolInfo(name)
+}
+
+// ListVolumes enumerates volume names within a pool.
+func (c *Connect) ListVolumes(pool string) ([]string, error) {
+	ss, err := c.storageDrv()
+	if err != nil {
+		return nil, err
+	}
+	return ss.ListVolumes(pool)
+}
+
+// CreateVolume creates a volume in a pool from XML.
+func (c *Connect) CreateVolume(pool, xmlDesc string) error {
+	ss, err := c.storageDrv()
+	if err != nil {
+		return err
+	}
+	return ss.CreateVolume(pool, xmlDesc)
+}
+
+// DeleteVolume removes a volume from a pool.
+func (c *Connect) DeleteVolume(pool, name string) error {
+	ss, err := c.storageDrv()
+	if err != nil {
+		return err
+	}
+	return ss.DeleteVolume(pool, name)
+}
+
+// VolumeXML returns a volume's definition document.
+func (c *Connect) VolumeXML(pool, name string) (string, error) {
+	ss, err := c.storageDrv()
+	if err != nil {
+		return "", err
+	}
+	return ss.VolumeXML(pool, name)
+}

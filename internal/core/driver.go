@@ -1,0 +1,170 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/events"
+	"repro/internal/hyper"
+	"repro/internal/uri"
+)
+
+// DriverConn is the contract every hypervisor driver implements. The
+// public Connect/Domain objects are thin wrappers delegating here, so the
+// same calls run in-process against a local driver or are forwarded by
+// the remote driver to a daemon which invokes the identical interface on
+// its side — the architecture's key property.
+type DriverConn interface {
+	Close() error
+	// Type returns the driver name ("qemu", "xen", "lxc", "test", "remote").
+	Type() string
+	// Version returns the hypervisor version banner.
+	Version() (string, error)
+	Hostname() (string, error)
+	// CapabilitiesXML returns the capabilities document.
+	CapabilitiesXML() (string, error)
+	NodeInfo() (NodeInfo, error)
+
+	// Domain management. Domains are addressed by name, which is unique
+	// per connection.
+	ListDomains(flags ListFlags) ([]string, error)
+	LookupDomain(name string) (DomainMeta, error)
+	LookupDomainByUUID(uuidStr string) (DomainMeta, error)
+	DefineDomain(xmlDesc string) (DomainMeta, error)
+	UndefineDomain(name string) error
+	CreateDomain(name string) error // start a defined domain
+	DestroyDomain(name string) error
+	ShutdownDomain(name string) error
+	RebootDomain(name string) error
+	SuspendDomain(name string) error
+	ResumeDomain(name string) error
+	DomainInfo(name string) (DomainInfo, error)
+	DomainStats(name string) (DomainStats, error)
+	DomainXML(name string) (string, error)
+	SetDomainMemory(name string, kib uint64) error
+	SetDomainVCPUs(name string, n int) error
+}
+
+// EventSource is implemented by drivers that can deliver lifecycle
+// events.
+type EventSource interface {
+	EventBus() *events.Bus
+}
+
+// NetworkSupport is implemented by drivers managing virtual networks.
+type NetworkSupport interface {
+	ListNetworks() ([]string, error)
+	DefineNetwork(xmlDesc string) error
+	UndefineNetwork(name string) error
+	StartNetwork(name string) error
+	StopNetwork(name string) error
+	NetworkXML(name string) (string, error)
+	NetworkIsActive(name string) (bool, error)
+	NetworkDHCPLeases(name string) ([]DHCPLease, error)
+}
+
+// DHCPLease is one lease on a virtual network.
+type DHCPLease struct {
+	MAC      string
+	IP       string
+	Hostname string
+}
+
+// StorageSupport is implemented by drivers managing storage pools.
+type StorageSupport interface {
+	ListStoragePools() ([]string, error)
+	DefineStoragePool(xmlDesc string) error
+	UndefineStoragePool(name string) error
+	StartStoragePool(name string) error
+	StopStoragePool(name string) error
+	StoragePoolXML(name string) (string, error)
+	StoragePoolInfo(name string) (StoragePoolInfo, error)
+	ListVolumes(pool string) ([]string, error)
+	CreateVolume(pool, xmlDesc string) error
+	DeleteVolume(pool, name string) error
+	VolumeXML(pool, name string) (string, error)
+}
+
+// StoragePoolInfo summarises a pool's space accounting.
+type StoragePoolInfo struct {
+	Active        bool
+	CapacityKiB   uint64
+	AllocationKiB uint64
+	AvailableKiB  uint64
+}
+
+// MachineAccess is implemented by local drivers whose domains are backed
+// by the simulation substrate; the migration engine and workload clock
+// use it. Remote connections do not expose it.
+type MachineAccess interface {
+	Machine(name string) (*hyper.Machine, error)
+}
+
+// DriverFactory opens a driver connection for a parsed URI.
+type DriverFactory func(u *uri.URI) (DriverConn, error)
+
+// registry maps URI schemes to local driver factories, with an optional
+// fallback (the remote driver) for unrecognised or remote URIs.
+var registry = struct {
+	sync.Mutex
+	factories map[string]DriverFactory
+	fallback  DriverFactory
+}{factories: make(map[string]DriverFactory)}
+
+// Register installs a local driver factory for a URI scheme. Later
+// registrations replace earlier ones, matching driver-probing order
+// being a link-time decision.
+func Register(scheme string, f DriverFactory) {
+	registry.Lock()
+	defer registry.Unlock()
+	registry.factories[scheme] = f
+}
+
+// RegisterRemote installs the fallback factory used when the URI is
+// remote or no local driver claims the scheme.
+func RegisterRemote(f DriverFactory) {
+	registry.Lock()
+	defer registry.Unlock()
+	registry.fallback = f
+}
+
+// RegisteredSchemes lists the local schemes, sorted (diagnostics).
+func RegisteredSchemes() []string {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]string, 0, len(registry.factories))
+	for s := range registry.factories {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookupFactory picks the factory for a URI: remote URIs always go to
+// the fallback (the hypervisor driver runs daemon-side); local URIs go
+// to the local driver, then the fallback.
+func lookupFactory(u *uri.URI) (DriverFactory, error) {
+	registry.Lock()
+	defer registry.Unlock()
+	if u.IsRemote() {
+		if registry.fallback == nil {
+			return nil, Errorf(ErrNoSupport, "no remote driver registered for %q", u.String())
+		}
+		return registry.fallback, nil
+	}
+	if f, ok := registry.factories[u.Driver]; ok {
+		return f, nil
+	}
+	if registry.fallback != nil {
+		return registry.fallback, nil
+	}
+	return nil, Errorf(ErrNoSupport, "no driver for URI scheme %q", u.Driver)
+}
+
+// ResetRegistryForTest clears all registrations; only tests use it.
+func ResetRegistryForTest() {
+	registry.Lock()
+	defer registry.Unlock()
+	registry.factories = make(map[string]DriverFactory)
+	registry.fallback = nil
+}

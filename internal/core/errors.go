@@ -1,0 +1,106 @@
+// Package core implements the uniform management API — the paper's
+// primary contribution. A management application opens a Connect from a
+// connection URI; the registry picks the hypervisor driver (or the remote
+// driver for daemon-managed hypervisors); and every subsequent operation
+// on domains, networks and storage goes through the same stable surface
+// regardless of which virtualization solution sits underneath.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrorCode classifies API errors so they survive the RPC boundary and
+// callers can switch on failure class rather than message text.
+type ErrorCode int
+
+// Error classes, mirroring the classic management-API error taxonomy.
+const (
+	ErrInternal ErrorCode = 1 + iota
+	ErrNoSupport
+	ErrInvalidArg
+	ErrOperationInvalid // operation not valid in current object state
+	ErrNoConnect
+	ErrNoDomain
+	ErrDuplicate
+	ErrNoNetwork
+	ErrNoStoragePool
+	ErrNoStorageVol
+	ErrAuthFailed
+	ErrRPC
+	ErrConnectionClosed
+	ErrXML
+	ErrMigrate
+	ErrAdmin
+)
+
+var codeNames = map[ErrorCode]string{
+	ErrInternal:         "internal error",
+	ErrNoSupport:        "not supported",
+	ErrInvalidArg:       "invalid argument",
+	ErrOperationInvalid: "operation invalid",
+	ErrNoConnect:        "no connection",
+	ErrNoDomain:         "domain not found",
+	ErrDuplicate:        "object already exists",
+	ErrNoNetwork:        "network not found",
+	ErrNoStoragePool:    "storage pool not found",
+	ErrNoStorageVol:     "storage volume not found",
+	ErrAuthFailed:       "authentication failed",
+	ErrRPC:              "RPC failure",
+	ErrConnectionClosed: "connection closed",
+	ErrXML:              "XML error",
+	ErrMigrate:          "migration failure",
+	ErrAdmin:            "admin operation failed",
+}
+
+func (c ErrorCode) String() string {
+	if s, ok := codeNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("error(%d)", int(c))
+}
+
+// Error is the API error type.
+type Error struct {
+	Code    ErrorCode
+	Message string
+}
+
+// Errorf constructs an Error with a formatted message.
+func Errorf(code ErrorCode, format string, args ...interface{}) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// CodeOf extracts the ErrorCode from err, unwrapping as needed;
+// non-API errors report ErrInternal, nil reports 0.
+func CodeOf(err error) ErrorCode {
+	if err == nil {
+		return 0
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return ErrInternal
+}
+
+// IsCode reports whether err carries the given code.
+func IsCode(err error, code ErrorCode) bool { return CodeOf(err) == code }
+
+// wrap converts an arbitrary error into an API error with the given
+// code, passing existing API errors through unchanged.
+func wrap(code ErrorCode, err error) error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	return &Error{Code: code, Message: err.Error()}
+}

@@ -1,0 +1,191 @@
+package daemon
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// Transport identifies how a client is connected.
+type Transport int
+
+// Client transports.
+const (
+	TransportUnix Transport = iota
+	TransportTCP
+	TransportTLS
+)
+
+var transportNames = map[Transport]string{
+	TransportUnix: "unix",
+	TransportTCP:  "tcp",
+	TransportTLS:  "tls",
+}
+
+func (t Transport) String() string {
+	if s, ok := transportNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("transport(%d)", int(t))
+}
+
+// Identity is everything the daemon knows about a connected client.
+// Fields are transport-dependent: unix clients carry process
+// credentials, remote clients carry the socket address, authenticated
+// clients carry the SASL username.
+type Identity struct {
+	Transport Transport
+	SockAddr  string
+	UID       int
+	GID       int
+	PID       int
+	Username  string
+	SASLUser  string
+	ReadOnly  bool
+}
+
+// Client is the server-side representation of one connection.
+type Client struct {
+	id        uint64
+	server    *Server
+	conn      *rpc.Conn
+	identity  Identity
+	connected time.Time
+
+	mu            sync.Mutex
+	closed        bool
+	authenticated bool
+	progState     map[uint32]interface{}
+}
+
+// ID returns the client's per-server unique id.
+func (c *Client) ID() uint64 { return c.id }
+
+// Identity returns the client's identity snapshot.
+func (c *Client) Identity() Identity {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.identity
+}
+
+// ConnectedAt returns when the connection was accepted.
+func (c *Client) ConnectedAt() time.Time { return c.connected }
+
+// Transport returns how the client is connected.
+func (c *Client) Transport() Transport { return c.identity.Transport }
+
+// Authenticated reports whether the client passed authentication (always
+// true on services without an auth requirement).
+func (c *Client) Authenticated() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.authenticated
+}
+
+func (c *Client) setAuthenticated(saslUser string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.authenticated = true
+	c.identity.SASLUser = saslUser
+}
+
+// ProgState returns per-program connection state, creating it with init
+// on first use. Programs use it to keep e.g. the server-side driver
+// connection.
+func (c *Client) ProgState(program uint32, init func() interface{}) interface{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.progState == nil {
+		c.progState = make(map[uint32]interface{})
+	}
+	st, ok := c.progState[program]
+	if !ok && init != nil {
+		st = init()
+		c.progState[program] = st
+	}
+	return st
+}
+
+// Send transmits an unsolicited message (event) to the client.
+func (c *Client) Send(h rpc.Header, payload []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("daemon: client %d is closed", c.id)
+	}
+	c.mu.Unlock()
+	return c.conn.WriteMessage(h, payload)
+}
+
+// Close forcefully terminates the connection. The read loop notices and
+// runs the full cleanup path, so Close is safe from any goroutine — this
+// is the admin interface's client-disconnect primitive.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// identityFor derives the identity of a freshly accepted connection.
+func identityFor(nc net.Conn, transport Transport) Identity {
+	id := Identity{Transport: transport, UID: -1, GID: -1, PID: -1}
+	switch transport {
+	case TransportUnix:
+		if uc, ok := nc.(*net.UnixConn); ok {
+			if cred, err := peerCred(uc); err == nil {
+				id.UID = int(cred.Uid)
+				id.GID = int(cred.Gid)
+				id.PID = int(cred.Pid)
+			}
+		}
+		if id.PID == -1 {
+			// Fallback when credentials are unavailable: the connection
+			// is local, so the peer shares our process identity space.
+			id.UID = os.Getuid()
+			id.GID = os.Getgid()
+			id.PID = os.Getpid()
+		}
+		id.Username = lookupUser(id.UID)
+	default:
+		if addr := nc.RemoteAddr(); addr != nil {
+			id.SockAddr = addr.String()
+		}
+	}
+	return id
+}
+
+// peerCred retrieves SO_PEERCRED from a unix socket.
+func peerCred(uc *net.UnixConn) (*syscall.Ucred, error) {
+	raw, err := uc.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	var cred *syscall.Ucred
+	var credErr error
+	if err := raw.Control(func(fd uintptr) {
+		cred, credErr = syscall.GetsockoptUcred(int(fd), syscall.SOL_SOCKET, syscall.SO_PEERCRED)
+	}); err != nil {
+		return nil, err
+	}
+	return cred, credErr
+}
+
+// lookupUser maps a uid to a name, falling back to the numeric form.
+func lookupUser(uid int) string {
+	if uid == os.Getuid() {
+		if u := os.Getenv("USER"); u != "" {
+			return u
+		}
+	}
+	return fmt.Sprintf("uid-%d", uid)
+}

@@ -1,0 +1,213 @@
+package daemon
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Config is the daemon's persistent configuration, read once at start-up
+// from a libvirtd.conf-style file. Everything here that has a runtime
+// counterpart (workerpool limits, client limits, logging) can later be
+// changed through the admin interface without a restart.
+type Config struct {
+	// Sockets.
+	UnixSocketPath  string
+	AdminSocketPath string
+	ListenTCP       bool
+	TCPBindAddress  string
+	TCPPort         int
+	AuthTCP         string // "none" or "sasl"
+	SASLCredentials map[string]string
+
+	// Workerpool.
+	MinWorkers  int
+	MaxWorkers  int
+	PrioWorkers int
+
+	// Client limits.
+	MaxClients       int
+	MaxUnauthClients int
+
+	// Logging.
+	LogLevel   int
+	LogFilters string
+	LogOutputs string
+}
+
+// DefaultConfig returns the shipped defaults.
+func DefaultConfig() Config {
+	return Config{
+		UnixSocketPath:   "/var/run/govirt/govirt-sock",
+		AdminSocketPath:  "/var/run/govirt/govirt-admin-sock",
+		TCPBindAddress:   "0.0.0.0",
+		TCPPort:          16509,
+		AuthTCP:          "none",
+		SASLCredentials:  map[string]string{},
+		MinWorkers:       5,
+		MaxWorkers:       20,
+		PrioWorkers:      5,
+		MaxClients:       120,
+		MaxUnauthClients: 20,
+		LogLevel:         3,
+		LogOutputs:       "3:stderr",
+	}
+}
+
+// ParseConfig reads a key = value configuration document: comments start
+// with '#', strings are double-quoted, integers and booleans (0/1) are
+// bare, and string lists use ["a", "b"].
+func ParseConfig(text string) (Config, error) {
+	cfg := DefaultConfig()
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, value, found := strings.Cut(line, "=")
+		if !found {
+			return cfg, fmt.Errorf("daemon: config line %d: missing '='", lineNo+1)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		if err := cfg.apply(key, value); err != nil {
+			return cfg, fmt.Errorf("daemon: config line %d: %v", lineNo+1, err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func (c *Config) apply(key, value string) error {
+	switch key {
+	case "unix_sock_path":
+		return setString(&c.UnixSocketPath, value)
+	case "admin_sock_path":
+		return setString(&c.AdminSocketPath, value)
+	case "listen_tcp":
+		return setBool(&c.ListenTCP, value)
+	case "tcp_bind_address":
+		return setString(&c.TCPBindAddress, value)
+	case "tcp_port":
+		return setInt(&c.TCPPort, value)
+	case "auth_tcp":
+		if err := setString(&c.AuthTCP, value); err != nil {
+			return err
+		}
+		if c.AuthTCP != "none" && c.AuthTCP != "sasl" {
+			return fmt.Errorf("auth_tcp must be \"none\" or \"sasl\"")
+		}
+		return nil
+	case "sasl_credentials":
+		entries, err := parseList(value)
+		if err != nil {
+			return err
+		}
+		creds := make(map[string]string, len(entries))
+		for _, e := range entries {
+			user, pass, found := strings.Cut(e, ":")
+			if !found || user == "" {
+				return fmt.Errorf("sasl_credentials entries must be \"user:password\"")
+			}
+			creds[user] = pass
+		}
+		c.SASLCredentials = creds
+		return nil
+	case "min_workers":
+		return setInt(&c.MinWorkers, value)
+	case "max_workers":
+		return setInt(&c.MaxWorkers, value)
+	case "prio_workers":
+		return setInt(&c.PrioWorkers, value)
+	case "max_clients":
+		return setInt(&c.MaxClients, value)
+	case "max_anonymous_clients":
+		return setInt(&c.MaxUnauthClients, value)
+	case "log_level":
+		return setInt(&c.LogLevel, value)
+	case "log_filters":
+		return setString(&c.LogFilters, value)
+	case "log_outputs":
+		return setString(&c.LogOutputs, value)
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+}
+
+// Validate cross-checks the configuration.
+func (c *Config) Validate() error {
+	if c.MinWorkers < 0 || c.MaxWorkers < 1 || c.MinWorkers > c.MaxWorkers {
+		return fmt.Errorf("daemon: worker limits invalid: min=%d max=%d", c.MinWorkers, c.MaxWorkers)
+	}
+	if c.PrioWorkers < 0 {
+		return fmt.Errorf("daemon: prio_workers must be non-negative")
+	}
+	if c.MaxClients < 1 {
+		return fmt.Errorf("daemon: max_clients must be >= 1")
+	}
+	if c.MaxUnauthClients < 0 || c.MaxUnauthClients > c.MaxClients {
+		return fmt.Errorf("daemon: max_anonymous_clients outside [0, max_clients]")
+	}
+	if c.TCPPort < 1 || c.TCPPort > 65535 {
+		return fmt.Errorf("daemon: tcp_port %d out of range", c.TCPPort)
+	}
+	if c.LogLevel < 1 || c.LogLevel > 4 {
+		return fmt.Errorf("daemon: log_level %d outside [1,4]", c.LogLevel)
+	}
+	if c.AuthTCP == "sasl" && len(c.SASLCredentials) == 0 {
+		return fmt.Errorf("daemon: auth_tcp=sasl requires sasl_credentials")
+	}
+	return nil
+}
+
+func setString(dst *string, value string) error {
+	if len(value) < 2 || value[0] != '"' || value[len(value)-1] != '"' {
+		return fmt.Errorf("expected a quoted string, got %s", value)
+	}
+	*dst = value[1 : len(value)-1]
+	return nil
+}
+
+func setInt(dst *int, value string) error {
+	n, err := strconv.Atoi(value)
+	if err != nil {
+		return fmt.Errorf("expected an integer, got %q", value)
+	}
+	*dst = n
+	return nil
+}
+
+func setBool(dst *bool, value string) error {
+	switch value {
+	case "0":
+		*dst = false
+	case "1":
+		*dst = true
+	default:
+		return fmt.Errorf("expected 0 or 1, got %q", value)
+	}
+	return nil
+}
+
+func parseList(value string) ([]string, error) {
+	value = strings.TrimSpace(value)
+	if len(value) < 2 || value[0] != '[' || value[len(value)-1] != ']' {
+		return nil, fmt.Errorf("expected a [\"...\"] list, got %s", value)
+	}
+	inner := strings.TrimSpace(value[1 : len(value)-1])
+	if inner == "" {
+		return nil, nil
+	}
+	parts := strings.Split(inner, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		var s string
+		if err := setString(&s, strings.TrimSpace(p)); err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

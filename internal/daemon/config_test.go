@@ -1,0 +1,95 @@
+package daemon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseConfigDefaults(t *testing.T) {
+	cfg, err := ParseConfig("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultConfig()
+	if cfg.MaxWorkers != def.MaxWorkers || cfg.MaxClients != def.MaxClients ||
+		cfg.TCPPort != def.TCPPort || cfg.LogLevel != def.LogLevel {
+		t.Fatalf("%+v", cfg)
+	}
+}
+
+func TestParseConfigFull(t *testing.T) {
+	text := `
+# govirtd configuration
+unix_sock_path = "/tmp/govirt.sock"
+admin_sock_path = "/tmp/govirt-admin.sock"
+listen_tcp = 1
+tcp_bind_address = "127.0.0.1"
+tcp_port = 26509
+auth_tcp = "sasl"
+sasl_credentials = ["admin:secret", "ops:hunter2"]
+
+min_workers = 3
+max_workers = 40
+prio_workers = 8
+
+max_clients = 200
+max_anonymous_clients = 30
+
+log_level = 1
+log_filters = "3:rpc 4:daemon.server"
+log_outputs = "1:stderr 3:buffer"
+`
+	cfg, err := ParseConfig(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.UnixSocketPath != "/tmp/govirt.sock" || !cfg.ListenTCP || cfg.TCPPort != 26509 {
+		t.Fatalf("%+v", cfg)
+	}
+	if cfg.AuthTCP != "sasl" || cfg.SASLCredentials["admin"] != "secret" || cfg.SASLCredentials["ops"] != "hunter2" {
+		t.Fatalf("creds %+v", cfg.SASLCredentials)
+	}
+	if cfg.MinWorkers != 3 || cfg.MaxWorkers != 40 || cfg.PrioWorkers != 8 {
+		t.Fatalf("%+v", cfg)
+	}
+	if cfg.MaxClients != 200 || cfg.MaxUnauthClients != 30 {
+		t.Fatalf("%+v", cfg)
+	}
+	if cfg.LogLevel != 1 || !strings.Contains(cfg.LogFilters, "3:rpc") {
+		t.Fatalf("%+v", cfg)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	bad := []string{
+		"max_workers",                      // no '='
+		"warp_drive = 1",                   // unknown key
+		`unix_sock_path = /no/quotes`,      // unquoted string
+		"max_workers = lots",               // not an integer
+		"listen_tcp = maybe",               // not a bool
+		`auth_tcp = "kerberos"`,            // unknown auth
+		`sasl_credentials = "admin:x"`,     // not a list
+		`sasl_credentials = ["adminx"]`,    // missing colon
+		"min_workers = 9\nmax_workers = 2", // min > max
+		"max_clients = 0",
+		"max_anonymous_clients = 9999",
+		"tcp_port = 99999",
+		"log_level = 9",
+		`auth_tcp = "sasl"`, // sasl without credentials
+	}
+	for _, text := range bad {
+		if _, err := ParseConfig(text); err == nil {
+			t.Errorf("ParseConfig(%q) accepted", text)
+		}
+	}
+}
+
+func TestParseConfigEmptyList(t *testing.T) {
+	cfg, err := ParseConfig(`sasl_credentials = []`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.SASLCredentials) != 0 {
+		t.Fatalf("%+v", cfg.SASLCredentials)
+	}
+}

@@ -1,0 +1,646 @@
+package daemon
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/rpc"
+	"repro/internal/uri"
+	"repro/internal/wire"
+)
+
+// isAuthProc reports whether a procedure is allowed before
+// authentication completes.
+func isAuthProc(proc uint32) bool {
+	return proc == wire.ProcAuthList || proc == wire.ProcAuthSASLStart
+}
+
+// remoteState is the per-client state of the remote program. Dispatch
+// runs on workerpool goroutines and ClientClosed on the reader, so all
+// fields are guarded: an in-flight job must never race the teardown.
+type remoteState struct {
+	mu        sync.Mutex
+	conn      *core.Connect
+	callbacks map[int32]int // client callback id -> bus subscription id
+	nextCB    int32
+}
+
+// RemoteProgram dispatches the hypervisor management protocol. Each
+// client opens its own server-side driver connection, so the daemon
+// invokes the very same driver interface the client would use locally.
+type RemoteProgram struct {
+	srv *Server
+}
+
+// NewRemoteProgram creates the management program for a server.
+func NewRemoteProgram(srv *Server) *RemoteProgram {
+	return &RemoteProgram{srv: srv}
+}
+
+// ID implements Program.
+func (p *RemoteProgram) ID() uint32 { return rpc.ProgramRemote }
+
+// IsPriority implements Program: procedures that never wait on a
+// hypervisor may run on priority workers.
+func (p *RemoteProgram) IsPriority(proc uint32) bool {
+	switch proc {
+	case wire.ProcConnectOpen, wire.ProcConnectClose, wire.ProcGetType,
+		wire.ProcGetHostname, wire.ProcDomainList, wire.ProcDomainLookupByName,
+		wire.ProcDomainLookupByUUID, wire.ProcEventRegister, wire.ProcEventDeregister,
+		wire.ProcAuthList, wire.ProcAuthSASLStart:
+		return true
+	}
+	return false
+}
+
+// ClientClosed implements Program: release the driver connection and
+// event subscriptions.
+func (p *RemoteProgram) ClientClosed(c *Client) {
+	st := p.state(c)
+	st.mu.Lock()
+	conn := st.conn
+	st.conn = nil
+	callbacks := st.callbacks
+	st.callbacks = make(map[int32]int)
+	st.mu.Unlock()
+	if conn != nil {
+		if src, ok := conn.Driver().(core.EventSource); ok {
+			for _, subID := range callbacks {
+				src.EventBus().Unsubscribe(subID)
+			}
+		}
+		conn.Close() //nolint:errcheck
+	}
+}
+
+func (p *RemoteProgram) state(c *Client) *remoteState {
+	return c.ProgState(rpc.ProgramRemote, func() interface{} {
+		return &remoteState{callbacks: make(map[int32]int)}
+	}).(*remoteState)
+}
+
+// conn returns the client's open driver connection.
+func (p *RemoteProgram) conn(c *Client) (*core.Connect, error) {
+	st := p.state(c)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.conn == nil {
+		return nil, core.Errorf(core.ErrNoConnect, "no connection open; call ConnectOpen first")
+	}
+	return st.conn, nil
+}
+
+// Dispatch implements Program.
+func (p *RemoteProgram) Dispatch(c *Client, proc uint32, payload []byte) ([]byte, error) {
+	switch proc {
+	case wire.ProcAuthList:
+		return marshal(&wire.AuthListReply{Mechanisms: p.mechanisms()})
+	case wire.ProcAuthSASLStart:
+		return p.saslStart(c, payload)
+	case wire.ProcConnectOpen:
+		return p.connectOpen(c, payload)
+	case wire.ProcConnectClose:
+		p.ClientClosed(c)
+		return marshal(&struct{}{})
+	}
+	conn, err := p.conn(c)
+	if err != nil {
+		return nil, err
+	}
+	switch proc {
+	case wire.ProcGetType:
+		t, err := conn.Type()
+		return stringReply(t, err)
+	case wire.ProcGetVersion:
+		v, err := conn.Version()
+		return stringReply(v, err)
+	case wire.ProcGetHostname:
+		h, err := conn.Hostname()
+		return stringReply(h, err)
+	case wire.ProcGetCapabilities:
+		x, err := conn.CapabilitiesXML()
+		return stringReply(x, err)
+	case wire.ProcNodeGetInfo:
+		ni, err := conn.NodeInfo()
+		if err != nil {
+			return nil, err
+		}
+		return marshal(&wire.NodeInfoReply{
+			Model: ni.Model, MemoryKiB: ni.MemoryKiB, CPUs: uint32(ni.CPUs),
+			MHz: uint32(ni.MHz), NUMANodes: uint32(ni.NUMANodes),
+			Sockets: uint32(ni.Sockets), Cores: uint32(ni.Cores), Threads: uint32(ni.Threads),
+		})
+	case wire.ProcDomainList:
+		var args wire.DomainListArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		names, err := conn.Driver().ListDomains(core.ListFlags(args.Flags))
+		if err != nil {
+			return nil, err
+		}
+		return marshal(&wire.NameListReply{Names: names})
+	case wire.ProcDomainLookupByName:
+		var args wire.NameArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		meta, err := conn.Driver().LookupDomain(args.Name)
+		return metaReply(meta, err)
+	case wire.ProcDomainLookupByUUID:
+		var args wire.UUIDArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		meta, err := conn.Driver().LookupDomainByUUID(args.UUID)
+		return metaReply(meta, err)
+	case wire.ProcDomainDefine:
+		var args wire.XMLArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		meta, err := conn.Driver().DefineDomain(args.XML)
+		return metaReply(meta, err)
+	case wire.ProcDomainUndefine:
+		return p.nameOp(payload, conn.Driver().UndefineDomain)
+	case wire.ProcDomainCreate:
+		return p.nameOp(payload, conn.Driver().CreateDomain)
+	case wire.ProcDomainDestroy:
+		return p.nameOp(payload, conn.Driver().DestroyDomain)
+	case wire.ProcDomainShutdown:
+		return p.nameOp(payload, conn.Driver().ShutdownDomain)
+	case wire.ProcDomainReboot:
+		return p.nameOp(payload, conn.Driver().RebootDomain)
+	case wire.ProcDomainSuspend:
+		return p.nameOp(payload, conn.Driver().SuspendDomain)
+	case wire.ProcDomainResume:
+		return p.nameOp(payload, conn.Driver().ResumeDomain)
+	case wire.ProcDomainGetInfo:
+		var args wire.NameArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		info, err := conn.Driver().DomainInfo(args.Name)
+		if err != nil {
+			return nil, err
+		}
+		return marshal(&wire.DomainInfoReply{
+			State: uint32(info.State), MaxMemKiB: info.MaxMemKiB,
+			MemKiB: info.MemKiB, VCPUs: uint32(info.VCPUs), CPUTimeNs: info.CPUTimeNs,
+		})
+	case wire.ProcDomainGetStats:
+		var args wire.NameArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		st, err := conn.Driver().DomainStats(args.Name)
+		if err != nil {
+			return nil, err
+		}
+		return marshal(&wire.DomainStatsReply{
+			State: uint32(st.State), CPUTimeNs: st.CPUTimeNs, MemKiB: st.MemKiB,
+			MaxMemKiB: st.MaxMemKiB, VCPUs: uint32(st.VCPUs),
+			RdBytes: st.RdBytes, WrBytes: st.WrBytes, RdReqs: st.RdReqs, WrReqs: st.WrReqs,
+			RxBytes: st.RxBytes, TxBytes: st.TxBytes, RxPkts: st.RxPkts, TxPkts: st.TxPkts,
+			DirtyPages: st.DirtyPages,
+		})
+	case wire.ProcDomainGetXML:
+		var args wire.NameArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		x, err := conn.Driver().DomainXML(args.Name)
+		return stringReply(x, err)
+	case wire.ProcDomainSetMemory:
+		var args wire.SetMemoryArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		return voidReply(conn.Driver().SetDomainMemory(args.Name, args.MemKiB))
+	case wire.ProcDomainSetVCPUs:
+		var args wire.SetVCPUsArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		return voidReply(conn.Driver().SetDomainVCPUs(args.Name, int(args.VCPUs)))
+	case wire.ProcNetworkList:
+		names, err := conn.ListNetworks()
+		if err != nil {
+			return nil, err
+		}
+		return marshal(&wire.NameListReply{Names: names})
+	case wire.ProcNetworkDefine:
+		var args wire.XMLArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		return voidReply(conn.DefineNetwork(args.XML))
+	case wire.ProcNetworkUndefine:
+		return p.nameOp(payload, conn.UndefineNetwork)
+	case wire.ProcNetworkStart:
+		return p.nameOp(payload, conn.StartNetwork)
+	case wire.ProcNetworkStop:
+		return p.nameOp(payload, conn.StopNetwork)
+	case wire.ProcNetworkGetXML:
+		var args wire.NameArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		x, err := conn.NetworkXML(args.Name)
+		return stringReply(x, err)
+	case wire.ProcNetworkIsActive:
+		var args wire.NameArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		active, err := conn.NetworkIsActive(args.Name)
+		if err != nil {
+			return nil, err
+		}
+		return marshal(&wire.BoolReply{Value: active})
+	case wire.ProcNetworkDHCPLeases:
+		var args wire.NameArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		leases, err := conn.NetworkDHCPLeases(args.Name)
+		if err != nil {
+			return nil, err
+		}
+		out := wire.LeasesReply{Leases: make([]wire.DHCPLease, len(leases))}
+		for i, l := range leases {
+			out.Leases[i] = wire.DHCPLease{MAC: l.MAC, IP: l.IP, Hostname: l.Hostname}
+		}
+		return marshal(&out)
+	case wire.ProcPoolList:
+		names, err := conn.ListStoragePools()
+		if err != nil {
+			return nil, err
+		}
+		return marshal(&wire.NameListReply{Names: names})
+	case wire.ProcPoolDefine:
+		var args wire.XMLArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		return voidReply(conn.DefineStoragePool(args.XML))
+	case wire.ProcPoolUndefine:
+		return p.nameOp(payload, conn.UndefineStoragePool)
+	case wire.ProcPoolStart:
+		return p.nameOp(payload, conn.StartStoragePool)
+	case wire.ProcPoolStop:
+		return p.nameOp(payload, conn.StopStoragePool)
+	case wire.ProcPoolGetXML:
+		var args wire.NameArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		x, err := conn.StoragePoolXML(args.Name)
+		return stringReply(x, err)
+	case wire.ProcPoolGetInfo:
+		var args wire.NameArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		info, err := conn.StoragePoolInfo(args.Name)
+		if err != nil {
+			return nil, err
+		}
+		return marshal(&wire.PoolInfoReply{
+			Active: info.Active, CapacityKiB: info.CapacityKiB,
+			AllocationKiB: info.AllocationKiB, AvailableKiB: info.AvailableKiB,
+		})
+	case wire.ProcVolList:
+		var args wire.NameArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		names, err := conn.ListVolumes(args.Name)
+		if err != nil {
+			return nil, err
+		}
+		return marshal(&wire.NameListReply{Names: names})
+	case wire.ProcVolCreate:
+		var args wire.VolCreateArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		return voidReply(conn.CreateVolume(args.Pool, args.XML))
+	case wire.ProcVolDelete:
+		var args wire.VolArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		return voidReply(conn.DeleteVolume(args.Pool, args.Name))
+	case wire.ProcVolGetXML:
+		var args wire.VolArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		x, err := conn.VolumeXML(args.Pool, args.Name)
+		return stringReply(x, err)
+	case wire.ProcEventRegister:
+		return p.eventRegister(c, payload)
+	case wire.ProcEventDeregister:
+		return p.eventDeregister(c, payload)
+	case wire.ProcSnapshotCreate:
+		var args wire.SnapshotCreateArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		ss, err := snapshotDrv(conn)
+		if err != nil {
+			return nil, err
+		}
+		name, err := ss.CreateSnapshot(args.Domain, args.XML)
+		return stringReply(name, err)
+	case wire.ProcSnapshotList:
+		var args wire.NameArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		ss, err := snapshotDrv(conn)
+		if err != nil {
+			return nil, err
+		}
+		names, err := ss.ListSnapshots(args.Name)
+		if err != nil {
+			return nil, err
+		}
+		return marshal(&wire.NameListReply{Names: names})
+	case wire.ProcSnapshotGetXML:
+		var args wire.SnapshotArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		ss, err := snapshotDrv(conn)
+		if err != nil {
+			return nil, err
+		}
+		x, err := ss.SnapshotXML(args.Domain, args.Name)
+		return stringReply(x, err)
+	case wire.ProcSnapshotRevert:
+		var args wire.SnapshotArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		ss, err := snapshotDrv(conn)
+		if err != nil {
+			return nil, err
+		}
+		return voidReply(ss.RevertSnapshot(args.Domain, args.Name))
+	case wire.ProcSnapshotDelete:
+		var args wire.SnapshotArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		ss, err := snapshotDrv(conn)
+		if err != nil {
+			return nil, err
+		}
+		return voidReply(ss.DeleteSnapshot(args.Domain, args.Name))
+	case wire.ProcManagedSave:
+		ms, err := managedSaveDrv(conn)
+		if err != nil {
+			return nil, err
+		}
+		return p.nameOp(payload, ms.ManagedSave)
+	case wire.ProcHasManagedSave:
+		var args wire.NameArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		ms, err := managedSaveDrv(conn)
+		if err != nil {
+			return nil, err
+		}
+		has, err := ms.HasManagedSave(args.Name)
+		if err != nil {
+			return nil, err
+		}
+		return marshal(&wire.BoolReply{Value: has})
+	case wire.ProcManagedSaveRemove:
+		ms, err := managedSaveDrv(conn)
+		if err != nil {
+			return nil, err
+		}
+		return p.nameOp(payload, ms.ManagedSaveRemove)
+	case wire.ProcDeviceAttach, wire.ProcDeviceDetach:
+		var args wire.DeviceArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		ds, ok := conn.Driver().(core.DeviceSupport)
+		if !ok {
+			return nil, core.Errorf(core.ErrNoSupport, "driver does not support device hot-plug")
+		}
+		if proc == wire.ProcDeviceAttach {
+			return voidReply(ds.AttachDevice(args.Domain, args.XML))
+		}
+		return voidReply(ds.DetachDevice(args.Domain, args.XML))
+	default:
+		return nil, core.Errorf(core.ErrNoSupport, "unknown procedure %d", proc)
+	}
+}
+
+func snapshotDrv(conn *core.Connect) (core.SnapshotSupport, error) {
+	ss, ok := conn.Driver().(core.SnapshotSupport)
+	if !ok {
+		return nil, core.Errorf(core.ErrNoSupport, "driver does not support snapshots")
+	}
+	return ss, nil
+}
+
+func managedSaveDrv(conn *core.Connect) (core.ManagedSaveSupport, error) {
+	ms, ok := conn.Driver().(core.ManagedSaveSupport)
+	if !ok {
+		return nil, core.Errorf(core.ErrNoSupport, "driver does not support managed save")
+	}
+	return ms, nil
+}
+
+// connectOpen opens the server-side driver connection for a client. The
+// daemon strips the transport parts of the URI: the hypervisor driver
+// itself always runs locally to the daemon.
+func (p *RemoteProgram) connectOpen(c *Client, payload []byte) ([]byte, error) {
+	var args wire.ConnectOpenArgs
+	if err := rpc.Unmarshal(payload, &args); err != nil {
+		return nil, badArgs(err)
+	}
+	u, err := uri.Parse(args.URI)
+	if err != nil {
+		return nil, core.Errorf(core.ErrInvalidArg, "%v", err)
+	}
+	local := *u
+	local.Transport = uri.TransportNone
+	local.Host = ""
+	local.Port = 0
+	local.Username = ""
+	conn, err := core.Open(local.String())
+	if err != nil {
+		return nil, err
+	}
+	st := p.state(c)
+	st.mu.Lock()
+	if st.conn != nil {
+		st.mu.Unlock()
+		conn.Close() //nolint:errcheck
+		return nil, core.Errorf(core.ErrOperationInvalid, "connection already open")
+	}
+	st.conn = conn
+	st.mu.Unlock()
+	return marshal(&struct{}{})
+}
+
+func (p *RemoteProgram) eventRegister(c *Client, payload []byte) ([]byte, error) {
+	var args wire.EventRegisterArgs
+	if err := rpc.Unmarshal(payload, &args); err != nil {
+		return nil, badArgs(err)
+	}
+	conn, err := p.conn(c)
+	if err != nil {
+		return nil, err
+	}
+	src, ok := conn.Driver().(core.EventSource)
+	if !ok {
+		return nil, core.Errorf(core.ErrNoSupport, "driver does not deliver events")
+	}
+	st := p.state(c)
+	st.mu.Lock()
+	st.nextCB++
+	cbID := st.nextCB
+	st.mu.Unlock()
+	subID := src.EventBus().Subscribe(args.Domain, nil, func(ev events.Event) {
+		payload, err := rpc.Marshal(&wire.LifecycleEvent{
+			CallbackID: cbID,
+			Type:       uint32(ev.Type),
+			Domain:     ev.Domain,
+			UUID:       ev.UUID,
+			Detail:     ev.Detail,
+			Seq:        ev.Seq,
+		})
+		if err != nil {
+			return
+		}
+		c.Send(rpc.Header{ //nolint:errcheck // client may be gone
+			Program:   rpc.ProgramRemote,
+			Version:   rpc.ProtocolVersion,
+			Procedure: wire.ProcEventLifecycle,
+			Type:      uint32(rpc.TypeEvent),
+		}, payload)
+	})
+	st.mu.Lock()
+	// A teardown that raced the subscribe must not leak it.
+	if st.conn == nil {
+		st.mu.Unlock()
+		src.EventBus().Unsubscribe(subID)
+		return nil, core.Errorf(core.ErrNoConnect, "connection closed during registration")
+	}
+	st.callbacks[cbID] = subID
+	st.mu.Unlock()
+	return marshal(&wire.EventRegisterReply{CallbackID: cbID})
+}
+
+func (p *RemoteProgram) eventDeregister(c *Client, payload []byte) ([]byte, error) {
+	var args wire.EventDeregisterArgs
+	if err := rpc.Unmarshal(payload, &args); err != nil {
+		return nil, badArgs(err)
+	}
+	conn, err := p.conn(c)
+	if err != nil {
+		return nil, err
+	}
+	st := p.state(c)
+	st.mu.Lock()
+	subID, ok := st.callbacks[args.CallbackID]
+	if ok {
+		delete(st.callbacks, args.CallbackID)
+	}
+	st.mu.Unlock()
+	if !ok {
+		return nil, core.Errorf(core.ErrInvalidArg, "no callback %d", args.CallbackID)
+	}
+	if src, ok := conn.Driver().(core.EventSource); ok {
+		src.EventBus().Unsubscribe(subID)
+	}
+	return marshal(&struct{}{})
+}
+
+func (p *RemoteProgram) mechanisms() []string {
+	p.srv.mu.Lock()
+	defer p.srv.mu.Unlock()
+	if len(p.srv.creds) == 0 {
+		return nil
+	}
+	return []string{"SIM-PLAIN"}
+}
+
+// saslStart validates a SIM-PLAIN exchange: data is "user\x00password".
+func (p *RemoteProgram) saslStart(c *Client, payload []byte) ([]byte, error) {
+	var args wire.SASLStartArgs
+	if err := rpc.Unmarshal(payload, &args); err != nil {
+		return nil, badArgs(err)
+	}
+	if args.Mechanism != "SIM-PLAIN" {
+		return nil, core.Errorf(core.ErrAuthFailed, "unsupported mechanism %q", args.Mechanism)
+	}
+	parts := bytes.SplitN(args.Data, []byte{0}, 2)
+	if len(parts) != 2 {
+		return nil, core.Errorf(core.ErrAuthFailed, "malformed SIM-PLAIN data")
+	}
+	user, pass := string(parts[0]), parts[1]
+	p.srv.mu.Lock()
+	want, ok := p.srv.creds[user]
+	p.srv.mu.Unlock()
+	if !ok || subtle.ConstantTimeCompare([]byte(want), pass) != 1 {
+		return nil, core.Errorf(core.ErrAuthFailed, "invalid credentials for %q", user)
+	}
+	c.setAuthenticated(user)
+	return marshal(&wire.SASLStartReply{Complete: true})
+}
+
+func (p *RemoteProgram) nameOp(payload []byte, op func(string) error) ([]byte, error) {
+	var args wire.NameArgs
+	if err := rpc.Unmarshal(payload, &args); err != nil {
+		return nil, badArgs(err)
+	}
+	return voidReply(op(args.Name))
+}
+
+func marshal(v interface{}) ([]byte, error) {
+	out, err := rpc.Marshal(v)
+	if err != nil {
+		return nil, core.Errorf(core.ErrInternal, "marshal reply: %v", err)
+	}
+	return out, nil
+}
+
+func stringReply(s string, err error) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	return marshal(&wire.StringReply{Value: s})
+}
+
+func voidReply(err error) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	return marshal(&struct{}{})
+}
+
+func metaReply(meta core.DomainMeta, err error) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	return marshal(&wire.DomainMetaReply{Meta: wire.DomainMeta{
+		Name: meta.Name, UUID: meta.UUID, ID: int32(meta.ID),
+	}})
+}
+
+func badArgs(err error) error {
+	return core.Errorf(core.ErrInvalidArg, "decode arguments: %v", err)
+}

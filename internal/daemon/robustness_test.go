@@ -1,0 +1,247 @@
+package daemon_test
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// dialRaw connects a raw TCP socket to the daemon's service.
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nc
+}
+
+// TestDaemonSurvivesGarbageBytes verifies that a client writing
+// non-protocol bytes only kills its own connection.
+func TestDaemonSurvivesGarbageBytes(t *testing.T) {
+	sock, tcpAddr, _ := startDaemon(t, daemon.ClientLimits{}, nil)
+
+	nc := dialRaw(t, tcpAddr)
+	// A length word of 0xFFFFFFFF exceeds MaxMessageLen: the server must
+	// drop the connection rather than allocate 4 GiB.
+	if _, err := nc.Write([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("server kept a connection after an oversized frame")
+	}
+	nc.Close()
+
+	// A tiny (invalid) length word likewise.
+	nc2 := dialRaw(t, tcpAddr)
+	if _, err := nc2.Write([]byte{0, 0, 0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	nc2.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	if _, err := nc2.Read(buf); err == nil {
+		t.Fatal("server kept a connection after an undersized frame")
+	}
+	nc2.Close()
+
+	// The daemon still serves well-formed clients.
+	conn, err := core.Open(unixURI(sock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Hostname(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rawCall writes one framed message and reads one reply.
+func rawCall(t *testing.T, nc net.Conn, h rpc.Header, payload []byte) (rpc.Header, []byte) {
+	t.Helper()
+	conn := rpc.NewConn(nc)
+	if err := conn.WriteMessage(h, payload); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	rh, rp, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatalf("no reply: %v", err)
+	}
+	return rh, rp
+}
+
+func TestDaemonRejectsUnknownProgram(t *testing.T) {
+	_, tcpAddr, _ := startDaemon(t, daemon.ClientLimits{}, nil)
+	nc := dialRaw(t, tcpAddr)
+	defer nc.Close()
+	h := rpc.Header{Program: 0xdeadbeef, Version: rpc.ProtocolVersion,
+		Procedure: 1, Type: uint32(rpc.TypeCall), Serial: 1}
+	rh, rp := rawCall(t, nc, h, nil)
+	if rpc.Status(rh.Status) != rpc.StatusError {
+		t.Fatalf("status %d", rh.Status)
+	}
+	var ep rpc.ErrorPayload
+	if err := rpc.Unmarshal(rp, &ep); err != nil {
+		t.Fatal(err)
+	}
+	if core.ErrorCode(ep.Code) != core.ErrNoSupport {
+		t.Fatalf("code %d", ep.Code)
+	}
+}
+
+func TestDaemonRejectsWrongVersion(t *testing.T) {
+	_, tcpAddr, _ := startDaemon(t, daemon.ClientLimits{}, nil)
+	nc := dialRaw(t, tcpAddr)
+	defer nc.Close()
+	h := rpc.Header{Program: rpc.ProgramRemote, Version: 99,
+		Procedure: wire.ProcAuthList, Type: uint32(rpc.TypeCall), Serial: 1}
+	rh, _ := rawCall(t, nc, h, nil)
+	if rpc.Status(rh.Status) != rpc.StatusError {
+		t.Fatalf("status %d", rh.Status)
+	}
+}
+
+func TestDaemonRejectsCallWithoutConnectOpen(t *testing.T) {
+	_, tcpAddr, _ := startDaemon(t, daemon.ClientLimits{}, nil)
+	nc := dialRaw(t, tcpAddr)
+	defer nc.Close()
+	payload, _ := rpc.Marshal(&wire.NameArgs{Name: "test"})
+	h := rpc.Header{Program: rpc.ProgramRemote, Version: rpc.ProtocolVersion,
+		Procedure: wire.ProcDomainGetInfo, Type: uint32(rpc.TypeCall), Serial: 1}
+	rh, rp := rawCall(t, nc, h, payload)
+	if rpc.Status(rh.Status) != rpc.StatusError {
+		t.Fatalf("status %d", rh.Status)
+	}
+	var ep rpc.ErrorPayload
+	if err := rpc.Unmarshal(rp, &ep); err != nil {
+		t.Fatal(err)
+	}
+	if core.ErrorCode(ep.Code) != core.ErrNoConnect {
+		t.Fatalf("code %d (%s)", ep.Code, ep.Message)
+	}
+}
+
+func TestDaemonRejectsMalformedArgs(t *testing.T) {
+	_, tcpAddr, _ := startDaemon(t, daemon.ClientLimits{}, nil)
+	nc := dialRaw(t, tcpAddr)
+	defer nc.Close()
+	conn := rpc.NewConn(nc)
+	// Open the server-side connection properly first.
+	openArgs, _ := rpc.Marshal(&wire.ConnectOpenArgs{URI: "test:///default"})
+	if err := conn.WriteMessage(rpc.Header{
+		Program: rpc.ProgramRemote, Version: rpc.ProtocolVersion,
+		Procedure: wire.ProcConnectOpen, Type: uint32(rpc.TypeCall), Serial: 1,
+	}, openArgs); err != nil {
+		t.Fatal(err)
+	}
+	if rh, _, err := conn.ReadMessage(); err != nil || rpc.Status(rh.Status) != rpc.StatusOK {
+		t.Fatalf("open failed: %v %d", err, rh.Status)
+	}
+	// Now send truncated argument bytes for a lookup.
+	garbage := []byte{0, 0}
+	if err := conn.WriteMessage(rpc.Header{
+		Program: rpc.ProgramRemote, Version: rpc.ProtocolVersion,
+		Procedure: wire.ProcDomainLookupByName, Type: uint32(rpc.TypeCall), Serial: 2,
+	}, garbage); err != nil {
+		t.Fatal(err)
+	}
+	rh, rp, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpc.Status(rh.Status) != rpc.StatusError {
+		t.Fatalf("malformed args accepted: status %d", rh.Status)
+	}
+	var ep rpc.ErrorPayload
+	if err := rpc.Unmarshal(rp, &ep); err != nil {
+		t.Fatal(err)
+	}
+	if core.ErrorCode(ep.Code) != core.ErrInvalidArg {
+		t.Fatalf("code %d (%s)", ep.Code, ep.Message)
+	}
+	// Connection is still usable afterwards.
+	if err := conn.WriteMessage(rpc.Header{
+		Program: rpc.ProgramRemote, Version: rpc.ProtocolVersion,
+		Procedure: wire.ProcGetHostname, Type: uint32(rpc.TypeCall), Serial: 3,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rh, _, err := conn.ReadMessage(); err != nil || rpc.Status(rh.Status) != rpc.StatusOK {
+		t.Fatalf("connection unusable after arg error: %v %d", err, rh.Status)
+	}
+}
+
+func TestDaemonAnswersPings(t *testing.T) {
+	_, tcpAddr, _ := startDaemon(t, daemon.ClientLimits{}, nil)
+	nc := dialRaw(t, tcpAddr)
+	defer nc.Close()
+	conn := rpc.NewConn(nc)
+	if err := conn.WriteMessage(rpc.Header{
+		Program: rpc.ProgramRemote, Version: rpc.ProtocolVersion,
+		Type: uint32(rpc.TypePing), Serial: 42,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	rh, _, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpc.MsgType(rh.Type) != rpc.TypePong || rh.Serial != 42 {
+		t.Fatalf("reply %+v", rh)
+	}
+}
+
+func TestDaemonIgnoresStrayReplies(t *testing.T) {
+	// A client sending a Reply-typed message must not crash dispatch.
+	sock, tcpAddr, _ := startDaemon(t, daemon.ClientLimits{}, nil)
+	nc := dialRaw(t, tcpAddr)
+	defer nc.Close()
+	conn := rpc.NewConn(nc)
+	if err := conn.WriteMessage(rpc.Header{
+		Program: rpc.ProgramRemote, Version: rpc.ProtocolVersion,
+		Type: uint32(rpc.TypeReply), Serial: 1,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The daemon logs and ignores it; a real client still works.
+	c, err := core.Open(unixURI(sock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Hostname(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrameLengthEncoding pins the frame layout: 4-byte big-endian total
+// length including itself, then six 4-byte header words.
+func TestFrameLengthEncoding(t *testing.T) {
+	a, b := net.Pipe()
+	go func() {
+		rpc.NewConn(a).WriteMessage(rpc.Header{ //nolint:errcheck
+			Program: 7, Version: 1, Procedure: 2, Type: 0, Serial: 3, Status: 0,
+		}, []byte{0xAA})
+	}()
+	raw := make([]byte, 33)
+	if _, err := b.Read(raw); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint32(raw[0:]); got != 29 {
+		t.Fatalf("frame length %d, want 29", got)
+	}
+	if got := binary.BigEndian.Uint32(raw[4:]); got != 7 {
+		t.Fatalf("program %d", got)
+	}
+	if raw[28] != 0xAA {
+		t.Fatalf("payload byte %x", raw[28])
+	}
+}

@@ -1,0 +1,437 @@
+package daemon
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/rpc"
+)
+
+// Program dispatches the procedures of one protocol program.
+type Program interface {
+	// ID returns the program number.
+	ID() uint32
+	// Dispatch executes one procedure and returns the marshalled reply
+	// payload. Errors are transported to the client with their core code.
+	Dispatch(c *Client, proc uint32, payload []byte) ([]byte, error)
+	// IsPriority reports whether the procedure is guaranteed to finish
+	// without hypervisor involvement and may run on priority workers.
+	IsPriority(proc uint32) bool
+	// ClientClosed releases any per-client state the program holds.
+	ClientClosed(c *Client)
+}
+
+// ServiceConfig describes one listening socket of a server.
+type ServiceConfig struct {
+	Transport Transport
+	AuthSASL  bool // require SASL authentication before dispatch
+	ReadOnly  bool // mark clients read-only
+}
+
+// ClientLimits are the runtime-adjustable connection limits.
+type ClientLimits struct {
+	MaxClients       int
+	MaxUnauthClients int
+}
+
+// Server accepts client connections and dispatches their requests into
+// its workerpool. A daemon can host several servers (e.g. the management
+// server and the admin server) each with independent limits.
+type Server struct {
+	name string
+	log  *logging.Logger
+	pool *Workerpool
+
+	mu         sync.Mutex
+	clients    map[uint64]*Client
+	nextClient uint64
+	limits     ClientLimits
+	programs   map[uint32]Program
+	listeners  []net.Listener
+	closed     bool
+	rejected   uint64
+
+	wg sync.WaitGroup
+
+	// SASL credential store for services requiring authentication.
+	creds map[string]string
+}
+
+func newServer(name string, pool *Workerpool, limits ClientLimits, log *logging.Logger) *Server {
+	return &Server{
+		name:     name,
+		log:      log,
+		pool:     pool,
+		clients:  make(map[uint64]*Client),
+		limits:   limits,
+		programs: make(map[uint32]Program),
+		creds:    make(map[string]string),
+	}
+}
+
+// Name returns the server name.
+func (s *Server) Name() string { return s.name }
+
+// Pool exposes the server's workerpool (admin interface).
+func (s *Server) Pool() *Workerpool { return s.pool }
+
+// AddProgram registers a protocol program.
+func (s *Server) AddProgram(p Program) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.programs[p.ID()] = p
+}
+
+// SetCredentials installs the SASL user database for authenticating
+// services.
+func (s *Server) SetCredentials(creds map[string]string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.creds = make(map[string]string, len(creds))
+	for k, v := range creds {
+		s.creds[k] = v
+	}
+}
+
+// Limits returns the current client limits and counts.
+func (s *Server) Limits() (limits ClientLimits, current, currentUnauth int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.clients {
+		if !c.Authenticated() {
+			currentUnauth++
+		}
+	}
+	return s.limits, len(s.clients), currentUnauth
+}
+
+// SetLimits adjusts the client limits at runtime. Existing connections
+// are never cut by a lowered limit; only new connections see it.
+func (s *Server) SetLimits(l ClientLimits) error {
+	if l.MaxClients < 1 {
+		return core.Errorf(core.ErrInvalidArg, "max clients must be >= 1")
+	}
+	if l.MaxUnauthClients < 0 || l.MaxUnauthClients > l.MaxClients {
+		return core.Errorf(core.ErrInvalidArg,
+			"max unauthenticated clients must be within [0, max clients]")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limits = l
+	return nil
+}
+
+// RejectedCount returns how many connections were refused over limits.
+func (s *Server) RejectedCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejected
+}
+
+// Clients returns the connected clients sorted by id.
+func (s *Server) Clients() []*Client {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Client, 0, len(s.clients))
+	for _, c := range s.clients {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Client looks up a connected client by id.
+func (s *Server) Client(id uint64) (*Client, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.clients[id]
+	return c, ok
+}
+
+// Listen starts accepting connections on the listener with the given
+// service configuration. It returns immediately.
+func (s *Server) Listen(l net.Listener, cfg ServiceConfig) {
+	s.mu.Lock()
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.accept(nc, cfg)
+		}
+	}()
+}
+
+// ListenUnix starts a unix-socket service at path.
+func (s *Server) ListenUnix(path string, cfg ServiceConfig) error {
+	l, err := net.Listen("unix", path)
+	if err != nil {
+		return fmt.Errorf("daemon: listen unix %s: %w", path, err)
+	}
+	cfg.Transport = TransportUnix
+	s.Listen(l, cfg)
+	return nil
+}
+
+// ListenTCP starts a TCP service at addr and returns the bound address
+// (useful with ":0").
+func (s *Server) ListenTCP(addr string, cfg ServiceConfig) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("daemon: listen tcp %s: %w", addr, err)
+	}
+	if cfg.Transport == TransportUnix {
+		cfg.Transport = TransportTCP
+	}
+	s.Listen(l, cfg)
+	return l.Addr().String(), nil
+}
+
+// accept admits or rejects a new connection under the client limits.
+func (s *Server) accept(nc net.Conn, cfg ServiceConfig) {
+	identity := identityFor(nc, cfg.Transport)
+	identity.ReadOnly = cfg.ReadOnly
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	unauth := 0
+	for _, c := range s.clients {
+		if !c.Authenticated() {
+			unauth++
+		}
+	}
+	if len(s.clients) >= s.limits.MaxClients ||
+		(cfg.AuthSASL && s.limits.MaxUnauthClients > 0 && unauth >= s.limits.MaxUnauthClients) {
+		s.rejected++
+		s.mu.Unlock()
+		s.log.Warnf("daemon.server", "server %s: connection limit reached, rejecting %v",
+			s.name, nc.RemoteAddr())
+		nc.Close()
+		return
+	}
+	s.nextClient++
+	client := &Client{
+		id:        s.nextClient,
+		server:    s,
+		conn:      rpc.NewConn(nc),
+		identity:  identity,
+		connected: time.Now(),
+	}
+	client.authenticated = !cfg.AuthSASL
+	s.clients[client.id] = client
+	s.mu.Unlock()
+	s.log.Infof("daemon.server", "server %s: client %d connected via %s",
+		s.name, client.id, identity.Transport)
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.serveClient(client)
+	}()
+}
+
+// serveClient reads requests until the connection drops, dispatching
+// each into the workerpool.
+func (s *Server) serveClient(c *Client) {
+	for {
+		h, payload, err := c.conn.ReadMessage()
+		if err != nil {
+			s.removeClient(c)
+			return
+		}
+		if rpc.MsgType(h.Type) == rpc.TypePing {
+			pong := h
+			pong.Type = uint32(rpc.TypePong)
+			if err := c.Send(pong, nil); err != nil {
+				s.log.Warnf("daemon.server", "client %d: send pong: %v", c.id, err)
+			}
+			continue
+		}
+		if rpc.MsgType(h.Type) != rpc.TypeCall {
+			s.log.Warnf("daemon.server", "client %d sent non-call message type %d", c.id, h.Type)
+			continue
+		}
+		s.mu.Lock()
+		prog, ok := s.programs[h.Program]
+		s.mu.Unlock()
+		if !ok {
+			s.replyError(c, h, core.Errorf(core.ErrNoSupport, "unknown program 0x%x", h.Program))
+			continue
+		}
+		if h.Version != rpc.ProtocolVersion {
+			s.replyError(c, h, core.Errorf(core.ErrNoSupport, "unsupported protocol version %d", h.Version))
+			continue
+		}
+		if !c.Authenticated() && !isAuthProc(h.Procedure) {
+			s.replyError(c, h, core.Errorf(core.ErrAuthFailed, "authentication required"))
+			continue
+		}
+		hdr := h
+		body := payload
+		job := func() {
+			reply, err := prog.Dispatch(c, hdr.Procedure, body)
+			if err != nil {
+				s.replyError(c, hdr, err)
+				return
+			}
+			out := hdr
+			out.Type = uint32(rpc.TypeReply)
+			out.Status = uint32(rpc.StatusOK)
+			if err := c.Send(out, reply); err != nil {
+				s.log.Warnf("daemon.server", "client %d: send reply: %v", c.id, err)
+			}
+		}
+		if err := s.pool.Submit(job, prog.IsPriority(hdr.Procedure)); err != nil {
+			s.replyError(c, h, core.Errorf(core.ErrInternal, "workerpool: %v", err))
+		}
+	}
+}
+
+func (s *Server) replyError(c *Client, h rpc.Header, err error) {
+	out := h
+	out.Type = uint32(rpc.TypeReply)
+	out.Status = uint32(rpc.StatusError)
+	payload, merr := rpc.Marshal(&rpc.ErrorPayload{
+		Code:    uint32(core.CodeOf(err)),
+		Message: err.Error(),
+	})
+	if merr != nil {
+		s.log.Errorf("daemon.server", "marshal error payload: %v", merr)
+		return
+	}
+	if serr := c.Send(out, payload); serr != nil {
+		s.log.Warnf("daemon.server", "client %d: send error reply: %v", c.id, serr)
+	}
+}
+
+func (s *Server) removeClient(c *Client) {
+	c.Close() //nolint:errcheck
+	s.mu.Lock()
+	_, present := s.clients[c.id]
+	delete(s.clients, c.id)
+	programs := make([]Program, 0, len(s.programs))
+	for _, p := range s.programs {
+		programs = append(programs, p)
+	}
+	s.mu.Unlock()
+	if !present {
+		return
+	}
+	for _, p := range programs {
+		p.ClientClosed(c)
+	}
+	s.log.Infof("daemon.server", "server %s: client %d disconnected", s.name, c.id)
+}
+
+// Shutdown closes listeners and all client connections and stops the
+// workerpool.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	listeners := s.listeners
+	clients := make([]*Client, 0, len(s.clients))
+	for _, c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, c := range clients {
+		c.Close() //nolint:errcheck
+	}
+	s.wg.Wait()
+	s.pool.Shutdown()
+}
+
+// Daemon hosts one or more servers plus the shared logging subsystem.
+type Daemon struct {
+	log *logging.Logger
+
+	mu      sync.Mutex
+	servers map[string]*Server
+	order   []string
+}
+
+// New creates an empty daemon around the given logger.
+func New(log *logging.Logger) *Daemon {
+	if log == nil {
+		log = logging.NewQuiet(logging.Error)
+	}
+	return &Daemon{log: log, servers: make(map[string]*Server)}
+}
+
+// Log exposes the daemon's logging subsystem (admin interface).
+func (d *Daemon) Log() *logging.Logger { return d.log }
+
+// AddServer creates a named server with its own workerpool and limits.
+func (d *Daemon) AddServer(name string, min, max, prio int, limits ClientLimits) (*Server, error) {
+	if name == "" {
+		return nil, core.Errorf(core.ErrInvalidArg, "server needs a name")
+	}
+	pool, err := NewWorkerpool(min, max, prio)
+	if err != nil {
+		return nil, core.Errorf(core.ErrInvalidArg, "%v", err)
+	}
+	if limits.MaxClients == 0 {
+		limits.MaxClients = 120
+	}
+	s := newServer(name, pool, limits, d.log)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.servers[name]; dup {
+		pool.Shutdown()
+		return nil, core.Errorf(core.ErrDuplicate, "server %q already exists", name)
+	}
+	d.servers[name] = s
+	d.order = append(d.order, name)
+	return s, nil
+}
+
+// Server looks up a server by name.
+func (d *Daemon) Server(name string) (*Server, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.servers[name]
+	return s, ok
+}
+
+// Servers returns the server names in creation order.
+func (d *Daemon) Servers() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// Shutdown stops every server.
+func (d *Daemon) Shutdown() {
+	d.mu.Lock()
+	servers := make([]*Server, 0, len(d.servers))
+	for _, s := range d.servers {
+		servers = append(servers, s)
+	}
+	d.mu.Unlock()
+	for _, s := range servers {
+		s.Shutdown()
+	}
+}

@@ -1,0 +1,72 @@
+package daemon_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+)
+
+// TestSnapshotAndManagedSaveOverWire exercises the snapshot and managed
+// save procedures end-to-end through the daemon.
+func TestSnapshotAndManagedSaveOverWire(t *testing.T) {
+	sock, _, _ := startDaemon(t, daemon.ClientLimits{}, nil)
+	conn, err := core.Open(unixURI(sock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	dom, err := conn.LookupDomain("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := dom.CreateSnapshot(`<domainsnapshot><name>wired</name><description>over rpc</description></domainsnapshot>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "wired" {
+		t.Fatalf("snapshot name %q", name)
+	}
+	snaps, err := dom.ListSnapshots()
+	if err != nil || len(snaps) != 1 || snaps[0] != "wired" {
+		t.Fatalf("snapshots %v %v", snaps, err)
+	}
+	xml, err := dom.SnapshotXML("wired")
+	if err != nil || !strings.Contains(xml, "over rpc") {
+		t.Fatalf("xml %v:\n%s", err, xml)
+	}
+	if err := dom.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dom.RevertSnapshot("wired"); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := dom.State(); st != core.DomainRunning {
+		t.Fatalf("state after revert %v", st)
+	}
+	if err := dom.DeleteSnapshot("wired"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dom.RevertSnapshot("wired"); !core.IsCode(err, core.ErrInvalidArg) {
+		t.Fatalf("revert deleted snapshot: %v", err)
+	}
+
+	// Managed save round trip over the wire.
+	if err := dom.ManagedSave(); err != nil {
+		t.Fatal(err)
+	}
+	if has, err := dom.HasManagedSave(); err != nil || !has {
+		t.Fatalf("HasManagedSave %v %v", has, err)
+	}
+	if err := dom.Create(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := dom.State(); st != core.DomainRunning {
+		t.Fatalf("state after restore %v", st)
+	}
+	if has, _ := dom.HasManagedSave(); has {
+		t.Fatal("image survived restore")
+	}
+}

@@ -1,0 +1,238 @@
+// Package daemon implements the management daemon: servers accepting
+// client connections over stream transports, per-server workerpools
+// executing decoded requests, the dispatch machinery routing procedures
+// to protocol programs, and runtime-adjustable limits — the component
+// that makes remote, non-intrusive management possible for hypervisors
+// without their own remote interface.
+package daemon
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Job is one unit of work for a workerpool.
+type Job func()
+
+// PoolParams are the tunable attributes of a workerpool. NWorkers,
+// FreeWorkers and JobQueueDepth are read-only.
+type PoolParams struct {
+	MinWorkers    int
+	MaxWorkers    int
+	PrioWorkers   int
+	NWorkers      int
+	FreeWorkers   int
+	JobQueueDepth int
+}
+
+// Workerpool executes jobs on a dynamically sized set of ordinary
+// workers plus a constant set of priority workers. Ordinary workers take
+// any job; priority workers only take priority jobs, guaranteeing that
+// critical operations (which never depend on a hypervisor answering)
+// always find a worker even when every ordinary worker is wedged.
+type Workerpool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	queue     []Job // ordinary jobs
+	prioQueue []Job // priority jobs
+
+	minWorkers  int
+	maxWorkers  int
+	prioTarget  int
+	nWorkers    int // live ordinary workers
+	nPrio       int // live priority workers
+	busy        int // ordinary workers running a job
+	prioBusy    int
+	quitting    bool
+	jobsDone    uint64
+	prioDone    uint64
+	spawnsTotal uint64
+}
+
+// NewWorkerpool creates and starts a pool. min workers are spawned
+// immediately; the pool grows on demand up to max.
+func NewWorkerpool(min, max, prio int) (*Workerpool, error) {
+	if min < 0 || prio < 0 {
+		return nil, fmt.Errorf("daemon: workerpool limits must be non-negative")
+	}
+	if max < 1 {
+		return nil, fmt.Errorf("daemon: workerpool needs at least one ordinary worker")
+	}
+	if min > max {
+		return nil, fmt.Errorf("daemon: minWorkers %d exceeds maxWorkers %d", min, max)
+	}
+	p := &Workerpool{minWorkers: min, maxWorkers: max, prioTarget: prio}
+	p.cond = sync.NewCond(&p.mu)
+	p.mu.Lock()
+	for i := 0; i < min; i++ {
+		p.spawnOrdinaryLocked()
+	}
+	for i := 0; i < prio; i++ {
+		p.spawnPriorityLocked()
+	}
+	p.mu.Unlock()
+	return p, nil
+}
+
+func (p *Workerpool) spawnOrdinaryLocked() {
+	p.nWorkers++
+	p.spawnsTotal++
+	go p.ordinaryWorker()
+}
+
+func (p *Workerpool) spawnPriorityLocked() {
+	p.nPrio++
+	p.spawnsTotal++
+	go p.priorityWorker()
+}
+
+// quitHelperLocked reports whether an ordinary worker should terminate:
+// the pool is shutting down, or the live count exceeds the (possibly
+// lowered) maximum and we are above the minimum.
+func (p *Workerpool) quitHelperLocked() bool {
+	if p.quitting {
+		return true
+	}
+	return p.nWorkers > p.maxWorkers && p.nWorkers > p.minWorkers
+}
+
+func (p *Workerpool) ordinaryWorker() {
+	p.mu.Lock()
+	for {
+		if p.quitHelperLocked() {
+			p.nWorkers--
+			p.mu.Unlock()
+			return
+		}
+		var job Job
+		switch {
+		case len(p.prioQueue) > 0:
+			job = p.prioQueue[0]
+			p.prioQueue = p.prioQueue[1:]
+		case len(p.queue) > 0:
+			job = p.queue[0]
+			p.queue = p.queue[1:]
+		default:
+			p.cond.Wait()
+			continue
+		}
+		p.busy++
+		p.mu.Unlock()
+		job()
+		p.mu.Lock()
+		p.busy--
+		p.jobsDone++
+	}
+}
+
+func (p *Workerpool) priorityWorker() {
+	p.mu.Lock()
+	for {
+		if p.quitting || p.nPrio > p.prioTarget {
+			p.nPrio--
+			p.mu.Unlock()
+			return
+		}
+		if len(p.prioQueue) == 0 {
+			p.cond.Wait()
+			continue
+		}
+		job := p.prioQueue[0]
+		p.prioQueue = p.prioQueue[1:]
+		p.prioBusy++
+		p.mu.Unlock()
+		job()
+		p.mu.Lock()
+		p.prioBusy--
+		p.prioDone++
+	}
+}
+
+// Submit enqueues a job. Priority jobs may be taken by priority workers;
+// ordinary jobs only by ordinary workers. The pool grows by one ordinary
+// worker when a job arrives, every ordinary worker is occupied, and the
+// maximum has not been reached.
+func (p *Workerpool) Submit(job Job, priority bool) error {
+	if job == nil {
+		return fmt.Errorf("daemon: nil job")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.quitting {
+		return fmt.Errorf("daemon: workerpool is shut down")
+	}
+	if priority {
+		p.prioQueue = append(p.prioQueue, job)
+	} else {
+		p.queue = append(p.queue, job)
+	}
+	freeOrdinary := p.nWorkers - p.busy
+	if freeOrdinary <= len(p.queue)+len(p.prioQueue)-1 && p.nWorkers < p.maxWorkers {
+		p.spawnOrdinaryLocked()
+	}
+	p.cond.Broadcast()
+	return nil
+}
+
+// Params returns a snapshot of the pool's attributes.
+func (p *Workerpool) Params() PoolParams {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolParams{
+		MinWorkers:    p.minWorkers,
+		MaxWorkers:    p.maxWorkers,
+		PrioWorkers:   p.prioTarget,
+		NWorkers:      p.nWorkers,
+		FreeWorkers:   p.nWorkers - p.busy,
+		JobQueueDepth: len(p.queue) + len(p.prioQueue),
+	}
+}
+
+// SetParams adjusts the tunable attributes. Lowering MaxWorkers makes
+// surplus idle workers exit as they re-check the limits; busy workers
+// finish their job first. PrioWorkers adjusts the constant priority set
+// in either direction.
+func (p *Workerpool) SetParams(min, max, prio int) error {
+	if min < 0 || prio < 0 {
+		return fmt.Errorf("daemon: workerpool limits must be non-negative")
+	}
+	if max < 1 {
+		return fmt.Errorf("daemon: workerpool needs at least one ordinary worker")
+	}
+	if min > max {
+		return fmt.Errorf("daemon: minWorkers %d exceeds maxWorkers %d", min, max)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.quitting {
+		return fmt.Errorf("daemon: workerpool is shut down")
+	}
+	p.minWorkers, p.maxWorkers = min, max
+	for p.nWorkers < p.minWorkers {
+		p.spawnOrdinaryLocked()
+	}
+	for p.nPrio < prio {
+		p.spawnPriorityLocked()
+	}
+	p.prioTarget = prio
+	p.cond.Broadcast()
+	return nil
+}
+
+// Stats reports lifetime counters: jobs completed by ordinary and
+// priority workers and total workers ever spawned.
+func (p *Workerpool) Stats() (ordinaryDone, priorityDone, spawns uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.jobsDone, p.prioDone, p.spawnsTotal
+}
+
+// Shutdown stops accepting jobs and makes all workers exit; queued jobs
+// are dropped. It does not wait for running jobs to finish.
+func (p *Workerpool) Shutdown() {
+	p.mu.Lock()
+	p.quitting = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

@@ -1,0 +1,262 @@
+package daemon
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// waitFor polls cond every millisecond until it holds or the deadline
+// passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestNewWorkerpoolValidation(t *testing.T) {
+	bad := [][3]int{{-1, 5, 0}, {0, 0, 0}, {6, 5, 0}, {0, 5, -1}}
+	for _, c := range bad {
+		if _, err := NewWorkerpool(c[0], c[1], c[2]); err == nil {
+			t.Errorf("NewWorkerpool(%v) accepted", c)
+		}
+	}
+	p, err := NewWorkerpool(2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	params := p.Params()
+	if params.MinWorkers != 2 || params.MaxWorkers != 4 || params.PrioWorkers != 1 || params.NWorkers != 2 {
+		t.Fatalf("%+v", params)
+	}
+}
+
+func TestJobsExecute(t *testing.T) {
+	p, err := NewWorkerpool(1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	var done atomic.Int64
+	for i := 0; i < 100; i++ {
+		if err := p.Submit(func() { done.Add(1) }, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "100 jobs", func() bool { return done.Load() == 100 })
+	if p.Params().JobQueueDepth != 0 {
+		t.Fatalf("queue not drained: %+v", p.Params())
+	}
+}
+
+func TestPoolGrowsOnDemandUpToMax(t *testing.T) {
+	p, err := NewWorkerpool(1, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	block := make(chan struct{})
+	var running atomic.Int64
+	for i := 0; i < 6; i++ {
+		p.Submit(func() { //nolint:errcheck
+			running.Add(1)
+			<-block
+		}, false)
+	}
+	// Three workers max, so exactly three jobs run concurrently.
+	waitFor(t, "3 concurrent jobs", func() bool { return running.Load() == 3 })
+	time.Sleep(10 * time.Millisecond)
+	if running.Load() != 3 {
+		t.Fatalf("running %d with max 3", running.Load())
+	}
+	params := p.Params()
+	if params.NWorkers != 3 || params.JobQueueDepth != 3 {
+		t.Fatalf("%+v", params)
+	}
+	close(block)
+	waitFor(t, "all jobs", func() bool { return running.Load() == 6 })
+}
+
+func TestPriorityWorkersSurviveBusyOrdinaries(t *testing.T) {
+	p, err := NewWorkerpool(1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	// Wedge every ordinary worker (simulating hung hypervisor calls).
+	block := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		p.Submit(func() { <-block }, false) //nolint:errcheck
+	}
+	waitFor(t, "ordinary workers busy", func() bool { return p.Params().FreeWorkers == 0 })
+	// A priority job must still run.
+	ran := make(chan struct{})
+	p.Submit(func() { close(ran) }, true) //nolint:errcheck
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("priority job starved by wedged ordinary workers")
+	}
+	// An ordinary job queued now must NOT run (priority workers skip it).
+	var ordinaryRan atomic.Bool
+	p.Submit(func() { ordinaryRan.Store(true) }, false) //nolint:errcheck
+	time.Sleep(20 * time.Millisecond)
+	if ordinaryRan.Load() {
+		t.Fatal("priority worker executed an ordinary job")
+	}
+	close(block)
+	waitFor(t, "ordinary job after unblock", func() bool { return ordinaryRan.Load() })
+}
+
+func TestSetParamsGrowAndShrink(t *testing.T) {
+	p, err := NewWorkerpool(2, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	// Grow the minimum: workers spawn immediately.
+	if err := p.SetParams(4, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "grow to min 4", func() bool { return p.Params().NWorkers >= 4 })
+	// Shrink the maximum below the live count: idle workers exit.
+	if err := p.SetParams(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "shrink to max 2", func() bool { return p.Params().NWorkers <= 2 })
+	// Grow priority workers.
+	if err := p.SetParams(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "prio grow", func() bool {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.nPrio == 3
+	})
+	// Shrink priority workers.
+	if err := p.SetParams(1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "prio shrink", func() bool {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.nPrio == 0
+	})
+	// Invalid updates are rejected and change nothing.
+	if err := p.SetParams(5, 2, 0); err == nil {
+		t.Fatal("min>max accepted")
+	}
+	if err := p.SetParams(0, 0, 0); err == nil {
+		t.Fatal("max=0 accepted")
+	}
+	params := p.Params()
+	if params.MinWorkers != 1 || params.MaxWorkers != 2 {
+		t.Fatalf("failed SetParams mutated state: %+v", params)
+	}
+}
+
+func TestShutdown(t *testing.T) {
+	p, err := NewWorkerpool(2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Shutdown()
+	if err := p.Submit(func() {}, false); err == nil {
+		t.Fatal("submit after shutdown accepted")
+	}
+	if err := p.SetParams(1, 2, 0); err == nil {
+		t.Fatal("SetParams after shutdown accepted")
+	}
+	waitFor(t, "workers exit", func() bool {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.nWorkers == 0 && p.nPrio == 0
+	})
+}
+
+func TestSubmitNil(t *testing.T) {
+	p, _ := NewWorkerpool(1, 2, 0)
+	defer p.Shutdown()
+	if err := p.Submit(nil, false); err == nil {
+		t.Fatal("nil job accepted")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	p, _ := NewWorkerpool(1, 2, 1)
+	defer p.Shutdown()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	p.Submit(func() { wg.Done() }, false) //nolint:errcheck
+	p.Submit(func() { wg.Done() }, true)  //nolint:errcheck
+	wg.Wait()
+	waitFor(t, "counters", func() bool {
+		o, pr, _ := p.Stats()
+		return o+pr == 2
+	})
+	_, _, spawns := p.Stats()
+	if spawns < 2 {
+		t.Fatalf("spawns %d", spawns)
+	}
+}
+
+func TestQuickPoolInvariants(t *testing.T) {
+	// Property: after any sequence of SetParams and Submit, the live
+	// worker count converges within [min, max] and every job completes.
+	f := func(ops []uint8) bool {
+		p, err := NewWorkerpool(1, 4, 1)
+		if err != nil {
+			return false
+		}
+		defer p.Shutdown()
+		var done atomic.Int64
+		var submitted int64
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1:
+				p.Submit(func() { done.Add(1) }, op%2 == 0) //nolint:errcheck
+				submitted++
+			case 2:
+				min := int(op%3) + 1
+				max := min + int(op%5)
+				if p.SetParams(min, max, int(op%3)) != nil {
+					return false
+				}
+			case 3:
+				params := p.Params()
+				if params.MinWorkers > params.MaxWorkers {
+					return false
+				}
+			}
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for done.Load() != submitted && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if done.Load() != submitted {
+			return false
+		}
+		// Worker count converges within limits.
+		deadline = time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			params := p.Params()
+			if params.NWorkers >= params.MinWorkers && params.NWorkers <= params.MaxWorkers {
+				return true
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package drivers_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/uri"
+)
+
+func openConnect(t *testing.T, name string) *core.Connect {
+	t.Helper()
+	return core.OpenWith(&uri.URI{Driver: name}, openers[name](t))
+}
+
+func TestCloneDomain(t *testing.T) {
+	conn := openConnect(t, "qsim")
+	src, err := conn.DefineDomain(`
+<domain type='qsim'>
+  <name>orig</name>
+  <title>Original guest</title>
+  <memory unit='MiB'>512</memory>
+  <vcpu>2</vcpu>
+  <os><type arch='x86_64'>hvm</type></os>
+  <devices>
+    <disk type='file' device='disk'>
+      <source file='/images/orig.qcow2'/>
+      <target dev='vda' bus='virtio'/>
+    </disk>
+    <interface type='user'>
+      <mac address='52:54:00:11:11:11'/>
+    </interface>
+  </devices>
+</domain>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := core.CloneDomain(conn, "orig", "copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Name() != "copy" || clone.UUID() == src.UUID() {
+		t.Fatalf("clone identity: %s %s", clone.Name(), clone.UUID())
+	}
+	xml, err := clone.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(xml, "52:54:00:11:11:11") {
+		t.Fatal("clone kept the source MAC")
+	}
+	if !strings.Contains(xml, "/images/orig.qcow2.copy") {
+		t.Fatalf("clone disk not re-pathed:\n%s", xml)
+	}
+	if !strings.Contains(xml, "Original guest (clone)") {
+		t.Fatalf("clone title not marked:\n%s", xml)
+	}
+	// Cloning onto an existing (inactive) name fails: the clone's fresh
+	// UUID can never match the existing definition.
+	if _, err := core.CloneDomain(conn, "orig", "copy"); !core.IsCode(err, core.ErrDuplicate) {
+		t.Fatalf("duplicate clone: %v", err)
+	}
+	// Both run side by side.
+	if err := src.Create(); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.Create(); err != nil {
+		t.Fatal(err)
+	}
+	doms, _ := conn.ListAllDomains(core.ListActive)
+	if len(doms) != 2 {
+		t.Fatalf("active domains: %d", len(doms))
+	}
+	// Deterministic MAC per clone identity: two clones get distinct MACs.
+	clone2, err := core.CloneDomain(conn, "orig", "copy2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml2, _ := clone2.XML()
+	macLine := func(s string) string {
+		for _, l := range strings.Split(s, "\n") {
+			if strings.Contains(l, "mac address") {
+				return l
+			}
+		}
+		return ""
+	}
+	if macLine(xml) == macLine(xml2) {
+		t.Fatal("two clones share a MAC")
+	}
+}
+
+func TestCloneDomainErrors(t *testing.T) {
+	conn := openConnect(t, "xsim")
+	if _, err := core.CloneDomain(conn, "ghost", "x"); !core.IsCode(err, core.ErrNoDomain) {
+		t.Fatalf("missing source: %v", err)
+	}
+	if _, err := core.CloneDomain(conn, "a", "a"); !core.IsCode(err, core.ErrInvalidArg) {
+		t.Fatalf("same name: %v", err)
+	}
+	if _, err := core.CloneDomain(conn, "a", ""); !core.IsCode(err, core.ErrInvalidArg) {
+		t.Fatalf("empty name: %v", err)
+	}
+}
+
+func TestCloneVolume(t *testing.T) {
+	conn := openConnect(t, "qsim")
+	poolXML := `<pool type='dir'><name>p</name><capacity unit='GiB'>50</capacity><target><path>/var/lib/p</path></target></pool>`
+	if err := conn.DefineStoragePool(poolXML); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.StartStoragePool("p"); err != nil {
+		t.Fatal(err)
+	}
+	volXML := `<volume><name>base.qcow2</name><capacity unit='GiB'>10</capacity><target><format type='qcow2'/></target></volume>`
+	if err := conn.CreateVolume("p", volXML); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.CloneVolume(conn, "p", "base.qcow2", "copy.qcow2"); err != nil {
+		t.Fatal(err)
+	}
+	vols, _ := conn.ListVolumes("p")
+	if len(vols) != 2 {
+		t.Fatalf("volumes %v", vols)
+	}
+	xml, err := conn.VolumeXML("p", "copy.qcow2")
+	if err != nil || !strings.Contains(xml, `type="qcow2"`) || !strings.Contains(xml, "/var/lib/p/copy.qcow2") {
+		t.Fatalf("clone volume xml: %v\n%s", err, xml)
+	}
+	// Capacity accounting includes both.
+	info, _ := conn.StoragePoolInfo("p")
+	if info.AllocationKiB != 2*10*1024*1024 {
+		t.Fatalf("allocation %d", info.AllocationKiB)
+	}
+	if err := core.CloneVolume(conn, "p", "base.qcow2", "base.qcow2"); !core.IsCode(err, core.ErrInvalidArg) {
+		t.Fatalf("same name: %v", err)
+	}
+	if err := core.CloneVolume(conn, "p", "ghost", "x"); err == nil {
+		t.Fatal("missing source accepted")
+	}
+}

@@ -1,0 +1,690 @@
+// Package common implements the shared skeleton of every local
+// hypervisor driver: the persistent domain-definition registry, XML
+// handling, lifecycle event emission, virtual network attachment, and the
+// storage/network facade. Each concrete driver supplies only the Hooks
+// that translate lifecycle operations into its hypervisor's native API
+// (qsim's JSON monitor, xsim's hypercalls, csim's engine calls) — the
+// same division of labour as the driver architecture this reproduces.
+package common
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/hyper"
+	"repro/internal/logging"
+	"repro/internal/nodeinfo"
+	"repro/internal/storage"
+	"repro/internal/uuid"
+	"repro/internal/vnet"
+	"repro/internal/xmlspec"
+)
+
+// Hooks is what a concrete driver implements against its native API.
+type Hooks interface {
+	// Type returns the driver name, which must match the domain type
+	// attribute of definitions it accepts.
+	Type() string
+	// Version returns the hypervisor version banner.
+	Version() (string, error)
+	// GuestOSType returns the os type advertised in capabilities
+	// ("hvm" for machine virtualization, "exe" for containers).
+	GuestOSType() string
+	// Start boots the validated definition on the native hypervisor.
+	Start(def *xmlspec.Domain) error
+	// Stop stops the named guest (gracefully if graceful) and reaps the
+	// native object; after a successful Stop the guest is gone natively.
+	Stop(name string, graceful bool) error
+	// Reboot restarts the running guest.
+	Reboot(name string) error
+	// Suspend pauses the running guest.
+	Suspend(name string) error
+	// Resume unpauses the suspended guest.
+	Resume(name string) error
+	// Info returns live info for an active guest.
+	Info(name string) (core.DomainInfo, error)
+	// Stats returns the extended snapshot for an active guest.
+	Stats(name string) (core.DomainStats, error)
+	// SetMemory balloons the active guest.
+	SetMemory(name string, kib uint64) error
+	// SetVCPUs adjusts the active guest's vCPUs.
+	SetVCPUs(name string, n int) error
+	// ID returns the native runtime id of an active guest, -1 if unknown.
+	ID(name string) int
+	// Machine exposes the substrate machine of an active guest.
+	Machine(name string) (*hyper.Machine, error)
+}
+
+// Options selects which subsystems the driver exposes.
+type Options struct {
+	Node     *nodeinfo.Node
+	Networks bool
+	Storage  bool
+	Log      *logging.Logger
+}
+
+// record is the per-domain registry entry.
+type record struct {
+	def         *xmlspec.Domain
+	uuidStr     string
+	active      bool
+	leases      []attachedNIC
+	snapshots   []*snapshotRec
+	managedSave *savedImage
+	sawCrash    bool // crash event already emitted for this run
+}
+
+type attachedNIC struct {
+	network string
+	mac     string
+}
+
+// Base implements core.DriverConn on top of Hooks.
+type Base struct {
+	mu    sync.Mutex
+	hooks Hooks
+	node  *nodeinfo.Node
+	log   *logging.Logger
+	bus   *events.Bus
+	defs  map[string]*record
+	nets  *vnet.Manager
+	pools *storage.Manager
+}
+
+var (
+	_ core.DriverConn     = (*Base)(nil)
+	_ core.EventSource    = (*Base)(nil)
+	_ core.MachineAccess  = (*Base)(nil)
+	_ core.NetworkSupport = (*Base)(nil)
+	_ core.StorageSupport = (*Base)(nil)
+)
+
+// New builds a driver base around the given hooks.
+func New(hooks Hooks, opts Options) *Base {
+	b := &Base{
+		hooks: hooks,
+		node:  opts.Node,
+		log:   opts.Log,
+		bus:   events.NewBus(),
+		defs:  make(map[string]*record),
+	}
+	if b.log == nil {
+		b.log = logging.NewQuiet(logging.Error)
+	}
+	if opts.Networks {
+		b.nets = vnet.NewManager()
+	}
+	if opts.Storage {
+		b.pools = storage.NewManager()
+	}
+	return b
+}
+
+// module returns the logging module name for this driver.
+func (b *Base) module() string { return "driver." + b.hooks.Type() }
+
+// EventBus implements core.EventSource.
+func (b *Base) EventBus() *events.Bus { return b.bus }
+
+// Close implements core.DriverConn. Definitions and running guests are
+// daemon-side state and survive connection close.
+func (b *Base) Close() error { return nil }
+
+// Type implements core.DriverConn.
+func (b *Base) Type() string { return b.hooks.Type() }
+
+// Version implements core.DriverConn.
+func (b *Base) Version() (string, error) { return b.hooks.Version() }
+
+// Hostname implements core.DriverConn.
+func (b *Base) Hostname() (string, error) { return b.node.Hostname, nil }
+
+// CapabilitiesXML implements core.DriverConn.
+func (b *Base) CapabilitiesXML() (string, error) {
+	caps := b.node.Capabilities(map[string]string{b.hooks.Type(): b.hooks.GuestOSType()})
+	out, err := caps.Marshal()
+	if err != nil {
+		return "", core.Errorf(core.ErrInternal, "capabilities: %v", err)
+	}
+	return string(out), nil
+}
+
+// NodeInfo implements core.DriverConn.
+func (b *Base) NodeInfo() (core.NodeInfo, error) {
+	i := b.node.Info()
+	return core.NodeInfo{
+		Model: i.Model, MemoryKiB: i.MemoryKiB, CPUs: i.CPUs, MHz: i.MHz,
+		NUMANodes: i.NUMANodes, Sockets: i.Sockets, Cores: i.Cores, Threads: i.Threads,
+	}, nil
+}
+
+// ListDomains implements core.DriverConn.
+func (b *Base) ListDomains(flags core.ListFlags) ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if flags == 0 {
+		flags = core.ListActive | core.ListInactive
+	}
+	out := make([]string, 0, len(b.defs))
+	for name, r := range b.defs {
+		if r.active && flags&core.ListActive == 0 {
+			continue
+		}
+		if !r.active && flags&core.ListInactive == 0 {
+			continue
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// LookupDomain implements core.DriverConn.
+func (b *Base) LookupDomain(name string) (core.DomainMeta, error) {
+	b.mu.Lock()
+	r, ok := b.defs[name]
+	b.mu.Unlock()
+	if !ok {
+		return core.DomainMeta{}, core.Errorf(core.ErrNoDomain, "no domain %q", name)
+	}
+	return b.meta(name, r), nil
+}
+
+func (b *Base) meta(name string, r *record) core.DomainMeta {
+	id := -1
+	if r.active {
+		id = b.hooks.ID(name)
+	}
+	return core.DomainMeta{Name: name, UUID: r.uuidStr, ID: id}
+}
+
+// LookupDomainByUUID implements core.DriverConn.
+func (b *Base) LookupDomainByUUID(uuidStr string) (core.DomainMeta, error) {
+	want, err := uuid.Parse(uuidStr)
+	if err != nil {
+		return core.DomainMeta{}, core.Errorf(core.ErrInvalidArg, "bad UUID %q: %v", uuidStr, err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for name, r := range b.defs {
+		got, err := uuid.Parse(r.uuidStr)
+		if err == nil && got == want {
+			return b.meta(name, r), nil
+		}
+	}
+	return core.DomainMeta{}, core.Errorf(core.ErrNoDomain, "no domain with UUID %s", uuidStr)
+}
+
+// DefineDomain implements core.DriverConn.
+func (b *Base) DefineDomain(xmlDesc string) (core.DomainMeta, error) {
+	def, err := xmlspec.ParseDomain([]byte(xmlDesc))
+	if err != nil {
+		return core.DomainMeta{}, core.Errorf(core.ErrXML, "%v", err)
+	}
+	if def.Type != b.hooks.Type() {
+		return core.DomainMeta{}, core.Errorf(core.ErrInvalidArg,
+			"definition type %q does not match driver %q", def.Type, b.hooks.Type())
+	}
+	if def.UUID == "" {
+		def.UUID = uuid.New().String()
+	} else if _, err := uuid.Parse(def.UUID); err != nil {
+		return core.DomainMeta{}, core.Errorf(core.ErrXML, "bad UUID: %v", err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if existing, ok := b.defs[def.Name]; ok {
+		// Redefinition must keep identity and may not touch active guests.
+		if existing.active {
+			return core.DomainMeta{}, core.Errorf(core.ErrOperationInvalid,
+				"domain %q is active; cannot redefine", def.Name)
+		}
+		if existing.uuidStr != def.UUID {
+			return core.DomainMeta{}, core.Errorf(core.ErrDuplicate,
+				"domain %q already exists with a different UUID", def.Name)
+		}
+		existing.def = def
+		b.log.Infof(b.module(), "domain %s redefined", def.Name)
+		b.bus.Emit(events.Event{Type: events.EventDefined, Domain: def.Name, UUID: def.UUID, Detail: "redefined"})
+		return b.meta(def.Name, existing), nil
+	}
+	r := &record{def: def, uuidStr: def.UUID}
+	b.defs[def.Name] = r
+	b.log.Infof(b.module(), "domain %s defined", def.Name)
+	b.bus.Emit(events.Event{Type: events.EventDefined, Domain: def.Name, UUID: def.UUID})
+	return b.meta(def.Name, r), nil
+}
+
+// UndefineDomain implements core.DriverConn.
+func (b *Base) UndefineDomain(name string) error {
+	b.mu.Lock()
+	r, ok := b.defs[name]
+	if !ok {
+		b.mu.Unlock()
+		return core.Errorf(core.ErrNoDomain, "no domain %q", name)
+	}
+	if r.active {
+		b.mu.Unlock()
+		return core.Errorf(core.ErrOperationInvalid, "domain %q is active; cannot undefine", name)
+	}
+	delete(b.defs, name)
+	uuidStr := r.uuidStr
+	b.mu.Unlock()
+	b.log.Infof(b.module(), "domain %s undefined", name)
+	b.bus.Emit(events.Event{Type: events.EventUndefined, Domain: name, UUID: uuidStr})
+	return nil
+}
+
+// CreateDomain implements core.DriverConn: start a defined domain.
+func (b *Base) CreateDomain(name string) error {
+	b.mu.Lock()
+	r, ok := b.defs[name]
+	if !ok {
+		b.mu.Unlock()
+		return core.Errorf(core.ErrNoDomain, "no domain %q", name)
+	}
+	if r.active {
+		b.mu.Unlock()
+		return core.Errorf(core.ErrOperationInvalid, "domain %q is already active", name)
+	}
+	def := r.def
+	b.mu.Unlock()
+
+	// Network admission first: every network NIC needs an active network.
+	leases, err := b.attachNICs(def)
+	if err != nil {
+		return err
+	}
+	if err := b.hooks.Start(def); err != nil {
+		b.detachNICs(leases)
+		return core.Errorf(core.ErrOperationInvalid, "start %q: %v", name, err)
+	}
+	b.mu.Lock()
+	r.active = true
+	r.leases = leases
+	b.mu.Unlock()
+	if err := b.restoreFromManagedSave(name, r); err != nil {
+		return err
+	}
+	b.log.Infof(b.module(), "domain %s started", name)
+	b.bus.Emit(events.Event{Type: events.EventStarted, Domain: name, UUID: def.UUID})
+	return nil
+}
+
+func (b *Base) attachNICs(def *xmlspec.Domain) ([]attachedNIC, error) {
+	if b.nets == nil {
+		for _, nic := range def.Devices.Interfaces {
+			if nic.Type == "network" {
+				return nil, core.Errorf(core.ErrNoSupport,
+					"domain %q uses a virtual network but driver %q has no network subsystem",
+					def.Name, b.hooks.Type())
+			}
+		}
+		return nil, nil
+	}
+	var out []attachedNIC
+	for _, nic := range def.Devices.Interfaces {
+		if nic.Type != "network" || nic.MAC == nil {
+			continue
+		}
+		if _, err := b.nets.Attach(nic.Source.Network, nic.MAC.Address, def.Name); err != nil {
+			b.detachNICs(out)
+			return nil, core.Errorf(core.ErrOperationInvalid, "%v", err)
+		}
+		out = append(out, attachedNIC{network: nic.Source.Network, mac: nic.MAC.Address})
+	}
+	return out, nil
+}
+
+func (b *Base) detachNICs(nics []attachedNIC) {
+	if b.nets == nil {
+		return
+	}
+	for _, n := range nics {
+		if err := b.nets.Detach(n.network, n.mac); err != nil {
+			b.log.Warnf(b.module(), "detach %s from %s: %v", n.mac, n.network, err)
+		}
+	}
+}
+
+// stop is the shared shutdown/destroy path.
+func (b *Base) stop(name string, graceful bool) error {
+	b.mu.Lock()
+	r, ok := b.defs[name]
+	if !ok {
+		b.mu.Unlock()
+		return core.Errorf(core.ErrNoDomain, "no domain %q", name)
+	}
+	if !r.active {
+		b.mu.Unlock()
+		return core.Errorf(core.ErrOperationInvalid, "domain %q is not active", name)
+	}
+	leases := r.leases
+	uuidStr := r.uuidStr
+	b.mu.Unlock()
+
+	if err := b.hooks.Stop(name, graceful); err != nil {
+		return core.Errorf(core.ErrOperationInvalid, "stop %q: %v", name, err)
+	}
+	b.mu.Lock()
+	r.active = false
+	r.leases = nil
+	b.mu.Unlock()
+	b.detachNICs(leases)
+	evType := events.EventStopped
+	detail := "destroyed"
+	if graceful {
+		evType = events.EventShutdown
+		detail = "guest shutdown"
+	}
+	b.log.Infof(b.module(), "domain %s stopped (%s)", name, detail)
+	b.bus.Emit(events.Event{Type: evType, Domain: name, UUID: uuidStr, Detail: detail})
+	return nil
+}
+
+// DestroyDomain implements core.DriverConn.
+func (b *Base) DestroyDomain(name string) error { return b.stop(name, false) }
+
+// ShutdownDomain implements core.DriverConn.
+func (b *Base) ShutdownDomain(name string) error { return b.stop(name, true) }
+
+// RebootDomain implements core.DriverConn.
+func (b *Base) RebootDomain(name string) error {
+	r, err := b.activeRecord(name)
+	if err != nil {
+		return err
+	}
+	if err := b.hooks.Reboot(name); err != nil {
+		return core.Errorf(core.ErrOperationInvalid, "reboot %q: %v", name, err)
+	}
+	b.bus.Emit(events.Event{Type: events.EventStarted, Domain: name, UUID: r.uuidStr, Detail: "rebooted"})
+	return nil
+}
+
+// SuspendDomain implements core.DriverConn.
+func (b *Base) SuspendDomain(name string) error {
+	r, err := b.activeRecord(name)
+	if err != nil {
+		return err
+	}
+	if err := b.hooks.Suspend(name); err != nil {
+		return core.Errorf(core.ErrOperationInvalid, "suspend %q: %v", name, err)
+	}
+	b.bus.Emit(events.Event{Type: events.EventSuspended, Domain: name, UUID: r.uuidStr})
+	return nil
+}
+
+// ResumeDomain implements core.DriverConn.
+func (b *Base) ResumeDomain(name string) error {
+	r, err := b.activeRecord(name)
+	if err != nil {
+		return err
+	}
+	if err := b.hooks.Resume(name); err != nil {
+		return core.Errorf(core.ErrOperationInvalid, "resume %q: %v", name, err)
+	}
+	b.bus.Emit(events.Event{Type: events.EventResumed, Domain: name, UUID: r.uuidStr})
+	return nil
+}
+
+func (b *Base) activeRecord(name string) (*record, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, ok := b.defs[name]
+	if !ok {
+		return nil, core.Errorf(core.ErrNoDomain, "no domain %q", name)
+	}
+	if !r.active {
+		return nil, core.Errorf(core.ErrOperationInvalid, "domain %q is not active", name)
+	}
+	return r, nil
+}
+
+// DomainInfo implements core.DriverConn.
+func (b *Base) DomainInfo(name string) (core.DomainInfo, error) {
+	b.mu.Lock()
+	r, ok := b.defs[name]
+	b.mu.Unlock()
+	if !ok {
+		return core.DomainInfo{}, core.Errorf(core.ErrNoDomain, "no domain %q", name)
+	}
+	if !r.active {
+		return b.inactiveInfo(r), nil
+	}
+	info, err := b.hooks.Info(name)
+	if err != nil {
+		return core.DomainInfo{}, core.Errorf(core.ErrInternal, "info %q: %v", name, err)
+	}
+	b.noteState(name, r, info.State)
+	return info, nil
+}
+
+// noteState watches observed states for asynchronous guest crashes: the
+// first observation of a crashed state emits the crash event, so
+// monitors subscribing for EventCrashed learn of failures without
+// polling every field themselves.
+func (b *Base) noteState(name string, r *record, st core.DomainState) {
+	b.mu.Lock()
+	emit := false
+	if st == core.DomainCrashed && !r.sawCrash {
+		r.sawCrash = true
+		emit = true
+	} else if st != core.DomainCrashed && r.sawCrash {
+		r.sawCrash = false
+	}
+	uuidStr := r.uuidStr
+	b.mu.Unlock()
+	if emit {
+		b.log.Warnf(b.module(), "domain %s crashed", name)
+		b.bus.Emit(events.Event{Type: events.EventCrashed, Domain: name, UUID: uuidStr})
+	}
+}
+
+func (b *Base) inactiveInfo(r *record) core.DomainInfo {
+	kib := r.def.MemoryKiBOrZero()
+	return core.DomainInfo{
+		State:     core.DomainShutoff,
+		MaxMemKiB: kib,
+		MemKiB:    0,
+		VCPUs:     int(r.def.VCPU.Count),
+	}
+}
+
+// DomainStats implements core.DriverConn.
+func (b *Base) DomainStats(name string) (core.DomainStats, error) {
+	b.mu.Lock()
+	r, ok := b.defs[name]
+	b.mu.Unlock()
+	if !ok {
+		return core.DomainStats{}, core.Errorf(core.ErrNoDomain, "no domain %q", name)
+	}
+	if !r.active {
+		info := b.inactiveInfo(r)
+		return core.DomainStats{State: info.State, MaxMemKiB: info.MaxMemKiB, VCPUs: info.VCPUs}, nil
+	}
+	stats, err := b.hooks.Stats(name)
+	if err != nil {
+		return core.DomainStats{}, core.Errorf(core.ErrInternal, "stats %q: %v", name, err)
+	}
+	b.noteState(name, r, stats.State)
+	return stats, nil
+}
+
+// DomainXML implements core.DriverConn.
+func (b *Base) DomainXML(name string) (string, error) {
+	b.mu.Lock()
+	r, ok := b.defs[name]
+	b.mu.Unlock()
+	if !ok {
+		return "", core.Errorf(core.ErrNoDomain, "no domain %q", name)
+	}
+	out, err := r.def.Marshal()
+	if err != nil {
+		return "", core.Errorf(core.ErrXML, "%v", err)
+	}
+	return string(out), nil
+}
+
+// SetDomainMemory implements core.DriverConn.
+func (b *Base) SetDomainMemory(name string, kib uint64) error {
+	if _, err := b.activeRecord(name); err != nil {
+		return err
+	}
+	if err := b.hooks.SetMemory(name, kib); err != nil {
+		return core.Errorf(core.ErrInvalidArg, "set memory %q: %v", name, err)
+	}
+	return nil
+}
+
+// SetDomainVCPUs implements core.DriverConn.
+func (b *Base) SetDomainVCPUs(name string, n int) error {
+	if _, err := b.activeRecord(name); err != nil {
+		return err
+	}
+	if err := b.hooks.SetVCPUs(name, n); err != nil {
+		return core.Errorf(core.ErrInvalidArg, "set vcpus %q: %v", name, err)
+	}
+	return nil
+}
+
+// Machine implements core.MachineAccess.
+func (b *Base) Machine(name string) (*hyper.Machine, error) {
+	if _, err := b.activeRecord(name); err != nil {
+		return nil, err
+	}
+	m, err := b.hooks.Machine(name)
+	if err != nil {
+		return nil, core.Errorf(core.ErrInternal, "machine %q: %v", name, err)
+	}
+	return m, nil
+}
+
+// MarkCrashed records an asynchronous guest crash noticed by the driver
+// and emits the crash event (hypervisor simulators call back into this).
+func (b *Base) MarkCrashed(name string) {
+	b.mu.Lock()
+	r, ok := b.defs[name]
+	var uuidStr string
+	if ok {
+		uuidStr = r.uuidStr
+	}
+	b.mu.Unlock()
+	if !ok {
+		return
+	}
+	b.bus.Emit(events.Event{Type: events.EventCrashed, Domain: name, UUID: uuidStr})
+}
+
+// DefToConfig translates a validated definition into a substrate machine
+// configuration; concrete drivers share it. Workload-model knobs come
+// from description metadata of the form "key=value" pairs, letting test
+// workloads be declared in the XML without extending the schema.
+func DefToConfig(def *xmlspec.Domain) (hyper.Config, error) {
+	u, err := uuid.Parse(def.UUID)
+	if err != nil {
+		u = uuid.FromName("machine:" + def.Name)
+	}
+	kib, err := def.Memory.KiB()
+	if err != nil {
+		return hyper.Config{}, err
+	}
+	cfg := hyper.Config{
+		Name:      def.Name,
+		UUID:      u,
+		VCPUs:     int(def.VCPU.Count),
+		MemKiB:    kib,
+		MaxMemKiB: kib,
+	}
+	if def.CurrentMemory != nil {
+		if cur, err := def.CurrentMemory.KiB(); err == nil {
+			cfg.MemKiB = cur
+		}
+	}
+	for _, d := range def.Devices.Disks {
+		cfg.Disks = append(cfg.Disks, hyper.DiskConfig{Target: d.Target.Dev, ReadOnly: d.ReadOnly != nil})
+	}
+	for _, n := range def.Devices.Interfaces {
+		nc := hyper.NICConfig{Network: n.Source.Network}
+		if n.MAC != nil {
+			nc.MAC = n.MAC.Address
+		}
+		cfg.NICs = append(cfg.NICs, nc)
+	}
+	applyWorkloadHints(&cfg, def.Description)
+	return cfg, nil
+}
+
+// applyWorkloadHints parses "cpu_util=0.5 dirty_pages_sec=2000 ..." from
+// the free-form description element.
+func applyWorkloadHints(cfg *hyper.Config, desc string) {
+	for _, field := range strings.Fields(desc) {
+		k, v, found := strings.Cut(field, "=")
+		if !found {
+			continue
+		}
+		switch k {
+		case "cpu_util":
+			fmt.Sscanf(v, "%f", &cfg.CPUUtil) //nolint:errcheck
+		case "dirty_pages_sec":
+			fmt.Sscanf(v, "%d", &cfg.DirtyPagesSec) //nolint:errcheck
+		case "block_iops":
+			fmt.Sscanf(v, "%d", &cfg.BlockIOPS) //nolint:errcheck
+		case "net_pps":
+			fmt.Sscanf(v, "%d", &cfg.NetPPS) //nolint:errcheck
+		}
+	}
+}
+
+// StateFromHyper maps substrate states to public states.
+func StateFromHyper(s hyper.State) core.DomainState {
+	switch s {
+	case hyper.StateRunning:
+		return core.DomainRunning
+	case hyper.StatePaused:
+		return core.DomainPaused
+	case hyper.StateShutdown:
+		return core.DomainShutdown
+	case hyper.StateShutoff:
+		return core.DomainShutoff
+	case hyper.StateCrashed:
+		return core.DomainCrashed
+	case hyper.StatePMSuspended:
+		return core.DomainPMSuspended
+	default:
+		return core.DomainNoState
+	}
+}
+
+// StatsFromMachine converts a substrate stats snapshot.
+func StatsFromMachine(st hyper.Stats) core.DomainStats {
+	return core.DomainStats{
+		State:      StateFromHyper(st.State),
+		CPUTimeNs:  st.CPUTimeNs,
+		MemKiB:     st.MemKiB,
+		MaxMemKiB:  st.MaxMemKiB,
+		VCPUs:      st.VCPUs,
+		RdBytes:    st.RdBytes,
+		WrBytes:    st.WrBytes,
+		RdReqs:     st.RdReqs,
+		WrReqs:     st.WrReqs,
+		RxBytes:    st.RxBytes,
+		TxBytes:    st.TxBytes,
+		RxPkts:     st.RxPkts,
+		TxPkts:     st.TxPkts,
+		DirtyPages: st.DirtyPages,
+	}
+}
+
+// InfoFromMachine converts a substrate stats snapshot to the compact form.
+func InfoFromMachine(st hyper.Stats) core.DomainInfo {
+	return core.DomainInfo{
+		State:     StateFromHyper(st.State),
+		MaxMemKiB: st.MaxMemKiB,
+		MemKiB:    st.MemKiB,
+		VCPUs:     st.VCPUs,
+		CPUTimeNs: st.CPUTimeNs,
+	}
+}

@@ -1,0 +1,250 @@
+package common
+
+import (
+	"repro/internal/core"
+	"repro/internal/xmlspec"
+)
+
+// Network facade: implements core.NetworkSupport by delegating to the
+// vnet manager, translating substrate errors into API errors.
+
+// ListNetworks implements core.NetworkSupport.
+func (b *Base) ListNetworks() ([]string, error) {
+	if b.nets == nil {
+		return nil, b.noNetworks()
+	}
+	return b.nets.List(), nil
+}
+
+func (b *Base) noNetworks() error {
+	return core.Errorf(core.ErrNoSupport, "driver %q has no network subsystem", b.hooks.Type())
+}
+
+// DefineNetwork implements core.NetworkSupport.
+func (b *Base) DefineNetwork(xmlDesc string) error {
+	if b.nets == nil {
+		return b.noNetworks()
+	}
+	def, err := xmlspec.ParseNetwork([]byte(xmlDesc))
+	if err != nil {
+		return core.Errorf(core.ErrXML, "%v", err)
+	}
+	if err := b.nets.Define(def); err != nil {
+		return core.Errorf(core.ErrDuplicate, "%v", err)
+	}
+	return nil
+}
+
+// UndefineNetwork implements core.NetworkSupport.
+func (b *Base) UndefineNetwork(name string) error {
+	if b.nets == nil {
+		return b.noNetworks()
+	}
+	if err := b.nets.Undefine(name); err != nil {
+		return core.Errorf(core.ErrNoNetwork, "%v", err)
+	}
+	return nil
+}
+
+// StartNetwork implements core.NetworkSupport.
+func (b *Base) StartNetwork(name string) error {
+	if b.nets == nil {
+		return b.noNetworks()
+	}
+	if err := b.nets.Start(name); err != nil {
+		return core.Errorf(core.ErrOperationInvalid, "%v", err)
+	}
+	return nil
+}
+
+// StopNetwork implements core.NetworkSupport.
+func (b *Base) StopNetwork(name string) error {
+	if b.nets == nil {
+		return b.noNetworks()
+	}
+	if err := b.nets.Stop(name); err != nil {
+		return core.Errorf(core.ErrOperationInvalid, "%v", err)
+	}
+	return nil
+}
+
+// NetworkXML implements core.NetworkSupport.
+func (b *Base) NetworkXML(name string) (string, error) {
+	if b.nets == nil {
+		return "", b.noNetworks()
+	}
+	xml, err := b.nets.XML(name)
+	if err != nil {
+		return "", core.Errorf(core.ErrNoNetwork, "%v", err)
+	}
+	return xml, nil
+}
+
+// NetworkIsActive implements core.NetworkSupport.
+func (b *Base) NetworkIsActive(name string) (bool, error) {
+	if b.nets == nil {
+		return false, b.noNetworks()
+	}
+	active, err := b.nets.IsActive(name)
+	if err != nil {
+		return false, core.Errorf(core.ErrNoNetwork, "%v", err)
+	}
+	return active, nil
+}
+
+// NetworkDHCPLeases implements core.NetworkSupport.
+func (b *Base) NetworkDHCPLeases(name string) ([]core.DHCPLease, error) {
+	if b.nets == nil {
+		return nil, b.noNetworks()
+	}
+	leases, err := b.nets.Leases(name)
+	if err != nil {
+		return nil, core.Errorf(core.ErrNoNetwork, "%v", err)
+	}
+	out := make([]core.DHCPLease, len(leases))
+	for i, l := range leases {
+		out[i] = core.DHCPLease{MAC: l.MAC, IP: l.IP, Hostname: l.Hostname}
+	}
+	return out, nil
+}
+
+// Storage facade: implements core.StorageSupport via the storage manager.
+
+func (b *Base) noStorage() error {
+	return core.Errorf(core.ErrNoSupport, "driver %q has no storage subsystem", b.hooks.Type())
+}
+
+// ListStoragePools implements core.StorageSupport.
+func (b *Base) ListStoragePools() ([]string, error) {
+	if b.pools == nil {
+		return nil, b.noStorage()
+	}
+	return b.pools.List(), nil
+}
+
+// DefineStoragePool implements core.StorageSupport.
+func (b *Base) DefineStoragePool(xmlDesc string) error {
+	if b.pools == nil {
+		return b.noStorage()
+	}
+	def, err := xmlspec.ParseStoragePool([]byte(xmlDesc))
+	if err != nil {
+		return core.Errorf(core.ErrXML, "%v", err)
+	}
+	if err := b.pools.Define(def); err != nil {
+		return core.Errorf(core.ErrDuplicate, "%v", err)
+	}
+	return nil
+}
+
+// UndefineStoragePool implements core.StorageSupport.
+func (b *Base) UndefineStoragePool(name string) error {
+	if b.pools == nil {
+		return b.noStorage()
+	}
+	if err := b.pools.Undefine(name); err != nil {
+		return core.Errorf(core.ErrNoStoragePool, "%v", err)
+	}
+	return nil
+}
+
+// StartStoragePool implements core.StorageSupport.
+func (b *Base) StartStoragePool(name string) error {
+	if b.pools == nil {
+		return b.noStorage()
+	}
+	if err := b.pools.Start(name); err != nil {
+		return core.Errorf(core.ErrOperationInvalid, "%v", err)
+	}
+	return nil
+}
+
+// StopStoragePool implements core.StorageSupport.
+func (b *Base) StopStoragePool(name string) error {
+	if b.pools == nil {
+		return b.noStorage()
+	}
+	if err := b.pools.Stop(name); err != nil {
+		return core.Errorf(core.ErrOperationInvalid, "%v", err)
+	}
+	return nil
+}
+
+// StoragePoolXML implements core.StorageSupport.
+func (b *Base) StoragePoolXML(name string) (string, error) {
+	if b.pools == nil {
+		return "", b.noStorage()
+	}
+	xml, err := b.pools.XML(name)
+	if err != nil {
+		return "", core.Errorf(core.ErrNoStoragePool, "%v", err)
+	}
+	return xml, nil
+}
+
+// StoragePoolInfo implements core.StorageSupport.
+func (b *Base) StoragePoolInfo(name string) (core.StoragePoolInfo, error) {
+	if b.pools == nil {
+		return core.StoragePoolInfo{}, b.noStorage()
+	}
+	info, err := b.pools.Info(name)
+	if err != nil {
+		return core.StoragePoolInfo{}, core.Errorf(core.ErrNoStoragePool, "%v", err)
+	}
+	return core.StoragePoolInfo{
+		Active:        info.Active,
+		CapacityKiB:   info.CapacityKiB,
+		AllocationKiB: info.AllocationKiB,
+		AvailableKiB:  info.AvailableKiB,
+	}, nil
+}
+
+// ListVolumes implements core.StorageSupport.
+func (b *Base) ListVolumes(pool string) ([]string, error) {
+	if b.pools == nil {
+		return nil, b.noStorage()
+	}
+	vols, err := b.pools.Volumes(pool)
+	if err != nil {
+		return nil, core.Errorf(core.ErrNoStoragePool, "%v", err)
+	}
+	return vols, nil
+}
+
+// CreateVolume implements core.StorageSupport.
+func (b *Base) CreateVolume(pool, xmlDesc string) error {
+	if b.pools == nil {
+		return b.noStorage()
+	}
+	def, err := xmlspec.ParseStorageVolume([]byte(xmlDesc))
+	if err != nil {
+		return core.Errorf(core.ErrXML, "%v", err)
+	}
+	if err := b.pools.CreateVolume(pool, def); err != nil {
+		return core.Errorf(core.ErrOperationInvalid, "%v", err)
+	}
+	return nil
+}
+
+// DeleteVolume implements core.StorageSupport.
+func (b *Base) DeleteVolume(pool, name string) error {
+	if b.pools == nil {
+		return b.noStorage()
+	}
+	if err := b.pools.DeleteVolume(pool, name); err != nil {
+		return core.Errorf(core.ErrNoStorageVol, "%v", err)
+	}
+	return nil
+}
+
+// VolumeXML implements core.StorageSupport.
+func (b *Base) VolumeXML(pool, name string) (string, error) {
+	if b.pools == nil {
+		return "", b.noStorage()
+	}
+	xml, err := b.pools.VolumeXML(pool, name)
+	if err != nil {
+		return "", core.Errorf(core.ErrNoStorageVol, "%v", err)
+	}
+	return xml, nil
+}

@@ -1,0 +1,196 @@
+// Package lxc implements the csim driver: the uniform API translated
+// into container engine calls and cgroup edits — domains are containers
+// sharing the host kernel, resized by writing their cgroup files and then
+// telling the engine to apply them.
+package lxc
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/drivers/common"
+	"repro/internal/hyper"
+	"repro/internal/hyper/csim"
+	"repro/internal/logging"
+	"repro/internal/nodeinfo"
+	"repro/internal/uri"
+	"repro/internal/xmlspec"
+)
+
+// hooks drives the csim engine.
+type hooks struct {
+	mu     sync.Mutex
+	engine *csim.Engine
+}
+
+func (h *hooks) Type() string { return "csim" }
+
+func (h *hooks) Version() (string, error) {
+	return "csim on " + h.engine.KernelVersion(), nil
+}
+
+func (h *hooks) GuestOSType() string { return "exe" }
+
+func (h *hooks) Start(def *xmlspec.Domain) error {
+	cfg, err := common.DefToConfig(def)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	c, exists := h.engine.Get(def.Name)
+	h.mu.Unlock()
+	if !exists {
+		c, err = h.engine.Create(csim.Spec{
+			Name:    def.Name,
+			VCPUs:   cfg.VCPUs,
+			MemKiB:  cfg.MemKiB,
+			CPUUtil: cfg.CPUUtil,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return c.Start()
+}
+
+func (h *hooks) container(name string) (*csim.Container, error) {
+	c, ok := h.engine.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("lxc: no container %q", name)
+	}
+	return c, nil
+}
+
+func (h *hooks) Stop(name string, graceful bool) error {
+	c, err := h.container(name)
+	if err != nil {
+		return err
+	}
+	if graceful {
+		if err := c.Stop(); err != nil {
+			return err
+		}
+	} else if err := c.Kill(); err != nil {
+		return err
+	}
+	return h.engine.Remove(name)
+}
+
+func (h *hooks) Reboot(name string) error {
+	c, err := h.container(name)
+	if err != nil {
+		return err
+	}
+	return c.Machine().Reboot()
+}
+
+func (h *hooks) Suspend(name string) error {
+	c, err := h.container(name)
+	if err != nil {
+		return err
+	}
+	return c.Freeze()
+}
+
+func (h *hooks) Resume(name string) error {
+	c, err := h.container(name)
+	if err != nil {
+		return err
+	}
+	return c.Thaw()
+}
+
+func (h *hooks) Info(name string) (core.DomainInfo, error) {
+	c, err := h.container(name)
+	if err != nil {
+		return core.DomainInfo{}, err
+	}
+	return common.InfoFromMachine(c.Machine().Stats()), nil
+}
+
+func (h *hooks) Stats(name string) (core.DomainStats, error) {
+	c, err := h.container(name)
+	if err != nil {
+		return core.DomainStats{}, err
+	}
+	return common.StatsFromMachine(c.Machine().Stats()), nil
+}
+
+// setCgroup writes one cgroup file and applies the limits, rolling the
+// file back if the apply is rejected so later edits start from a
+// consistent tree.
+func (h *hooks) setCgroup(c *csim.Container, file, value string) error {
+	cg := h.engine.Cgroups()
+	old, hadOld := cg.Get(c.CgroupPath(), file)
+	cg.Set(c.CgroupPath(), file, value)
+	if err := c.ApplyCgroupLimits(); err != nil {
+		if hadOld {
+			cg.Set(c.CgroupPath(), file, old)
+		}
+		return err
+	}
+	return nil
+}
+
+// SetMemory resizes by editing the cgroup file and applying it — the
+// cgroup is the native interface, not the machine object.
+func (h *hooks) SetMemory(name string, kib uint64) error {
+	c, err := h.container(name)
+	if err != nil {
+		return err
+	}
+	return h.setCgroup(c, "memory.max", strconv.FormatUint(kib*1024, 10))
+}
+
+func (h *hooks) SetVCPUs(name string, n int) error {
+	c, err := h.container(name)
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("lxc: vcpus must be > 0")
+	}
+	return h.setCgroup(c, "cpu.max", fmt.Sprintf("%d 100000", n*100000))
+}
+
+func (h *hooks) ID(name string) int {
+	c, err := h.container(name)
+	if err != nil {
+		return -1
+	}
+	return c.Machine().ID()
+}
+
+func (h *hooks) Machine(name string) (*hyper.Machine, error) {
+	c, err := h.container(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Machine(), nil
+}
+
+// New opens an lxc driver connection on a fresh csim engine.
+func New(u *uri.URI, log *logging.Logger) (core.DriverConn, error) {
+	node, err := nodeinfo.NewNode("csimhost", nodeinfo.ProfileServer)
+	if err != nil {
+		return nil, err
+	}
+	return NewOn(csim.New(node), node, log), nil
+}
+
+// NewOn builds a driver connection over an existing engine instance.
+func NewOn(engine *csim.Engine, node *nodeinfo.Node, log *logging.Logger) core.DriverConn {
+	h := &hooks{engine: engine}
+	// Containers get networks (veth into bridges) but no pool storage.
+	return common.New(h, common.Options{Node: node, Networks: true, Storage: false, Log: log})
+}
+
+// Register installs the lxc driver in the core registry under the
+// "csim" scheme.
+func Register(log *logging.Logger) {
+	core.Register("csim", func(u *uri.URI) (core.DriverConn, error) {
+		return New(u, log)
+	})
+}

@@ -1,0 +1,490 @@
+// Package remote implements the remote driver: the client-side driver
+// that tunnels the uniform API to a daemon over the wire protocol. It is
+// selected automatically for remote URIs and for schemes no local driver
+// claims, which is how one management application transparently reaches
+// hypervisors on other hosts.
+package remote
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/rpc"
+	"repro/internal/uri"
+	"repro/internal/wire"
+)
+
+// DefaultTCPPort is the daemon's conventional TCP port.
+const DefaultTCPPort = 16509
+
+// DefaultSocketPath is the daemon's conventional unix socket.
+const DefaultSocketPath = "/var/run/govirt/govirt-sock"
+
+// Conn is the remote driver connection.
+type Conn struct {
+	client *rpc.Client
+	bus    *events.Bus
+	cbID   int32 // server-side callback id, 0 when unregistered
+}
+
+var (
+	_ core.DriverConn     = (*Conn)(nil)
+	_ core.EventSource    = (*Conn)(nil)
+	_ core.NetworkSupport = (*Conn)(nil)
+	_ core.StorageSupport = (*Conn)(nil)
+)
+
+// Open dials the daemon named by the URI, authenticates if the service
+// demands it, and opens the server-side driver connection. Keepalive
+// probing is controlled by the "keepalive_interval" (seconds) and
+// "keepalive_count" URI parameters; the default is a 5 s interval with
+// 5 missed probes, "keepalive_interval=0" disables probing.
+func Open(u *uri.URI) (*Conn, error) {
+	nc, err := dial(u)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{bus: events.NewBus()}
+	c.client = rpc.NewClientKeepalive(nc, rpc.ProgramRemote, c.handleEvent, keepaliveFor(u))
+
+	if err := c.authenticate(u); err != nil {
+		c.client.Close()
+		return nil, err
+	}
+	if err := c.call(wire.ProcConnectOpen, &wire.ConnectOpenArgs{URI: u.String()}, nil); err != nil {
+		c.client.Close()
+		return nil, err
+	}
+	// Subscribe to all lifecycle events so the local bus mirrors the
+	// daemon-side one.
+	var reg wire.EventRegisterReply
+	if err := c.call(wire.ProcEventRegister, &wire.EventRegisterArgs{}, &reg); err == nil {
+		c.cbID = reg.CallbackID
+	}
+	return c, nil
+}
+
+// keepaliveFor derives the probing configuration from URI parameters.
+func keepaliveFor(u *uri.URI) rpc.KeepaliveConfig {
+	cfg := rpc.KeepaliveConfig{Interval: 5 * time.Second, Count: 5}
+	if v, ok := u.Param("keepalive_interval"); ok {
+		secs, err := strconv.Atoi(v)
+		if err != nil || secs < 0 {
+			return rpc.KeepaliveConfig{}
+		}
+		cfg.Interval = time.Duration(secs) * time.Second
+	}
+	if v, ok := u.Param("keepalive_count"); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return rpc.KeepaliveConfig{}
+		}
+		cfg.Count = n
+	}
+	return cfg
+}
+
+func dial(u *uri.URI) (net.Conn, error) {
+	switch u.EffectiveTransport() {
+	case uri.TransportUnix:
+		path := DefaultSocketPath
+		if p, ok := u.Param("socket"); ok {
+			path = p
+		}
+		nc, err := net.DialTimeout("unix", path, 5*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("remote: dial unix %s: %w", path, err)
+		}
+		return nc, nil
+	case uri.TransportTCP, uri.TransportTLS:
+		// The TLS transport is carried over the same stream in this
+		// reproduction; the handshake-cost model lives in the auth
+		// exchange (see DESIGN.md, Substitutions).
+		port := u.Port
+		if port == 0 {
+			port = DefaultTCPPort
+		}
+		addr := fmt.Sprintf("%s:%d", u.Host, port)
+		nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("remote: dial tcp %s: %w", addr, err)
+		}
+		return nc, nil
+	default:
+		return nil, fmt.Errorf("remote: transport %q not supported", u.EffectiveTransport())
+	}
+}
+
+// authenticate performs the service's required mechanism, if any.
+// SIM-PLAIN takes the username from the URI and the password from the
+// "password" URI parameter.
+func (c *Conn) authenticate(u *uri.URI) error {
+	var mechs wire.AuthListReply
+	if err := c.call(wire.ProcAuthList, &struct{}{}, &mechs); err != nil {
+		return err
+	}
+	if len(mechs.Mechanisms) == 0 {
+		return nil
+	}
+	for _, m := range mechs.Mechanisms {
+		if m != "SIM-PLAIN" {
+			continue
+		}
+		user := u.Username
+		pass, _ := u.Param("password")
+		if user == "" {
+			return core.Errorf(core.ErrAuthFailed, "service requires authentication; no username in URI")
+		}
+		data := append(append([]byte(user), 0), []byte(pass)...)
+		var reply wire.SASLStartReply
+		if err := c.call(wire.ProcAuthSASLStart, &wire.SASLStartArgs{
+			Mechanism: "SIM-PLAIN", Data: data,
+		}, &reply); err != nil {
+			return err
+		}
+		if !reply.Complete {
+			return core.Errorf(core.ErrAuthFailed, "authentication did not complete")
+		}
+		return nil
+	}
+	return core.Errorf(core.ErrAuthFailed, "no mutually supported mechanism in %v", mechs.Mechanisms)
+}
+
+// call performs one RPC, translating remote errors to API errors.
+func (c *Conn) call(proc uint32, args, ret interface{}) error {
+	err := c.client.Call(proc, args, ret)
+	if err == nil {
+		return nil
+	}
+	if re, ok := err.(*rpc.RemoteError); ok {
+		return &core.Error{Code: core.ErrorCode(re.Code), Message: re.Message}
+	}
+	return core.Errorf(core.ErrRPC, "%v", err)
+}
+
+// handleEvent decodes unsolicited lifecycle events onto the local bus.
+func (c *Conn) handleEvent(proc uint32, payload []byte) {
+	if proc != wire.ProcEventLifecycle {
+		return
+	}
+	var ev wire.LifecycleEvent
+	if err := rpc.Unmarshal(payload, &ev); err != nil {
+		return
+	}
+	c.bus.Emit(events.Event{
+		Type:   events.Type(ev.Type),
+		Domain: ev.Domain,
+		UUID:   ev.UUID,
+		Detail: ev.Detail,
+	})
+}
+
+// EventBus implements core.EventSource.
+func (c *Conn) EventBus() *events.Bus { return c.bus }
+
+// Close implements core.DriverConn.
+func (c *Conn) Close() error {
+	c.call(wire.ProcConnectClose, &struct{}{}, nil) //nolint:errcheck // best effort
+	return c.client.Close()
+}
+
+// Type implements core.DriverConn. The remote driver reports the
+// underlying driver's type, preserving transparency.
+func (c *Conn) Type() string {
+	var r wire.StringReply
+	if err := c.call(wire.ProcGetType, &struct{}{}, &r); err != nil {
+		return "remote"
+	}
+	return r.Value
+}
+
+// Version implements core.DriverConn.
+func (c *Conn) Version() (string, error) {
+	var r wire.StringReply
+	if err := c.call(wire.ProcGetVersion, &struct{}{}, &r); err != nil {
+		return "", err
+	}
+	return r.Value, nil
+}
+
+// Hostname implements core.DriverConn.
+func (c *Conn) Hostname() (string, error) {
+	var r wire.StringReply
+	if err := c.call(wire.ProcGetHostname, &struct{}{}, &r); err != nil {
+		return "", err
+	}
+	return r.Value, nil
+}
+
+// CapabilitiesXML implements core.DriverConn.
+func (c *Conn) CapabilitiesXML() (string, error) {
+	var r wire.StringReply
+	if err := c.call(wire.ProcGetCapabilities, &struct{}{}, &r); err != nil {
+		return "", err
+	}
+	return r.Value, nil
+}
+
+// NodeInfo implements core.DriverConn.
+func (c *Conn) NodeInfo() (core.NodeInfo, error) {
+	var r wire.NodeInfoReply
+	if err := c.call(wire.ProcNodeGetInfo, &struct{}{}, &r); err != nil {
+		return core.NodeInfo{}, err
+	}
+	return core.NodeInfo{
+		Model: r.Model, MemoryKiB: r.MemoryKiB, CPUs: int(r.CPUs), MHz: int(r.MHz),
+		NUMANodes: int(r.NUMANodes), Sockets: int(r.Sockets), Cores: int(r.Cores),
+		Threads: int(r.Threads),
+	}, nil
+}
+
+// ListDomains implements core.DriverConn.
+func (c *Conn) ListDomains(flags core.ListFlags) ([]string, error) {
+	var r wire.NameListReply
+	if err := c.call(wire.ProcDomainList, &wire.DomainListArgs{Flags: uint32(flags)}, &r); err != nil {
+		return nil, err
+	}
+	return r.Names, nil
+}
+
+func metaFromWire(m wire.DomainMeta) core.DomainMeta {
+	return core.DomainMeta{Name: m.Name, UUID: m.UUID, ID: int(m.ID)}
+}
+
+// LookupDomain implements core.DriverConn.
+func (c *Conn) LookupDomain(name string) (core.DomainMeta, error) {
+	var r wire.DomainMetaReply
+	if err := c.call(wire.ProcDomainLookupByName, &wire.NameArgs{Name: name}, &r); err != nil {
+		return core.DomainMeta{}, err
+	}
+	return metaFromWire(r.Meta), nil
+}
+
+// LookupDomainByUUID implements core.DriverConn.
+func (c *Conn) LookupDomainByUUID(uuidStr string) (core.DomainMeta, error) {
+	var r wire.DomainMetaReply
+	if err := c.call(wire.ProcDomainLookupByUUID, &wire.UUIDArgs{UUID: uuidStr}, &r); err != nil {
+		return core.DomainMeta{}, err
+	}
+	return metaFromWire(r.Meta), nil
+}
+
+// DefineDomain implements core.DriverConn.
+func (c *Conn) DefineDomain(xmlDesc string) (core.DomainMeta, error) {
+	var r wire.DomainMetaReply
+	if err := c.call(wire.ProcDomainDefine, &wire.XMLArgs{XML: xmlDesc}, &r); err != nil {
+		return core.DomainMeta{}, err
+	}
+	return metaFromWire(r.Meta), nil
+}
+
+func (c *Conn) nameOp(proc uint32, name string) error {
+	return c.call(proc, &wire.NameArgs{Name: name}, nil)
+}
+
+// UndefineDomain implements core.DriverConn.
+func (c *Conn) UndefineDomain(name string) error { return c.nameOp(wire.ProcDomainUndefine, name) }
+
+// CreateDomain implements core.DriverConn.
+func (c *Conn) CreateDomain(name string) error { return c.nameOp(wire.ProcDomainCreate, name) }
+
+// DestroyDomain implements core.DriverConn.
+func (c *Conn) DestroyDomain(name string) error { return c.nameOp(wire.ProcDomainDestroy, name) }
+
+// ShutdownDomain implements core.DriverConn.
+func (c *Conn) ShutdownDomain(name string) error { return c.nameOp(wire.ProcDomainShutdown, name) }
+
+// RebootDomain implements core.DriverConn.
+func (c *Conn) RebootDomain(name string) error { return c.nameOp(wire.ProcDomainReboot, name) }
+
+// SuspendDomain implements core.DriverConn.
+func (c *Conn) SuspendDomain(name string) error { return c.nameOp(wire.ProcDomainSuspend, name) }
+
+// ResumeDomain implements core.DriverConn.
+func (c *Conn) ResumeDomain(name string) error { return c.nameOp(wire.ProcDomainResume, name) }
+
+// DomainInfo implements core.DriverConn.
+func (c *Conn) DomainInfo(name string) (core.DomainInfo, error) {
+	var r wire.DomainInfoReply
+	if err := c.call(wire.ProcDomainGetInfo, &wire.NameArgs{Name: name}, &r); err != nil {
+		return core.DomainInfo{}, err
+	}
+	return core.DomainInfo{
+		State: core.DomainState(r.State), MaxMemKiB: r.MaxMemKiB,
+		MemKiB: r.MemKiB, VCPUs: int(r.VCPUs), CPUTimeNs: r.CPUTimeNs,
+	}, nil
+}
+
+// DomainStats implements core.DriverConn.
+func (c *Conn) DomainStats(name string) (core.DomainStats, error) {
+	var r wire.DomainStatsReply
+	if err := c.call(wire.ProcDomainGetStats, &wire.NameArgs{Name: name}, &r); err != nil {
+		return core.DomainStats{}, err
+	}
+	return core.DomainStats{
+		State: core.DomainState(r.State), CPUTimeNs: r.CPUTimeNs,
+		MemKiB: r.MemKiB, MaxMemKiB: r.MaxMemKiB, VCPUs: int(r.VCPUs),
+		RdBytes: r.RdBytes, WrBytes: r.WrBytes, RdReqs: r.RdReqs, WrReqs: r.WrReqs,
+		RxBytes: r.RxBytes, TxBytes: r.TxBytes, RxPkts: r.RxPkts, TxPkts: r.TxPkts,
+		DirtyPages: r.DirtyPages,
+	}, nil
+}
+
+// DomainXML implements core.DriverConn.
+func (c *Conn) DomainXML(name string) (string, error) {
+	var r wire.StringReply
+	if err := c.call(wire.ProcDomainGetXML, &wire.NameArgs{Name: name}, &r); err != nil {
+		return "", err
+	}
+	return r.Value, nil
+}
+
+// SetDomainMemory implements core.DriverConn.
+func (c *Conn) SetDomainMemory(name string, kib uint64) error {
+	return c.call(wire.ProcDomainSetMemory, &wire.SetMemoryArgs{Name: name, MemKiB: kib}, nil)
+}
+
+// SetDomainVCPUs implements core.DriverConn.
+func (c *Conn) SetDomainVCPUs(name string, n int) error {
+	if n < 0 {
+		return core.Errorf(core.ErrInvalidArg, "vcpus must be non-negative")
+	}
+	return c.call(wire.ProcDomainSetVCPUs, &wire.SetVCPUsArgs{Name: name, VCPUs: uint32(n)}, nil)
+}
+
+// ListNetworks implements core.NetworkSupport.
+func (c *Conn) ListNetworks() ([]string, error) {
+	var r wire.NameListReply
+	if err := c.call(wire.ProcNetworkList, &struct{}{}, &r); err != nil {
+		return nil, err
+	}
+	return r.Names, nil
+}
+
+// DefineNetwork implements core.NetworkSupport.
+func (c *Conn) DefineNetwork(xmlDesc string) error {
+	return c.call(wire.ProcNetworkDefine, &wire.XMLArgs{XML: xmlDesc}, nil)
+}
+
+// UndefineNetwork implements core.NetworkSupport.
+func (c *Conn) UndefineNetwork(name string) error { return c.nameOp(wire.ProcNetworkUndefine, name) }
+
+// StartNetwork implements core.NetworkSupport.
+func (c *Conn) StartNetwork(name string) error { return c.nameOp(wire.ProcNetworkStart, name) }
+
+// StopNetwork implements core.NetworkSupport.
+func (c *Conn) StopNetwork(name string) error { return c.nameOp(wire.ProcNetworkStop, name) }
+
+// NetworkXML implements core.NetworkSupport.
+func (c *Conn) NetworkXML(name string) (string, error) {
+	var r wire.StringReply
+	if err := c.call(wire.ProcNetworkGetXML, &wire.NameArgs{Name: name}, &r); err != nil {
+		return "", err
+	}
+	return r.Value, nil
+}
+
+// NetworkIsActive implements core.NetworkSupport.
+func (c *Conn) NetworkIsActive(name string) (bool, error) {
+	var r wire.BoolReply
+	if err := c.call(wire.ProcNetworkIsActive, &wire.NameArgs{Name: name}, &r); err != nil {
+		return false, err
+	}
+	return r.Value, nil
+}
+
+// NetworkDHCPLeases implements core.NetworkSupport.
+func (c *Conn) NetworkDHCPLeases(name string) ([]core.DHCPLease, error) {
+	var r wire.LeasesReply
+	if err := c.call(wire.ProcNetworkDHCPLeases, &wire.NameArgs{Name: name}, &r); err != nil {
+		return nil, err
+	}
+	out := make([]core.DHCPLease, len(r.Leases))
+	for i, l := range r.Leases {
+		out[i] = core.DHCPLease{MAC: l.MAC, IP: l.IP, Hostname: l.Hostname}
+	}
+	return out, nil
+}
+
+// ListStoragePools implements core.StorageSupport.
+func (c *Conn) ListStoragePools() ([]string, error) {
+	var r wire.NameListReply
+	if err := c.call(wire.ProcPoolList, &struct{}{}, &r); err != nil {
+		return nil, err
+	}
+	return r.Names, nil
+}
+
+// DefineStoragePool implements core.StorageSupport.
+func (c *Conn) DefineStoragePool(xmlDesc string) error {
+	return c.call(wire.ProcPoolDefine, &wire.XMLArgs{XML: xmlDesc}, nil)
+}
+
+// UndefineStoragePool implements core.StorageSupport.
+func (c *Conn) UndefineStoragePool(name string) error { return c.nameOp(wire.ProcPoolUndefine, name) }
+
+// StartStoragePool implements core.StorageSupport.
+func (c *Conn) StartStoragePool(name string) error { return c.nameOp(wire.ProcPoolStart, name) }
+
+// StopStoragePool implements core.StorageSupport.
+func (c *Conn) StopStoragePool(name string) error { return c.nameOp(wire.ProcPoolStop, name) }
+
+// StoragePoolXML implements core.StorageSupport.
+func (c *Conn) StoragePoolXML(name string) (string, error) {
+	var r wire.StringReply
+	if err := c.call(wire.ProcPoolGetXML, &wire.NameArgs{Name: name}, &r); err != nil {
+		return "", err
+	}
+	return r.Value, nil
+}
+
+// StoragePoolInfo implements core.StorageSupport.
+func (c *Conn) StoragePoolInfo(name string) (core.StoragePoolInfo, error) {
+	var r wire.PoolInfoReply
+	if err := c.call(wire.ProcPoolGetInfo, &wire.NameArgs{Name: name}, &r); err != nil {
+		return core.StoragePoolInfo{}, err
+	}
+	return core.StoragePoolInfo{
+		Active: r.Active, CapacityKiB: r.CapacityKiB,
+		AllocationKiB: r.AllocationKiB, AvailableKiB: r.AvailableKiB,
+	}, nil
+}
+
+// ListVolumes implements core.StorageSupport.
+func (c *Conn) ListVolumes(pool string) ([]string, error) {
+	var r wire.NameListReply
+	if err := c.call(wire.ProcVolList, &wire.NameArgs{Name: pool}, &r); err != nil {
+		return nil, err
+	}
+	return r.Names, nil
+}
+
+// CreateVolume implements core.StorageSupport.
+func (c *Conn) CreateVolume(pool, xmlDesc string) error {
+	return c.call(wire.ProcVolCreate, &wire.VolCreateArgs{Pool: pool, XML: xmlDesc}, nil)
+}
+
+// DeleteVolume implements core.StorageSupport.
+func (c *Conn) DeleteVolume(pool, name string) error {
+	return c.call(wire.ProcVolDelete, &wire.VolArgs{Pool: pool, Name: name}, nil)
+}
+
+// VolumeXML implements core.StorageSupport.
+func (c *Conn) VolumeXML(pool, name string) (string, error) {
+	var r wire.StringReply
+	if err := c.call(wire.ProcVolGetXML, &wire.VolArgs{Pool: pool, Name: name}, &r); err != nil {
+		return "", err
+	}
+	return r.Value, nil
+}
+
+// Register installs the remote driver as the registry fallback.
+func Register() {
+	core.RegisterRemote(func(u *uri.URI) (core.DriverConn, error) {
+		return Open(u)
+	})
+}

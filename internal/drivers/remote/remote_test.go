@@ -1,0 +1,60 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/uri"
+)
+
+func parseURI(t *testing.T, s string) *uri.URI {
+	t.Helper()
+	u, err := uri.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestKeepaliveDefaults(t *testing.T) {
+	cfg := keepaliveFor(parseURI(t, "qsim+tcp://host/system"))
+	if cfg.Interval != 5*time.Second || cfg.Count != 5 {
+		t.Fatalf("%+v", cfg)
+	}
+	if !cfg.Valid() {
+		t.Fatal("default config must be valid")
+	}
+}
+
+func TestKeepaliveURIOverrides(t *testing.T) {
+	cfg := keepaliveFor(parseURI(t, "qsim+tcp://host/system?keepalive_interval=2&keepalive_count=7"))
+	if cfg.Interval != 2*time.Second || cfg.Count != 7 {
+		t.Fatalf("%+v", cfg)
+	}
+}
+
+func TestKeepaliveDisabled(t *testing.T) {
+	for _, s := range []string{
+		"qsim+tcp://host/system?keepalive_interval=0",
+		"qsim+tcp://host/system?keepalive_count=0",
+		"qsim+tcp://host/system?keepalive_interval=junk",
+		"qsim+tcp://host/system?keepalive_interval=-1",
+	} {
+		if cfg := keepaliveFor(parseURI(t, s)); cfg.Valid() {
+			t.Errorf("%s: keepalive unexpectedly enabled: %+v", s, cfg)
+		}
+	}
+}
+
+func TestDialRejectsUnsupportedTransport(t *testing.T) {
+	if _, err := dial(parseURI(t, "qsim+ssh://host/system")); err == nil {
+		t.Fatal("ssh transport accepted")
+	}
+}
+
+func TestOpenFailsFastOnMissingSocket(t *testing.T) {
+	u := parseURI(t, "test+unix:///default?socket=%2Fnonexistent%2Fx.sock")
+	if _, err := Open(u); err == nil {
+		t.Fatal("open of missing socket accepted")
+	}
+}

@@ -1,0 +1,249 @@
+package drivers_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func snapDrv(t *testing.T, drv core.DriverConn) core.SnapshotSupport {
+	t.Helper()
+	ss, ok := drv.(core.SnapshotSupport)
+	if !ok {
+		t.Fatal("driver does not implement snapshots")
+	}
+	return ss
+}
+
+func TestSnapshotLifecycleAllDrivers(t *testing.T) {
+	forEachDriver(t, func(t *testing.T, name string, drv core.DriverConn) {
+		ss := snapDrv(t, drv)
+		if _, err := drv.DefineDomain(domainXML(name, "vm")); err != nil {
+			t.Fatal(err)
+		}
+		// Snapshot of a powered-off domain.
+		offSnap, err := ss.CreateSnapshot("vm", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if offSnap == "" {
+			t.Fatal("no generated snapshot name")
+		}
+		// Named snapshot of a running domain with a modified balloon.
+		if err := drv.CreateDomain("vm"); err != nil {
+			t.Fatal(err)
+		}
+		if err := drv.SetDomainMemory("vm", 512*1024); err != nil {
+			t.Fatal(err)
+		}
+		liveSnap, err := ss.CreateSnapshot("vm",
+			`<domainsnapshot><name>live</name><description>before upgrade</description></domainsnapshot>`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if liveSnap != "live" {
+			t.Fatalf("name %q", liveSnap)
+		}
+		// Still running after a live snapshot.
+		if info, _ := drv.DomainInfo("vm"); info.State != core.DomainRunning {
+			t.Fatalf("live snapshot changed state to %v", info.State)
+		}
+
+		snaps, err := ss.ListSnapshots("vm")
+		if err != nil || len(snaps) != 2 || snaps[0] != offSnap || snaps[1] != "live" {
+			t.Fatalf("snapshots %v %v", snaps, err)
+		}
+		xml, err := ss.SnapshotXML("vm", "live")
+		if err != nil || !strings.Contains(xml, "before upgrade") || !strings.Contains(xml, "running") {
+			t.Fatalf("snapshot xml %v:\n%s", err, xml)
+		}
+
+		// Change state, then revert to the live snapshot: running again
+		// with the snapshot's balloon.
+		if err := drv.DestroyDomain("vm"); err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.RevertSnapshot("vm", "live"); err != nil {
+			t.Fatal(err)
+		}
+		info, err := drv.DomainInfo("vm")
+		if err != nil || info.State != core.DomainRunning {
+			t.Fatalf("after revert: %+v %v", info, err)
+		}
+		if info.MemKiB != 512*1024 {
+			t.Fatalf("balloon not restored: %d", info.MemKiB)
+		}
+
+		// Revert to the powered-off snapshot stops the domain.
+		if err := ss.RevertSnapshot("vm", offSnap); err != nil {
+			t.Fatal(err)
+		}
+		if info, _ := drv.DomainInfo("vm"); info.State != core.DomainShutoff {
+			t.Fatalf("after off-revert: %v", info.State)
+		}
+
+		// Delete and verify.
+		if err := ss.DeleteSnapshot("vm", "live"); err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.DeleteSnapshot("vm", "live"); !core.IsCode(err, core.ErrInvalidArg) {
+			t.Fatalf("double delete: %v", err)
+		}
+		snaps, _ = ss.ListSnapshots("vm")
+		if len(snaps) != 1 {
+			t.Fatalf("snapshots after delete: %v", snaps)
+		}
+	})
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	forEachDriver(t, func(t *testing.T, name string, drv core.DriverConn) {
+		ss := snapDrv(t, drv)
+		if _, err := ss.CreateSnapshot("ghost", ""); !core.IsCode(err, core.ErrNoDomain) {
+			t.Fatalf("snapshot of missing domain: %v", err)
+		}
+		if _, err := ss.ListSnapshots("ghost"); !core.IsCode(err, core.ErrNoDomain) {
+			t.Fatalf("list of missing domain: %v", err)
+		}
+		if _, err := drv.DefineDomain(domainXML(name, "vm")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ss.CreateSnapshot("vm", "<garbage"); !core.IsCode(err, core.ErrXML) {
+			t.Fatalf("bad snapshot xml: %v", err)
+		}
+		if _, err := ss.CreateSnapshot("vm", `<domainsnapshot><name>s1</name></domainsnapshot>`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ss.CreateSnapshot("vm", `<domainsnapshot><name>s1</name></domainsnapshot>`); !core.IsCode(err, core.ErrDuplicate) {
+			t.Fatalf("duplicate snapshot: %v", err)
+		}
+		if err := ss.RevertSnapshot("vm", "nope"); !core.IsCode(err, core.ErrInvalidArg) {
+			t.Fatalf("revert missing snapshot: %v", err)
+		}
+		if _, err := ss.SnapshotXML("vm", "nope"); !core.IsCode(err, core.ErrInvalidArg) {
+			t.Fatalf("xml of missing snapshot: %v", err)
+		}
+	})
+}
+
+func TestSnapshotRevertPausedState(t *testing.T) {
+	drv := openers["qsim"](t)
+	ss := snapDrv(t, drv)
+	if _, err := drv.DefineDomain(domainXML("qsim", "vm")); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.CreateDomain("vm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.SuspendDomain("vm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.CreateSnapshot("vm", `<domainsnapshot><name>paused</name></domainsnapshot>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.ResumeDomain("vm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.RevertSnapshot("vm", "paused"); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := drv.DomainInfo("vm"); info.State != core.DomainPaused {
+		t.Fatalf("reverted state %v, want paused", info.State)
+	}
+}
+
+func TestManagedSaveAllDrivers(t *testing.T) {
+	forEachDriver(t, func(t *testing.T, name string, drv core.DriverConn) {
+		ms, ok := drv.(core.ManagedSaveSupport)
+		if !ok {
+			t.Fatal("driver does not implement managed save")
+		}
+		if _, err := drv.DefineDomain(domainXML(name, "vm")); err != nil {
+			t.Fatal(err)
+		}
+		// Managed save needs an active domain.
+		if err := ms.ManagedSave("vm"); !core.IsCode(err, core.ErrOperationInvalid) {
+			t.Fatalf("save of inactive domain: %v", err)
+		}
+		if err := drv.CreateDomain("vm"); err != nil {
+			t.Fatal(err)
+		}
+		if err := drv.SetDomainMemory("vm", 512*1024); err != nil {
+			t.Fatal(err)
+		}
+		if err := ms.ManagedSave("vm"); err != nil {
+			t.Fatal(err)
+		}
+		if info, _ := drv.DomainInfo("vm"); info.State != core.DomainShutoff {
+			t.Fatalf("state after save: %v", info.State)
+		}
+		if has, err := ms.HasManagedSave("vm"); err != nil || !has {
+			t.Fatalf("HasManagedSave %v %v", has, err)
+		}
+		// Start restores the image: balloon preserved, image consumed.
+		if err := drv.CreateDomain("vm"); err != nil {
+			t.Fatal(err)
+		}
+		info, err := drv.DomainInfo("vm")
+		if err != nil || info.State != core.DomainRunning || info.MemKiB != 512*1024 {
+			t.Fatalf("restored info %+v %v", info, err)
+		}
+		if has, _ := ms.HasManagedSave("vm"); has {
+			t.Fatal("image not consumed by restore")
+		}
+	})
+}
+
+func TestManagedSaveRemoveBootsFresh(t *testing.T) {
+	drv := openers["csim"](t)
+	ms := drv.(core.ManagedSaveSupport)
+	if _, err := drv.DefineDomain(domainXML("csim", "vm")); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.CreateDomain("vm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.SetDomainMemory("vm", 256*1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.ManagedSave("vm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.ManagedSaveRemove("vm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.ManagedSaveRemove("vm"); !core.IsCode(err, core.ErrOperationInvalid) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if err := drv.CreateDomain("vm"); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh boot uses the definition's memory, not the saved balloon.
+	if info, _ := drv.DomainInfo("vm"); info.MemKiB != 1024*1024 {
+		t.Fatalf("fresh boot balloon %d", info.MemKiB)
+	}
+}
+
+func TestManagedSavePausedDomain(t *testing.T) {
+	drv := openers["xsim"](t)
+	ms := drv.(core.ManagedSaveSupport)
+	if _, err := drv.DefineDomain(domainXML("xsim", "vm")); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.CreateDomain("vm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.SuspendDomain("vm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.ManagedSave("vm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.CreateDomain("vm"); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := drv.DomainInfo("vm"); info.State != core.DomainPaused {
+		t.Fatalf("restored state %v, want paused", info.State)
+	}
+}

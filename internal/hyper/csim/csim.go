@@ -1,0 +1,316 @@
+// Package csim simulates an OS-level container engine: containers are
+// process groups sharing the host kernel, isolated through namespaces and
+// resource-limited through a cgroup tree. Its native management surface —
+// engine method calls plus direct cgroup-file edits — is again a different
+// API shape from qsim's monitor and xsim's hypercalls, matching how the
+// uniform layer manages containers by editing cgroups and talking to the
+// engine directly.
+package csim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/hyper"
+	"repro/internal/nodeinfo"
+)
+
+// Namespace kinds a container may unshare.
+const (
+	NSPid   = "pid"
+	NSNet   = "net"
+	NSMount = "mnt"
+	NSUTS   = "uts"
+	NSIPC   = "ipc"
+	NSUser  = "user"
+)
+
+var knownNamespaces = map[string]bool{
+	NSPid: true, NSNet: true, NSMount: true, NSUTS: true, NSIPC: true, NSUser: true,
+}
+
+// Spec describes a container to create.
+type Spec struct {
+	Name       string
+	Init       string // init process command line
+	Namespaces []string
+	VCPUs      int    // cpu.max quota in whole CPUs
+	MemKiB     uint64 // memory.max
+	CPUUtil    float64
+}
+
+// Engine is the container runtime. All containers share the host kernel;
+// there is no per-guest hypervisor object.
+type Engine struct {
+	mu         sync.Mutex
+	host       *hyper.Host
+	containers map[string]*Container
+	cgroups    *CgroupTree
+	kernel     string
+}
+
+// New creates an engine on the given node.
+func New(node *nodeinfo.Node) *Engine {
+	return &Engine{
+		host:       hyper.NewHost(node, 2.0), // containers overcommit aggressively
+		containers: make(map[string]*Container),
+		cgroups:    NewCgroupTree(),
+		kernel:     "5.14.0-sim",
+	}
+}
+
+// KernelVersion returns the shared kernel version banner.
+func (e *Engine) KernelVersion() string { return e.kernel }
+
+// Host exposes the underlying host model.
+func (e *Engine) Host() *hyper.Host { return e.host }
+
+// Cgroups exposes the cgroup tree for direct edits, the way management
+// layers resize containers.
+func (e *Engine) Cgroups() *CgroupTree { return e.cgroups }
+
+// Create registers a container in the stopped state and materialises its
+// cgroup.
+func (e *Engine) Create(spec Spec) (*Container, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("csim: container needs a name")
+	}
+	if spec.Init == "" {
+		spec.Init = "/sbin/init"
+	}
+	if len(spec.Namespaces) == 0 {
+		spec.Namespaces = []string{NSPid, NSNet, NSMount, NSUTS, NSIPC}
+	}
+	for _, ns := range spec.Namespaces {
+		if !knownNamespaces[ns] {
+			return nil, fmt.Errorf("csim: container %s: unknown namespace %q", spec.Name, ns)
+		}
+	}
+	if spec.VCPUs <= 0 {
+		spec.VCPUs = 1
+	}
+	if spec.MemKiB == 0 {
+		return nil, fmt.Errorf("csim: container %s: memory limit required", spec.Name)
+	}
+	m, err := hyper.NewMachine(hyper.Config{
+		Name:    spec.Name,
+		VCPUs:   spec.VCPUs,
+		MemKiB:  spec.MemKiB,
+		CPUUtil: spec.CPUUtil,
+		// Containers share the host page cache; dirty-page migration does
+		// not apply, so the dirty model stays off.
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Containers "boot" by exec'ing init: two orders of magnitude faster
+	// than a full VM.
+	m.SetLatencyModel(45_000_000, 30_000_000, 1_000_000, 800_000, 5_000_000)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.containers[spec.Name]; dup {
+		return nil, fmt.Errorf("csim: container %q already exists", spec.Name)
+	}
+	if err := e.host.AddMachine(m); err != nil {
+		return nil, err
+	}
+	path := "/machine/" + spec.Name
+	e.cgroups.Set(path, "cpu.max", fmt.Sprintf("%d 100000", spec.VCPUs*100000))
+	e.cgroups.Set(path, "memory.max", strconv.FormatUint(spec.MemKiB*1024, 10))
+	c := &Container{
+		spec:    spec,
+		machine: m,
+		engine:  e,
+		cgroup:  path,
+	}
+	e.containers[spec.Name] = c
+	return c, nil
+}
+
+// Get looks up a container by name.
+func (e *Engine) Get(name string) (*Container, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.containers[name]
+	return c, ok
+}
+
+// List returns all container names, sorted.
+func (e *Engine) List() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.containers))
+	for n := range e.containers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remove deletes a stopped container and its cgroup.
+func (e *Engine) Remove(name string) error {
+	e.mu.Lock()
+	c, ok := e.containers[name]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("csim: no container %q", name)
+	}
+	if st := c.machine.State(); st != hyper.StateShutoff {
+		return fmt.Errorf("csim: container %q is %s; stop it first", name, st)
+	}
+	if err := e.host.RemoveMachine(name); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	delete(e.containers, name)
+	e.mu.Unlock()
+	e.cgroups.Delete(c.cgroup)
+	return nil
+}
+
+// Container is one OS-level virtual instance.
+type Container struct {
+	spec    Spec
+	machine *hyper.Machine
+	engine  *Engine
+	cgroup  string
+}
+
+// Name returns the container name.
+func (c *Container) Name() string { return c.spec.Name }
+
+// Spec returns the creation spec.
+func (c *Container) Spec() Spec { return c.spec }
+
+// CgroupPath returns the container's cgroup directory.
+func (c *Container) CgroupPath() string { return c.cgroup }
+
+// Machine exposes the underlying accounting model.
+func (c *Container) Machine() *hyper.Machine { return c.machine }
+
+// Start launches the init process.
+func (c *Container) Start() error {
+	return c.engine.host.StartMachine(c.spec.Name)
+}
+
+// Freeze pauses all processes via the cgroup freezer.
+func (c *Container) Freeze() error {
+	if err := c.machine.Pause(); err != nil {
+		return err
+	}
+	c.engine.cgroups.Set(c.cgroup, "cgroup.freeze", "1")
+	return nil
+}
+
+// Thaw resumes a frozen container.
+func (c *Container) Thaw() error {
+	if err := c.machine.Resume(); err != nil {
+		return err
+	}
+	c.engine.cgroups.Set(c.cgroup, "cgroup.freeze", "0")
+	return nil
+}
+
+// Stop delivers SIGTERM to init (graceful shutdown).
+func (c *Container) Stop() error { return c.machine.Shutdown() }
+
+// Kill delivers SIGKILL to the process group.
+func (c *Container) Kill() error { return c.machine.Destroy() }
+
+// State returns the container state.
+func (c *Container) State() hyper.State { return c.machine.State() }
+
+// ApplyCgroupLimits re-reads the container's cgroup files and applies
+// them to the running instance — the "resize by editing cgroups" path.
+func (c *Container) ApplyCgroupLimits() error {
+	cg := c.engine.cgroups
+	if v, ok := cg.Get(c.cgroup, "memory.max"); ok {
+		bytes, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("csim: container %s: bad memory.max %q", c.spec.Name, v)
+		}
+		if err := c.machine.SetMemory(bytes / 1024); err != nil {
+			return err
+		}
+	}
+	if v, ok := cg.Get(c.cgroup, "cpu.max"); ok {
+		fields := strings.Fields(v)
+		if len(fields) != 2 {
+			return fmt.Errorf("csim: container %s: bad cpu.max %q", c.spec.Name, v)
+		}
+		quota, err1 := strconv.Atoi(fields[0])
+		period, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil || period <= 0 || quota <= 0 {
+			return fmt.Errorf("csim: container %s: bad cpu.max %q", c.spec.Name, v)
+		}
+		cpus := quota / period
+		if cpus < 1 {
+			cpus = 1
+		}
+		if err := c.machine.SetVCPUs(cpus); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CgroupTree is a tiny cgroup-v2-like filesystem: paths hold controller
+// files with string values.
+type CgroupTree struct {
+	mu    sync.Mutex
+	files map[string]map[string]string // path -> file -> value
+}
+
+// NewCgroupTree creates an empty tree with a root group.
+func NewCgroupTree() *CgroupTree {
+	t := &CgroupTree{files: make(map[string]map[string]string)}
+	t.files["/"] = map[string]string{"cgroup.controllers": "cpu memory io"}
+	return t
+}
+
+// Set writes a controller file, creating the group if needed.
+func (t *CgroupTree) Set(path, file, value string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, ok := t.files[path]
+	if !ok {
+		g = make(map[string]string)
+		t.files[path] = g
+	}
+	g[file] = value
+}
+
+// Get reads a controller file.
+func (t *CgroupTree) Get(path, file string) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, ok := t.files[path]
+	if !ok {
+		return "", false
+	}
+	v, ok := g[file]
+	return v, ok
+}
+
+// Delete removes a whole group.
+func (t *CgroupTree) Delete(path string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.files, path)
+}
+
+// Groups lists all group paths, sorted.
+func (t *CgroupTree) Groups() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.files))
+	for p := range t.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,204 @@
+package csim
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/hyper"
+	"repro/internal/nodeinfo"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	node, err := nodeinfo.NewNode("chost", nodeinfo.ProfileServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(node)
+}
+
+func spec(name string) Spec {
+	return Spec{Name: name, MemKiB: 512 * 1024, VCPUs: 2}
+}
+
+func TestCreateDefaults(t *testing.T) {
+	e := newEngine(t)
+	c, err := e.Create(spec("c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != hyper.StateShutoff {
+		t.Fatal("fresh container not stopped")
+	}
+	s := c.Spec()
+	if s.Init != "/sbin/init" || len(s.Namespaces) != 5 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if v, ok := e.Cgroups().Get(c.CgroupPath(), "memory.max"); !ok || v != strconv.Itoa(512*1024*1024) {
+		t.Fatalf("memory.max %q %v", v, ok)
+	}
+	if v, ok := e.Cgroups().Get(c.CgroupPath(), "cpu.max"); !ok || v != "200000 100000" {
+		t.Fatalf("cpu.max %q %v", v, ok)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.Create(Spec{}); err == nil {
+		t.Fatal("unnamed container accepted")
+	}
+	if _, err := e.Create(Spec{Name: "x"}); err == nil {
+		t.Fatal("container without memory limit accepted")
+	}
+	if _, err := e.Create(Spec{Name: "x", MemKiB: 1024, Namespaces: []string{"timetravel"}}); err == nil {
+		t.Fatal("unknown namespace accepted")
+	}
+	if _, err := e.Create(spec("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Create(spec("dup")); err == nil {
+		t.Fatal("duplicate container accepted")
+	}
+}
+
+func TestContainerLifecycle(t *testing.T) {
+	e := newEngine(t)
+	c, _ := e.Create(spec("lc"))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != hyper.StateRunning {
+		t.Fatalf("state %v", c.State())
+	}
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.Cgroups().Get(c.CgroupPath(), "cgroup.freeze"); v != "1" {
+		t.Fatalf("freeze file %q", v)
+	}
+	if err := c.Thaw(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.Cgroups().Get(c.CgroupPath(), "cgroup.freeze"); v != "0" {
+		t.Fatalf("freeze file %q", v)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != hyper.StateShutoff {
+		t.Fatalf("state %v", c.State())
+	}
+	// Kill from running.
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Kill(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	e := newEngine(t)
+	c, _ := e.Create(spec("rm"))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Remove("rm"); err == nil {
+		t.Fatal("removed a running container")
+	}
+	if err := c.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Remove("rm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Remove("rm"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if _, ok := e.Cgroups().Get("/machine/rm", "memory.max"); ok {
+		t.Fatal("cgroup not deleted")
+	}
+	if len(e.List()) != 0 {
+		t.Fatal("list not empty")
+	}
+}
+
+func TestApplyCgroupLimits(t *testing.T) {
+	e := newEngine(t)
+	c, _ := e.Create(Spec{Name: "rs", MemKiB: 1024 * 1024, VCPUs: 4})
+	// Resize by editing cgroup files, then apply.
+	e.Cgroups().Set(c.CgroupPath(), "memory.max", strconv.Itoa(256*1024*1024))
+	e.Cgroups().Set(c.CgroupPath(), "cpu.max", "100000 100000")
+	if err := c.ApplyCgroupLimits(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Machine().MemKiB() != 256*1024 {
+		t.Fatalf("mem %d", c.Machine().MemKiB())
+	}
+	if c.Machine().VCPUs() != 1 {
+		t.Fatalf("vcpus %d", c.Machine().VCPUs())
+	}
+	// Invalid file contents are rejected.
+	e.Cgroups().Set(c.CgroupPath(), "memory.max", "lots")
+	if err := c.ApplyCgroupLimits(); err == nil {
+		t.Fatal("bad memory.max accepted")
+	}
+	e.Cgroups().Set(c.CgroupPath(), "memory.max", strconv.Itoa(256*1024*1024))
+	e.Cgroups().Set(c.CgroupPath(), "cpu.max", "broken")
+	if err := c.ApplyCgroupLimits(); err == nil {
+		t.Fatal("bad cpu.max accepted")
+	}
+	e.Cgroups().Set(c.CgroupPath(), "cpu.max", "0 0")
+	if err := c.ApplyCgroupLimits(); err == nil {
+		t.Fatal("zero cpu.max accepted")
+	}
+}
+
+func TestContainerBootIsFast(t *testing.T) {
+	e := newEngine(t)
+	c, _ := e.Create(spec("fast"))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if boot := c.Machine().Stats().SimTimeNs; boot >= 500_000_000 {
+		t.Fatalf("container boot modelled at %d ns; must be far below a VM's", boot)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	e := newEngine(t)
+	for _, n := range []string{"zz", "aa", "mm"} {
+		if _, err := e.Create(spec(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := e.List()
+	if got[0] != "aa" || got[1] != "mm" || got[2] != "zz" {
+		t.Fatalf("list %v", got)
+	}
+}
+
+func TestCgroupTree(t *testing.T) {
+	tr := NewCgroupTree()
+	if _, ok := tr.Get("/", "cgroup.controllers"); !ok {
+		t.Fatal("root controllers missing")
+	}
+	tr.Set("/machine/a", "cpu.max", "max 100000")
+	if v, ok := tr.Get("/machine/a", "cpu.max"); !ok || v != "max 100000" {
+		t.Fatalf("%q %v", v, ok)
+	}
+	if _, ok := tr.Get("/machine/a", "io.max"); ok {
+		t.Fatal("nonexistent file present")
+	}
+	if _, ok := tr.Get("/machine/b", "cpu.max"); ok {
+		t.Fatal("nonexistent group present")
+	}
+	groups := tr.Groups()
+	if len(groups) != 2 || groups[0] != "/" {
+		t.Fatalf("groups %v", groups)
+	}
+	tr.Delete("/machine/a")
+	if _, ok := tr.Get("/machine/a", "cpu.max"); ok {
+		t.Fatal("delete did not remove group")
+	}
+}

@@ -1,0 +1,161 @@
+package hyper
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/nodeinfo"
+	"repro/internal/uuid"
+)
+
+// Host owns a set of machines on one node and enforces resource limits:
+// committed memory may not exceed node memory times the overcommit
+// factor, and every machine needs at least one physical CPU available.
+type Host struct {
+	mu         sync.Mutex
+	node       *nodeinfo.Node
+	overcommit float64
+	machines   map[string]*Machine // by name
+	byUUID     map[uuid.UUID]*Machine
+}
+
+// NewHost creates an empty host on the given node. An overcommit factor
+// <= 0 defaults to 1.5.
+func NewHost(node *nodeinfo.Node, overcommit float64) *Host {
+	if overcommit <= 0 {
+		overcommit = 1.5
+	}
+	return &Host{
+		node:       node,
+		overcommit: overcommit,
+		machines:   make(map[string]*Machine),
+		byUUID:     make(map[uuid.UUID]*Machine),
+	}
+}
+
+// Node returns the underlying node description.
+func (h *Host) Node() *nodeinfo.Node { return h.node }
+
+// CommittedMemKiB returns memory committed to running or paused machines.
+func (h *Host) CommittedMemKiB() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.committedLocked()
+}
+
+func (h *Host) committedLocked() uint64 {
+	var total uint64
+	for _, m := range h.machines {
+		switch m.State() {
+		case StateRunning, StatePaused, StateShutdown, StatePMSuspended:
+			total += m.MemKiB()
+		}
+	}
+	return total
+}
+
+// AddMachine registers a machine on the host. Names and UUIDs must be
+// unique per host.
+func (h *Host) AddMachine(m *Machine) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.machines[m.Name()]; dup {
+		return fmt.Errorf("hyper: host %s: machine %q already exists", h.node.Hostname, m.Name())
+	}
+	if _, dup := h.byUUID[m.UUID()]; dup {
+		return fmt.Errorf("hyper: host %s: machine UUID %s already exists", h.node.Hostname, m.UUID())
+	}
+	h.machines[m.Name()] = m
+	h.byUUID[m.UUID()] = m
+	return nil
+}
+
+// RemoveMachine deregisters a machine; it must not be active.
+func (h *Host) RemoveMachine(name string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.machines[name]
+	if !ok {
+		return fmt.Errorf("hyper: host %s: no machine %q", h.node.Hostname, name)
+	}
+	if st := m.State(); st != StateShutoff && st != StateCrashed {
+		return fmt.Errorf("hyper: host %s: machine %q is %s, cannot remove", h.node.Hostname, name, st)
+	}
+	delete(h.machines, name)
+	delete(h.byUUID, m.UUID())
+	return nil
+}
+
+// Machine looks a machine up by name.
+func (h *Host) Machine(name string) (*Machine, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.machines[name]
+	return m, ok
+}
+
+// MachineByUUID looks a machine up by identity.
+func (h *Host) MachineByUUID(id uuid.UUID) (*Machine, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.byUUID[id]
+	return m, ok
+}
+
+// Machines returns all machines sorted by name.
+func (h *Host) Machines() []*Machine {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Machine, 0, len(h.machines))
+	for _, m := range h.machines {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Count returns the number of registered machines.
+func (h *Host) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.machines)
+}
+
+// StartMachine starts a registered machine after admission control.
+func (h *Host) StartMachine(name string) error {
+	h.mu.Lock()
+	m, ok := h.machines[name]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("hyper: host %s: no machine %q", h.node.Hostname, name)
+	}
+	limit := uint64(float64(h.node.MemoryKiB) * h.overcommit)
+	if h.committedLocked()+m.MemKiB() > limit {
+		h.mu.Unlock()
+		return fmt.Errorf("hyper: host %s: starting %q would commit %d KiB over limit %d",
+			h.node.Hostname, name, h.committedLocked()+m.MemKiB(), limit)
+	}
+	h.mu.Unlock()
+	return m.Start()
+}
+
+// ActiveCount returns how many machines are not shut off.
+func (h *Host) ActiveCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, m := range h.machines {
+		if m.State() != StateShutoff {
+			n++
+		}
+	}
+	return n
+}
+
+// RunAllFor advances every running machine's workload model.
+func (h *Host) RunAllFor(ns uint64) {
+	for _, m := range h.Machines() {
+		m.RunFor(ns)
+	}
+}

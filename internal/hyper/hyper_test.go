@@ -1,0 +1,371 @@
+package hyper
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nodeinfo"
+)
+
+func testConfig(name string) Config {
+	return Config{
+		Name:          name,
+		VCPUs:         2,
+		MemKiB:        1024 * 1024, // 1 GiB
+		CPUUtil:       0.5,
+		DirtyPagesSec: 1000,
+		BlockIOPS:     200,
+		NetPPS:        1000,
+	}
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Name: "m"},           // no vcpus
+		{Name: "m", VCPUs: 1}, // no memory
+		{Name: "m", VCPUs: 4, MaxVCPUs: 2, MemKiB: 1024},     // vcpus > max
+		{Name: "m", VCPUs: 1, MemKiB: 2048, MaxMemKiB: 1024}, // mem > max
+	}
+	for i, cfg := range bad {
+		if _, err := NewMachine(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	m, err := NewMachine(testConfig("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != StateShutoff || m.ID() != -1 {
+		t.Fatalf("fresh machine state=%v id=%d", m.State(), m.ID())
+	}
+	if m.UUID().IsNil() {
+		t.Fatal("no UUID derived")
+	}
+}
+
+func TestLifecycleHappyPath(t *testing.T) {
+	m, _ := NewMachine(testConfig("lc"))
+	steps := []struct {
+		op   func() error
+		want State
+	}{
+		{m.Start, StateRunning},
+		{m.Pause, StatePaused},
+		{m.Resume, StateRunning},
+		{m.Shutdown, StateShutoff},
+		{m.Start, StateRunning},
+		{m.Destroy, StateShutoff},
+	}
+	for i, s := range steps {
+		if err := s.op(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if m.State() != s.want {
+			t.Fatalf("step %d: state=%v want %v", i, m.State(), s.want)
+		}
+	}
+	if m.Stats().StartCount != 2 {
+		t.Fatalf("start count %d", m.Stats().StartCount)
+	}
+}
+
+func TestLifecycleInvalidTransitions(t *testing.T) {
+	m, _ := NewMachine(testConfig("bad"))
+	if err := m.Pause(); err == nil {
+		t.Fatal("pause from shutoff accepted")
+	}
+	if err := m.Resume(); err == nil {
+		t.Fatal("resume from shutoff accepted")
+	}
+	if err := m.Shutdown(); err == nil {
+		t.Fatal("shutdown from shutoff accepted")
+	}
+	if err := m.Destroy(); err == nil {
+		t.Fatal("destroy from shutoff accepted")
+	}
+	if err := m.Reboot(); err == nil {
+		t.Fatal("reboot from shutoff accepted")
+	}
+	must(t, m.Start())
+	if err := m.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	must(t, m.Pause())
+	if err := m.Pause(); err == nil {
+		t.Fatal("double pause accepted")
+	}
+	if err := m.Shutdown(); err == nil {
+		t.Fatal("shutdown from paused accepted")
+	}
+}
+
+func TestCrashAndRecover(t *testing.T) {
+	m, _ := NewMachine(testConfig("crash"))
+	must(t, m.Start())
+	must(t, m.Crash())
+	if m.State() != StateCrashed {
+		t.Fatalf("state %v", m.State())
+	}
+	// Crashed machines can be restarted directly or destroyed.
+	must(t, m.Start())
+	must(t, m.Crash())
+	must(t, m.Destroy())
+	if m.State() != StateShutoff {
+		t.Fatalf("state %v", m.State())
+	}
+}
+
+func TestRunForAccounting(t *testing.T) {
+	m, _ := NewMachine(testConfig("acct"))
+	must(t, m.Start())
+	m.RunFor(2_000_000_000) // 2 modelled seconds
+	st := m.Stats()
+	if st.CPUTimeNs != uint64(2e9*0.5*2) {
+		t.Fatalf("cpu time %d", st.CPUTimeNs)
+	}
+	if st.RdReqs+st.WrReqs != 400 {
+		t.Fatalf("block reqs %d", st.RdReqs+st.WrReqs)
+	}
+	if st.RxPkts+st.TxPkts != 2000 {
+		t.Fatalf("net pkts %d", st.RxPkts+st.TxPkts)
+	}
+	if st.DirtyPages == 0 || st.DirtyPages > 2000 {
+		t.Fatalf("dirty pages %d", st.DirtyPages)
+	}
+	// Paused machines accumulate nothing.
+	must(t, m.Pause())
+	before := m.Stats().CPUTimeNs
+	m.RunFor(1_000_000_000)
+	if m.Stats().CPUTimeNs != before {
+		t.Fatal("paused machine accumulated CPU time")
+	}
+}
+
+func TestDirtyPageTracking(t *testing.T) {
+	m, _ := NewMachine(testConfig("dirty"))
+	must(t, m.Start())
+	m.RunFor(1_000_000_000)
+	n1 := m.DirtyPageCount()
+	if n1 == 0 {
+		t.Fatal("no dirty pages after run")
+	}
+	got := m.ResetDirty()
+	if got != n1 {
+		t.Fatalf("ResetDirty returned %d, count was %d", got, n1)
+	}
+	if m.DirtyPageCount() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	// Working-set skew means repeated dirtying converges well below the
+	// uniform expectation.
+	m.RunFor(10_000_000_000)
+	if c := m.DirtyPageCount(); c >= 10000 {
+		t.Fatalf("dirty set %d did not exhibit working-set reuse", c)
+	}
+	// Shutdown clears dirty state.
+	must(t, m.Shutdown())
+	if m.DirtyPageCount() != 0 {
+		t.Fatal("shutdown left dirty pages")
+	}
+}
+
+func TestBalloonAndVCPUs(t *testing.T) {
+	cfg := testConfig("tune")
+	cfg.MaxMemKiB = 2 * 1024 * 1024
+	cfg.MaxVCPUs = 8
+	m, _ := NewMachine(cfg)
+	if err := m.SetMemory(512 * 1024); err != nil {
+		t.Fatal(err)
+	}
+	if m.MemKiB() != 512*1024 {
+		t.Fatalf("mem %d", m.MemKiB())
+	}
+	if err := m.SetMemory(0); err == nil {
+		t.Fatal("zero balloon accepted")
+	}
+	if err := m.SetMemory(4 * 1024 * 1024); err == nil {
+		t.Fatal("over-max balloon accepted")
+	}
+	if err := m.SetVCPUs(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetVCPUs(9); err == nil {
+		t.Fatal("over-max vcpus accepted")
+	}
+	if err := m.SetVCPUs(0); err == nil {
+		t.Fatal("zero vcpus accepted")
+	}
+}
+
+func TestSimLatencyAccumulates(t *testing.T) {
+	m, _ := NewMachine(testConfig("lat"))
+	must(t, m.Start())
+	boot := m.Stats().SimTimeNs
+	if boot == 0 {
+		t.Fatal("start cost not modelled")
+	}
+	must(t, m.Shutdown())
+	if m.Stats().SimTimeNs <= boot {
+		t.Fatal("shutdown cost not modelled")
+	}
+}
+
+func TestHostAdmissionControl(t *testing.T) {
+	node, _ := nodeinfo.NewNode("h1", nodeinfo.ProfileLaptop) // 16 GiB
+	h := NewHost(node, 1.0)
+	for i := 0; i < 4; i++ {
+		cfg := testConfig(fmt.Sprintf("m%d", i))
+		cfg.MemKiB = 4 * 1024 * 1024 // 4 GiB each
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.AddMachine(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := h.StartMachine(fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatalf("start m%d: %v", i, err)
+		}
+	}
+	extra, _ := NewMachine(func() Config {
+		c := testConfig("extra")
+		c.MemKiB = 4 * 1024 * 1024
+		return c
+	}())
+	must(t, h.AddMachine(extra))
+	if err := h.StartMachine("extra"); err == nil {
+		t.Fatal("admission control failed: overcommitted start accepted")
+	}
+	if h.ActiveCount() != 4 {
+		t.Fatalf("active %d", h.ActiveCount())
+	}
+	if h.CommittedMemKiB() != 16*1024*1024 {
+		t.Fatalf("committed %d", h.CommittedMemKiB())
+	}
+}
+
+func TestHostRegistry(t *testing.T) {
+	node, _ := nodeinfo.NewNode("h2", nodeinfo.ProfileServer)
+	h := NewHost(node, 0)
+	m, _ := NewMachine(testConfig("a"))
+	must(t, h.AddMachine(m))
+	if err := h.AddMachine(m); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+	dup, _ := NewMachine(testConfig("a"))
+	if err := h.AddMachine(dup); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, ok := h.Machine("a"); !ok {
+		t.Fatal("lookup by name failed")
+	}
+	if _, ok := h.MachineByUUID(m.UUID()); !ok {
+		t.Fatal("lookup by uuid failed")
+	}
+	must(t, h.StartMachine("a"))
+	if err := h.RemoveMachine("a"); err == nil {
+		t.Fatal("removed an active machine")
+	}
+	must(t, m.Destroy())
+	must(t, h.RemoveMachine("a"))
+	if err := h.RemoveMachine("a"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if h.Count() != 0 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestHostMachinesSorted(t *testing.T) {
+	node, _ := nodeinfo.NewNode("h3", nodeinfo.ProfileServer)
+	h := NewHost(node, 0)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		m, _ := NewMachine(testConfig(n))
+		must(t, h.AddMachine(m))
+	}
+	ms := h.Machines()
+	if ms[0].Name() != "alpha" || ms[2].Name() != "zeta" {
+		t.Fatalf("not sorted: %v %v %v", ms[0].Name(), ms[1].Name(), ms[2].Name())
+	}
+}
+
+func TestMachineIDsMonotonic(t *testing.T) {
+	a, _ := NewMachine(testConfig("ida"))
+	b, _ := NewMachine(testConfig("idb"))
+	must(t, a.Start())
+	must(t, b.Start())
+	if a.ID() <= 0 || b.ID() <= a.ID() {
+		t.Fatalf("ids %d %d", a.ID(), b.ID())
+	}
+	must(t, a.Shutdown())
+	if a.ID() != -1 {
+		t.Fatalf("inactive machine keeps id %d", a.ID())
+	}
+}
+
+func TestQuickStateMachineNeverInvalid(t *testing.T) {
+	// Property: applying a random sequence of operations never yields an
+	// unknown state and errors never change the state.
+	ops := []func(*Machine) error{
+		(*Machine).Start, (*Machine).Pause, (*Machine).Resume,
+		(*Machine).Shutdown, (*Machine).Destroy, (*Machine).Crash,
+		(*Machine).Reboot,
+	}
+	f := func(seq []uint8) bool {
+		m, err := NewMachine(testConfig("q"))
+		if err != nil {
+			return false
+		}
+		for _, b := range seq {
+			before := m.State()
+			err := ops[int(b)%len(ops)](m)
+			after := m.State()
+			if _, known := stateNames[after]; !known {
+				return false
+			}
+			if err != nil && before != after {
+				return false // failed op must not move the FSM
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDirtyNeverExceedsTotalPages(t *testing.T) {
+	f := func(steps uint8) bool {
+		cfg := testConfig("qd")
+		cfg.MemKiB = 8 * 1024 // tiny: 2048 pages
+		cfg.DirtyPagesSec = 100000
+		m, err := NewMachine(cfg)
+		if err != nil {
+			return false
+		}
+		if m.Start() != nil {
+			return false
+		}
+		for i := 0; i < int(steps); i++ {
+			m.RunFor(100_000_000)
+			if m.DirtyPageCount() > m.TotalPages() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,487 @@
+// Package hyper implements the simulated hardware substrate shared by all
+// hypervisor simulators: a virtual machine model with a lifecycle state
+// machine, vCPUs, memory with dirty-page tracking, and block/network
+// device accounting.
+//
+// The paper's evaluation ran on real Xen/KVM testbeds; this substrate
+// replaces them with a deterministic model (see DESIGN.md, Substitutions).
+// Operations are instantaneous in wall-clock terms but accumulate
+// *modelled* latency in simulated nanoseconds, so experiments measure the
+// management layer's real overhead separately from the hypervisor's
+// modelled cost, and results are reproducible on any machine.
+package hyper
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/uuid"
+)
+
+// State is a machine lifecycle state, matching the classic domain states.
+type State int
+
+// Machine lifecycle states.
+const (
+	StateShutoff State = iota
+	StateRunning
+	StatePaused
+	StateShutdown // graceful shutdown in progress
+	StateCrashed
+	StatePMSuspended
+)
+
+var stateNames = map[State]string{
+	StateShutoff:     "shut off",
+	StateRunning:     "running",
+	StatePaused:      "paused",
+	StateShutdown:    "in shutdown",
+	StateCrashed:     "crashed",
+	StatePMSuspended: "pmsuspended",
+}
+
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// PageSizeKiB is the simulated page size.
+const PageSizeKiB = 4
+
+// DiskConfig describes one simulated block device.
+type DiskConfig struct {
+	Target      string // guest device name, e.g. "vda"
+	CapacityKiB uint64
+	ReadOnly    bool
+}
+
+// NICConfig describes one simulated network device.
+type NICConfig struct {
+	MAC     string
+	Network string
+}
+
+// Config is the immutable creation-time description of a machine.
+type Config struct {
+	Name      string
+	UUID      uuid.UUID
+	VCPUs     int
+	MaxVCPUs  int // 0 means == VCPUs
+	MemKiB    uint64
+	MaxMemKiB uint64 // 0 means == MemKiB
+	Disks     []DiskConfig
+	NICs      []NICConfig
+
+	// Workload model parameters.
+	CPUUtil       float64 // fraction of a vCPU busy while running [0..1]
+	DirtyPagesSec uint64  // pages dirtied per second while running
+	BlockIOPS     uint64  // block requests per second while running
+	NetPPS        uint64  // packets per second while running
+}
+
+// Stats is a point-in-time snapshot of machine accounting.
+type Stats struct {
+	State      State
+	CPUTimeNs  uint64 // modelled guest CPU time
+	MemKiB     uint64 // current balloon size
+	MaxMemKiB  uint64
+	VCPUs      int
+	RdBytes    uint64
+	WrBytes    uint64
+	RdReqs     uint64
+	WrReqs     uint64
+	RxBytes    uint64
+	TxBytes    uint64
+	RxPkts     uint64
+	TxPkts     uint64
+	SimTimeNs  uint64 // modelled wall time spent running
+	StartCount uint64
+	DirtyPages uint64 // currently dirty (since last reset)
+}
+
+// latencyModel gives the modelled cost of each lifecycle operation in
+// nanoseconds; hypervisor simulators override entries to differentiate
+// themselves (a container "boots" much faster than a full VM).
+type latencyModel struct {
+	Start    uint64
+	Shutdown uint64
+	Pause    uint64
+	Resume   uint64
+	Destroy  uint64
+	Save     uint64
+	Restore  uint64
+}
+
+// defaultLatency models a full-virtualization guest.
+var defaultLatency = latencyModel{
+	Start:    1_800_000_000, // firmware + kernel boot
+	Shutdown: 900_000_000,
+	Pause:    4_000_000,
+	Resume:   3_000_000,
+	Destroy:  60_000_000,
+	Save:     2_500_000_000,
+	Restore:  1_200_000_000,
+}
+
+// Machine is one simulated virtual machine.
+type Machine struct {
+	mu  sync.Mutex
+	cfg Config
+
+	state     State
+	id        int // positive while running, -1 otherwise
+	vcpus     int
+	memKiB    uint64
+	persisted bool // has a saved image (after Save)
+
+	// accounting
+	cpuTimeNs  uint64
+	simTimeNs  uint64
+	startCount uint64
+	rdBytes    uint64
+	wrBytes    uint64
+	rdReqs     uint64
+	wrReqs     uint64
+	rxBytes    uint64
+	txBytes    uint64
+	rxPkts     uint64
+	txPkts     uint64
+
+	// Dirty-page tracking uses a closed-form working-set coverage model:
+	// 80% of writes hit a hot set of 20% of pages, the rest spread over
+	// the whole address space. Expected unique coverage is tracked per
+	// region, which keeps advances O(1) and fully deterministic at any
+	// dirty rate.
+	totalPages  uint64
+	hotCovered  float64 // expected unique dirty pages in the hot set
+	coldCovered float64 // expected unique dirty pages outside it
+
+	latency latencyModel
+}
+
+// NewMachine validates cfg and constructs a powered-off machine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("hyper: machine needs a name")
+	}
+	if cfg.VCPUs <= 0 {
+		return nil, fmt.Errorf("hyper: machine %s: vcpus must be > 0", cfg.Name)
+	}
+	if cfg.MemKiB == 0 {
+		return nil, fmt.Errorf("hyper: machine %s: memory must be > 0", cfg.Name)
+	}
+	if cfg.MaxVCPUs == 0 {
+		cfg.MaxVCPUs = cfg.VCPUs
+	}
+	if cfg.MaxMemKiB == 0 {
+		cfg.MaxMemKiB = cfg.MemKiB
+	}
+	if cfg.VCPUs > cfg.MaxVCPUs {
+		return nil, fmt.Errorf("hyper: machine %s: vcpus %d exceed max %d", cfg.Name, cfg.VCPUs, cfg.MaxVCPUs)
+	}
+	if cfg.MemKiB > cfg.MaxMemKiB {
+		return nil, fmt.Errorf("hyper: machine %s: memory %d exceeds max %d", cfg.Name, cfg.MemKiB, cfg.MaxMemKiB)
+	}
+	if cfg.UUID.IsNil() {
+		cfg.UUID = uuid.FromName("machine:" + cfg.Name)
+	}
+	if cfg.CPUUtil <= 0 || cfg.CPUUtil > 1 {
+		cfg.CPUUtil = 0.35
+	}
+	m := &Machine{
+		cfg:        cfg,
+		state:      StateShutoff,
+		id:         -1,
+		vcpus:      cfg.VCPUs,
+		memKiB:     cfg.MemKiB,
+		totalPages: cfg.MaxMemKiB / PageSizeKiB,
+		latency:    defaultLatency,
+	}
+	return m, nil
+}
+
+// SetLatencyModel overrides the modelled operation costs; used by the
+// hypervisor simulators to differentiate their performance envelopes.
+func (m *Machine) SetLatencyModel(start, shutdown, pause, resume, destroy uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.latency = latencyModel{
+		Start: start, Shutdown: shutdown, Pause: pause, Resume: resume,
+		Destroy: destroy, Save: m.latency.Save, Restore: m.latency.Restore,
+	}
+}
+
+// Name returns the machine name.
+func (m *Machine) Name() string { return m.cfg.Name }
+
+// UUID returns the machine identity.
+func (m *Machine) UUID() uuid.UUID { return m.cfg.UUID }
+
+// Config returns a copy of the creation configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// State returns the current lifecycle state.
+func (m *Machine) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// ID returns the runtime domain ID (positive while running, -1 otherwise).
+func (m *Machine) ID() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.id
+}
+
+var machineIDs struct {
+	mu   sync.Mutex
+	next int
+}
+
+func nextMachineID() int {
+	machineIDs.mu.Lock()
+	defer machineIDs.mu.Unlock()
+	machineIDs.next++
+	return machineIDs.next
+}
+
+// Start boots the machine.
+func (m *Machine) Start() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch m.state {
+	case StateShutoff, StateCrashed:
+		m.state = StateRunning
+		m.id = nextMachineID()
+		m.startCount++
+		m.simTimeNs += m.latency.Start
+		return nil
+	default:
+		return fmt.Errorf("hyper: machine %s: cannot start from state %q", m.cfg.Name, m.state)
+	}
+}
+
+// Pause suspends execution, keeping memory resident.
+func (m *Machine) Pause() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state != StateRunning {
+		return fmt.Errorf("hyper: machine %s: cannot pause from state %q", m.cfg.Name, m.state)
+	}
+	m.state = StatePaused
+	m.simTimeNs += m.latency.Pause
+	return nil
+}
+
+// Resume continues a paused machine.
+func (m *Machine) Resume() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state != StatePaused {
+		return fmt.Errorf("hyper: machine %s: cannot resume from state %q", m.cfg.Name, m.state)
+	}
+	m.state = StateRunning
+	m.simTimeNs += m.latency.Resume
+	return nil
+}
+
+// Shutdown performs a guest-cooperative shutdown.
+func (m *Machine) Shutdown() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state != StateRunning {
+		return fmt.Errorf("hyper: machine %s: cannot shut down from state %q", m.cfg.Name, m.state)
+	}
+	m.state = StateShutoff
+	m.id = -1
+	m.simTimeNs += m.latency.Shutdown
+	m.clearDirtyLocked()
+	return nil
+}
+
+// Destroy force-stops the machine from any active state.
+func (m *Machine) Destroy() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch m.state {
+	case StateRunning, StatePaused, StateShutdown, StateCrashed, StatePMSuspended:
+		m.state = StateShutoff
+		m.id = -1
+		m.simTimeNs += m.latency.Destroy
+		m.clearDirtyLocked()
+		return nil
+	default:
+		return fmt.Errorf("hyper: machine %s: cannot destroy from state %q", m.cfg.Name, m.state)
+	}
+}
+
+// Crash simulates a guest crash (used by failure-injection tests).
+func (m *Machine) Crash() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state != StateRunning && m.state != StatePaused {
+		return fmt.Errorf("hyper: machine %s: cannot crash from state %q", m.cfg.Name, m.state)
+	}
+	m.state = StateCrashed
+	return nil
+}
+
+// Reboot shuts down and starts the guest in one operation.
+func (m *Machine) Reboot() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state != StateRunning {
+		return fmt.Errorf("hyper: machine %s: cannot reboot from state %q", m.cfg.Name, m.state)
+	}
+	m.simTimeNs += m.latency.Shutdown + m.latency.Start
+	m.startCount++
+	m.clearDirtyLocked()
+	return nil
+}
+
+// SetMemory adjusts the balloon within [1, MaxMemKiB].
+func (m *Machine) SetMemory(kib uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if kib == 0 || kib > m.cfg.MaxMemKiB {
+		return fmt.Errorf("hyper: machine %s: memory %d KiB outside [1, %d]", m.cfg.Name, kib, m.cfg.MaxMemKiB)
+	}
+	m.memKiB = kib
+	return nil
+}
+
+// SetVCPUs adjusts the active vCPU count within [1, MaxVCPUs].
+func (m *Machine) SetVCPUs(n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n <= 0 || n > m.cfg.MaxVCPUs {
+		return fmt.Errorf("hyper: machine %s: vcpus %d outside [1, %d]", m.cfg.Name, n, m.cfg.MaxVCPUs)
+	}
+	m.vcpus = n
+	return nil
+}
+
+// RunFor advances the workload model by the given modelled duration. All
+// accounting (CPU time, I/O, dirty pages) derives from these explicit
+// advances, keeping simulations deterministic.
+func (m *Machine) RunFor(ns uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state != StateRunning {
+		return
+	}
+	m.simTimeNs += ns
+	m.cpuTimeNs += uint64(float64(ns) * m.cfg.CPUUtil * float64(m.vcpus))
+	secs := float64(ns) / 1e9
+	if m.cfg.BlockIOPS > 0 {
+		reqs := uint64(float64(m.cfg.BlockIOPS) * secs)
+		m.rdReqs += reqs / 2
+		m.wrReqs += reqs - reqs/2
+		m.rdBytes += (reqs / 2) * 16 * 1024
+		m.wrBytes += (reqs - reqs/2) * 16 * 1024
+	}
+	if m.cfg.NetPPS > 0 {
+		pkts := uint64(float64(m.cfg.NetPPS) * secs)
+		m.rxPkts += pkts / 2
+		m.txPkts += pkts - pkts/2
+		m.rxBytes += (pkts / 2) * 1400
+		m.txBytes += (pkts - pkts/2) * 1400
+	}
+	if m.cfg.DirtyPagesSec > 0 && m.totalPages > 0 {
+		m.dirtyLocked(float64(m.cfg.DirtyPagesSec) * secs)
+	}
+}
+
+// dirtyLocked advances the coverage model by n page writes. With U total
+// pages, the hot set is H = U/5; 80% of writes land in it directly and
+// the remaining 20% spread uniformly over all U pages. Expected unique
+// coverage after k draws over a region of size R grows as
+// R - (R - covered)·(1-1/R)^k.
+func (m *Machine) dirtyLocked(n float64) {
+	u := float64(m.totalPages)
+	h := u / 5
+	if h < 1 {
+		h = 1
+	}
+	c := u - h
+	hotDraws := n * (0.8 + 0.2*h/u)
+	coldDraws := n * 0.2 * c / u
+	m.hotCovered = h - (h-m.hotCovered)*math.Pow(1-1/h, hotDraws)
+	if c >= 1 {
+		m.coldCovered = c - (c-m.coldCovered)*math.Pow(1-1/c, coldDraws)
+	}
+}
+
+// DirtyPageCount returns the number of pages dirtied since the last reset.
+func (m *Machine) DirtyPageCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dirtyCountLocked()
+}
+
+func (m *Machine) dirtyCountLocked() uint64 {
+	n := uint64(math.Round(m.hotCovered + m.coldCovered))
+	if n > m.totalPages {
+		n = m.totalPages
+	}
+	return n
+}
+
+// ResetDirty clears dirty tracking (start of a migration iteration) and
+// returns how many pages were dirty.
+func (m *Machine) ResetDirty() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.dirtyCountLocked()
+	m.clearDirtyLocked()
+	return n
+}
+
+func (m *Machine) clearDirtyLocked() {
+	m.hotCovered, m.coldCovered = 0, 0
+}
+
+// TotalPages returns the number of memory pages backing the machine.
+func (m *Machine) TotalPages() uint64 { return m.totalPages }
+
+// Stats returns a consistent snapshot of the machine accounting.
+func (m *Machine) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		State:      m.state,
+		CPUTimeNs:  m.cpuTimeNs,
+		MemKiB:     m.memKiB,
+		MaxMemKiB:  m.cfg.MaxMemKiB,
+		VCPUs:      m.vcpus,
+		RdBytes:    m.rdBytes,
+		WrBytes:    m.wrBytes,
+		RdReqs:     m.rdReqs,
+		WrReqs:     m.wrReqs,
+		RxBytes:    m.rxBytes,
+		TxBytes:    m.txBytes,
+		RxPkts:     m.rxPkts,
+		TxPkts:     m.txPkts,
+		SimTimeNs:  m.simTimeNs,
+		StartCount: m.startCount,
+		DirtyPages: m.dirtyCountLocked(),
+	}
+}
+
+// MemKiB returns the current balloon size.
+func (m *Machine) MemKiB() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.memKiB
+}
+
+// VCPUs returns the current active vCPU count.
+func (m *Machine) VCPUs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.vcpus
+}

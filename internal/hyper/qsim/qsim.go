@@ -1,0 +1,300 @@
+// Package qsim simulates a QEMU/KVM-style full-virtualization stack. Its
+// native management surface is a per-VM JSON monitor protocol (modelled on
+// QMP): every control operation is a JSON command executed against the
+// machine's Monitor, exactly the interface shape the qemu driver must
+// translate the uniform API into. An Emulator process object owns the
+// machine and its monitor, mirroring "one QEMU process per guest".
+package qsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/hyper"
+	"repro/internal/nodeinfo"
+)
+
+// Hypervisor is the qsim host-level interface: it creates and tracks
+// emulator processes, one per guest.
+type Hypervisor struct {
+	mu        sync.Mutex
+	host      *hyper.Host
+	emulators map[string]*Emulator // by machine name
+	version   string
+}
+
+// New creates a qsim hypervisor on the given node.
+func New(node *nodeinfo.Node) *Hypervisor {
+	return &Hypervisor{
+		host:      hyper.NewHost(node, 1.5),
+		emulators: make(map[string]*Emulator),
+		version:   "qsim 4.2.1",
+	}
+}
+
+// Version returns the emulator version banner.
+func (h *Hypervisor) Version() string { return h.version }
+
+// Host exposes the underlying host model.
+func (h *Hypervisor) Host() *hyper.Host { return h.host }
+
+// Launch creates an emulator process (and its machine) in the powered-off
+// state; the monitor is immediately available, as with -S in QEMU.
+func (h *Hypervisor) Launch(cfg hyper.Config) (*Emulator, error) {
+	m, err := hyper.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// qsim guests carry the full-virtualization latency envelope: slowest
+	// boot, fast pause/resume through the in-kernel module.
+	m.SetLatencyModel(2_200_000_000, 1_000_000_000, 3_000_000, 2_500_000, 50_000_000)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.emulators[cfg.Name]; dup {
+		return nil, fmt.Errorf("qsim: emulator for %q already running", cfg.Name)
+	}
+	if err := h.host.AddMachine(m); err != nil {
+		return nil, err
+	}
+	e := &Emulator{machine: m, host: h.host}
+	e.monitor = &Monitor{emu: e}
+	h.emulators[cfg.Name] = e
+	return e, nil
+}
+
+// Emulator looks up a running emulator process by guest name.
+func (h *Hypervisor) Emulator(name string) (*Emulator, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e, ok := h.emulators[name]
+	return e, ok
+}
+
+// Quit terminates an emulator process; the guest must be shut off first
+// unless force is set.
+func (h *Hypervisor) Quit(name string, force bool) error {
+	h.mu.Lock()
+	e, ok := h.emulators[name]
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("qsim: no emulator for %q", name)
+	}
+	st := e.machine.State()
+	if st != hyper.StateShutoff && st != hyper.StateCrashed {
+		if !force {
+			return fmt.Errorf("qsim: guest %q is %s; use force to kill", name, st)
+		}
+		if err := e.machine.Destroy(); err != nil {
+			return err
+		}
+	}
+	h.mu.Lock()
+	delete(h.emulators, name)
+	h.mu.Unlock()
+	return h.host.RemoveMachine(name)
+}
+
+// Emulators returns the names of all live emulator processes.
+func (h *Hypervisor) Emulators() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.emulators))
+	for n := range h.emulators {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Emulator is one simulated QEMU process: a machine plus its monitor.
+type Emulator struct {
+	machine *hyper.Machine
+	monitor *Monitor
+	host    *hyper.Host
+}
+
+// Machine exposes the underlying machine (for the substrate-level tests;
+// management code must go through the Monitor).
+func (e *Emulator) Machine() *hyper.Machine { return e.machine }
+
+// Monitor returns the control monitor of this emulator.
+func (e *Emulator) Monitor() *Monitor { return e.monitor }
+
+// Monitor is the QMP-style JSON command interface of one emulator.
+type Monitor struct {
+	mu  sync.Mutex
+	emu *Emulator
+}
+
+// command is the envelope of a monitor request.
+type command struct {
+	Execute   string          `json:"execute"`
+	Arguments json.RawMessage `json:"arguments,omitempty"`
+}
+
+// response is the envelope of a monitor reply.
+type response struct {
+	Return interface{} `json:"return,omitempty"`
+	Error  *qmpError   `json:"error,omitempty"`
+}
+
+type qmpError struct {
+	Class string `json:"class"`
+	Desc  string `json:"desc"`
+}
+
+// Execute runs one JSON command against the emulator and returns the JSON
+// reply. Unknown commands and invalid arguments produce an error reply,
+// never a Go error; a Go error means the monitor itself failed.
+func (mon *Monitor) Execute(raw []byte) ([]byte, error) {
+	mon.mu.Lock()
+	defer mon.mu.Unlock()
+	var cmd command
+	if err := json.Unmarshal(raw, &cmd); err != nil {
+		return marshalResp(response{Error: &qmpError{Class: "GenericError", Desc: "malformed command: " + err.Error()}})
+	}
+	if cmd.Execute == "" {
+		return marshalResp(response{Error: &qmpError{Class: "GenericError", Desc: "missing execute"}})
+	}
+	ret, err := mon.dispatch(cmd)
+	if err != nil {
+		return marshalResp(response{Error: &qmpError{Class: "GenericError", Desc: err.Error()}})
+	}
+	return marshalResp(response{Return: ret})
+}
+
+func marshalResp(r response) ([]byte, error) {
+	out, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("qsim: marshal response: %w", err)
+	}
+	return out, nil
+}
+
+func (mon *Monitor) dispatch(cmd command) (interface{}, error) {
+	m := mon.emu.machine
+	switch cmd.Execute {
+	case "query-status":
+		st := m.State()
+		return map[string]interface{}{
+			"status":  monitorStatus(st),
+			"running": st == hyper.StateRunning,
+		}, nil
+	case "query-cpus":
+		n := m.VCPUs()
+		cpus := make([]map[string]interface{}, n)
+		for i := 0; i < n; i++ {
+			cpus[i] = map[string]interface{}{"cpu-index": i, "thread-id": 10000 + i}
+		}
+		return cpus, nil
+	case "query-balloon":
+		return map[string]interface{}{"actual": m.MemKiB() * 1024}, nil
+	case "query-blockstats":
+		st := m.Stats()
+		return map[string]interface{}{
+			"rd_bytes": st.RdBytes, "wr_bytes": st.WrBytes,
+			"rd_operations": st.RdReqs, "wr_operations": st.WrReqs,
+		}, nil
+	case "query-netstats":
+		st := m.Stats()
+		return map[string]interface{}{
+			"rx_bytes": st.RxBytes, "tx_bytes": st.TxBytes,
+			"rx_packets": st.RxPkts, "tx_packets": st.TxPkts,
+		}, nil
+	case "query-cpustats":
+		return map[string]interface{}{"cpu_time_ns": m.Stats().CPUTimeNs}, nil
+	case "system_boot":
+		return nil, mon.emu.host.StartMachine(m.Name())
+	case "stop":
+		return nil, m.Pause()
+	case "cont":
+		return nil, m.Resume()
+	case "system_powerdown":
+		return nil, m.Shutdown()
+	case "system_reset":
+		return nil, m.Reboot()
+	case "quit":
+		return nil, m.Destroy()
+	case "balloon":
+		var args struct {
+			Value uint64 `json:"value"` // bytes
+		}
+		if err := unmarshalArgs(cmd.Arguments, &args); err != nil {
+			return nil, err
+		}
+		return nil, m.SetMemory(args.Value / 1024)
+	case "set-vcpus":
+		var args struct {
+			Count int `json:"count"`
+		}
+		if err := unmarshalArgs(cmd.Arguments, &args); err != nil {
+			return nil, err
+		}
+		return nil, m.SetVCPUs(args.Count)
+	case "inject-failure":
+		return nil, m.Crash()
+	default:
+		return nil, fmt.Errorf("command %q not found", cmd.Execute)
+	}
+}
+
+func unmarshalArgs(raw json.RawMessage, into interface{}) error {
+	if len(raw) == 0 {
+		return fmt.Errorf("missing arguments")
+	}
+	if err := json.Unmarshal(raw, into); err != nil {
+		return fmt.Errorf("invalid arguments: %v", err)
+	}
+	return nil
+}
+
+func monitorStatus(s hyper.State) string {
+	switch s {
+	case hyper.StateRunning:
+		return "running"
+	case hyper.StatePaused:
+		return "paused"
+	case hyper.StateShutdown:
+		return "shutdown"
+	case hyper.StateCrashed:
+		return "internal-error"
+	case hyper.StatePMSuspended:
+		return "suspended"
+	default:
+		return "shutdown" // powered-off process idles with -S semantics
+	}
+}
+
+// ExecuteCommand is a convenience wrapper building the JSON envelope from
+// a command name and optional arguments and decoding the reply's return
+// value into out (may be nil).
+func (mon *Monitor) ExecuteCommand(name string, args interface{}, out interface{}) error {
+	cmd := map[string]interface{}{"execute": name}
+	if args != nil {
+		cmd["arguments"] = args
+	}
+	raw, err := json.Marshal(cmd)
+	if err != nil {
+		return fmt.Errorf("qsim: marshal command: %w", err)
+	}
+	replyRaw, err := mon.Execute(raw)
+	if err != nil {
+		return err
+	}
+	var reply struct {
+		Return json.RawMessage `json:"return"`
+		Error  *qmpError       `json:"error"`
+	}
+	if err := json.Unmarshal(replyRaw, &reply); err != nil {
+		return fmt.Errorf("qsim: decode reply: %w", err)
+	}
+	if reply.Error != nil {
+		return fmt.Errorf("qsim: %s: %s", reply.Error.Class, reply.Error.Desc)
+	}
+	if out != nil && len(reply.Return) > 0 {
+		if err := json.Unmarshal(reply.Return, out); err != nil {
+			return fmt.Errorf("qsim: decode return: %w", err)
+		}
+	}
+	return nil
+}

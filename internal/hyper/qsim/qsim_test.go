@@ -1,0 +1,217 @@
+package qsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hyper"
+	"repro/internal/nodeinfo"
+)
+
+func newHV(t *testing.T) *Hypervisor {
+	t.Helper()
+	node, err := nodeinfo.NewNode("qhost", nodeinfo.ProfileServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(node)
+}
+
+func launch(t *testing.T, h *Hypervisor, name string) *Emulator {
+	t.Helper()
+	e, err := h.Launch(hyper.Config{Name: name, VCPUs: 2, MemKiB: 1024 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestLaunchAndQuit(t *testing.T) {
+	h := newHV(t)
+	e := launch(t, h, "g1")
+	if e.Machine().State() != hyper.StateShutoff {
+		t.Fatal("fresh emulator should hold guest powered off")
+	}
+	if _, dup := h.Emulator("g1"); !dup {
+		t.Fatal("emulator lookup failed")
+	}
+	if _, err := h.Launch(hyper.Config{Name: "g1", VCPUs: 1, MemKiB: 1024}); err == nil {
+		t.Fatal("duplicate launch accepted")
+	}
+	if err := h.Quit("g1", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Quit("g1", false); err == nil {
+		t.Fatal("double quit accepted")
+	}
+	if len(h.Emulators()) != 0 {
+		t.Fatal("emulator list not empty")
+	}
+}
+
+func TestQuitRunningNeedsForce(t *testing.T) {
+	h := newHV(t)
+	e := launch(t, h, "g2")
+	if err := e.Monitor().ExecuteCommand("system_boot", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Quit("g2", false); err == nil {
+		t.Fatal("quit of running guest without force accepted")
+	}
+	if err := h.Quit("g2", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorLifecycleViaJSON(t *testing.T) {
+	h := newHV(t)
+	e := launch(t, h, "g3")
+	mon := e.Monitor()
+
+	reply, err := mon.Execute([]byte(`{"execute":"query-status"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(reply), `"running":false`) {
+		t.Fatalf("reply %s", reply)
+	}
+
+	for _, cmd := range []string{"system_boot", "stop", "cont", "system_powerdown"} {
+		reply, err := mon.Execute([]byte(`{"execute":"` + cmd + `"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(reply), `"error"`) {
+			t.Fatalf("%s: %s", cmd, reply)
+		}
+	}
+	if e.Machine().State() != hyper.StateShutoff {
+		t.Fatalf("state %v", e.Machine().State())
+	}
+}
+
+func TestMonitorErrorsAreReplies(t *testing.T) {
+	h := newHV(t)
+	e := launch(t, h, "g4")
+	mon := e.Monitor()
+	cases := []string{
+		`{"execute":"warp-drive"}`, // unknown command
+		`not json`,                 // malformed
+		`{"arguments":{}}`,         // missing execute
+		`{"execute":"stop"}`,       // invalid state transition
+		`{"execute":"balloon"}`,    // missing arguments
+		`{"execute":"balloon","arguments":{"value":"x"}}`, // bad arg type
+	}
+	for _, c := range cases {
+		reply, err := mon.Execute([]byte(c))
+		if err != nil {
+			t.Fatalf("%s: monitor failure %v", c, err)
+		}
+		if !strings.Contains(string(reply), `"error"`) {
+			t.Fatalf("%s: expected error reply, got %s", c, reply)
+		}
+	}
+}
+
+func TestMonitorBalloonAndVCPUs(t *testing.T) {
+	h := newHV(t)
+	e, err := h.Launch(hyper.Config{Name: "g5", VCPUs: 2, MaxVCPUs: 8, MemKiB: 1024 * 1024, MaxMemKiB: 2 * 1024 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := e.Monitor()
+	if err := mon.ExecuteCommand("balloon", map[string]uint64{"value": 512 * 1024 * 1024}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var bal struct {
+		Actual uint64 `json:"actual"`
+	}
+	if err := mon.ExecuteCommand("query-balloon", nil, &bal); err != nil {
+		t.Fatal(err)
+	}
+	if bal.Actual != 512*1024*1024 {
+		t.Fatalf("balloon %d", bal.Actual)
+	}
+	if err := mon.ExecuteCommand("set-vcpus", map[string]int{"count": 8}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var cpus []map[string]interface{}
+	if err := mon.ExecuteCommand("query-cpus", nil, &cpus); err != nil {
+		t.Fatal(err)
+	}
+	if len(cpus) != 8 {
+		t.Fatalf("cpus %d", len(cpus))
+	}
+}
+
+func TestMonitorStatsQueries(t *testing.T) {
+	h := newHV(t)
+	e := launch(t, h, "g6")
+	mon := e.Monitor()
+	if err := mon.ExecuteCommand("system_boot", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Machine().RunFor(1_000_000_000)
+	var cpu struct {
+		CPUTimeNs uint64 `json:"cpu_time_ns"`
+	}
+	if err := mon.ExecuteCommand("query-cpustats", nil, &cpu); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.CPUTimeNs == 0 {
+		t.Fatal("no cpu time accounted")
+	}
+	var blk map[string]uint64
+	if err := mon.ExecuteCommand("query-blockstats", nil, &blk); err != nil {
+		t.Fatal(err)
+	}
+	var nst map[string]uint64
+	if err := mon.ExecuteCommand("query-netstats", nil, &nst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectFailure(t *testing.T) {
+	h := newHV(t)
+	e := launch(t, h, "g7")
+	mon := e.Monitor()
+	if err := mon.ExecuteCommand("system_boot", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.ExecuteCommand("inject-failure", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Status string `json:"status"`
+	}
+	if err := mon.ExecuteCommand("query-status", nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "internal-error" {
+		t.Fatalf("status %q", st.Status)
+	}
+}
+
+func TestAdmissionThroughMonitorBoot(t *testing.T) {
+	node, _ := nodeinfo.NewNode("tiny", nodeinfo.ProfileLaptop) // 16 GiB, 1.5x overcommit
+	h := New(node)
+	var last *Emulator
+	for i := 0; i < 7; i++ {
+		e, err := h.Launch(hyper.Config{
+			Name: string(rune('a' + i)), VCPUs: 1, MemKiB: 4 * 1024 * 1024,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = e
+		if i < 6 {
+			if err := e.Monitor().ExecuteCommand("system_boot", nil, nil); err != nil {
+				t.Fatalf("boot %d: %v", i, err)
+			}
+		}
+	}
+	// 7th boot exceeds 24 GiB commit limit.
+	if err := last.Monitor().ExecuteCommand("system_boot", nil, nil); err == nil {
+		t.Fatal("overcommitted boot accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package hyper
+
+import "fmt"
+
+// MachineState is a serialisable capture of a machine's runtime state,
+// used by snapshots and managed save. Disk contents are not modelled;
+// the substrate's observable state is the lifecycle state plus the
+// accounting counters.
+type MachineState struct {
+	State      State
+	MemKiB     uint64
+	VCPUs      int
+	CPUTimeNs  uint64
+	SimTimeNs  uint64
+	StartCount uint64
+}
+
+// CaptureState snapshots the machine's current runtime state. Capturing
+// a running machine models a live snapshot: the guest keeps running.
+func (m *Machine) CaptureState() MachineState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MachineState{
+		State:      m.state,
+		MemKiB:     m.memKiB,
+		VCPUs:      m.vcpus,
+		CPUTimeNs:  m.cpuTimeNs,
+		SimTimeNs:  m.simTimeNs,
+		StartCount: m.startCount,
+	}
+}
+
+// RestoreState reverts the machine to a previously captured state. The
+// machine must not be running: like reverting a snapshot, the current
+// execution is discarded first (callers destroy before restoring). The
+// restore cost is modelled with the latency model's Restore entry.
+func (m *Machine) RestoreState(s MachineState) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state == StateRunning || m.state == StatePaused {
+		return fmt.Errorf("hyper: machine %s: cannot restore over active state %q", m.cfg.Name, m.state)
+	}
+	if s.MemKiB == 0 || s.MemKiB > m.cfg.MaxMemKiB {
+		return fmt.Errorf("hyper: machine %s: restored memory %d outside [1, %d]", m.cfg.Name, s.MemKiB, m.cfg.MaxMemKiB)
+	}
+	if s.VCPUs <= 0 || s.VCPUs > m.cfg.MaxVCPUs {
+		return fmt.Errorf("hyper: machine %s: restored vcpus %d outside [1, %d]", m.cfg.Name, s.VCPUs, m.cfg.MaxVCPUs)
+	}
+	m.memKiB = s.MemKiB
+	m.vcpus = s.VCPUs
+	m.cpuTimeNs = s.CPUTimeNs
+	m.startCount = s.StartCount
+	m.simTimeNs += m.latency.Restore
+	m.clearDirtyLocked()
+	switch s.State {
+	case StateRunning:
+		m.state = StateRunning
+		m.id = nextMachineID()
+	case StatePaused:
+		m.state = StatePaused
+		m.id = nextMachineID()
+	default:
+		m.state = StateShutoff
+		m.id = -1
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package hyper
+
+import "testing"
+
+func TestCaptureAndRestoreState(t *testing.T) {
+	cfg := testConfig("snap")
+	cfg.MaxMemKiB = 2 * 1024 * 1024
+	cfg.MaxVCPUs = 4
+	m, _ := NewMachine(cfg)
+	must(t, m.Start())
+	m.RunFor(1_000_000_000)
+	must(t, m.SetMemory(512*1024))
+	must(t, m.SetVCPUs(4))
+	captured := m.CaptureState()
+	if captured.State != StateRunning || captured.MemKiB != 512*1024 || captured.VCPUs != 4 {
+		t.Fatalf("%+v", captured)
+	}
+	if captured.CPUTimeNs == 0 {
+		t.Fatal("cpu time not captured")
+	}
+
+	// Diverge, stop, restore.
+	must(t, m.SetMemory(2*1024*1024))
+	must(t, m.Destroy())
+	must(t, m.RestoreState(captured))
+	if m.State() != StateRunning || m.MemKiB() != 512*1024 || m.VCPUs() != 4 {
+		t.Fatalf("restore: state=%v mem=%d vcpus=%d", m.State(), m.MemKiB(), m.VCPUs())
+	}
+	if m.Stats().CPUTimeNs != captured.CPUTimeNs {
+		t.Fatal("cpu time not restored")
+	}
+	if m.ID() <= 0 {
+		t.Fatal("restored running machine has no id")
+	}
+}
+
+func TestRestoreRefusesActiveMachine(t *testing.T) {
+	m, _ := NewMachine(testConfig("ra"))
+	must(t, m.Start())
+	s := m.CaptureState()
+	if err := m.RestoreState(s); err == nil {
+		t.Fatal("restore over running machine accepted")
+	}
+	must(t, m.Pause())
+	if err := m.RestoreState(s); err == nil {
+		t.Fatal("restore over paused machine accepted")
+	}
+}
+
+func TestRestoreValidatesBounds(t *testing.T) {
+	m, _ := NewMachine(testConfig("rv"))
+	bad := []MachineState{
+		{State: StateRunning, MemKiB: 0, VCPUs: 1},
+		{State: StateRunning, MemKiB: 1 << 40, VCPUs: 1},
+		{State: StateRunning, MemKiB: 1024, VCPUs: 0},
+		{State: StateRunning, MemKiB: 1024, VCPUs: 99},
+	}
+	for i, s := range bad {
+		if err := m.RestoreState(s); err == nil {
+			t.Errorf("bad state %d accepted", i)
+		}
+	}
+}
+
+func TestRestoreToShutoff(t *testing.T) {
+	m, _ := NewMachine(testConfig("rs"))
+	s := m.CaptureState() // shutoff capture
+	must(t, m.Start())
+	must(t, m.Destroy())
+	if err := m.RestoreState(s); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != StateShutoff || m.ID() != -1 {
+		t.Fatalf("state=%v id=%d", m.State(), m.ID())
+	}
+}

@@ -1,0 +1,297 @@
+// Package xsim simulates a Xen-style type-1 paravirtualization hypervisor.
+// Its native management surface is a numbered hypercall table invoked from
+// the privileged Domain0 control interface — a deliberately different API
+// shape from qsim's JSON monitor, so the uniform driver layer above has a
+// real incompatibility to absorb. Hypercalls may be batched through a
+// multicall, mirroring Xen's hypercall-batching optimisation.
+package xsim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hyper"
+	"repro/internal/nodeinfo"
+)
+
+// Op is a hypercall number.
+type Op int
+
+// The hypercall table.
+const (
+	OpDomainCreate Op = 1 + iota
+	OpDomainDestroy
+	OpDomainPause
+	OpDomainUnpause
+	OpDomainShutdown
+	OpDomainReboot
+	OpDomainGetInfo
+	OpDomainSetMaxMem
+	OpDomainSetVCPUs
+	OpDomainList
+	OpVersion
+	OpDomainCrash // debug injection
+)
+
+// DomID is a Xen-style numeric domain identifier; Domain0 is the control
+// domain.
+type DomID uint32
+
+// Domain0 is the privileged control domain's ID.
+const Domain0 DomID = 0
+
+// CreateArgs are the arguments of OpDomainCreate.
+type CreateArgs struct {
+	Name      string
+	VCPUs     int
+	MaxVCPUs  int
+	MemKiB    uint64
+	MaxMemKiB uint64
+	// Workload model knobs (ignored by real Xen; drive the simulation).
+	CPUUtil       float64
+	DirtyPagesSec uint64
+	BlockIOPS     uint64
+	NetPPS        uint64
+}
+
+// DomainInfo is the result of OpDomainGetInfo.
+type DomainInfo struct {
+	ID        DomID
+	Name      string
+	State     hyper.State
+	VCPUs     int
+	MemKiB    uint64
+	MaxMemKiB uint64
+	CPUTimeNs uint64
+}
+
+// Hypercall is one invocation of the control interface: an op plus its
+// argument, returning a result.
+type Hypercall struct {
+	Op   Op
+	Dom  DomID       // target domain for per-domain ops
+	Args interface{} // op-specific
+}
+
+// Result carries a hypercall's return value or error.
+type Result struct {
+	Value interface{}
+	Err   error
+}
+
+// Hypervisor is the xsim hypervisor. All management goes through
+// Call/Multicall issued from Domain0.
+type Hypervisor struct {
+	mu        sync.Mutex
+	host      *hyper.Host
+	domains   map[DomID]*hyper.Machine
+	byName    map[string]DomID
+	nextID    DomID
+	hcalls    uint64 // hypercall counter (for the batching ablation)
+	batchSave uint64 // hypercalls saved by batching
+}
+
+// New creates an xsim hypervisor on the given node.
+func New(node *nodeinfo.Node) *Hypervisor {
+	return &Hypervisor{
+		host:    hyper.NewHost(node, 1.2), // paravirt hosts run tighter commit
+		domains: make(map[DomID]*hyper.Machine),
+		byName:  make(map[string]DomID),
+		nextID:  1,
+	}
+}
+
+// Host exposes the underlying host model.
+func (h *Hypervisor) Host() *hyper.Host { return h.host }
+
+// HypercallCount returns how many individual hypercalls were serviced and
+// how many were saved through multicall batching.
+func (h *Hypervisor) HypercallCount() (served, savedByBatching uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.hcalls, h.batchSave
+}
+
+// Call issues a single hypercall from the given domain. Only Domain0 may
+// invoke control operations.
+func (h *Hypervisor) Call(from DomID, hc Hypercall) Result {
+	h.mu.Lock()
+	h.hcalls++
+	h.mu.Unlock()
+	if from != Domain0 {
+		return Result{Err: fmt.Errorf("xsim: domain %d is not privileged", from)}
+	}
+	return h.dispatch(hc)
+}
+
+// Multicall issues a batch of hypercalls with a single privilege
+// transition; results are positional. The modelled saving is one
+// transition per call beyond the first.
+func (h *Hypervisor) Multicall(from DomID, hcs []Hypercall) []Result {
+	h.mu.Lock()
+	h.hcalls++ // one transition for the whole batch
+	if len(hcs) > 1 {
+		h.batchSave += uint64(len(hcs) - 1)
+	}
+	h.mu.Unlock()
+	out := make([]Result, len(hcs))
+	if from != Domain0 {
+		err := fmt.Errorf("xsim: domain %d is not privileged", from)
+		for i := range out {
+			out[i] = Result{Err: err}
+		}
+		return out
+	}
+	for i, hc := range hcs {
+		out[i] = h.dispatch(hc)
+	}
+	return out
+}
+
+func (h *Hypervisor) dispatch(hc Hypercall) Result {
+	switch hc.Op {
+	case OpVersion:
+		return Result{Value: "xsim 4.16-sim"}
+	case OpDomainCreate:
+		args, ok := hc.Args.(CreateArgs)
+		if !ok {
+			return Result{Err: fmt.Errorf("xsim: DomainCreate: bad argument type %T", hc.Args)}
+		}
+		return h.create(args)
+	case OpDomainList:
+		return h.list()
+	}
+	// Remaining ops are per-domain.
+	h.mu.Lock()
+	m, ok := h.domains[hc.Dom]
+	h.mu.Unlock()
+	if !ok {
+		return Result{Err: fmt.Errorf("xsim: no domain %d", hc.Dom)}
+	}
+	switch hc.Op {
+	case OpDomainDestroy:
+		// Destroy also tears down the domain record, like xl destroy.
+		if st := m.State(); st != hyper.StateShutoff {
+			if err := m.Destroy(); err != nil {
+				return Result{Err: err}
+			}
+		}
+		h.mu.Lock()
+		delete(h.domains, hc.Dom)
+		delete(h.byName, m.Name())
+		h.mu.Unlock()
+		if err := h.host.RemoveMachine(m.Name()); err != nil {
+			return Result{Err: err}
+		}
+		return Result{}
+	case OpDomainPause:
+		return Result{Err: m.Pause()}
+	case OpDomainUnpause:
+		return Result{Err: m.Resume()}
+	case OpDomainShutdown:
+		return Result{Err: m.Shutdown()}
+	case OpDomainReboot:
+		return Result{Err: m.Reboot()}
+	case OpDomainCrash:
+		return Result{Err: m.Crash()}
+	case OpDomainGetInfo:
+		st := m.Stats()
+		return Result{Value: DomainInfo{
+			ID:        hc.Dom,
+			Name:      m.Name(),
+			State:     st.State,
+			VCPUs:     st.VCPUs,
+			MemKiB:    st.MemKiB,
+			MaxMemKiB: st.MaxMemKiB,
+			CPUTimeNs: st.CPUTimeNs,
+		}}
+	case OpDomainSetMaxMem:
+		kib, ok := hc.Args.(uint64)
+		if !ok {
+			return Result{Err: fmt.Errorf("xsim: SetMaxMem: bad argument type %T", hc.Args)}
+		}
+		return Result{Err: m.SetMemory(kib)}
+	case OpDomainSetVCPUs:
+		n, ok := hc.Args.(int)
+		if !ok {
+			return Result{Err: fmt.Errorf("xsim: SetVCPUs: bad argument type %T", hc.Args)}
+		}
+		return Result{Err: m.SetVCPUs(n)}
+	default:
+		return Result{Err: fmt.Errorf("xsim: unknown hypercall %d", hc.Op)}
+	}
+}
+
+// create builds the domain and starts it immediately: Xen-style domains
+// are created running (xl create), unlike qsim's powered-off launch.
+func (h *Hypervisor) create(args CreateArgs) Result {
+	m, err := hyper.NewMachine(hyper.Config{
+		Name:          args.Name,
+		VCPUs:         args.VCPUs,
+		MaxVCPUs:      args.MaxVCPUs,
+		MemKiB:        args.MemKiB,
+		MaxMemKiB:     args.MaxMemKiB,
+		CPUUtil:       args.CPUUtil,
+		DirtyPagesSec: args.DirtyPagesSec,
+		BlockIOPS:     args.BlockIOPS,
+		NetPPS:        args.NetPPS,
+	})
+	if err != nil {
+		return Result{Err: err}
+	}
+	// Paravirt guests boot faster than full virt: no firmware, modified
+	// kernel talks to the hypervisor directly.
+	m.SetLatencyModel(900_000_000, 500_000_000, 2_000_000, 1_500_000, 30_000_000)
+	h.mu.Lock()
+	if _, dup := h.byName[args.Name]; dup {
+		h.mu.Unlock()
+		return Result{Err: fmt.Errorf("xsim: domain %q already exists", args.Name)}
+	}
+	if err := h.host.AddMachine(m); err != nil {
+		h.mu.Unlock()
+		return Result{Err: err}
+	}
+	id := h.nextID
+	h.nextID++
+	h.domains[id] = m
+	h.byName[args.Name] = id
+	h.mu.Unlock()
+	if err := h.host.StartMachine(args.Name); err != nil {
+		// Roll the record back so failed creates leave no trace.
+		h.mu.Lock()
+		delete(h.domains, id)
+		delete(h.byName, args.Name)
+		h.mu.Unlock()
+		h.host.RemoveMachine(args.Name) //nolint:errcheck
+		return Result{Err: err}
+	}
+	return Result{Value: id}
+}
+
+func (h *Hypervisor) list() Result {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ids := make([]DomID, 0, len(h.domains))
+	for id := range h.domains {
+		ids = append(ids, id)
+	}
+	return Result{Value: ids}
+}
+
+// LookupByName resolves a domain name to its DomID (Domain0 tooling
+// convenience; real Xen keeps this in xenstore).
+func (h *Hypervisor) LookupByName(name string) (DomID, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id, ok := h.byName[name]
+	return id, ok
+}
+
+// Machine exposes the machine behind a DomID for substrate-level tests
+// and the migration engine; management code must use hypercalls.
+func (h *Hypervisor) Machine(id DomID) (*hyper.Machine, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.domains[id]
+	return m, ok
+}

@@ -1,0 +1,232 @@
+package xsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hyper"
+	"repro/internal/nodeinfo"
+)
+
+func newHV(t *testing.T) *Hypervisor {
+	t.Helper()
+	node, err := nodeinfo.NewNode("xhost", nodeinfo.ProfileServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(node)
+}
+
+func create(t *testing.T, h *Hypervisor, name string) DomID {
+	t.Helper()
+	res := h.Call(Domain0, Hypercall{Op: OpDomainCreate, Args: CreateArgs{
+		Name: name, VCPUs: 2, MemKiB: 1024 * 1024,
+	}})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	return res.Value.(DomID)
+}
+
+func TestCreateStartsRunning(t *testing.T) {
+	h := newHV(t)
+	id := create(t, h, "d1")
+	if id == Domain0 {
+		t.Fatal("guest got Domain0 id")
+	}
+	res := h.Call(Domain0, Hypercall{Op: OpDomainGetInfo, Dom: id})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	info := res.Value.(DomainInfo)
+	if info.State != hyper.StateRunning || info.Name != "d1" || info.VCPUs != 2 {
+		t.Fatalf("%+v", info)
+	}
+}
+
+func TestUnprivilegedDomainRefused(t *testing.T) {
+	h := newHV(t)
+	id := create(t, h, "d2")
+	res := h.Call(id2dom(id), Hypercall{Op: OpDomainGetInfo, Dom: id})
+	if res.Err == nil {
+		t.Fatal("unprivileged hypercall accepted")
+	}
+	for _, r := range h.Multicall(DomID(99), []Hypercall{{Op: OpVersion}, {Op: OpDomainList}}) {
+		if r.Err == nil {
+			t.Fatal("unprivileged multicall accepted")
+		}
+	}
+}
+
+func id2dom(id DomID) DomID { return id }
+
+func TestLifecycleHypercalls(t *testing.T) {
+	h := newHV(t)
+	id := create(t, h, "d3")
+	steps := []Op{OpDomainPause, OpDomainUnpause, OpDomainShutdown}
+	for _, op := range steps {
+		if res := h.Call(Domain0, Hypercall{Op: op, Dom: id}); res.Err != nil {
+			t.Fatalf("op %d: %v", op, res.Err)
+		}
+	}
+	res := h.Call(Domain0, Hypercall{Op: OpDomainGetInfo, Dom: id})
+	if res.Value.(DomainInfo).State != hyper.StateShutoff {
+		t.Fatalf("state %v", res.Value.(DomainInfo).State)
+	}
+	// Destroy removes the record entirely.
+	if res := h.Call(Domain0, Hypercall{Op: OpDomainDestroy, Dom: id}); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res := h.Call(Domain0, Hypercall{Op: OpDomainGetInfo, Dom: id}); res.Err == nil {
+		t.Fatal("destroyed domain still queryable")
+	}
+	if _, ok := h.LookupByName("d3"); ok {
+		t.Fatal("name still resolvable after destroy")
+	}
+}
+
+func TestDestroyRunningDomain(t *testing.T) {
+	h := newHV(t)
+	id := create(t, h, "d4")
+	if res := h.Call(Domain0, Hypercall{Op: OpDomainDestroy, Dom: id}); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res := h.Call(Domain0, Hypercall{Op: OpDomainList}); len(res.Value.([]DomID)) != 0 {
+		t.Fatal("list not empty after destroy")
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	h := newHV(t)
+	create(t, h, "dup")
+	res := h.Call(Domain0, Hypercall{Op: OpDomainCreate, Args: CreateArgs{
+		Name: "dup", VCPUs: 1, MemKiB: 1024,
+	}})
+	if res.Err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+}
+
+func TestCreateRollsBackOnAdmissionFailure(t *testing.T) {
+	node, _ := nodeinfo.NewNode("tiny", nodeinfo.ProfileLaptop) // 16 GiB * 1.2
+	h := New(node)
+	for i := 0; i < 4; i++ {
+		res := h.Call(Domain0, Hypercall{Op: OpDomainCreate, Args: CreateArgs{
+			Name: fmt.Sprintf("d%d", i), VCPUs: 1, MemKiB: 4 * 1024 * 1024,
+		}})
+		if res.Err != nil {
+			t.Fatalf("create %d: %v", i, res.Err)
+		}
+	}
+	res := h.Call(Domain0, Hypercall{Op: OpDomainCreate, Args: CreateArgs{
+		Name: "over", VCPUs: 1, MemKiB: 4 * 1024 * 1024,
+	}})
+	if res.Err == nil {
+		t.Fatal("overcommitted create accepted")
+	}
+	if _, ok := h.LookupByName("over"); ok {
+		t.Fatal("failed create left a domain record")
+	}
+	if h.Host().Count() != 4 {
+		t.Fatalf("host machine count %d", h.Host().Count())
+	}
+}
+
+func TestSetMaxMemAndVCPUs(t *testing.T) {
+	h := newHV(t)
+	res := h.Call(Domain0, Hypercall{Op: OpDomainCreate, Args: CreateArgs{
+		Name: "tune", VCPUs: 2, MaxVCPUs: 4, MemKiB: 1024 * 1024, MaxMemKiB: 2 * 1024 * 1024,
+	}})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	id := res.Value.(DomID)
+	if r := h.Call(Domain0, Hypercall{Op: OpDomainSetMaxMem, Dom: id, Args: uint64(512 * 1024)}); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r := h.Call(Domain0, Hypercall{Op: OpDomainSetVCPUs, Dom: id, Args: 4}); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	info := h.Call(Domain0, Hypercall{Op: OpDomainGetInfo, Dom: id}).Value.(DomainInfo)
+	if info.MemKiB != 512*1024 || info.VCPUs != 4 {
+		t.Fatalf("%+v", info)
+	}
+	// Bad argument types are rejected.
+	if r := h.Call(Domain0, Hypercall{Op: OpDomainSetMaxMem, Dom: id, Args: "lots"}); r.Err == nil {
+		t.Fatal("bad arg type accepted")
+	}
+	if r := h.Call(Domain0, Hypercall{Op: OpDomainSetVCPUs, Dom: id, Args: 3.5}); r.Err == nil {
+		t.Fatal("bad arg type accepted")
+	}
+}
+
+func TestMulticallBatching(t *testing.T) {
+	h := newHV(t)
+	ids := make([]DomID, 3)
+	for i := range ids {
+		ids[i] = create(t, h, fmt.Sprintf("b%d", i))
+	}
+	served0, saved0 := h.HypercallCount()
+
+	batch := make([]Hypercall, len(ids))
+	for i, id := range ids {
+		batch[i] = Hypercall{Op: OpDomainPause, Dom: id}
+	}
+	results := h.Multicall(Domain0, batch)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("batch entry %d: %v", i, r.Err)
+		}
+	}
+	served1, saved1 := h.HypercallCount()
+	if served1 != served0+1 {
+		t.Fatalf("multicall consumed %d transitions, want 1", served1-served0)
+	}
+	if saved1 != saved0+2 {
+		t.Fatalf("saved %d transitions, want 2", saved1-saved0)
+	}
+	// Mixed success/failure is positional.
+	results = h.Multicall(Domain0, []Hypercall{
+		{Op: OpDomainUnpause, Dom: ids[0]},
+		{Op: OpDomainUnpause, Dom: DomID(4242)},
+	})
+	if results[0].Err != nil || results[1].Err == nil {
+		t.Fatalf("positional results wrong: %v / %v", results[0].Err, results[1].Err)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	h := newHV(t)
+	id := create(t, h, "u")
+	if res := h.Call(Domain0, Hypercall{Op: Op(999), Dom: id}); res.Err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if res := h.Call(Domain0, Hypercall{Op: OpDomainCreate, Args: 42}); res.Err == nil {
+		t.Fatal("bad create args accepted")
+	}
+}
+
+func TestVersionAndList(t *testing.T) {
+	h := newHV(t)
+	if res := h.Call(Domain0, Hypercall{Op: OpVersion}); res.Err != nil || res.Value.(string) == "" {
+		t.Fatalf("version: %+v", res)
+	}
+	create(t, h, "l1")
+	create(t, h, "l2")
+	res := h.Call(Domain0, Hypercall{Op: OpDomainList})
+	if len(res.Value.([]DomID)) != 2 {
+		t.Fatalf("list %v", res.Value)
+	}
+}
+
+func TestCrashInjection(t *testing.T) {
+	h := newHV(t)
+	id := create(t, h, "c")
+	if res := h.Call(Domain0, Hypercall{Op: OpDomainCrash, Dom: id}); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	info := h.Call(Domain0, Hypercall{Op: OpDomainGetInfo, Dom: id}).Value.(DomainInfo)
+	if info.State != hyper.StateCrashed {
+		t.Fatalf("state %v", info.State)
+	}
+}

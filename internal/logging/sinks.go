@@ -1,0 +1,160 @@
+package logging
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// openSink instantiates the sink backing an Output definition.
+func openSink(o Output) (Sink, error) {
+	switch o.Kind {
+	case kindStderr:
+		return newStderrSink(), nil
+	case kindFile:
+		return newFileSink(o.Dest)
+	case kindSyslog:
+		return newSyslogSink(o.Dest), nil
+	case kindJournald:
+		return newJournaldSink(), nil
+	case kindBuffer:
+		return NewBufferSink(), nil
+	default:
+		return nil, fmt.Errorf("logging: unknown output kind %q", o.Kind)
+	}
+}
+
+// stderrSink writes formatted records to standard error.
+type stderrSink struct{}
+
+func newStderrSink() Sink { return stderrSink{} }
+
+func (stderrSink) Write(r Record) error {
+	_, err := fmt.Fprintln(os.Stderr, r.Format())
+	return err
+}
+
+func (stderrSink) Close() error { return nil }
+
+// fileSink appends formatted records to a regular file.
+type fileSink struct {
+	f *os.File
+}
+
+func newFileSink(path string) (Sink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o640)
+	if err != nil {
+		return nil, fmt.Errorf("logging: open %s: %w", path, err)
+	}
+	return &fileSink{f: f}, nil
+}
+
+func (s *fileSink) Write(r Record) error {
+	_, err := fmt.Fprintln(s.f, r.Format())
+	return err
+}
+
+func (s *fileSink) Close() error { return s.f.Close() }
+
+// syslogSink simulates the system log: every message is prefixed with the
+// configured identifier and the process id, matching openlog(ident) use.
+// Messages are retained in memory; a production deployment would hand them
+// to the system journal instead. The simulation preserves the property the
+// daemon relies on: changing the identifier requires reopening the sink.
+type syslogSink struct {
+	mu    sync.Mutex
+	ident string
+	pid   int
+	msgs  []string
+}
+
+func newSyslogSink(ident string) *syslogSink {
+	return &syslogSink{ident: ident, pid: os.Getpid()}
+}
+
+func (s *syslogSink) Write(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.msgs = append(s.msgs, fmt.Sprintf("%s[%d]: %s", s.ident, s.pid, r.Format()))
+	return nil
+}
+
+func (s *syslogSink) Close() error { return nil }
+
+// Messages returns a copy of everything logged so far (test hook).
+func (s *syslogSink) Messages() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.msgs))
+	copy(out, s.msgs)
+	return out
+}
+
+// journaldSink simulates the structured journal: records are retained as
+// field maps, mirroring sd_journal_send semantics.
+type journaldSink struct {
+	mu      sync.Mutex
+	entries []map[string]string
+}
+
+func newJournaldSink() *journaldSink { return &journaldSink{} }
+
+func (s *journaldSink) Write(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = append(s.entries, map[string]string{
+		"MESSAGE":         r.Message,
+		"PRIORITY":        r.Priority.String(),
+		"CODE_MODULE":     r.Module,
+		"SYSLOG_FACILITY": "daemon",
+	})
+	return nil
+}
+
+func (s *journaldSink) Close() error { return nil }
+
+// BufferSink retains records in memory for inspection; used by tests and
+// by the admin API examples to demonstrate output switching.
+type BufferSink struct {
+	mu      sync.Mutex
+	records []Record
+	closed  bool
+}
+
+// NewBufferSink creates an empty in-memory sink.
+func NewBufferSink() *BufferSink { return &BufferSink{} }
+
+// Write implements Sink.
+func (s *BufferSink) Write(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("logging: write to closed buffer sink")
+	}
+	s.records = append(s.records, r)
+	return nil
+}
+
+// Close implements Sink.
+func (s *BufferSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// Records returns a copy of all records written so far.
+func (s *BufferSink) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// Len returns the number of records written so far.
+func (s *BufferSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}

@@ -1,0 +1,183 @@
+// Package migrate implements iterative pre-copy live migration between
+// two management connections: the domain's memory is copied while it
+// keeps running, dirty pages are re-sent round by round, and when the
+// remaining set is small enough to move within the downtime target the
+// guest is paused, switched over and resumed on the destination.
+//
+// The transfer itself is simulated: round times derive from the
+// configured bandwidth and the source machine's dirty-page model (see
+// DESIGN.md, Substitutions), so total time, downtime and convergence
+// behaviour — the properties the evaluation reports — are faithfully
+// reproduced without moving real memory.
+package migrate
+
+import (
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/hyper"
+)
+
+// switchoverOverheadNs models the fixed cost of the stop-and-copy
+// handshake (pause, final state push, resume on the destination).
+const switchoverOverheadNs = 20_000_000 // 20 ms
+
+// Result reports the outcome of a migration.
+type Result struct {
+	Iterations     int
+	Converged      bool // remaining set fit the downtime target
+	TotalTimeNs    uint64
+	DowntimeNs     uint64
+	TransferredKiB uint64
+}
+
+// TotalTimeMs returns the total migration time in milliseconds.
+func (r Result) TotalTimeMs() float64 { return float64(r.TotalTimeNs) / 1e6 }
+
+// DowntimeMs returns the guest-visible downtime in milliseconds.
+func (r Result) DowntimeMs() float64 { return float64(r.DowntimeNs) / 1e6 }
+
+// Migrate moves the named running domain from src to dst. The source
+// connection must be backed by a local driver (the daemon performs
+// migrations host-side); the destination may be local or remote.
+func Migrate(src *core.Domain, dst *core.Connect, opts core.MigrateOptions) (Result, error) {
+	applyDefaults(&opts)
+
+	info, err := src.Info()
+	if err != nil {
+		return Result{}, err
+	}
+	if info.State != core.DomainRunning {
+		return Result{}, core.Errorf(core.ErrOperationInvalid,
+			"domain %q is %s; live migration needs a running domain", src.Name(), info.State)
+	}
+	ma, ok := src.Connect().Driver().(core.MachineAccess)
+	if !ok {
+		return Result{}, core.Errorf(core.ErrNoSupport,
+			"source driver %q cannot perform host-side migration", src.Connect().Driver().Type())
+	}
+	machine, err := ma.Machine(src.Name())
+	if err != nil {
+		return Result{}, err
+	}
+	xmlDesc, err := src.XML()
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Prepare phase: the definition lands on the destination first, so a
+	// name clash or invalid config aborts before the guest is touched.
+	dstDom, err := dst.DefineDomain(xmlDesc)
+	if err != nil {
+		return Result{}, core.Errorf(core.ErrMigrate,
+			"prepare on destination: %v", err)
+	}
+
+	res := precopy(machine, opts)
+
+	// Switch-over: pause the source, start the destination, tear the
+	// source down. Failure after the pause resumes the source so the
+	// guest never ends up lost on both ends.
+	if err := src.Suspend(); err != nil {
+		_ = dstDom.Undefine()
+		return Result{}, core.Errorf(core.ErrMigrate, "pause source: %v", err)
+	}
+	if err := dstDom.Create(); err != nil {
+		_ = src.Resume()
+		_ = dstDom.Undefine()
+		return Result{}, core.Errorf(core.ErrMigrate, "start on destination: %v", err)
+	}
+	if err := src.Destroy(); err != nil {
+		return res, core.Errorf(core.ErrMigrate,
+			"destination is running but source teardown failed: %v", err)
+	}
+	if opts.UndefineSource {
+		if err := src.Undefine(); err != nil {
+			return res, core.Errorf(core.ErrMigrate, "undefine source: %v", err)
+		}
+	}
+	emitMigrated(src.Connect(), src.Name(), src.UUID(), "source")
+	emitMigrated(dst, dstDom.Name(), dstDom.UUID(), "destination")
+	return res, nil
+}
+
+func applyDefaults(opts *core.MigrateOptions) {
+	if opts.BandwidthMBps == 0 {
+		opts.BandwidthMBps = 1000
+	}
+	if opts.MaxDowntimeMs == 0 {
+		opts.MaxDowntimeMs = 300
+	}
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 30
+	}
+}
+
+// precopy runs the iterative copy rounds against the machine's dirty
+// model and returns the timing accounting.
+func precopy(m *hyper.Machine, opts core.MigrateOptions) Result {
+	bwKiBPerSec := float64(opts.BandwidthMBps) * 1024
+	res := Result{}
+
+	// Round zero transfers the full memory image.
+	m.ResetDirty()
+	remainingKiB := m.MemKiB()
+	for {
+		res.Iterations++
+		roundNs := uint64(float64(remainingKiB) / bwKiBPerSec * 1e9)
+		res.TotalTimeNs += roundNs
+		res.TransferredKiB += remainingKiB
+
+		// While the round was on the wire, the guest kept dirtying.
+		m.RunFor(roundNs)
+		dirtyPages := m.ResetDirty()
+		remainingKiB = dirtyPages * hyper.PageSizeKiB
+
+		finalNs := uint64(float64(remainingKiB)/bwKiBPerSec*1e9) + switchoverOverheadNs
+		if finalNs <= uint64(opts.MaxDowntimeMs)*1_000_000 {
+			res.Converged = true
+			res.DowntimeNs = finalNs
+			break
+		}
+		if res.Iterations >= opts.MaxIterations {
+			// Forced stop-and-copy: the guest pays the full remaining
+			// transfer as downtime.
+			res.DowntimeNs = finalNs
+			break
+		}
+	}
+	res.TotalTimeNs += res.DowntimeNs
+	res.TransferredKiB += remainingKiB
+	return res
+}
+
+// emitMigrated publishes the migration event when the connection's
+// driver delivers events.
+func emitMigrated(c *core.Connect, name, uuid, detail string) {
+	if src, ok := c.Driver().(core.EventSource); ok {
+		src.EventBus().Emit(events.Event{
+			Type: events.EventMigrated, Domain: name, UUID: uuid, Detail: detail,
+		})
+	}
+}
+
+// Estimate runs only the pre-copy model without touching domain state:
+// given memory size, dirty rate and options it predicts iterations,
+// total time and downtime. The benchmark harness uses it for parameter
+// sweeps.
+func Estimate(memKiB uint64, dirtyPagesSec uint64, opts core.MigrateOptions) (Result, error) {
+	applyDefaults(&opts)
+	m, err := hyper.NewMachine(hyper.Config{
+		Name:          "estimate",
+		VCPUs:         1,
+		MemKiB:        memKiB,
+		DirtyPagesSec: dirtyPagesSec,
+		CPUUtil:       0.5,
+	})
+	if err != nil {
+		return Result{}, core.Errorf(core.ErrInvalidArg, "%v", err)
+	}
+	if err := m.Start(); err != nil {
+		return Result{}, core.Errorf(core.ErrInternal, "%v", err)
+	}
+	return precopy(m, opts), nil
+}

@@ -1,0 +1,194 @@
+package migrate
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/drivers/qemu"
+	"repro/internal/events"
+	"repro/internal/logging"
+	"repro/internal/uri"
+)
+
+// pair opens two independent qemu-driver connections (two "hosts").
+func pair(t *testing.T) (*core.Connect, *core.Connect) {
+	t.Helper()
+	log := logging.NewQuiet(logging.Error)
+	open := func() *core.Connect {
+		drv, err := qemu.New(&uri.URI{Driver: "qsim", Path: "/system"}, log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.OpenWith(&uri.URI{Driver: "qsim", Path: "/system"}, drv)
+	}
+	return open(), open()
+}
+
+func defineRunning(t *testing.T, c *core.Connect, name string, memMiB int, dirtyRate uint64) *core.Domain {
+	t.Helper()
+	xml := fmt.Sprintf(`
+<domain type='qsim'>
+  <name>%s</name>
+  <description>cpu_util=0.5 dirty_pages_sec=%d</description>
+  <memory unit='MiB'>%d</memory>
+  <vcpu>2</vcpu>
+  <os><type arch='x86_64'>hvm</type></os>
+</domain>`, name, dirtyRate, memMiB)
+	dom, err := c.CreateDomainXML(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dom
+}
+
+func TestMigrateHappyPath(t *testing.T) {
+	src, dst := pair(t)
+	dom := defineRunning(t, src, "mig1", 1024, 2000)
+
+	res, err := Migrate(dom, dst, core.MigrateOptions{BandwidthMBps: 1000, MaxDowntimeMs: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("expected convergence: %+v", res)
+	}
+	if res.Iterations < 1 || res.TotalTimeNs == 0 || res.TransferredKiB < 1024*1024 {
+		t.Fatalf("%+v", res)
+	}
+	if res.DowntimeNs > 300*1_000_000 {
+		t.Fatalf("downtime %v ns exceeds target", res.DowntimeNs)
+	}
+	// Source is off but still defined; destination runs.
+	st, err := dom.State()
+	if err != nil || st != core.DomainShutoff {
+		t.Fatalf("source state %v %v", st, err)
+	}
+	dstDom, err := dst.LookupDomain("mig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := dstDom.State(); st != core.DomainRunning {
+		t.Fatalf("destination state %v", st)
+	}
+}
+
+func TestMigrateUndefineSource(t *testing.T) {
+	src, dst := pair(t)
+	dom := defineRunning(t, src, "mig2", 512, 500)
+	if _, err := Migrate(dom, dst, core.MigrateOptions{UndefineSource: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.LookupDomain("mig2"); !core.IsCode(err, core.ErrNoDomain) {
+		t.Fatalf("source still defined: %v", err)
+	}
+}
+
+func TestMigrateRequiresRunningDomain(t *testing.T) {
+	src, dst := pair(t)
+	dom, err := src.DefineDomain(`<domain type='qsim'><name>off</name><memory unit='MiB'>128</memory><vcpu>1</vcpu><os><type>hvm</type></os></domain>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Migrate(dom, dst, core.MigrateOptions{}); !core.IsCode(err, core.ErrOperationInvalid) {
+		t.Fatalf("migrating inactive domain: %v", err)
+	}
+}
+
+func TestMigrateNameClashAborts(t *testing.T) {
+	src, dst := pair(t)
+	dom := defineRunning(t, src, "clash", 256, 500)
+	defineRunning(t, dst, "clash", 256, 500)
+	if _, err := Migrate(dom, dst, core.MigrateOptions{}); !core.IsCode(err, core.ErrMigrate) {
+		t.Fatalf("name clash: %v", err)
+	}
+	// Source is untouched by the failed prepare.
+	if st, _ := dom.State(); st != core.DomainRunning {
+		t.Fatalf("source state %v after aborted migration", st)
+	}
+}
+
+func TestMigrateHighDirtyRateForcesStopAndCopy(t *testing.T) {
+	src, dst := pair(t)
+	// Dirty rate far above what a slow link can drain.
+	dom := defineRunning(t, src, "stubborn", 2048, 2_000_000)
+	res, err := Migrate(dom, dst, core.MigrateOptions{
+		BandwidthMBps: 50, MaxDowntimeMs: 50, MaxIterations: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatalf("unconvergeable migration reported converged: %+v", res)
+	}
+	if res.Iterations != 5 {
+		t.Fatalf("iterations %d, want cap 5", res.Iterations)
+	}
+	if res.DowntimeNs <= 50*1_000_000 {
+		t.Fatalf("forced stop-and-copy downtime %d suspiciously low", res.DowntimeNs)
+	}
+}
+
+func TestMigrateEventsEmitted(t *testing.T) {
+	src, dst := pair(t)
+	dom := defineRunning(t, src, "ev", 256, 500)
+	srcCol, dstCol := events.NewCollector(), events.NewCollector()
+	src.Driver().(core.EventSource).EventBus().Subscribe("", []events.Type{events.EventMigrated}, srcCol.Callback())
+	dst.Driver().(core.EventSource).EventBus().Subscribe("", []events.Type{events.EventMigrated}, dstCol.Callback())
+	if _, err := Migrate(dom, dst, core.MigrateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if srcCol.Len() != 1 || dstCol.Len() != 1 {
+		t.Fatalf("migration events: src=%d dst=%d", srcCol.Len(), dstCol.Len())
+	}
+	if srcCol.Events()[0].Detail != "source" || dstCol.Events()[0].Detail != "destination" {
+		t.Fatalf("event details wrong")
+	}
+}
+
+func TestEstimateMonotonicInMemory(t *testing.T) {
+	opts := core.MigrateOptions{BandwidthMBps: 1000, MaxDowntimeMs: 300}
+	small, err := Estimate(512*1024, 1000, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Estimate(8*1024*1024, 1000, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.TotalTimeNs <= small.TotalTimeNs {
+		t.Fatalf("total time not monotonic in memory: %v vs %v", small.TotalTimeNs, large.TotalTimeNs)
+	}
+}
+
+func TestEstimateDirtyRateDrivesIterations(t *testing.T) {
+	opts := core.MigrateOptions{BandwidthMBps: 500, MaxDowntimeMs: 100}
+	calm, err := Estimate(2*1024*1024, 100, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := Estimate(2*1024*1024, 500_000, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.Iterations <= calm.Iterations {
+		t.Fatalf("iterations: calm=%d busy=%d", calm.Iterations, busy.Iterations)
+	}
+	if !calm.Converged {
+		t.Fatal("calm workload should converge")
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	if _, err := Estimate(0, 0, core.MigrateOptions{}); !core.IsCode(err, core.ErrInvalidArg) {
+		t.Fatalf("zero memory: %v", err)
+	}
+}
+
+func TestMigrateDefaults(t *testing.T) {
+	opts := core.MigrateOptions{}
+	applyDefaults(&opts)
+	if opts.BandwidthMBps != 1000 || opts.MaxDowntimeMs != 300 || opts.MaxIterations != 30 {
+		t.Fatalf("defaults %+v", opts)
+	}
+}

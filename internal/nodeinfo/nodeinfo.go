@@ -1,0 +1,124 @@
+// Package nodeinfo models the physical host a hypervisor runs on: CPU
+// topology, memory, NUMA layout. Real deployments read this from the
+// kernel; the simulation substrate synthesises hosts from profiles so that
+// experiments are reproducible on any machine.
+package nodeinfo
+
+import (
+	"fmt"
+
+	"repro/internal/uuid"
+	"repro/internal/xmlspec"
+)
+
+// Node describes one host machine.
+type Node struct {
+	UUID      uuid.UUID
+	Hostname  string
+	Arch      string
+	CPUModel  string
+	CPUVendor string
+	MHz       int
+	Sockets   int
+	Cores     int // per socket
+	Threads   int // per core
+	NUMANodes int
+	MemoryKiB uint64
+}
+
+// Profile names a canned host configuration.
+type Profile string
+
+// Canned host profiles used across examples and benchmarks.
+const (
+	ProfileLaptop Profile = "laptop"
+	ProfileServer Profile = "server"
+	ProfileBig    Profile = "big"
+)
+
+// NewNode synthesises a host from a profile. The UUID is derived from the
+// hostname so repeated construction is stable.
+func NewNode(hostname string, p Profile) (*Node, error) {
+	n := &Node{
+		UUID:      uuid.FromName("node:" + hostname),
+		Hostname:  hostname,
+		Arch:      "x86_64",
+		CPUVendor: "SimVendor",
+	}
+	switch p {
+	case ProfileLaptop:
+		n.CPUModel, n.MHz = "sim-mobile", 2400
+		n.Sockets, n.Cores, n.Threads, n.NUMANodes = 1, 4, 2, 1
+		n.MemoryKiB = 16 * 1024 * 1024
+	case ProfileServer:
+		n.CPUModel, n.MHz = "sim-epyc", 2800
+		n.Sockets, n.Cores, n.Threads, n.NUMANodes = 2, 16, 2, 2
+		n.MemoryKiB = 256 * 1024 * 1024
+	case ProfileBig:
+		n.CPUModel, n.MHz = "sim-epyc-max", 3200
+		n.Sockets, n.Cores, n.Threads, n.NUMANodes = 4, 32, 2, 4
+		n.MemoryKiB = 2048 * 1024 * 1024
+	default:
+		return nil, fmt.Errorf("nodeinfo: unknown profile %q", p)
+	}
+	return n, nil
+}
+
+// TotalCPUs returns the number of logical processors.
+func (n *Node) TotalCPUs() int { return n.Sockets * n.Cores * n.Threads }
+
+// Capabilities renders the node as the host section plus the guest stanzas
+// the supplied domain types support.
+func (n *Node) Capabilities(guestTypes map[string]string) *xmlspec.Capabilities {
+	c := &xmlspec.Capabilities{
+		Host: xmlspec.CapHost{
+			UUID: n.UUID.String(),
+			CPU: xmlspec.HostCPU{
+				Arch:   n.Arch,
+				Model:  n.CPUModel,
+				Vendor: n.CPUVendor,
+				Topology: &xmlspec.Topology{
+					Sockets: n.Sockets, Cores: n.Cores, Threads: n.Threads,
+				},
+			},
+		},
+	}
+	for domType, osType := range guestTypes {
+		c.Guests = append(c.Guests, xmlspec.Guest{
+			OSType: osType,
+			Arch: xmlspec.GuestArch{
+				Name:     n.Arch,
+				WordSize: 64,
+				Machines: []string{"pc", "q35"},
+				Domains:  []xmlspec.GuestDomain{{Type: domType}},
+			},
+		})
+	}
+	return c
+}
+
+// Info is the summary structure returned by the NodeGetInfo API.
+type Info struct {
+	Model     string
+	MemoryKiB uint64
+	CPUs      int
+	MHz       int
+	NUMANodes int
+	Sockets   int
+	Cores     int
+	Threads   int
+}
+
+// Info summarises the node.
+func (n *Node) Info() Info {
+	return Info{
+		Model:     n.CPUModel,
+		MemoryKiB: n.MemoryKiB,
+		CPUs:      n.TotalCPUs(),
+		MHz:       n.MHz,
+		NUMANodes: n.NUMANodes,
+		Sockets:   n.Sockets,
+		Cores:     n.Cores,
+		Threads:   n.Threads,
+	}
+}

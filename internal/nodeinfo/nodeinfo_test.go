@@ -1,0 +1,66 @@
+package nodeinfo
+
+import "testing"
+
+func TestProfiles(t *testing.T) {
+	for _, p := range []Profile{ProfileLaptop, ProfileServer, ProfileBig} {
+		n, err := NewNode("host1", p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if n.TotalCPUs() <= 0 || n.MemoryKiB == 0 {
+			t.Fatalf("%s: degenerate node %+v", p, n)
+		}
+	}
+	if _, err := NewNode("h", Profile("toaster")); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestNodeUUIDStable(t *testing.T) {
+	a, _ := NewNode("hostA", ProfileServer)
+	b, _ := NewNode("hostA", ProfileServer)
+	c, _ := NewNode("hostB", ProfileServer)
+	if a.UUID != b.UUID {
+		t.Fatal("same hostname must give same UUID")
+	}
+	if a.UUID == c.UUID {
+		t.Fatal("different hostnames collided")
+	}
+}
+
+func TestTotalCPUs(t *testing.T) {
+	n, _ := NewNode("h", ProfileServer)
+	if got, want := n.TotalCPUs(), 2*16*2; got != want {
+		t.Fatalf("TotalCPUs=%d want %d", got, want)
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	n, _ := NewNode("h", ProfileLaptop)
+	caps := n.Capabilities(map[string]string{"qsim": "hvm", "csim": "exe"})
+	if len(caps.Guests) != 2 {
+		t.Fatalf("guests: %d", len(caps.Guests))
+	}
+	if !caps.SupportsGuest("hvm", "x86_64", "qsim") {
+		t.Fatal("qsim guest missing")
+	}
+	if !caps.SupportsGuest("exe", "x86_64", "csim") {
+		t.Fatal("csim guest missing")
+	}
+	if caps.Host.CPU.Topology.Sockets != 1 {
+		t.Fatalf("topology %+v", caps.Host.CPU.Topology)
+	}
+	out, err := caps.Marshal()
+	if err != nil || len(out) == 0 {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestInfoSummary(t *testing.T) {
+	n, _ := NewNode("h", ProfileBig)
+	info := n.Info()
+	if info.CPUs != n.TotalCPUs() || info.MemoryKiB != n.MemoryKiB || info.Sockets != 4 {
+		t.Fatalf("%+v", info)
+	}
+}

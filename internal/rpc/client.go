@@ -1,0 +1,194 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// EventHandler receives unsolicited server messages (procedure + raw
+// payload). It runs on the client's reader goroutine and must not block.
+type EventHandler func(procedure uint32, payload []byte)
+
+// Client drives the call side of a connection: it assigns serials,
+// matches replies, and forwards events. Multiple goroutines may call
+// concurrently; replies are routed by serial, so slow calls do not block
+// fast ones.
+type Client struct {
+	program uint32
+	conn    *Conn
+
+	mu      sync.Mutex
+	serial  uint32
+	pending map[uint32]chan reply
+	closed  bool
+	readErr error
+
+	lastRx  atomic.Int64 // unix nanos of the last received message
+	onEvent EventHandler
+}
+
+type reply struct {
+	status  Status
+	payload []byte
+}
+
+// NewClient wraps an established transport connection for the given
+// program and starts the reply reader.
+func NewClient(nc net.Conn, program uint32, onEvent EventHandler) *Client {
+	return NewClientKeepalive(nc, program, onEvent, KeepaliveConfig{})
+}
+
+// NewClientKeepalive is NewClient with dead-peer detection enabled when
+// ka is valid.
+func NewClientKeepalive(nc net.Conn, program uint32, onEvent EventHandler, ka KeepaliveConfig) *Client {
+	c := &Client{
+		program: program,
+		conn:    NewConn(nc),
+		pending: make(map[uint32]chan reply),
+		onEvent: onEvent,
+	}
+	c.noteTraffic()
+	go c.readLoop()
+	if ka.Valid() {
+		c.startKeepalive(ka)
+	}
+	return c
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	for {
+		h, payload, err := c.conn.ReadMessage()
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.noteTraffic()
+		switch MsgType(h.Type) {
+		case TypePing:
+			// Server-initiated probe: answer immediately.
+			pong := h
+			pong.Type = uint32(TypePong)
+			c.conn.WriteMessage(pong, nil) //nolint:errcheck
+		case TypePong:
+			// Traffic note above is all a pong needs.
+		case TypeReply:
+			c.mu.Lock()
+			ch, ok := c.pending[h.Serial]
+			if ok {
+				delete(c.pending, h.Serial)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- reply{status: Status(h.Status), payload: payload}
+			}
+		case TypeEvent:
+			if c.onEvent != nil {
+				c.onEvent(h.Procedure, payload)
+			}
+		default:
+			// A Call arriving at a client is a protocol violation; drop
+			// the connection rather than guessing.
+			c.failAll(fmt.Errorf("rpc: unexpected message type %d from server", h.Type))
+			c.conn.Close()
+			return
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readErr = err
+	c.closed = true
+	for serial, ch := range c.pending {
+		delete(c.pending, serial)
+		close(ch)
+	}
+}
+
+// Call invokes a procedure: args are XDR-marshalled, the reply payload is
+// XDR-unmarshalled into ret (which may be nil for void returns). Error
+// replies decode the standard error payload.
+func (c *Client) Call(procedure uint32, args interface{}, ret interface{}) error {
+	var payload []byte
+	var err error
+	if args != nil {
+		payload, err = Marshal(args)
+		if err != nil {
+			return fmt.Errorf("rpc: marshal args for proc %d: %w", procedure, err)
+		}
+	}
+	ch := make(chan reply, 1)
+	c.mu.Lock()
+	if c.closed {
+		readErr := c.readErr
+		c.mu.Unlock()
+		if readErr != nil {
+			return fmt.Errorf("rpc: connection failed: %w", readErr)
+		}
+		return fmt.Errorf("rpc: client is closed")
+	}
+	c.serial++
+	serial := c.serial
+	c.pending[serial] = ch
+	c.mu.Unlock()
+
+	h := Header{
+		Program:   c.program,
+		Version:   ProtocolVersion,
+		Procedure: procedure,
+		Type:      uint32(TypeCall),
+		Serial:    serial,
+	}
+	if err := c.conn.WriteMessage(h, payload); err != nil {
+		c.mu.Lock()
+		delete(c.pending, serial)
+		c.mu.Unlock()
+		return fmt.Errorf("rpc: send proc %d: %w", procedure, err)
+	}
+
+	r, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		readErr := c.readErr
+		c.mu.Unlock()
+		return fmt.Errorf("rpc: connection lost awaiting proc %d: %v", procedure, readErr)
+	}
+	if r.status == StatusError {
+		var ep ErrorPayload
+		if err := Unmarshal(r.payload, &ep); err != nil {
+			return fmt.Errorf("rpc: proc %d failed with undecodable error: %v", procedure, err)
+		}
+		return &RemoteError{Code: ep.Code, Message: ep.Message}
+	}
+	if ret != nil {
+		if err := Unmarshal(r.payload, ret); err != nil {
+			return fmt.Errorf("rpc: unmarshal reply for proc %d: %w", procedure, err)
+		}
+	}
+	return nil
+}
+
+// RemoteError is a server-reported failure with its transported code.
+type RemoteError struct {
+	Code    uint32
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote error %d: %s", e.Code, e.Message)
+}

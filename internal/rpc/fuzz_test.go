@@ -1,0 +1,61 @@
+package rpc
+
+import "testing"
+
+// FuzzUnmarshalStats feeds arbitrary bytes into the XDR decoder against
+// a representative reply structure: decoding must never panic or
+// over-allocate, only return errors.
+func FuzzUnmarshalStats(f *testing.F) {
+	type statsLike struct {
+		State  uint32
+		CPU    uint64
+		Names  []string
+		Raw    []byte
+		Flag   bool
+		Amount float64
+	}
+	seed, err := Marshal(&statsLike{State: 3, CPU: 42, Names: []string{"a", "b"}, Raw: []byte{1}, Flag: true, Amount: 2.5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out statsLike
+		_ = Unmarshal(data, &out) // must not panic
+		if len(out.Raw) > MaxStringLen || len(out.Names) > MaxArrayLen {
+			t.Fatalf("decoder exceeded limits: raw=%d names=%d", len(out.Raw), len(out.Names))
+		}
+	})
+}
+
+// FuzzRoundTrip checks that whatever the decoder accepts re-encodes to
+// an equivalent value (decode∘encode∘decode is stable).
+func FuzzRoundTrip(f *testing.F) {
+	type msg struct {
+		A uint32
+		S string
+		B []byte
+	}
+	seed, _ := Marshal(&msg{A: 7, S: "x", B: []byte{9}})
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var first msg
+		if err := Unmarshal(data, &first); err != nil {
+			return
+		}
+		re, err := Marshal(&first)
+		if err != nil {
+			t.Fatalf("re-encode of accepted value failed: %v", err)
+		}
+		var second msg
+		if err := Unmarshal(re, &second); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if first.A != second.A || first.S != second.S || string(first.B) != string(second.B) {
+			t.Fatalf("unstable round trip: %+v vs %+v", first, second)
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package rpc
+
+import (
+	"fmt"
+	"time"
+)
+
+// KeepaliveConfig enables dead-peer detection on a client: when the
+// connection has been idle for Interval, a ping is sent; after Count
+// consecutive unanswered pings the connection is declared dead and
+// closed, failing in-flight calls instead of hanging forever.
+type KeepaliveConfig struct {
+	Interval time.Duration
+	Count    int
+}
+
+// Valid reports whether the configuration enables keepalive.
+func (k KeepaliveConfig) Valid() bool { return k.Interval > 0 && k.Count > 0 }
+
+// startKeepalive runs the probing loop; it exits when the client closes.
+func (c *Client) startKeepalive(cfg KeepaliveConfig) {
+	go func() {
+		ticker := time.NewTicker(cfg.Interval)
+		defer ticker.Stop()
+		var missed int
+		for range ticker.C {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return
+			}
+			last := time.Unix(0, c.lastRx.Load())
+			if time.Since(last) < cfg.Interval {
+				missed = 0
+				continue
+			}
+			missed++
+			if missed > cfg.Count {
+				c.failAll(fmt.Errorf("rpc: keepalive: peer silent for %d probes", cfg.Count))
+				c.conn.Close()
+				return
+			}
+			h := Header{
+				Program: c.program,
+				Version: ProtocolVersion,
+				Type:    uint32(TypePing),
+			}
+			if err := c.conn.WriteMessage(h, nil); err != nil {
+				c.failAll(fmt.Errorf("rpc: keepalive send: %w", err))
+				c.conn.Close()
+				return
+			}
+		}
+	}()
+}
+
+// noteTraffic records that the peer is alive.
+func (c *Client) noteTraffic() {
+	c.lastRx.Store(time.Now().UnixNano())
+}

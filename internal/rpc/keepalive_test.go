@@ -1,0 +1,110 @@
+package rpc
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// pongServer answers pings and proc-1 calls.
+func pongServer(nc net.Conn) {
+	conn := NewConn(nc)
+	go func() {
+		for {
+			h, payload, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			switch MsgType(h.Type) {
+			case TypePing:
+				h.Type = uint32(TypePong)
+				conn.WriteMessage(h, nil) //nolint:errcheck
+			case TypeCall:
+				h.Type = uint32(TypeReply)
+				conn.WriteMessage(h, payload) //nolint:errcheck
+			}
+		}
+	}()
+}
+
+func TestKeepaliveHealthyPeerStaysUp(t *testing.T) {
+	a, b := net.Pipe()
+	pongServer(b)
+	// A generous miss budget keeps the test immune to scheduler stalls
+	// on loaded single-core runners; the dead-peer test below covers the
+	// opposite direction.
+	cl := NewClientKeepalive(a, ProgramRemote, nil, KeepaliveConfig{
+		Interval: 10 * time.Millisecond, Count: 50,
+	})
+	defer cl.Close()
+	// Idle long enough for several probe rounds; pongs keep it alive.
+	time.Sleep(120 * time.Millisecond)
+	if err := cl.Call(1, nil, nil); err != nil {
+		t.Fatalf("healthy connection was torn down: %v", err)
+	}
+}
+
+func TestKeepaliveDetectsDeadPeer(t *testing.T) {
+	a, b := net.Pipe()
+	// Peer reads and discards everything: alive at TCP level, dead at
+	// protocol level — the case keepalive exists for.
+	go func() {
+		conn := NewConn(b)
+		for {
+			if _, _, err := conn.ReadMessage(); err != nil {
+				return
+			}
+		}
+	}()
+	cl := NewClientKeepalive(a, ProgramRemote, nil, KeepaliveConfig{
+		Interval: 10 * time.Millisecond, Count: 2,
+	})
+	defer cl.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := cl.Call(1, nil, nil); err != nil {
+			return // connection declared dead
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead peer never detected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestKeepaliveClientAnswersServerProbes(t *testing.T) {
+	a, b := net.Pipe()
+	cl := NewClient(a, ProgramRemote, nil)
+	defer cl.Close()
+	conn := NewConn(b)
+	if err := conn.WriteMessage(Header{Program: ProgramRemote, Type: uint32(TypePing)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Header, 1)
+	go func() {
+		h, _, err := conn.ReadMessage()
+		if err == nil {
+			done <- h
+		}
+	}()
+	select {
+	case h := <-done:
+		if MsgType(h.Type) != TypePong {
+			t.Fatalf("got type %d, want pong", h.Type)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("client never answered ping")
+	}
+}
+
+func TestKeepaliveConfigValid(t *testing.T) {
+	if (KeepaliveConfig{}).Valid() {
+		t.Fatal("zero config valid")
+	}
+	if (KeepaliveConfig{Interval: time.Second}).Valid() {
+		t.Fatal("count-less config valid")
+	}
+	if !(KeepaliveConfig{Interval: time.Second, Count: 1}).Valid() {
+		t.Fatal("proper config invalid")
+	}
+}

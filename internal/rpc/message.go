@@ -1,0 +1,129 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Program numbers identify the protocol spoken on a connection.
+const (
+	ProgramRemote uint32 = 0x20008086 // hypervisor management
+	ProgramAdmin  uint32 = 0x06900690 // daemon administration
+)
+
+// ProtocolVersion is the single supported protocol version.
+const ProtocolVersion uint32 = 1
+
+// MsgType classifies a message.
+type MsgType uint32
+
+// Message types.
+const (
+	TypeCall  MsgType = 0 // client request
+	TypeReply MsgType = 1 // server response
+	TypeEvent MsgType = 2 // unsolicited server notification
+	TypePing  MsgType = 3 // keepalive probe
+	TypePong  MsgType = 4 // keepalive response
+)
+
+// Status qualifies a reply.
+type Status uint32
+
+// Reply statuses.
+const (
+	StatusOK    Status = 0
+	StatusError Status = 1
+)
+
+// Header precedes every message payload on the wire.
+type Header struct {
+	Program   uint32
+	Version   uint32
+	Procedure uint32
+	Type      uint32
+	Serial    uint32
+	Status    uint32
+}
+
+const headerLen = 6 * 4
+
+// MaxMessageLen bounds a whole framed message (length word included).
+const MaxMessageLen = 16 * 1024 * 1024
+
+// ErrorPayload carries a failure across the wire.
+type ErrorPayload struct {
+	Code    uint32
+	Message string
+}
+
+// Conn frames messages over a stream transport. Reads and writes are
+// independently serialised, so one goroutine may read while others
+// write.
+type Conn struct {
+	rmu sync.Mutex
+	wmu sync.Mutex
+	c   net.Conn
+}
+
+// NewConn wraps a stream connection.
+func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+
+// Close closes the underlying transport.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// LocalAddr returns the local address.
+func (c *Conn) LocalAddr() net.Addr { return c.c.LocalAddr() }
+
+// WriteMessage frames and sends one message.
+func (c *Conn) WriteMessage(h Header, payload []byte) error {
+	total := 4 + headerLen + len(payload)
+	if total > MaxMessageLen {
+		return fmt.Errorf("rpc: message of %d exceeds limit", total)
+	}
+	buf := make([]byte, total)
+	binary.BigEndian.PutUint32(buf[0:], uint32(total))
+	binary.BigEndian.PutUint32(buf[4:], h.Program)
+	binary.BigEndian.PutUint32(buf[8:], h.Version)
+	binary.BigEndian.PutUint32(buf[12:], h.Procedure)
+	binary.BigEndian.PutUint32(buf[16:], h.Type)
+	binary.BigEndian.PutUint32(buf[20:], h.Serial)
+	binary.BigEndian.PutUint32(buf[24:], h.Status)
+	copy(buf[28:], payload)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err := c.c.Write(buf)
+	return err
+}
+
+// ReadMessage receives one framed message.
+func (c *Conn) ReadMessage() (Header, []byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.c, lenBuf[:]); err != nil {
+		return Header{}, nil, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < 4+headerLen || total > MaxMessageLen {
+		return Header{}, nil, fmt.Errorf("rpc: invalid message length %d", total)
+	}
+	rest := make([]byte, total-4)
+	if _, err := io.ReadFull(c.c, rest); err != nil {
+		return Header{}, nil, err
+	}
+	h := Header{
+		Program:   binary.BigEndian.Uint32(rest[0:]),
+		Version:   binary.BigEndian.Uint32(rest[4:]),
+		Procedure: binary.BigEndian.Uint32(rest[8:]),
+		Type:      binary.BigEndian.Uint32(rest[12:]),
+		Serial:    binary.BigEndian.Uint32(rest[16:]),
+		Status:    binary.BigEndian.Uint32(rest[20:]),
+	}
+	return h, rest[headerLen:], nil
+}

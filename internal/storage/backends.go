@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/xmlspec"
+)
+
+// dirBackend serves directory pools: volumes are image files under the
+// target path. Capacity comes from the definition (default 100 GiB,
+// standing in for the filesystem's free space).
+type dirBackend struct{}
+
+func (dirBackend) TypeName() string { return "dir" }
+
+func (dirBackend) Prepare(def *xmlspec.StoragePool) (uint64, error) {
+	if def.Capacity != nil {
+		return def.Capacity.KiB()
+	}
+	return 100 * 1024 * 1024, nil // 100 GiB
+}
+
+func (dirBackend) SupportsVolumeCreate() bool { return true }
+
+func (dirBackend) VolumePath(def *xmlspec.StoragePool, volName string) string {
+	return def.Target.Path + "/" + volName
+}
+
+func (dirBackend) InitialVolumes(*xmlspec.StoragePool) []*xmlspec.StorageVolume { return nil }
+
+// logicalBackend serves LVM-style pools: the source name is the volume
+// group; volumes are logical volumes.
+type logicalBackend struct{}
+
+func (logicalBackend) TypeName() string { return "logical" }
+
+func (logicalBackend) Prepare(def *xmlspec.StoragePool) (uint64, error) {
+	if def.Capacity != nil {
+		return def.Capacity.KiB()
+	}
+	return 500 * 1024 * 1024, nil // 500 GiB VG
+}
+
+func (logicalBackend) SupportsVolumeCreate() bool { return true }
+
+func (logicalBackend) VolumePath(def *xmlspec.StoragePool, volName string) string {
+	return "/dev/" + def.Source.Name + "/" + volName
+}
+
+func (logicalBackend) InitialVolumes(*xmlspec.StoragePool) []*xmlspec.StorageVolume { return nil }
+
+// iscsiBackend serves iSCSI pools: the remote target exposes a fixed set
+// of LUNs discovered at pool start; volumes cannot be created or deleted
+// through the pool.
+type iscsiBackend struct{}
+
+func (iscsiBackend) TypeName() string { return "iscsi" }
+
+func (iscsiBackend) Prepare(def *xmlspec.StoragePool) (uint64, error) {
+	if def.Capacity != nil {
+		return def.Capacity.KiB()
+	}
+	return 1024 * 1024 * 1024, nil // 1 TiB target
+}
+
+func (iscsiBackend) SupportsVolumeCreate() bool { return false }
+
+func (iscsiBackend) VolumePath(def *xmlspec.StoragePool, volName string) string {
+	return fmt.Sprintf("/dev/disk/by-path/ip-%s-iscsi-%s-lun-%s",
+		def.Source.Host.Name, def.Source.Device.Path, volName)
+}
+
+// InitialVolumes simulates LUN discovery: a deterministic set of four
+// LUNs sized from the target capacity.
+func (b iscsiBackend) InitialVolumes(def *xmlspec.StoragePool) []*xmlspec.StorageVolume {
+	capKiB, err := b.Prepare(def)
+	if err != nil || capKiB == 0 {
+		capKiB = 1024 * 1024 * 1024
+	}
+	const luns = 4
+	per := capKiB / (luns * 2) // half the target, split across LUNs
+	out := make([]*xmlspec.StorageVolume, 0, luns)
+	for i := 0; i < luns; i++ {
+		out = append(out, &xmlspec.StorageVolume{
+			Name:     fmt.Sprintf("%d", i),
+			Key:      fmt.Sprintf("%s/lun%d", def.Source.Device.Path, i),
+			Capacity: xmlspec.MemoryKiB(per),
+		})
+	}
+	return out
+}

@@ -1,0 +1,329 @@
+// Package storage implements the storage subsystem: pools divided into
+// volumes, with per-type backends (directory, logical/LVM-style, iSCSI
+// target) behind a common interface — mirroring how the management
+// layer's storage driver is split into backends per technology.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/xmlspec"
+)
+
+// Backend implements pool-type-specific behaviour.
+type Backend interface {
+	// TypeName returns the pool type this backend serves.
+	TypeName() string
+	// Prepare validates a definition and returns total capacity in KiB.
+	Prepare(def *xmlspec.StoragePool) (capacityKiB uint64, err error)
+	// SupportsVolumeCreate reports whether volumes can be created (an
+	// iSCSI target exposes fixed LUNs, so it answers false).
+	SupportsVolumeCreate() bool
+	// VolumePath derives the exposure path of a volume.
+	VolumePath(def *xmlspec.StoragePool, volName string) string
+	// InitialVolumes lists volumes that pre-exist when the pool starts.
+	InitialVolumes(def *xmlspec.StoragePool) []*xmlspec.StorageVolume
+}
+
+// volume is runtime volume state.
+type volume struct {
+	def      *xmlspec.StorageVolume
+	allocKiB uint64
+	path     string
+}
+
+// pool is runtime pool state.
+type pool struct {
+	def         *xmlspec.StoragePool
+	backend     Backend
+	active      bool
+	capacityKiB uint64
+	volumes     map[string]*volume
+}
+
+// Manager owns all storage pools of a host.
+type Manager struct {
+	mu       sync.Mutex
+	backends map[string]Backend
+	pools    map[string]*pool
+}
+
+// NewManager creates a manager with the three standard backends.
+func NewManager() *Manager {
+	m := &Manager{
+		backends: make(map[string]Backend),
+		pools:    make(map[string]*pool),
+	}
+	for _, b := range []Backend{dirBackend{}, logicalBackend{}, iscsiBackend{}} {
+		m.backends[b.TypeName()] = b
+	}
+	return m
+}
+
+// Define registers a pool from its parsed definition.
+func (m *Manager) Define(def *xmlspec.StoragePool) error {
+	if err := def.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.pools[def.Name]; dup {
+		return fmt.Errorf("storage: pool %q already defined", def.Name)
+	}
+	b, ok := m.backends[def.Type]
+	if !ok {
+		return fmt.Errorf("storage: no backend for pool type %q", def.Type)
+	}
+	capKiB, err := b.Prepare(def)
+	if err != nil {
+		return err
+	}
+	m.pools[def.Name] = &pool{
+		def:         def,
+		backend:     b,
+		capacityKiB: capKiB,
+		volumes:     make(map[string]*volume),
+	}
+	return nil
+}
+
+// Undefine removes an inactive pool.
+func (m *Manager) Undefine(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pools[name]
+	if !ok {
+		return fmt.Errorf("storage: no pool %q", name)
+	}
+	if p.active {
+		return fmt.Errorf("storage: pool %q is active", name)
+	}
+	delete(m.pools, name)
+	return nil
+}
+
+// Start activates a pool and discovers pre-existing volumes.
+func (m *Manager) Start(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pools[name]
+	if !ok {
+		return fmt.Errorf("storage: no pool %q", name)
+	}
+	if p.active {
+		return fmt.Errorf("storage: pool %q already active", name)
+	}
+	for _, vdef := range p.backend.InitialVolumes(p.def) {
+		if _, dup := p.volumes[vdef.Name]; dup {
+			continue
+		}
+		alloc := volAllocKiB(vdef)
+		p.volumes[vdef.Name] = &volume{
+			def:      vdef,
+			allocKiB: alloc,
+			path:     p.backend.VolumePath(p.def, vdef.Name),
+		}
+	}
+	p.active = true
+	return nil
+}
+
+// Stop deactivates a pool; volume records persist (they are on disk).
+func (m *Manager) Stop(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pools[name]
+	if !ok {
+		return fmt.Errorf("storage: no pool %q", name)
+	}
+	if !p.active {
+		return fmt.Errorf("storage: pool %q is not active", name)
+	}
+	p.active = false
+	return nil
+}
+
+// List returns all pool names, sorted.
+func (m *Manager) List() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.pools))
+	for n := range m.pools {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Info summarises a pool's state and space.
+type Info struct {
+	Active        bool
+	CapacityKiB   uint64
+	AllocationKiB uint64
+	AvailableKiB  uint64
+}
+
+// Info returns a pool's space accounting.
+func (m *Manager) Info(name string) (Info, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pools[name]
+	if !ok {
+		return Info{}, fmt.Errorf("storage: no pool %q", name)
+	}
+	var alloc uint64
+	for _, v := range p.volumes {
+		alloc += v.allocKiB
+	}
+	return Info{
+		Active:        p.active,
+		CapacityKiB:   p.capacityKiB,
+		AllocationKiB: alloc,
+		AvailableKiB:  p.capacityKiB - alloc,
+	}, nil
+}
+
+// XML returns a pool's definition document.
+func (m *Manager) XML(name string) (string, error) {
+	m.mu.Lock()
+	p, ok := m.pools[name]
+	m.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("storage: no pool %q", name)
+	}
+	out, err := p.def.Marshal()
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// CreateVolume creates a volume inside an active pool.
+func (m *Manager) CreateVolume(poolName string, vdef *xmlspec.StorageVolume) error {
+	if err := vdef.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pools[poolName]
+	if !ok {
+		return fmt.Errorf("storage: no pool %q", poolName)
+	}
+	if !p.active {
+		return fmt.Errorf("storage: pool %q is not active", poolName)
+	}
+	if !p.backend.SupportsVolumeCreate() {
+		return fmt.Errorf("storage: pool type %q does not support volume creation", p.def.Type)
+	}
+	if _, dup := p.volumes[vdef.Name]; dup {
+		return fmt.Errorf("storage: pool %q: volume %q already exists", poolName, vdef.Name)
+	}
+	alloc := volAllocKiB(vdef)
+	var used uint64
+	for _, v := range p.volumes {
+		used += v.allocKiB
+	}
+	if used+alloc > p.capacityKiB {
+		return fmt.Errorf("storage: pool %q: allocation %d KiB exceeds free %d KiB",
+			poolName, alloc, p.capacityKiB-used)
+	}
+	p.volumes[vdef.Name] = &volume{
+		def:      vdef,
+		allocKiB: alloc,
+		path:     p.backend.VolumePath(p.def, vdef.Name),
+	}
+	return nil
+}
+
+// DeleteVolume removes a volume from an active pool.
+func (m *Manager) DeleteVolume(poolName, volName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pools[poolName]
+	if !ok {
+		return fmt.Errorf("storage: no pool %q", poolName)
+	}
+	if !p.active {
+		return fmt.Errorf("storage: pool %q is not active", poolName)
+	}
+	if _, has := p.volumes[volName]; !has {
+		return fmt.Errorf("storage: pool %q: no volume %q", poolName, volName)
+	}
+	if !p.backend.SupportsVolumeCreate() {
+		return fmt.Errorf("storage: pool type %q exposes fixed volumes", p.def.Type)
+	}
+	delete(p.volumes, volName)
+	return nil
+}
+
+// Volumes lists the volume names of a pool, sorted.
+func (m *Manager) Volumes(poolName string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pools[poolName]
+	if !ok {
+		return nil, fmt.Errorf("storage: no pool %q", poolName)
+	}
+	out := make([]string, 0, len(p.volumes))
+	for n := range p.volumes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// VolumeXML returns a volume's definition document, with the runtime
+// path filled in.
+func (m *Manager) VolumeXML(poolName, volName string) (string, error) {
+	m.mu.Lock()
+	p, ok := m.pools[poolName]
+	if !ok {
+		m.mu.Unlock()
+		return "", fmt.Errorf("storage: no pool %q", poolName)
+	}
+	v, has := p.volumes[volName]
+	m.mu.Unlock()
+	if !has {
+		return "", fmt.Errorf("storage: pool %q: no volume %q", poolName, volName)
+	}
+	def := *v.def
+	if def.Target == nil {
+		def.Target = &xmlspec.VolumeTarget{}
+	} else {
+		tgt := *v.def.Target
+		def.Target = &tgt
+	}
+	def.Target.Path = v.path
+	out, err := def.Marshal()
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// VolumePath returns the exposure path of a volume.
+func (m *Manager) VolumePath(poolName, volName string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pools[poolName]
+	if !ok {
+		return "", fmt.Errorf("storage: no pool %q", poolName)
+	}
+	v, has := p.volumes[volName]
+	if !has {
+		return "", fmt.Errorf("storage: pool %q: no volume %q", poolName, volName)
+	}
+	return v.path, nil
+}
+
+func volAllocKiB(vdef *xmlspec.StorageVolume) uint64 {
+	if vdef.Allocation != nil {
+		if kib, err := vdef.Allocation.KiB(); err == nil {
+			return kib
+		}
+	}
+	kib, _ := vdef.Capacity.KiB()
+	return kib
+}

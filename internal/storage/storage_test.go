@@ -1,0 +1,258 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmlspec"
+)
+
+func dirPool(name string, capGiB uint64) *xmlspec.StoragePool {
+	capacity := xmlspec.Memory{Unit: "GiB", Value: capGiB}
+	return &xmlspec.StoragePool{
+		Type: "dir", Name: name,
+		Capacity: &capacity,
+		Target:   &xmlspec.PoolTarget{Path: "/var/lib/virt/" + name},
+	}
+}
+
+func vol(name string, capGiB uint64) *xmlspec.StorageVolume {
+	return &xmlspec.StorageVolume{
+		Name:     name,
+		Capacity: xmlspec.Memory{Unit: "GiB", Value: capGiB},
+	}
+}
+
+func TestDefineStartStopUndefine(t *testing.T) {
+	m := NewManager()
+	if err := m.Define(dirPool("p1", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Define(dirPool("p1", 10)); err == nil {
+		t.Fatal("duplicate define accepted")
+	}
+	info, err := m.Info("p1")
+	if err != nil || info.Active || info.CapacityKiB != 10*1024*1024 {
+		t.Fatalf("%+v %v", info, err)
+	}
+	if err := m.Start("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("p1"); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if err := m.Undefine("p1"); err == nil {
+		t.Fatal("undefine active pool accepted")
+	}
+	if err := m.Stop("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Undefine("p1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolumeLifecycleAndAccounting(t *testing.T) {
+	m := NewManager()
+	if err := m.Define(dirPool("p", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateVolume("p", vol("v1", 4)); err == nil {
+		t.Fatal("create on inactive pool accepted")
+	}
+	if err := m.Start("p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateVolume("p", vol("v1", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateVolume("p", vol("v1", 1)); err == nil {
+		t.Fatal("duplicate volume accepted")
+	}
+	if err := m.CreateVolume("p", vol("v2", 4)); err != nil {
+		t.Fatal(err)
+	}
+	// 8 GiB used of 10; a 4 GiB volume must not fit.
+	if err := m.CreateVolume("p", vol("v3", 4)); err == nil {
+		t.Fatal("over-capacity volume accepted")
+	}
+	info, _ := m.Info("p")
+	if info.AllocationKiB != 8*1024*1024 || info.AvailableKiB != 2*1024*1024 {
+		t.Fatalf("%+v", info)
+	}
+	if err := m.DeleteVolume("p", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DeleteVolume("p", "v1"); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if err := m.CreateVolume("p", vol("v3", 4)); err != nil {
+		t.Fatalf("freed space not reusable: %v", err)
+	}
+	vols, _ := m.Volumes("p")
+	if len(vols) != 2 || vols[0] != "v2" || vols[1] != "v3" {
+		t.Fatalf("volumes %v", vols)
+	}
+}
+
+func TestThinAllocation(t *testing.T) {
+	m := NewManager()
+	if err := m.Define(dirPool("thin", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("thin"); err != nil {
+		t.Fatal(err)
+	}
+	alloc := xmlspec.Memory{Unit: "GiB", Value: 1}
+	v := vol("sparse", 8)
+	v.Allocation = &alloc
+	if err := m.CreateVolume("thin", v); err != nil {
+		t.Fatal(err)
+	}
+	// Thin volume only consumes its allocation.
+	info, _ := m.Info("thin")
+	if info.AllocationKiB != 1024*1024 {
+		t.Fatalf("%+v", info)
+	}
+	// Another thin 8 GiB volume fits even though capacities sum to 16.
+	v2 := vol("sparse2", 8)
+	v2.Allocation = &alloc
+	if err := m.CreateVolume("thin", v2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolumePathPerBackend(t *testing.T) {
+	m := NewManager()
+	if err := m.Define(dirPool("d", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateVolume("d", vol("img.qcow2", 1)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.VolumePath("d", "img.qcow2")
+	if err != nil || p != "/var/lib/virt/d/img.qcow2" {
+		t.Fatalf("%q %v", p, err)
+	}
+
+	lv := &xmlspec.StoragePool{Type: "logical", Name: "vg0", Source: &xmlspec.PoolSource{Name: "vg0"}}
+	if err := m.Define(lv); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("vg0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateVolume("vg0", vol("lv1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = m.VolumePath("vg0", "lv1")
+	if p != "/dev/vg0/lv1" {
+		t.Fatalf("logical path %q", p)
+	}
+}
+
+func TestISCSIFixedLUNs(t *testing.T) {
+	m := NewManager()
+	pool := &xmlspec.StoragePool{
+		Type: "iscsi", Name: "san",
+		Source: &xmlspec.PoolSource{
+			Host:   &xmlspec.SourceHost{Name: "stor.example.com"},
+			Device: &xmlspec.SourceDevice{Path: "iqn.2026-07.com.example:t1"},
+		},
+	}
+	if err := m.Define(pool); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("san"); err != nil {
+		t.Fatal(err)
+	}
+	vols, _ := m.Volumes("san")
+	if len(vols) != 4 {
+		t.Fatalf("LUNs %v", vols)
+	}
+	if err := m.CreateVolume("san", vol("new", 1)); err == nil {
+		t.Fatal("volume creation on iscsi pool accepted")
+	}
+	if err := m.DeleteVolume("san", vols[0]); err == nil {
+		t.Fatal("volume deletion on iscsi pool accepted")
+	}
+	p, err := m.VolumePath("san", vols[0])
+	if err != nil || !strings.Contains(p, "iqn.2026-07.com.example:t1") {
+		t.Fatalf("%q %v", p, err)
+	}
+	// Stopping and restarting rediscovers without duplicating.
+	if err := m.Stop("san"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("san"); err != nil {
+		t.Fatal(err)
+	}
+	vols, _ = m.Volumes("san")
+	if len(vols) != 4 {
+		t.Fatalf("LUNs after restart %v", vols)
+	}
+}
+
+func TestVolumeXMLIncludesPath(t *testing.T) {
+	m := NewManager()
+	if err := m.Define(dirPool("x", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("x"); err != nil {
+		t.Fatal(err)
+	}
+	v := vol("a.raw", 1)
+	v.Target = &xmlspec.VolumeTarget{Format: &xmlspec.VolFormat{Type: "raw"}}
+	if err := m.CreateVolume("x", v); err != nil {
+		t.Fatal(err)
+	}
+	xml, err := m.VolumeXML("x", "a.raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xml, "/var/lib/virt/x/a.raw") || !strings.Contains(xml, `type="raw"`) {
+		t.Fatalf("volume xml:\n%s", xml)
+	}
+	// The original definition must not be mutated by XML generation.
+	if v.Target.Path != "" {
+		t.Fatal("VolumeXML mutated caller's definition")
+	}
+}
+
+func TestListSortedAndMissingErrors(t *testing.T) {
+	m := NewManager()
+	if err := m.Define(dirPool("b", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Define(dirPool("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	names := m.List()
+	if len(names) != 2 || names[0] != "a" {
+		t.Fatalf("list %v", names)
+	}
+	if _, err := m.Info("zz"); err == nil {
+		t.Fatal("info missing")
+	}
+	if _, err := m.XML("zz"); err == nil {
+		t.Fatal("xml missing")
+	}
+	if _, err := m.Volumes("zz"); err == nil {
+		t.Fatal("volumes missing")
+	}
+	if _, err := m.VolumeXML("a", "zz"); err == nil {
+		t.Fatal("volumexml missing")
+	}
+	if _, err := m.VolumePath("zz", "v"); err == nil {
+		t.Fatal("volumepath missing pool")
+	}
+	if err := m.Stop("zz"); err == nil {
+		t.Fatal("stop missing")
+	}
+	if err := m.Undefine("zz"); err == nil {
+		t.Fatal("undefine missing")
+	}
+}

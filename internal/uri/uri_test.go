@@ -1,0 +1,205 @@
+package uri
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	u, err := Parse("qemu:///system")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Driver != "qemu" || u.Transport != TransportNone || u.Host != "" || u.Path != "/system" {
+		t.Fatalf("%+v", u)
+	}
+	if u.IsRemote() {
+		t.Fatal("local URI classified remote")
+	}
+	if u.EffectiveTransport() != TransportUnix {
+		t.Fatalf("effective transport %v", u.EffectiveTransport())
+	}
+}
+
+func TestParseRemoteTLS(t *testing.T) {
+	u, err := Parse("qemu+tls://admin@virt.example.com:16514/system?no_verify=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Driver != "qemu" || u.Transport != TransportTLS {
+		t.Fatalf("%+v", u)
+	}
+	if u.Username != "admin" || u.Host != "virt.example.com" || u.Port != 16514 {
+		t.Fatalf("%+v", u)
+	}
+	if v, ok := u.Param("no_verify"); !ok || v != "1" {
+		t.Fatalf("params %v", u.Params)
+	}
+	if !u.IsRemote() {
+		t.Fatal("remote URI classified local")
+	}
+}
+
+func TestParseBareHostImpliesTLS(t *testing.T) {
+	u, err := Parse("xen://virt.example.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.IsRemote() || u.EffectiveTransport() != TransportTLS {
+		t.Fatalf("%+v effective=%v", u, u.EffectiveTransport())
+	}
+}
+
+func TestParseUnixTransport(t *testing.T) {
+	u, err := Parse("lxc+unix:///?socket=/run/virtd.sock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Transport != TransportUnix || !u.IsRemote() {
+		t.Fatalf("%+v", u)
+	}
+	if v, _ := u.Param("socket"); v != "/run/virtd.sock" {
+		t.Fatalf("socket param %q", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"/no/scheme",
+		"qemu+warp://host/",    // unknown transport
+		"qemu+tcp:///system",   // tcp without host
+		"qemu+tls:///",         // tls without host
+		"qemu+ssh:///",         // ssh without host
+		"qemu://user:pw@host/", // password not supported
+		"qemu://host:99999/",   // port out of range
+		"qemu://host:-1/",      // negative port
+		"qemu://host/?a=1&a=2", // repeated param
+		"+tcp://host/",         // empty driver
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"qemu:///system",
+		"qemu+tcp://host:16509/system",
+		"xen+tls://admin@xenhost:16514/",
+		"lxc+unix:///?socket=%2Frun%2Fx.sock",
+		"test:///default?mode=fast&seed=7",
+	}
+	for _, s := range cases {
+		u, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		again, err := Parse(u.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", u.String(), err)
+		}
+		if u.Driver != again.Driver || u.Transport != again.Transport ||
+			u.Username != again.Username || u.Host != again.Host ||
+			u.Port != again.Port || u.Path != again.Path {
+			t.Fatalf("round trip mismatch: %+v vs %+v", u, again)
+		}
+		if len(u.Params) != len(again.Params) {
+			t.Fatalf("params changed: %v vs %v", u.Params, again.Params)
+		}
+		for k, v := range u.Params {
+			if again.Params[k] != v {
+				t.Fatalf("param %q lost in round trip", k)
+			}
+		}
+	}
+}
+
+func TestAliases(t *testing.T) {
+	a := Aliases{"prod": "qemu+tls://virt1.example.com/system"}
+	u, err := a.Resolve("prod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Host != "virt1.example.com" || u.Transport != TransportTLS {
+		t.Fatalf("%+v", u)
+	}
+	u, err = a.Resolve("test:///default")
+	if err != nil || u.Driver != "test" {
+		t.Fatalf("non-alias resolve: %+v %v", u, err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	drivers := []string{"qemu", "xen", "lxc", "test"}
+	transports := []Transport{TransportNone, TransportUnix, TransportTCP, TransportTLS, TransportSSH}
+	f := func(d, tr, port uint8, hasUser bool) bool {
+		u := &URI{
+			Driver:    drivers[int(d)%len(drivers)],
+			Transport: transports[int(tr)%len(transports)],
+			Path:      "/system",
+			Params:    map[string]string{},
+		}
+		switch u.Transport {
+		case TransportTCP, TransportTLS, TransportSSH:
+			u.Host = "host.example.com"
+			u.Port = int(port) + 1
+		}
+		if hasUser && u.Host != "" {
+			u.Username = "admin"
+		}
+		parsed, err := Parse(u.String())
+		if err != nil {
+			return false
+		}
+		return parsed.Driver == u.Driver && parsed.Transport == u.Transport &&
+			parsed.Host == u.Host && parsed.Port == u.Port &&
+			parsed.Username == u.Username && parsed.Path == u.Path
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	text := `
+# client configuration
+uri_aliases = [
+  "prod=qsim+tcp://virt1.example.com/system",
+  "lab=test:///default",
+]
+`
+	a, err := ParseAliases(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 || a["prod"] == "" || a["lab"] == "" {
+		t.Fatalf("%v", a)
+	}
+	u, err := a.Resolve("prod")
+	if err != nil || u.Host != "virt1.example.com" {
+		t.Fatalf("%+v %v", u, err)
+	}
+}
+
+func TestParseAliasesErrors(t *testing.T) {
+	bad := []string{
+		"something = [",                          // wrong key
+		"uri_aliases = [\n\"noequals\",\n]",      // missing '='
+		"uri_aliases = [\n\"a:b=test:///x\",\n]", // metacharacter in name
+		"uri_aliases = [\n\"x=://bad\",\n]",      // invalid target URI
+		"uri_aliases = [\n\"x=test:///ok\",",     // unterminated list
+		"uri_aliases = \"not-a-list\"",           // not a list
+	}
+	for _, text := range bad {
+		if _, err := ParseAliases(text); err == nil {
+			t.Errorf("ParseAliases(%q) accepted", text)
+		}
+	}
+	a, err := ParseAliases("")
+	if err != nil || len(a) != 0 {
+		t.Fatalf("empty config: %v %v", a, err)
+	}
+}

@@ -1,0 +1,292 @@
+// Package vnet implements the virtual network subsystem: named networks
+// backed by simulated host bridges, with NAT/route/isolated forwarding
+// modes and a DHCP lease service guests attach to. It is the substrate
+// the network management APIs drive.
+package vnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"repro/internal/xmlspec"
+)
+
+// Lease is one DHCP address assignment.
+type Lease struct {
+	MAC      string
+	IP       string
+	Hostname string
+}
+
+// network is the runtime state of one defined network.
+type network struct {
+	def    *xmlspec.Network
+	active bool
+	bridge string
+	leases map[string]Lease // by MAC
+	nextIP net.IP           // next candidate address
+}
+
+// Manager owns all virtual networks of a host.
+type Manager struct {
+	mu       sync.Mutex
+	networks map[string]*network
+	bridgeNo int
+}
+
+// NewManager creates an empty network manager.
+func NewManager() *Manager {
+	return &Manager{networks: make(map[string]*network)}
+}
+
+// Define registers a network from its parsed definition.
+func (m *Manager) Define(def *xmlspec.Network) error {
+	if err := def.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.networks[def.Name]; dup {
+		return fmt.Errorf("vnet: network %q already defined", def.Name)
+	}
+	n := &network{def: def, leases: make(map[string]Lease)}
+	m.networks[def.Name] = n
+	return nil
+}
+
+// Undefine removes an inactive network.
+func (m *Manager) Undefine(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.networks[name]
+	if !ok {
+		return fmt.Errorf("vnet: no network %q", name)
+	}
+	if n.active {
+		return fmt.Errorf("vnet: network %q is active", name)
+	}
+	delete(m.networks, name)
+	return nil
+}
+
+// Start brings a network up, materialising its bridge.
+func (m *Manager) Start(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.networks[name]
+	if !ok {
+		return fmt.Errorf("vnet: no network %q", name)
+	}
+	if n.active {
+		return fmt.Errorf("vnet: network %q already active", name)
+	}
+	if n.bridge == "" {
+		if n.def.Bridge != nil && n.def.Bridge.Name != "" {
+			n.bridge = n.def.Bridge.Name
+		} else {
+			n.bridge = fmt.Sprintf("virbr%d", m.bridgeNo)
+			m.bridgeNo++
+		}
+	}
+	n.active = true
+	return nil
+}
+
+// Stop tears a network down; leases are dropped.
+func (m *Manager) Stop(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.networks[name]
+	if !ok {
+		return fmt.Errorf("vnet: no network %q", name)
+	}
+	if !n.active {
+		return fmt.Errorf("vnet: network %q is not active", name)
+	}
+	n.active = false
+	n.leases = make(map[string]Lease)
+	n.nextIP = nil
+	return nil
+}
+
+// IsActive reports whether the network is up.
+func (m *Manager) IsActive(name string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.networks[name]
+	if !ok {
+		return false, fmt.Errorf("vnet: no network %q", name)
+	}
+	return n.active, nil
+}
+
+// Bridge returns the bridge device of an active network.
+func (m *Manager) Bridge(name string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.networks[name]
+	if !ok {
+		return "", fmt.Errorf("vnet: no network %q", name)
+	}
+	if !n.active {
+		return "", fmt.Errorf("vnet: network %q is not active", name)
+	}
+	return n.bridge, nil
+}
+
+// List returns all network names, sorted.
+func (m *Manager) List() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.networks))
+	for n := range m.networks {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// XML returns a network's definition document.
+func (m *Manager) XML(name string) (string, error) {
+	m.mu.Lock()
+	n, ok := m.networks[name]
+	m.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("vnet: no network %q", name)
+	}
+	out, err := n.def.Marshal()
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// Attach connects a guest NIC (by MAC) to an active network and leases
+// an address: a static reservation if configured, otherwise the next
+// free address in the first DHCP range.
+func (m *Manager) Attach(name, mac, hostname string) (Lease, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.networks[name]
+	if !ok {
+		return Lease{}, fmt.Errorf("vnet: no network %q", name)
+	}
+	if !n.active {
+		return Lease{}, fmt.Errorf("vnet: network %q is not active", name)
+	}
+	if l, dup := n.leases[mac]; dup {
+		return l, nil // DHCP renew semantics
+	}
+	ipCfg, dhcp := firstDHCP(n.def)
+	if dhcp == nil {
+		return Lease{}, fmt.Errorf("vnet: network %q has no DHCP service", name)
+	}
+	// Static reservation wins.
+	for _, h := range dhcp.Hosts {
+		if h.MAC == mac {
+			l := Lease{MAC: mac, IP: h.IP, Hostname: firstNonEmpty(h.Name, hostname)}
+			n.leases[mac] = l
+			return l, nil
+		}
+	}
+	if len(dhcp.Ranges) == 0 {
+		return Lease{}, fmt.Errorf("vnet: network %q has no DHCP range", name)
+	}
+	r := dhcp.Ranges[0]
+	start := net.ParseIP(r.Start).To4()
+	end := net.ParseIP(r.End).To4()
+	if start == nil || end == nil {
+		return Lease{}, fmt.Errorf("vnet: network %q: non-IPv4 DHCP range", name)
+	}
+	cand := n.nextIP
+	if cand == nil {
+		cand = start
+	}
+	inUse := make(map[string]bool, len(n.leases)+len(dhcp.Hosts)+1)
+	for _, l := range n.leases {
+		inUse[l.IP] = true
+	}
+	for _, h := range dhcp.Hosts {
+		inUse[h.IP] = true
+	}
+	inUse[ipCfg.Address] = true
+	for ip := cand; !ipAfter(ip, end); ip = ipNext(ip) {
+		if !inUse[ip.String()] {
+			l := Lease{MAC: mac, IP: ip.String(), Hostname: hostname}
+			n.leases[mac] = l
+			n.nextIP = ipNext(ip)
+			return l, nil
+		}
+	}
+	// Wrap around once for addresses released earlier in the range.
+	for ip := start; !ipAfter(ip, end); ip = ipNext(ip) {
+		if !inUse[ip.String()] {
+			l := Lease{MAC: mac, IP: ip.String(), Hostname: hostname}
+			n.leases[mac] = l
+			n.nextIP = ipNext(ip)
+			return l, nil
+		}
+	}
+	return Lease{}, fmt.Errorf("vnet: network %q: DHCP range exhausted", name)
+}
+
+// Detach releases a guest's lease.
+func (m *Manager) Detach(name, mac string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.networks[name]
+	if !ok {
+		return fmt.Errorf("vnet: no network %q", name)
+	}
+	if _, has := n.leases[mac]; !has {
+		return fmt.Errorf("vnet: network %q: no lease for %s", name, mac)
+	}
+	delete(n.leases, mac)
+	return nil
+}
+
+// Leases lists the active leases of a network, sorted by IP.
+func (m *Manager) Leases(name string) ([]Lease, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.networks[name]
+	if !ok {
+		return nil, fmt.Errorf("vnet: no network %q", name)
+	}
+	out := make([]Lease, 0, len(n.leases))
+	for _, l := range n.leases {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP < out[j].IP })
+	return out, nil
+}
+
+func firstDHCP(def *xmlspec.Network) (*xmlspec.IP, *xmlspec.DHCP) {
+	for i := range def.IPs {
+		if def.IPs[i].DHCP != nil {
+			return &def.IPs[i], def.IPs[i].DHCP
+		}
+	}
+	return nil, nil
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+func ipNext(ip net.IP) net.IP {
+	v := binary.BigEndian.Uint32(ip.To4())
+	out := make(net.IP, 4)
+	binary.BigEndian.PutUint32(out, v+1)
+	return out
+}
+
+func ipAfter(a, b net.IP) bool {
+	return binary.BigEndian.Uint32(a.To4()) > binary.BigEndian.Uint32(b.To4())
+}

@@ -1,0 +1,235 @@
+package vnet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/xmlspec"
+)
+
+func defaultNet(t *testing.T, name string, rangeEnd string) *xmlspec.Network {
+	t.Helper()
+	n := &xmlspec.Network{
+		Name:    name,
+		Forward: &xmlspec.Forward{Mode: "nat"},
+		IPs: []xmlspec.IP{{
+			Address: "192.168.100.1",
+			Netmask: "255.255.255.0",
+			DHCP: &xmlspec.DHCP{
+				Ranges: []xmlspec.DHCPRange{{Start: "192.168.100.10", End: rangeEnd}},
+				Hosts:  []xmlspec.DHCPHost{{MAC: "52:54:00:00:00:99", Name: "pinned", IP: "192.168.100.50"}},
+			},
+		}},
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestDefineStartStopUndefine(t *testing.T) {
+	m := NewManager()
+	if err := m.Define(defaultNet(t, "default", "192.168.100.20")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Define(defaultNet(t, "default", "192.168.100.20")); err == nil {
+		t.Fatal("duplicate define accepted")
+	}
+	if active, _ := m.IsActive("default"); active {
+		t.Fatal("fresh network active")
+	}
+	if err := m.Start("default"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("default"); err == nil {
+		t.Fatal("double start accepted")
+	}
+	br, err := m.Bridge("default")
+	if err != nil || !strings.HasPrefix(br, "virbr") {
+		t.Fatalf("bridge %q %v", br, err)
+	}
+	if err := m.Undefine("default"); err == nil {
+		t.Fatal("undefine of active network accepted")
+	}
+	if err := m.Stop("default"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Stop("default"); err == nil {
+		t.Fatal("double stop accepted")
+	}
+	if err := m.Undefine("default"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Undefine("default"); err == nil {
+		t.Fatal("double undefine accepted")
+	}
+}
+
+func TestExplicitBridgeName(t *testing.T) {
+	m := NewManager()
+	def := defaultNet(t, "br", "192.168.100.20")
+	def.Bridge = &xmlspec.Bridge{Name: "mybr0"}
+	if err := m.Define(def); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("br"); err != nil {
+		t.Fatal(err)
+	}
+	if br, _ := m.Bridge("br"); br != "mybr0" {
+		t.Fatalf("bridge %q", br)
+	}
+}
+
+func TestAttachLeasing(t *testing.T) {
+	m := NewManager()
+	if err := m.Define(defaultNet(t, "n", "192.168.100.12")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Attach("n", "52:54:00:00:00:01", "g1"); err == nil {
+		t.Fatal("attach to inactive network accepted")
+	}
+	if err := m.Start("n"); err != nil {
+		t.Fatal(err)
+	}
+	l1, err := m.Attach("n", "52:54:00:00:00:01", "g1")
+	if err != nil || l1.IP != "192.168.100.10" {
+		t.Fatalf("%+v %v", l1, err)
+	}
+	// Renew returns the same lease.
+	again, err := m.Attach("n", "52:54:00:00:00:01", "g1")
+	if err != nil || again.IP != l1.IP {
+		t.Fatalf("renew %+v %v", again, err)
+	}
+	l2, _ := m.Attach("n", "52:54:00:00:00:02", "g2")
+	l3, _ := m.Attach("n", "52:54:00:00:00:03", "g3")
+	if l2.IP != "192.168.100.11" || l3.IP != "192.168.100.12" {
+		t.Fatalf("%+v %+v", l2, l3)
+	}
+	// Range exhausted (3 addresses only).
+	if _, err := m.Attach("n", "52:54:00:00:00:04", "g4"); err == nil {
+		t.Fatal("exhausted range still leased")
+	}
+	// Release one and re-lease it.
+	if err := m.Detach("n", "52:54:00:00:00:02"); err != nil {
+		t.Fatal(err)
+	}
+	l4, err := m.Attach("n", "52:54:00:00:00:04", "g4")
+	if err != nil || l4.IP != "192.168.100.11" {
+		t.Fatalf("reuse %+v %v", l4, err)
+	}
+	if err := m.Detach("n", "52:54:00:00:00:02"); err == nil {
+		t.Fatal("double detach accepted")
+	}
+}
+
+func TestStaticReservation(t *testing.T) {
+	m := NewManager()
+	if err := m.Define(defaultNet(t, "s", "192.168.100.20")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("s"); err != nil {
+		t.Fatal(err)
+	}
+	l, err := m.Attach("s", "52:54:00:00:00:99", "whatever")
+	if err != nil || l.IP != "192.168.100.50" || l.Hostname != "pinned" {
+		t.Fatalf("%+v %v", l, err)
+	}
+	// Dynamic leases never collide with the reservation.
+	for i := 0; i < 5; i++ {
+		dl, err := m.Attach("s", fmt.Sprintf("52:54:00:00:01:%02x", i), "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dl.IP == "192.168.100.50" {
+			t.Fatal("dynamic lease took the reserved address")
+		}
+	}
+}
+
+func TestStopDropsLeases(t *testing.T) {
+	m := NewManager()
+	if err := m.Define(defaultNet(t, "d", "192.168.100.20")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Attach("d", "52:54:00:00:00:01", "g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Stop("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("d"); err != nil {
+		t.Fatal(err)
+	}
+	leases, err := m.Leases("d")
+	if err != nil || len(leases) != 0 {
+		t.Fatalf("leases after restart: %v %v", leases, err)
+	}
+}
+
+func TestLeasesSorted(t *testing.T) {
+	m := NewManager()
+	if err := m.Define(defaultNet(t, "l", "192.168.100.20")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("l"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := m.Attach("l", fmt.Sprintf("52:54:00:00:02:%02x", i), "g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leases, _ := m.Leases("l")
+	for i := 1; i < len(leases); i++ {
+		if leases[i-1].IP > leases[i].IP {
+			t.Fatalf("not sorted: %v", leases)
+		}
+	}
+}
+
+func TestXMLAndList(t *testing.T) {
+	m := NewManager()
+	if err := m.Define(defaultNet(t, "b", "192.168.100.20")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Define(defaultNet(t, "a", "192.168.100.20")); err != nil {
+		t.Fatal(err)
+	}
+	names := m.List()
+	if len(names) != 2 || names[0] != "a" {
+		t.Fatalf("list %v", names)
+	}
+	xml, err := m.XML("a")
+	if err != nil || !strings.Contains(xml, "<name>a</name>") {
+		t.Fatalf("xml %q %v", xml, err)
+	}
+	if _, err := m.XML("missing"); err == nil {
+		t.Fatal("xml of missing network accepted")
+	}
+}
+
+func TestErrorsOnMissingNetwork(t *testing.T) {
+	m := NewManager()
+	if err := m.Start("x"); err == nil {
+		t.Fatal("start missing")
+	}
+	if err := m.Stop("x"); err == nil {
+		t.Fatal("stop missing")
+	}
+	if _, err := m.IsActive("x"); err == nil {
+		t.Fatal("isactive missing")
+	}
+	if _, err := m.Bridge("x"); err == nil {
+		t.Fatal("bridge missing")
+	}
+	if _, err := m.Leases("x"); err == nil {
+		t.Fatal("leases missing")
+	}
+	if err := m.Detach("x", "52:54:00:00:00:01"); err == nil {
+		t.Fatal("detach missing")
+	}
+}

@@ -1,0 +1,272 @@
+// Package wire defines the remote management protocol spoken between the
+// remote driver and the daemon: procedure numbers and the XDR payload
+// structures of every call and reply. Both sides import this package, so
+// the protocol has a single definition.
+//
+// Forward compatibility follows the typed-parameter convention: calls
+// whose argument set may grow carry a list of typed parameters instead of
+// a fixed struct, so adding an attribute never changes a payload layout.
+package wire
+
+// Remote program procedures. Numbers are part of the protocol and must
+// never be reused.
+const (
+	ProcConnectOpen uint32 = 1 + iota
+	ProcConnectClose
+	ProcGetType
+	ProcGetVersion
+	ProcGetHostname
+	ProcGetCapabilities
+	ProcNodeGetInfo
+	ProcDomainList
+	ProcDomainLookupByName
+	ProcDomainLookupByUUID
+	ProcDomainDefine
+	ProcDomainUndefine
+	ProcDomainCreate
+	ProcDomainDestroy
+	ProcDomainShutdown
+	ProcDomainReboot
+	ProcDomainSuspend
+	ProcDomainResume
+	ProcDomainGetInfo
+	ProcDomainGetStats
+	ProcDomainGetXML
+	ProcDomainSetMemory
+	ProcDomainSetVCPUs
+	ProcNetworkList
+	ProcNetworkDefine
+	ProcNetworkUndefine
+	ProcNetworkStart
+	ProcNetworkStop
+	ProcNetworkGetXML
+	ProcNetworkIsActive
+	ProcNetworkDHCPLeases
+	ProcPoolList
+	ProcPoolDefine
+	ProcPoolUndefine
+	ProcPoolStart
+	ProcPoolStop
+	ProcPoolGetXML
+	ProcPoolGetInfo
+	ProcVolList
+	ProcVolCreate
+	ProcVolDelete
+	ProcVolGetXML
+	ProcEventRegister
+	ProcEventDeregister
+	ProcAuthList
+	ProcAuthSASLStart
+	ProcSnapshotCreate
+	ProcSnapshotList
+	ProcSnapshotGetXML
+	ProcSnapshotRevert
+	ProcSnapshotDelete
+	ProcManagedSave
+	ProcHasManagedSave
+	ProcManagedSaveRemove
+	ProcDeviceAttach
+	ProcDeviceDetach
+)
+
+// ProcEventLifecycle is the procedure number of unsolicited lifecycle
+// event messages (server → client).
+const ProcEventLifecycle uint32 = 1000
+
+// ConnectOpenArgs carries the effective URI the client wants the daemon
+// to open with its server-side drivers.
+type ConnectOpenArgs struct {
+	URI string
+}
+
+// NameArgs addresses an object by name.
+type NameArgs struct {
+	Name string
+}
+
+// UUIDArgs addresses a domain by UUID.
+type UUIDArgs struct {
+	UUID string
+}
+
+// XMLArgs carries a definition document.
+type XMLArgs struct {
+	XML string
+}
+
+// StringReply returns one string.
+type StringReply struct {
+	Value string
+}
+
+// BoolReply returns one boolean.
+type BoolReply struct {
+	Value bool
+}
+
+// DomainListArgs selects which domains to list.
+type DomainListArgs struct {
+	Flags uint32
+}
+
+// NameListReply returns object names.
+type NameListReply struct {
+	Names []string
+}
+
+// DomainMeta is a domain identity tuple on the wire.
+type DomainMeta struct {
+	Name string
+	UUID string
+	ID   int32
+}
+
+// DomainMetaReply returns one domain identity.
+type DomainMetaReply struct {
+	Meta DomainMeta
+}
+
+// DomainInfoReply returns the compact info block.
+type DomainInfoReply struct {
+	State     uint32
+	MaxMemKiB uint64
+	MemKiB    uint64
+	VCPUs     uint32
+	CPUTimeNs uint64
+}
+
+// DomainStatsReply returns the extended monitoring snapshot.
+type DomainStatsReply struct {
+	State      uint32
+	CPUTimeNs  uint64
+	MemKiB     uint64
+	MaxMemKiB  uint64
+	VCPUs      uint32
+	RdBytes    uint64
+	WrBytes    uint64
+	RdReqs     uint64
+	WrReqs     uint64
+	RxBytes    uint64
+	TxBytes    uint64
+	RxPkts     uint64
+	TxPkts     uint64
+	DirtyPages uint64
+}
+
+// SetMemoryArgs balloons a domain.
+type SetMemoryArgs struct {
+	Name   string
+	MemKiB uint64
+}
+
+// SetVCPUsArgs adjusts a domain's vCPU count.
+type SetVCPUsArgs struct {
+	Name  string
+	VCPUs uint32
+}
+
+// NodeInfoReply returns the host summary.
+type NodeInfoReply struct {
+	Model     string
+	MemoryKiB uint64
+	CPUs      uint32
+	MHz       uint32
+	NUMANodes uint32
+	Sockets   uint32
+	Cores     uint32
+	Threads   uint32
+}
+
+// DHCPLease is one lease on the wire.
+type DHCPLease struct {
+	MAC      string
+	IP       string
+	Hostname string
+}
+
+// LeasesReply returns DHCP leases.
+type LeasesReply struct {
+	Leases []DHCPLease
+}
+
+// PoolInfoReply returns pool space accounting.
+type PoolInfoReply struct {
+	Active        bool
+	CapacityKiB   uint64
+	AllocationKiB uint64
+	AvailableKiB  uint64
+}
+
+// VolArgs addresses a volume within a pool.
+type VolArgs struct {
+	Pool string
+	Name string
+}
+
+// VolCreateArgs creates a volume within a pool.
+type VolCreateArgs struct {
+	Pool string
+	XML  string
+}
+
+// EventRegisterArgs subscribes the connection to lifecycle events for
+// one domain name, or all when empty.
+type EventRegisterArgs struct {
+	Domain string
+}
+
+// EventRegisterReply returns the server-side callback id.
+type EventRegisterReply struct {
+	CallbackID int32
+}
+
+// EventDeregisterArgs removes a callback.
+type EventDeregisterArgs struct {
+	CallbackID int32
+}
+
+// LifecycleEvent is the payload of unsolicited event messages.
+type LifecycleEvent struct {
+	CallbackID int32
+	Type       uint32
+	Domain     string
+	UUID       string
+	Detail     string
+	Seq        uint64
+}
+
+// SnapshotCreateArgs captures a snapshot of a domain.
+type SnapshotCreateArgs struct {
+	Domain string
+	XML    string
+}
+
+// SnapshotArgs addresses one snapshot of a domain.
+type SnapshotArgs struct {
+	Domain string
+	Name   string
+}
+
+// DeviceArgs carries a standalone device document for attach/detach.
+type DeviceArgs struct {
+	Domain string
+	XML    string
+}
+
+// AuthListReply advertises the authentication mechanisms the service
+// requires, in preference order. Empty means none.
+type AuthListReply struct {
+	Mechanisms []string
+}
+
+// SASLStartArgs carries one authentication step from the client.
+type SASLStartArgs struct {
+	Mechanism string
+	Data      []byte
+}
+
+// SASLStartReply carries the server's verdict.
+type SASLStartReply struct {
+	Complete bool
+	Data     []byte
+}

@@ -1,0 +1,148 @@
+// Package wire_test verifies that every payload structure of the remote
+// protocol survives an XDR round trip unchanged — the compatibility
+// property the whole client/daemon split depends on.
+package wire_test
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// roundTrip marshals v, unmarshals into a fresh value of the same type
+// and compares.
+func roundTrip(t *testing.T, v interface{}) {
+	t.Helper()
+	data, err := rpc.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	out := reflect.New(reflect.TypeOf(v).Elem()).Interface()
+	if err := rpc.Unmarshal(data, out); err != nil {
+		t.Fatalf("unmarshal %T: %v", v, err)
+	}
+	if !payloadEqual(v, out) {
+		t.Fatalf("%T round trip mismatch:\n in: %+v\nout: %+v", v, v, out)
+	}
+}
+
+// payloadEqual is DeepEqual with nil/empty slice equivalence, since XDR
+// cannot distinguish them.
+func payloadEqual(a, b interface{}) bool {
+	va, vb := reflect.ValueOf(a).Elem(), reflect.ValueOf(b).Elem()
+	for i := 0; i < va.NumField(); i++ {
+		fa, fb := va.Field(i), vb.Field(i)
+		if fa.Kind() == reflect.Slice && fa.Len() == 0 && fb.Len() == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(fa.Interface(), fb.Interface()) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllPayloadsRoundTrip(t *testing.T) {
+	payloads := []interface{}{
+		&wire.ConnectOpenArgs{URI: "qsim+tcp://host:16509/system?x=1"},
+		&wire.NameArgs{Name: "dom"},
+		&wire.UUIDArgs{UUID: "11111111-2222-3333-4444-555555555555"},
+		&wire.XMLArgs{XML: "<domain type='qsim'><name>x</name></domain>"},
+		&wire.StringReply{Value: "banner"},
+		&wire.BoolReply{Value: true},
+		&wire.DomainListArgs{Flags: 3},
+		&wire.NameListReply{Names: []string{"a", "b", "c"}},
+		&wire.DomainMetaReply{Meta: wire.DomainMeta{Name: "d", UUID: "u", ID: -1}},
+		&wire.DomainInfoReply{State: 1, MaxMemKiB: 1 << 40, MemKiB: 512, VCPUs: 8, CPUTimeNs: 42},
+		&wire.DomainStatsReply{State: 5, CPUTimeNs: 1, RdBytes: 2, WrBytes: 3, DirtyPages: 99},
+		&wire.SetMemoryArgs{Name: "d", MemKiB: 1024},
+		&wire.SetVCPUsArgs{Name: "d", VCPUs: 4},
+		&wire.NodeInfoReply{Model: "sim", MemoryKiB: 1 << 30, CPUs: 64, MHz: 2800, NUMANodes: 2, Sockets: 2, Cores: 16, Threads: 2},
+		&wire.LeasesReply{Leases: []wire.DHCPLease{{MAC: "52:54:00:00:00:01", IP: "10.0.0.2", Hostname: "g"}}},
+		&wire.PoolInfoReply{Active: true, CapacityKiB: 100, AllocationKiB: 40, AvailableKiB: 60},
+		&wire.VolArgs{Pool: "p", Name: "v"},
+		&wire.VolCreateArgs{Pool: "p", XML: "<volume/>"},
+		&wire.EventRegisterArgs{Domain: "d"},
+		&wire.EventRegisterReply{CallbackID: 7},
+		&wire.EventDeregisterArgs{CallbackID: 7},
+		&wire.LifecycleEvent{CallbackID: 1, Type: 3, Domain: "d", UUID: "u", Detail: "x", Seq: 9},
+		&wire.AuthListReply{Mechanisms: []string{"SIM-PLAIN"}},
+		&wire.SASLStartArgs{Mechanism: "SIM-PLAIN", Data: []byte{1, 0, 2}},
+		&wire.SASLStartReply{Complete: true, Data: []byte{}},
+		&wire.SnapshotCreateArgs{Domain: "d", XML: "<domainsnapshot/>"},
+		&wire.SnapshotArgs{Domain: "d", Name: "s"},
+	}
+	for _, p := range payloads {
+		roundTrip(t, p)
+	}
+}
+
+func TestProcedureNumbersAreStable(t *testing.T) {
+	// Wire numbers are protocol constants; a reorder of the const block
+	// would silently break compatibility. Pin the anchors.
+	pins := map[string]uint32{
+		"ConnectOpen":       1,
+		"DomainDefine":      11,
+		"NetworkList":       24,
+		"PoolList":          32,
+		"EventRegister":     43,
+		"AuthList":          45,
+		"SnapshotCreate":    47,
+		"ManagedSave":       52,
+		"ManagedSaveRemove": 54,
+	}
+	got := map[string]uint32{
+		"ConnectOpen":       wire.ProcConnectOpen,
+		"DomainDefine":      wire.ProcDomainDefine,
+		"NetworkList":       wire.ProcNetworkList,
+		"PoolList":          wire.ProcPoolList,
+		"EventRegister":     wire.ProcEventRegister,
+		"AuthList":          wire.ProcAuthList,
+		"SnapshotCreate":    wire.ProcSnapshotCreate,
+		"ManagedSave":       wire.ProcManagedSave,
+		"ManagedSaveRemove": wire.ProcManagedSaveRemove,
+	}
+	for name, want := range pins {
+		if got[name] != want {
+			t.Errorf("procedure %s renumbered: %d, want %d", name, got[name], want)
+		}
+	}
+}
+
+func TestQuickStatsRoundTrip(t *testing.T) {
+	f := func(r wire.DomainStatsReply) bool {
+		data, err := rpc.Marshal(&r)
+		if err != nil {
+			return false
+		}
+		var out wire.DomainStatsReply
+		if err := rpc.Unmarshal(data, &out); err != nil {
+			return false
+		}
+		return out == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMetaRoundTrip(t *testing.T) {
+	f := func(name, uuid string, id int32) bool {
+		in := wire.DomainMetaReply{Meta: wire.DomainMeta{Name: name, UUID: uuid, ID: id}}
+		data, err := rpc.Marshal(&in)
+		if err != nil {
+			return false
+		}
+		var out wire.DomainMetaReply
+		if err := rpc.Unmarshal(data, &out); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+package xmlspec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleDomainXML = `
+<domain type='qsim'>
+  <name>web01</name>
+  <uuid>11111111-2222-3333-4444-555555555555</uuid>
+  <title>Front-end web server</title>
+  <memory unit='MiB'>2048</memory>
+  <currentMemory unit='MiB'>1024</currentMemory>
+  <vcpu placement='static'>4</vcpu>
+  <os>
+    <type arch='x86_64' machine='pc'>hvm</type>
+    <boot dev='hd'/>
+    <boot dev='network'/>
+  </os>
+  <features><acpi/><apic/></features>
+  <on_poweroff>destroy</on_poweroff>
+  <on_reboot>restart</on_reboot>
+  <devices>
+    <emulator>/usr/bin/qsim-system-x86_64</emulator>
+    <disk type='file' device='disk'>
+      <driver name='qsim' type='qcow2'/>
+      <source file='/var/lib/virt/images/web01.qcow2'/>
+      <target dev='vda' bus='virtio'/>
+    </disk>
+    <disk type='volume' device='disk'>
+      <source pool='default' volume='data01'/>
+      <target dev='vdb' bus='virtio'/>
+    </disk>
+    <interface type='network'>
+      <mac address='52:54:00:aa:bb:cc'/>
+      <source network='default'/>
+      <model type='virtio'/>
+    </interface>
+    <console type='pty'/>
+    <graphics type='vnc' port='-1' autoport='yes'/>
+  </devices>
+</domain>`
+
+func TestParseDomain(t *testing.T) {
+	d, err := ParseDomain([]byte(sampleDomainXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Type != "qsim" || d.Name != "web01" {
+		t.Fatalf("%+v", d)
+	}
+	kib, err := d.Memory.KiB()
+	if err != nil || kib != 2048*1024 {
+		t.Fatalf("memory %d %v", kib, err)
+	}
+	cur, err := d.CurrentMemory.KiB()
+	if err != nil || cur != 1024*1024 {
+		t.Fatalf("currentMemory %d %v", cur, err)
+	}
+	if d.VCPU.Count != 4 {
+		t.Fatalf("vcpu %d", d.VCPU.Count)
+	}
+	if len(d.OS.Boot) != 2 || d.OS.Boot[0].Dev != "hd" {
+		t.Fatalf("boot %+v", d.OS.Boot)
+	}
+	if d.Features == nil || d.Features.ACPI == nil || d.Features.PAE != nil {
+		t.Fatalf("features %+v", d.Features)
+	}
+	if len(d.Devices.Disks) != 2 || d.Devices.Disks[0].Driver.Type != "qcow2" {
+		t.Fatalf("disks %+v", d.Devices.Disks)
+	}
+	if d.Devices.Disks[1].Source.Pool != "default" || d.Devices.Disks[1].Source.Vol != "data01" {
+		t.Fatalf("volume disk %+v", d.Devices.Disks[1])
+	}
+	if len(d.Devices.Interfaces) != 1 || d.Devices.Interfaces[0].MAC.Address != "52:54:00:aa:bb:cc" {
+		t.Fatalf("interfaces %+v", d.Devices.Interfaces)
+	}
+}
+
+func TestDomainMarshalRoundTrip(t *testing.T) {
+	d, err := ParseDomain([]byte(sampleDomainXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseDomain(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if d2.Name != d.Name || d2.VCPU.Count != d.VCPU.Count || len(d2.Devices.Disks) != len(d.Devices.Disks) {
+		t.Fatalf("round trip changed content: %+v vs %+v", d, d2)
+	}
+	if d2.Devices.Graphics[0].Port != d.Devices.Graphics[0].Port {
+		t.Fatal("graphics port lost")
+	}
+}
+
+func minimalDomain(name string) *Domain {
+	return &Domain{
+		Type:   "test",
+		Name:   name,
+		Memory: MemoryKiB(512 * 1024),
+		VCPU:   VCPU{Count: 1},
+		OS:     DomainOS{Type: OSType{Value: "hvm", Arch: "x86_64"}},
+	}
+}
+
+func TestDomainValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Domain)
+	}{
+		{"empty type", func(d *Domain) { d.Type = "" }},
+		{"empty name", func(d *Domain) { d.Name = "" }},
+		{"name with space", func(d *Domain) { d.Name = "a b" }},
+		{"name with slash", func(d *Domain) { d.Name = "a/b" }},
+		{"zero memory", func(d *Domain) { d.Memory = MemoryKiB(0) }},
+		{"bad memory unit", func(d *Domain) { d.Memory = Memory{Unit: "parsecs", Value: 1} }},
+		{"current above max", func(d *Domain) {
+			m := MemoryKiB(1024 * 1024)
+			d.Memory = MemoryKiB(512 * 1024)
+			d.CurrentMemory = &m
+		}},
+		{"zero vcpus", func(d *Domain) { d.VCPU.Count = 0 }},
+		{"bad boot dev", func(d *Domain) { d.OS.Boot = []Boot{{Dev: "floppy9"}} }},
+		{"disk without target", func(d *Domain) {
+			d.Devices.Disks = []Disk{{Type: "file", Source: DiskSource{File: "/x"}}}
+		}},
+		{"duplicate disk target", func(d *Domain) {
+			d.Devices.Disks = []Disk{
+				{Type: "file", Source: DiskSource{File: "/x"}, Target: DiskTarget{Dev: "vda"}},
+				{Type: "file", Source: DiskSource{File: "/y"}, Target: DiskTarget{Dev: "vda"}},
+			}
+		}},
+		{"file disk without source", func(d *Domain) {
+			d.Devices.Disks = []Disk{{Type: "file", Target: DiskTarget{Dev: "vda"}}}
+		}},
+		{"block disk without dev", func(d *Domain) {
+			d.Devices.Disks = []Disk{{Type: "block", Target: DiskTarget{Dev: "vda"}}}
+		}},
+		{"volume disk without pool", func(d *Domain) {
+			d.Devices.Disks = []Disk{{Type: "volume", Source: DiskSource{Vol: "v"}, Target: DiskTarget{Dev: "vda"}}}
+		}},
+		{"unknown disk type", func(d *Domain) {
+			d.Devices.Disks = []Disk{{Type: "tape", Target: DiskTarget{Dev: "vda"}}}
+		}},
+		{"network nic without source", func(d *Domain) {
+			d.Devices.Interfaces = []Interface{{Type: "network"}}
+		}},
+		{"bridge nic without source", func(d *Domain) {
+			d.Devices.Interfaces = []Interface{{Type: "bridge"}}
+		}},
+		{"unknown nic type", func(d *Domain) {
+			d.Devices.Interfaces = []Interface{{Type: "wormhole"}}
+		}},
+		{"bad mac", func(d *Domain) {
+			d.Devices.Interfaces = []Interface{{Type: "user", MAC: &MAC{Address: "not-a-mac"}}}
+		}},
+		{"duplicate mac", func(d *Domain) {
+			d.Devices.Interfaces = []Interface{
+				{Type: "user", MAC: &MAC{Address: "52:54:00:00:00:01"}},
+				{Type: "user", MAC: &MAC{Address: "52:54:00:00:00:01"}},
+			}
+		}},
+	}
+	for _, c := range cases {
+		d := minimalDomain("dom")
+		c.mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate unexpectedly succeeded", c.name)
+		}
+	}
+	if err := minimalDomain("ok").Validate(); err != nil {
+		t.Fatalf("minimal domain invalid: %v", err)
+	}
+}
+
+func TestMemoryUnits(t *testing.T) {
+	cases := []struct {
+		unit string
+		v    uint64
+		want uint64
+	}{
+		{"", 100, 100},
+		{"KiB", 100, 100},
+		{"k", 100, 100},
+		{"B", 4096, 4},
+		{"bytes", 2048, 2},
+		{"MiB", 3, 3 * 1024},
+		{"GiB", 2, 2 * 1024 * 1024},
+		{"TiB", 1, 1024 * 1024 * 1024},
+	}
+	for _, c := range cases {
+		got, err := Memory{Unit: c.unit, Value: c.v}.KiB()
+		if err != nil || got != c.want {
+			t.Errorf("KiB(%q,%d)=%d,%v want %d", c.unit, c.v, got, err, c.want)
+		}
+	}
+	if _, err := (Memory{Unit: "XB", Value: 1}).KiB(); err == nil {
+		t.Fatal("unknown unit accepted")
+	}
+}
+
+func TestValidMAC(t *testing.T) {
+	good := []string{"52:54:00:aa:bb:cc", "00:00:00:00:00:00", "FF:ff:FF:ff:FF:ff"}
+	bad := []string{"", "52:54:00:aa:bb", "52:54:00:aa:bb:cc:dd", "5254:00:aa:bb:cc", "zz:54:00:aa:bb:cc", "5:4:0:a:b:c"}
+	for _, m := range good {
+		if !validMAC(m) {
+			t.Errorf("validMAC(%q)=false", m)
+		}
+	}
+	for _, m := range bad {
+		if validMAC(m) {
+			t.Errorf("validMAC(%q)=true", m)
+		}
+	}
+}
+
+func TestParseDomainRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "<domain", "not xml at all", "<other/>"} {
+		if _, err := ParseDomain([]byte(s)); err == nil {
+			t.Errorf("ParseDomain(%q) succeeded", s)
+		}
+	}
+}
+
+func TestQuickDomainRoundTrip(t *testing.T) {
+	f := func(vcpus uint8, memMiB uint16, ndisks uint8) bool {
+		d := minimalDomain("quick")
+		d.VCPU.Count = uint(vcpus%32) + 1
+		d.Memory = Memory{Unit: "MiB", Value: uint64(memMiB%4096) + 1}
+		for i := 0; i < int(ndisks%5); i++ {
+			d.Devices.Disks = append(d.Devices.Disks, Disk{
+				Type:   "file",
+				Source: DiskSource{File: fmt.Sprintf("/img/%d.raw", i)},
+				Target: DiskTarget{Dev: fmt.Sprintf("vd%c", 'a'+i), Bus: "virtio"},
+			})
+		}
+		out, err := d.Marshal()
+		if err != nil {
+			return false
+		}
+		d2, err := ParseDomain(out)
+		if err != nil {
+			return false
+		}
+		m1, _ := d.Memory.KiB()
+		m2, _ := d2.Memory.KiB()
+		return d2.VCPU.Count == d.VCPU.Count && m1 == m2 && len(d2.Devices.Disks) == len(d.Devices.Disks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalContainsExpectedElements(t *testing.T) {
+	d := minimalDomain("render")
+	out, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{`<domain type="test">`, `<name>render</name>`, `unit="KiB"`, `<vcpu>1</vcpu>`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("marshalled XML missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package xmlspec
+
+import "testing"
+
+// FuzzParseDomain ensures the domain parser never panics on arbitrary
+// input and that accepted documents survive a marshal/parse round trip.
+func FuzzParseDomain(f *testing.F) {
+	f.Add(sampleDomainXML)
+	f.Add("<domain type='t'><name>x</name><memory>1</memory><vcpu>1</vcpu></domain>")
+	f.Add("")
+	f.Add("<domain")
+	f.Fuzz(func(t *testing.T, data string) {
+		d, err := ParseDomain([]byte(data))
+		if err != nil {
+			return
+		}
+		out, err := d.Marshal()
+		if err != nil {
+			t.Fatalf("accepted domain failed to marshal: %v", err)
+		}
+		if _, err := ParseDomain(out); err != nil {
+			t.Fatalf("marshalled output rejected: %v\n%s", err, out)
+		}
+	})
+}
+
+// FuzzParseDevice ensures the device parser never panics.
+func FuzzParseDevice(f *testing.F) {
+	f.Add(`<disk type='file'><source file='/x'/><target dev='vda'/></disk>`)
+	f.Add(`<interface type='user'><mac address='52:54:00:00:00:01'/></interface>`)
+	f.Add("<console/>")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		dev, err := ParseDevice([]byte(data))
+		if err != nil {
+			return
+		}
+		if dev.Kind() == "unknown" {
+			t.Fatal("accepted device with unknown kind")
+		}
+	})
+}
+
+// FuzzParseNetwork ensures the network parser never panics.
+func FuzzParseNetwork(f *testing.F) {
+	f.Add(sampleNetworkXML)
+	f.Add("<network><name>n</name></network>")
+	f.Fuzz(func(t *testing.T, data string) {
+		n, err := ParseNetwork([]byte(data))
+		if err != nil {
+			return
+		}
+		if _, err := n.Marshal(); err != nil {
+			t.Fatalf("accepted network failed to marshal: %v", err)
+		}
+	})
+}

@@ -1,0 +1,304 @@
+package xmlspec
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleNetworkXML = `
+<network>
+  <name>default</name>
+  <uuid>aaaaaaaa-bbbb-cccc-dddd-eeeeeeeeeeee</uuid>
+  <bridge name='virbr0' stp='on' delay='0'/>
+  <forward mode='nat'/>
+  <ip address='192.168.122.1' netmask='255.255.255.0'>
+    <dhcp>
+      <range start='192.168.122.2' end='192.168.122.254'/>
+      <host mac='52:54:00:11:22:33' name='pinned' ip='192.168.122.10'/>
+    </dhcp>
+  </ip>
+</network>`
+
+func TestParseNetwork(t *testing.T) {
+	n, err := ParseNetwork([]byte(sampleNetworkXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "default" || n.Bridge.Name != "virbr0" || n.Forward.Mode != "nat" {
+		t.Fatalf("%+v", n)
+	}
+	if len(n.IPs) != 1 || n.IPs[0].DHCP == nil || len(n.IPs[0].DHCP.Ranges) != 1 {
+		t.Fatalf("ip section %+v", n.IPs)
+	}
+	out, err := n.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ParseNetwork(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.IPs[0].DHCP.Hosts[0].IP != "192.168.122.10" {
+		t.Fatalf("round trip lost dhcp host: %+v", n2.IPs[0].DHCP)
+	}
+}
+
+func TestNetworkValidateErrors(t *testing.T) {
+	base := func() *Network {
+		return &Network{
+			Name:    "net",
+			Forward: &Forward{Mode: "nat"},
+			IPs: []IP{{
+				Address: "10.0.0.1",
+				Netmask: "255.255.255.0",
+				DHCP: &DHCP{
+					Ranges: []DHCPRange{{Start: "10.0.0.10", End: "10.0.0.20"}},
+				},
+			}},
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Network)
+	}{
+		{"bad name", func(n *Network) { n.Name = "" }},
+		{"bad forward mode", func(n *Network) { n.Forward.Mode = "teleport" }},
+		{"bad address", func(n *Network) { n.IPs[0].Address = "999.1.1.1" }},
+		{"bad netmask", func(n *Network) { n.IPs[0].Netmask = "255.255.255.256" }},
+		{"no mask or prefix", func(n *Network) { n.IPs[0].Netmask = "" }},
+		{"prefix too large", func(n *Network) { n.IPs[0].Netmask = ""; n.IPs[0].Prefix = 33 }},
+		{"range outside subnet", func(n *Network) { n.IPs[0].DHCP.Ranges[0].End = "10.0.1.20" }},
+		{"range reversed", func(n *Network) {
+			n.IPs[0].DHCP.Ranges[0] = DHCPRange{Start: "10.0.0.20", End: "10.0.0.10"}
+		}},
+		{"bad range ip", func(n *Network) { n.IPs[0].DHCP.Ranges[0].Start = "x" }},
+		{"host bad mac", func(n *Network) {
+			n.IPs[0].DHCP.Hosts = []DHCPHost{{MAC: "bad", IP: "10.0.0.5"}}
+		}},
+		{"host outside subnet", func(n *Network) {
+			n.IPs[0].DHCP.Hosts = []DHCPHost{{MAC: "52:54:00:00:00:01", IP: "10.9.0.5"}}
+		}},
+	}
+	for _, c := range cases {
+		n := base()
+		c.mutate(n)
+		if err := n.Validate(); err == nil {
+			t.Errorf("%s: Validate unexpectedly succeeded", c.name)
+		}
+	}
+}
+
+func TestNetworkPrefixForm(t *testing.T) {
+	n := &Network{Name: "p", IPs: []IP{{Address: "10.1.0.1", Prefix: 16}}}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const samplePoolXML = `
+<pool type='dir'>
+  <name>default</name>
+  <capacity unit='GiB'>100</capacity>
+  <target><path>/var/lib/virt/images</path></target>
+</pool>`
+
+func TestParseStoragePool(t *testing.T) {
+	p, err := ParseStoragePool([]byte(samplePoolXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != "dir" || p.Target.Path != "/var/lib/virt/images" {
+		t.Fatalf("%+v", p)
+	}
+	out, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseStoragePool(out); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, out)
+	}
+}
+
+func TestStoragePoolValidate(t *testing.T) {
+	iscsi := &StoragePool{
+		Type: "iscsi", Name: "remote",
+		Source: &PoolSource{
+			Host:   &SourceHost{Name: "stor1.example.com", Port: 3260},
+			Device: &SourceDevice{Path: "iqn.2026-07.com.example:target1"},
+		},
+	}
+	if err := iscsi.Validate(); err != nil {
+		t.Fatalf("iscsi pool invalid: %v", err)
+	}
+	logical := &StoragePool{Type: "logical", Name: "vg0", Source: &PoolSource{Name: "vg0"}}
+	if err := logical.Validate(); err != nil {
+		t.Fatalf("logical pool invalid: %v", err)
+	}
+	bad := []*StoragePool{
+		{Type: "dir", Name: ""},
+		{Type: "zfs", Name: "x"},
+		{Type: "dir", Name: "x"},                                                      // missing target
+		{Type: "dir", Name: "x", Target: &PoolTarget{Path: "rel"}},                    // relative path
+		{Type: "logical", Name: "x"},                                                  // missing source name
+		{Type: "iscsi", Name: "x", Source: &PoolSource{}},                             // missing host
+		{Type: "iscsi", Name: "x", Source: &PoolSource{Host: &SourceHost{Name: "h"}}}, // missing IQN
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad pool %d accepted", i)
+		}
+	}
+}
+
+const sampleVolumeXML = `
+<volume>
+  <name>web01.qcow2</name>
+  <capacity unit='GiB'>20</capacity>
+  <allocation unit='GiB'>5</allocation>
+  <target>
+    <path>/var/lib/virt/images/web01.qcow2</path>
+    <format type='qcow2'/>
+  </target>
+</volume>`
+
+func TestParseStorageVolume(t *testing.T) {
+	v, err := ParseStorageVolume([]byte(sampleVolumeXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap, _ := v.Capacity.KiB()
+	if cap != 20*1024*1024 {
+		t.Fatalf("capacity %d", cap)
+	}
+	if v.Target.Format.Type != "qcow2" {
+		t.Fatalf("%+v", v.Target)
+	}
+	out, err := v.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseStorageVolume(out); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestStorageVolumeValidate(t *testing.T) {
+	alloc := MemoryKiB(100)
+	bigAlloc := MemoryKiB(100000)
+	bad := []*StorageVolume{
+		{Name: "", Capacity: MemoryKiB(10)},
+		{Name: "v", Capacity: MemoryKiB(0)},
+		{Name: "v", Capacity: Memory{Unit: "XB", Value: 1}},
+		{Name: "v", Capacity: MemoryKiB(10), Allocation: &bigAlloc},
+		{Name: "v", Capacity: MemoryKiB(1000), Allocation: &alloc,
+			Target: &VolumeTarget{Format: &VolFormat{Type: "ntfs"}}},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("bad volume %d accepted", i)
+		}
+	}
+	good := &StorageVolume{Name: "v", Capacity: MemoryKiB(1000), Allocation: &alloc}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good volume rejected: %v", err)
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	c := &Capabilities{
+		Host: CapHost{
+			UUID: "11111111-2222-3333-4444-555555555555",
+			CPU: HostCPU{
+				Arch: "x86_64", Model: "sim-epyc", Vendor: "SimVendor",
+				Topology: &Topology{Sockets: 2, Cores: 16, Threads: 2},
+			},
+		},
+		Guests: []Guest{
+			{OSType: "hvm", Arch: GuestArch{
+				Name: "x86_64", WordSize: 64, Emulator: "/usr/bin/qsim",
+				Machines: []string{"pc", "q35"},
+				Domains:  []GuestDomain{{Type: "qsim"}},
+			}},
+			{OSType: "exe", Arch: GuestArch{
+				Name: "x86_64", WordSize: 64,
+				Domains: []GuestDomain{{Type: "csim"}},
+			}},
+		},
+	}
+	out, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseCapabilities(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Host.CPU.Topology.Cores != 16 || len(c2.Guests) != 2 {
+		t.Fatalf("%+v", c2)
+	}
+	if !c2.SupportsGuest("hvm", "x86_64", "qsim") {
+		t.Fatal("hvm/x86_64/qsim should be supported")
+	}
+	if c2.SupportsGuest("hvm", "aarch64", "qsim") {
+		t.Fatal("aarch64 should not be supported")
+	}
+	if c2.SupportsGuest("hvm", "x86_64", "xsim") {
+		t.Fatal("xsim should not be supported")
+	}
+	if !strings.Contains(string(out), "<machine>pc</machine>") {
+		t.Fatalf("capabilities XML missing machines:\n%s", out)
+	}
+}
+
+func TestDomainSnapshotXML(t *testing.T) {
+	s, err := ParseDomainSnapshot([]byte(`<domainsnapshot><name>s1</name><description>d</description></domainsnapshot>`))
+	if err != nil || s.Name != "s1" || s.Description != "d" {
+		t.Fatalf("%+v %v", s, err)
+	}
+	// Empty document is valid (driver generates the name).
+	if s, err := ParseDomainSnapshot([]byte(`<domainsnapshot/>`)); err != nil || s.Name != "" {
+		t.Fatalf("%+v %v", s, err)
+	}
+	if _, err := ParseDomainSnapshot([]byte(`<domainsnapshot><name>a b</name></domainsnapshot>`)); err == nil {
+		t.Fatal("whitespace name accepted")
+	}
+	if _, err := ParseDomainSnapshot([]byte(`<garbage`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	full := &DomainSnapshot{Name: "s", State: "running", CreationTime: 1234, DomainName: "dom"}
+	out, err := full.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseDomainSnapshot(out)
+	if err != nil || again.State != "running" || again.CreationTime != 1234 || again.DomainName != "dom" {
+		t.Fatalf("round trip: %+v %v", again, err)
+	}
+}
+
+func TestParseDeviceKinds(t *testing.T) {
+	d, err := ParseDevice([]byte(`<disk type='file'><source file='/x'/><target dev='vdb'/></disk>`))
+	if err != nil || d.Kind() != "disk" || d.Disk.Target.Dev != "vdb" {
+		t.Fatalf("%+v %v", d, err)
+	}
+	n, err := ParseDevice([]byte(`<interface type='network'><mac address='52:54:00:00:00:09'/><source network='n'/></interface>`))
+	if err != nil || n.Kind() != "interface" || n.Interface.Source.Network != "n" {
+		t.Fatalf("%+v %v", n, err)
+	}
+	bad := []string{
+		``, `<disk type='file'><target dev='vdb'/></disk>`, // no source
+		`<disk type='file'><source file='/x'/></disk>`,           // no target
+		`<interface type='network'/>`,                            // no source network
+		`<interface type='user'><mac address='zz'/></interface>`, // bad mac
+		`<graphics type='vnc'/>`,                                 // unsupported element
+		`<disk`,                                                  // malformed
+	}
+	for _, s := range bad {
+		if _, err := ParseDevice([]byte(s)); err == nil {
+			t.Errorf("ParseDevice(%q) accepted", s)
+		}
+	}
+}
