@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build test race vet bench report
+
+check: ## vet + build + race-enabled tests (the repo's verify gate)
+	sh scripts/check.sh
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+report:
+	$(GO) run ./cmd/benchreport

@@ -200,11 +200,16 @@ func BenchmarkT2_Transports(b *testing.B) {
 // startBenchDaemon brings up a daemon with the test driver and returns a
 // remote connection over the chosen transport.
 func startBenchDaemon(b *testing.B, transport string) *core.Connect {
+	return startBenchDaemonOn(b, transport, daemon.New(quiet))
+}
+
+// startBenchDaemonOn is startBenchDaemon with a caller-supplied daemon,
+// so benches can compare instrumented and uninstrumented builds.
+func startBenchDaemonOn(b *testing.B, transport string, d *daemon.Daemon) *core.Connect {
 	b.Helper()
 	core.ResetRegistryForTest()
 	drvtest.Register(quiet)
 	remote.Register()
-	d := daemon.New(quiet)
 	srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{MaxClients: 64})
 	if err != nil {
 		b.Fatal(err)
@@ -368,6 +373,38 @@ func BenchmarkT5_Admin(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkT6_TelemetryOverhead compares the T2 unix-socket op mix
+// (Hostname + DomainInfo) against a daemon built with telemetry disabled
+// entirely (Table T6). The instrumented dispatch path must stay within
+// 5% of the uninstrumented one.
+func BenchmarkT6_TelemetryOverhead(b *testing.B) {
+	for _, mode := range []string{"uninstrumented", "instrumented"} {
+		b.Run(mode, func(b *testing.B) {
+			var d *daemon.Daemon
+			if mode == "instrumented" {
+				d = daemon.New(quiet)
+			} else {
+				d = daemon.NewWithTelemetry(quiet, nil)
+			}
+			conn := startBenchDaemonOn(b, "unix", d)
+			dom, err := conn.LookupDomain("test")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := conn.Hostname(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dom.Info(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkF1_Scale measures list and lookup latency as the number of

@@ -33,6 +33,7 @@ import (
 	"repro/internal/migrate"
 	"repro/internal/nodeinfo"
 	"repro/internal/rpc"
+	"repro/internal/telemetry"
 	"repro/internal/typedparams"
 	"repro/internal/uri"
 )
@@ -42,10 +43,11 @@ var quiet = logging.NewQuiet(logging.Error)
 func main() {
 	all := map[string]func(){
 		"T1": tableT1, "T2": tableT2, "T3": tableT3, "T4": tableT4, "T5": tableT5,
+		"T6": tableT6,
 		"F1": figureF1, "F2": figureF2, "F3": figureF3, "F4": figureF4,
 		"A3": ablationA3,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "A3"}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "A3"}
 	want := os.Args[1:]
 	if len(want) == 0 {
 		want = order
@@ -210,10 +212,13 @@ func tableT2() {
 }
 
 func benchDaemon(transport string) (*core.Connect, func()) {
+	return benchDaemonOn(transport, daemon.New(quiet))
+}
+
+func benchDaemonOn(transport string, d *daemon.Daemon) (*core.Connect, func()) {
 	core.ResetRegistryForTest()
 	drvtest.Register(quiet)
 	remote.Register()
-	d := daemon.New(quiet)
 	srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{MaxClients: 64})
 	must(err)
 	srv.AddProgram(daemon.NewRemoteProgram(srv))
@@ -330,6 +335,47 @@ func tableT5() {
 	}
 	for _, r := range rows {
 		fmt.Printf("%-24s %-14s\n", r.name, perOp(500, r.fn))
+	}
+}
+
+// tableT6 uses telemetry.Snapshot to split the unix round trip into its
+// internal stages: workerpool queue wait, server-side dispatch, and the
+// client-observed total (which adds wire encode/decode and scheduling).
+func tableT6() {
+	header("Table T6", "telemetry breakdown of the unix round trip (queue wait / dispatch / total)",
+		fmt.Sprintf("%-16s %-12s %-14s %-14s %-14s", "operation", "calls", "queue p50", "dispatch p50", "client total"))
+
+	reg := telemetry.NewRegistry()
+	conn, shutdown := benchDaemonOn("unix", daemon.NewWithTelemetry(quiet, reg))
+	defer shutdown()
+	dom, err := conn.LookupDomain("test")
+	must(err)
+
+	hostname := perOp(500, func() { conn.Hostname() }) //nolint:errcheck
+	dominfo := perOp(500, func() { dom.Info() })       //nolint:errcheck
+
+	snap := reg.Snapshot()
+	histo := func(name string) telemetry.HistogramSnapshot {
+		for _, h := range snap.Histograms {
+			if h.Name == name {
+				return h
+			}
+		}
+		return telemetry.HistogramSnapshot{}
+	}
+	queue := histo(`daemon_queue_wait_seconds{server="govirtd"}`)
+	rows := []struct {
+		op     string
+		proc   string
+		client time.Duration
+	}{
+		{"hostname", "GetHostname", hostname},
+		{"dominfo", "DomainGetInfo", dominfo},
+	}
+	for _, r := range rows {
+		disp := histo(fmt.Sprintf("daemon_dispatch_seconds{program=%q,proc=%q}", "remote", r.proc))
+		fmt.Printf("%-16s %-12d %-14s %-14s %-14s\n", r.op, disp.Count,
+			time.Duration(queue.P50Ns), time.Duration(disp.P50Ns), r.client)
 	}
 }
 

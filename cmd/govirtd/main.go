@@ -10,10 +10,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"repro/internal/admin"
 	"repro/internal/daemon"
@@ -22,6 +25,7 @@ import (
 	drvtest "repro/internal/drivers/test"
 	"repro/internal/drivers/xen"
 	"repro/internal/logging"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -75,6 +79,7 @@ func run() error {
 	lxc.Register(log)
 
 	d := daemon.New(log)
+	d.Tracer().SetThreshold(time.Duration(cfg.SlowCallThresholdMs) * time.Millisecond)
 	mgmt, err := d.AddServer("govirtd", cfg.MinWorkers, cfg.MaxWorkers, cfg.PrioWorkers,
 		daemon.ClientLimits{MaxClients: cfg.MaxClients, MaxUnauthClients: cfg.MaxUnauthClients})
 	if err != nil {
@@ -122,6 +127,24 @@ func run() error {
 		return err
 	}
 	log.Infof("daemon", "admin server listening on %s", cfg.AdminSocketPath)
+
+	// Optional Prometheus-text metrics endpoint; off unless configured.
+	if cfg.MetricsAddress != "" {
+		ln, err := net.Listen("tcp", cfg.MetricsAddress)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.Handler(telemetry.Default))
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Errorf("daemon", "metrics endpoint: %v", err)
+			}
+		}()
+		defer srv.Close() //nolint:errcheck
+		log.Infof("daemon", "metrics endpoint listening on http://%s/metrics", ln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/admin"
 	"repro/internal/logging"
@@ -65,6 +67,10 @@ func run(argv []string) error {
 		return logInfo(conn)
 	case "dmn-log-define":
 		return logDefine(conn, args[1:])
+	case "metrics":
+		return metrics(conn, args[1:])
+	case "slow-calls":
+		return slowCalls(conn)
 	default:
 		return fmt.Errorf("unknown command %q (try \"help\")", args[0])
 	}
@@ -88,6 +94,8 @@ Monitoring commands:
   client-list <server>              list connected clients
   client-info <server> <id>         show a client's identity
   dmn-log-info                      show logging level, filters, outputs
+  metrics [--all]                   show call counts and dispatch latencies
+  slow-calls                        show the recent slow-call ring
 
 Management commands:
   srv-threadpool-set <server> [--min-workers N] [--max-workers N] [--prio-workers N]
@@ -244,6 +252,132 @@ func logInfo(conn *admin.Connect) error {
 	fmt.Printf("Logging level:   %s\n", level)
 	fmt.Printf("Logging filters: %s\n", filters)
 	fmt.Printf("Logging outputs: %s\n", outputs)
+	return nil
+}
+
+// splitMetricName splits a full metric name "base{labels}" into its base
+// name and the label clause without braces.
+func splitMetricName(full string) (base, labels string) {
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		return full[:i], strings.TrimSuffix(full[i+1:], "}")
+	}
+	return full, ""
+}
+
+// labelValue extracts one key's value from a label clause such as
+// `program="remote",proc="GetHostname"`.
+func labelValue(labels, key string) string {
+	for _, part := range strings.Split(labels, ",") {
+		if kv := strings.SplitN(part, "=", 2); len(kv) == 2 && kv[0] == key {
+			return strings.Trim(kv[1], `"`)
+		}
+	}
+	return ""
+}
+
+func metrics(conn *admin.Connect, args []string) error {
+	showAll := false
+	for _, a := range args {
+		if a != "--all" {
+			return fmt.Errorf("unknown flag %q", a)
+		}
+		showAll = true
+	}
+	r, err := conn.Metrics()
+	if err != nil {
+		return err
+	}
+
+	type dispatchRow struct {
+		name          string
+		calls, errors uint64
+		p50, p95, p99 time.Duration
+	}
+	rows := map[string]*dispatchRow{}
+	rowFor := func(labels string) *dispatchRow {
+		key := labelValue(labels, "program") + "." + labelValue(labels, "proc")
+		dr, ok := rows[key]
+		if !ok {
+			dr = &dispatchRow{name: key}
+			rows[key] = dr
+		}
+		return dr
+	}
+	for _, c := range r.Counters {
+		base, labels := splitMetricName(c.Name)
+		switch base {
+		case "daemon_dispatch_total":
+			rowFor(labels).calls = c.Value
+		case "daemon_dispatch_errors_total":
+			rowFor(labels).errors = c.Value
+		}
+	}
+	for _, h := range r.Histograms {
+		base, labels := splitMetricName(h.Name)
+		if base != "daemon_dispatch_seconds" {
+			continue
+		}
+		dr := rowFor(labels)
+		dr.p50 = time.Duration(h.P50Ns)
+		dr.p95 = time.Duration(h.P95Ns)
+		dr.p99 = time.Duration(h.P99Ns)
+	}
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf(" %-36s %8s %6s %10s %10s %10s\n", "Procedure", "Calls", "Errs", "p50", "p95", "p99")
+	fmt.Println(" " + strings.Repeat("-", 84))
+	for _, k := range keys {
+		dr := rows[k]
+		fmt.Printf(" %-36s %8d %6d %10v %10v %10v\n",
+			dr.name, dr.calls, dr.errors, dr.p50, dr.p95, dr.p99)
+	}
+	if !showAll {
+		return nil
+	}
+	fmt.Println("\nCounters:")
+	for _, c := range r.Counters {
+		fmt.Printf("  %-56s %d\n", c.Name, c.Value)
+	}
+	fmt.Println("\nGauges:")
+	for _, g := range r.Gauges {
+		fmt.Printf("  %-56s %d\n", g.Name, g.Value)
+	}
+	fmt.Println("\nHistograms:")
+	for _, h := range r.Histograms {
+		avg := time.Duration(0)
+		if h.Count > 0 {
+			avg = time.Duration(h.SumNs / h.Count)
+		}
+		fmt.Printf("  %-56s count=%d avg=%v p50=%v p95=%v p99=%v\n",
+			h.Name, h.Count, avg,
+			time.Duration(h.P50Ns), time.Duration(h.P95Ns), time.Duration(h.P99Ns))
+	}
+	return nil
+}
+
+func slowCalls(conn *admin.Connect) error {
+	r, err := conn.SlowCalls()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Calls traced: %d\n", r.Started)
+	fmt.Printf("Slow calls:   %d\n", r.Slow)
+	fmt.Printf("Threshold:    %v\n", time.Duration(r.ThresholdNs))
+	if len(r.Calls) == 0 {
+		return nil
+	}
+	fmt.Printf("\n %-8s %-32s %-7s %-14s %10s %10s\n",
+		"Serial", "Procedure", "Client", "Started", "Queue", "Total")
+	fmt.Println(" " + strings.Repeat("-", 86))
+	for _, c := range r.Calls {
+		fmt.Printf(" %-8d %-32s %-7d %-14s %10v %10v\n",
+			c.Serial, c.Program+"."+c.Proc, c.Client,
+			time.Unix(0, c.StartUnix).Format("15:04:05.000"),
+			time.Duration(c.QueueNs), time.Duration(c.TotalNs))
+	}
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/admin"
 	"repro/internal/daemon"
@@ -154,6 +155,62 @@ func TestLogCommands(t *testing.T) {
 	}
 	if _, err := adminCLI(t, sock, "dmn-log-define", "--mystery", "x"); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestMetricsCommand(t *testing.T) {
+	sock := startTestDaemon(t)
+	// Generate some dispatch traffic so the table has rows.
+	if _, err := adminCLI(t, sock, "srv-list"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := adminCLI(t, sock, "metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Procedure") || !strings.Contains(out, "admin.ConnectOpen") {
+		t.Fatalf("metrics:\n%s", out)
+	}
+	out, err = adminCLI(t, sock, "metrics", "--all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Counters:", "Gauges:", "Histograms:", "daemon_clients", "daemon_dispatch_seconds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics --all missing %q", want)
+		}
+	}
+	if _, err := adminCLI(t, sock, "metrics", "--warp"); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestSlowCallsCommand(t *testing.T) {
+	d := daemon.New(logging.NewQuiet(logging.Error))
+	adm, err := d.AddServer("admin", 1, 2, 1, daemon.ClientLimits{MaxClients: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm.AddProgram(admin.NewProgram(d))
+	sock := filepath.Join(t.TempDir(), "admin.sock")
+	if err := adm.ListenUnix(sock, daemon.ServiceConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Shutdown)
+	// With a 1ns threshold every dispatched call lands in the ring.
+	d.Tracer().SetThreshold(time.Nanosecond)
+
+	if _, err := adminCLI(t, sock, "srv-list"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := adminCLI(t, sock, "slow-calls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Calls traced:", "Slow calls:", "Threshold:    1ns", "admin.ServerList"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow-calls missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/drivers/remote"
 	drvtest "repro/internal/drivers/test"
 	"repro/internal/logging"
+	"repro/internal/telemetry"
 	"repro/internal/typedparams"
 )
 
@@ -31,7 +32,8 @@ func startDaemon(t *testing.T) *testDaemon {
 	drvtest.Register(log)
 	remote.Register()
 
-	d := daemon.New(log)
+	// Fresh registry per test so metric assertions are hermetic.
+	d := daemon.NewWithTelemetry(log, telemetry.NewRegistry())
 	dir := t.TempDir()
 
 	mgmt, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{MaxClients: 50})
@@ -318,6 +320,115 @@ func TestLoggingOutputsOverAdmin(t *testing.T) {
 	}
 	if err := td.adm.SetLoggingOutputs("1:file:relative"); !core.IsCode(err, core.ErrInvalidArg) {
 		t.Fatalf("bad output: %v", err)
+	}
+}
+
+func TestServerMetricsOverAdmin(t *testing.T) {
+	td := startDaemon(t)
+	mgmt := td.openMgmt(t)
+	defer mgmt.Close()
+	if _, err := mgmt.Hostname(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := td.adm.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]uint64{}
+	for _, c := range m.Counters {
+		counters[c.Name] = c.Value
+	}
+	// The Hostname call dispatched through the management server.
+	key := `daemon_dispatch_total{program="remote",proc="GetHostname"}`
+	if counters[key] < 1 {
+		t.Fatalf("dispatch counter missing: %v", counters)
+	}
+	// The Metrics call itself went through the admin program; its own
+	// ServerMetrics dispatch may not be counted yet (the snapshot is taken
+	// inside the call), but ConnectOpen certainly finished.
+	if counters[`daemon_dispatch_total{program="admin",proc="ConnectOpen"}`] < 1 {
+		t.Fatalf("admin dispatch counter missing: %v", counters)
+	}
+	gauges := map[string]int64{}
+	for _, g := range m.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if gauges[`daemon_clients{server="govirtd"}`] != 1 {
+		t.Fatalf("client gauge %v", gauges)
+	}
+	// Dispatch latency histogram carries the call with quantiles.
+	var found bool
+	for _, h := range m.Histograms {
+		if h.Name == `daemon_dispatch_seconds{program="remote",proc="GetHostname"}` {
+			found = true
+			if h.Count < 1 || len(h.Buckets) == 0 {
+				t.Fatalf("histogram %+v", h)
+			}
+			if h.P50Ns > h.P99Ns {
+				t.Fatalf("quantiles unordered %+v", h)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("dispatch latency histogram missing")
+	}
+}
+
+func TestSlowCallsOverAdmin(t *testing.T) {
+	td := startDaemon(t)
+	// Every call is "slow" at a 1 ns threshold.
+	td.d.Tracer().SetThreshold(time.Nanosecond)
+	// The global level stays at Error; the per-module filter routes the
+	// slow-call warnings through.
+	if err := td.adm.SetLoggingFilters("3:daemon.slowcall"); err != nil {
+		t.Fatal(err)
+	}
+	emittedBefore, _ := td.d.Log().Stats()
+
+	mgmt := td.openMgmt(t)
+	defer mgmt.Close()
+	if _, err := mgmt.Hostname(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := td.adm.SlowCalls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.ThresholdNs != 1 {
+		t.Fatalf("threshold %d", sc.ThresholdNs)
+	}
+	if sc.Started == 0 || sc.Slow == 0 || len(sc.Calls) == 0 {
+		t.Fatalf("tracer state %+v", sc)
+	}
+	var sawHostname bool
+	for _, call := range sc.Calls {
+		if call.TotalNs <= 0 || call.Proc == "" || call.Program == "" {
+			t.Fatalf("bad record %+v", call)
+		}
+		if call.Program == "remote" && call.Proc == "GetHostname" {
+			sawHostname = true
+		}
+	}
+	if !sawHostname {
+		t.Fatalf("GetHostname missing from slow ring: %+v", sc.Calls)
+	}
+	// The slow calls were also reported through the logging subsystem.
+	emittedAfter, _ := td.d.Log().Stats()
+	if emittedAfter <= emittedBefore {
+		t.Fatalf("no slow-call warnings emitted (%d -> %d)", emittedBefore, emittedAfter)
+	}
+	// Removing the filter silences the warnings again (global level Error).
+	if err := td.adm.SetLoggingFilters(""); err != nil {
+		t.Fatal(err)
+	}
+	stable, _ := td.d.Log().Stats()
+	if _, err := mgmt.Hostname(); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := td.d.Log().Stats(); after != stable {
+		t.Fatalf("slow-call warning bypassed filters (%d -> %d)", stable, after)
 	}
 }
 

@@ -195,3 +195,22 @@ func (c *Connect) LoggingOutputs() (string, error) {
 func (c *Connect) SetLoggingOutputs(outputs string) error {
 	return c.call(ProcLogOutputsSet, &StringArgs{Value: outputs}, nil)
 }
+
+// Metrics retrieves a full snapshot of the daemon's metric registry.
+func (c *Connect) Metrics() (*MetricsReply, error) {
+	var r MetricsReply
+	if err := c.call(ProcServerMetrics, &struct{}{}, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// SlowCalls retrieves the daemon's recent slow-call ring and tracer
+// counters.
+func (c *Connect) SlowCalls() (*SlowCallsReply, error) {
+	var r SlowCallsReply
+	if err := c.call(ProcServerSlowCalls, &struct{}{}, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -88,6 +88,10 @@ func (p *Program) Dispatch(c *daemon.Client, proc uint32, payload []byte) ([]byt
 			return nil, core.Errorf(core.ErrInvalidArg, "%v", err)
 		}
 		return marshal(&struct{}{})
+	case ProcServerMetrics:
+		return p.serverMetrics()
+	case ProcServerSlowCalls:
+		return p.serverSlowCalls()
 	default:
 		return nil, core.Errorf(core.ErrNoSupport, "unknown admin procedure %d", proc)
 	}
@@ -274,6 +278,63 @@ func (p *Program) clientDisconnect(self *daemon.Client, payload []byte) ([]byte,
 		return nil, core.Errorf(core.ErrAdmin, "disconnect client %d: %v", args.ID, err)
 	}
 	return marshal(&struct{}{})
+}
+
+func (p *Program) serverMetrics() ([]byte, error) {
+	reg := p.d.Metrics()
+	if reg == nil {
+		return nil, core.Errorf(core.ErrNoSupport, "daemon is running without telemetry")
+	}
+	snap := reg.Snapshot()
+	out := MetricsReply{
+		Counters:   make([]MetricCounter, len(snap.Counters)),
+		Gauges:     make([]MetricGauge, len(snap.Gauges)),
+		Histograms: make([]MetricHistogram, len(snap.Histograms)),
+	}
+	for i, c := range snap.Counters {
+		out.Counters[i] = MetricCounter{Name: c.Name, Value: c.Value}
+	}
+	for i, g := range snap.Gauges {
+		out.Gauges[i] = MetricGauge{Name: g.Name, Value: g.Value}
+	}
+	for i, h := range snap.Histograms {
+		mh := MetricHistogram{
+			Name: h.Name, Count: h.Count, SumNs: h.SumNs,
+			P50Ns: h.P50Ns, P95Ns: h.P95Ns, P99Ns: h.P99Ns,
+			Buckets: make([]MetricBucket, len(h.Buckets)),
+		}
+		for j, b := range h.Buckets {
+			mh.Buckets[j] = MetricBucket{UpperNs: b.UpperNs, Cumulative: b.Cumulative}
+		}
+		out.Histograms[i] = mh
+	}
+	return marshal(&out)
+}
+
+func (p *Program) serverSlowCalls() ([]byte, error) {
+	tr := p.d.Tracer()
+	if tr == nil {
+		return nil, core.Errorf(core.ErrNoSupport, "daemon is running without telemetry")
+	}
+	calls := tr.SlowCalls()
+	out := SlowCallsReply{
+		Started:     tr.Started(),
+		Slow:        tr.SlowCount(),
+		ThresholdNs: int64(tr.Threshold()),
+		Calls:       make([]SlowCallRecord, len(calls)),
+	}
+	for i, sc := range calls {
+		out.Calls[i] = SlowCallRecord{
+			Serial:    sc.Serial,
+			Program:   sc.Program,
+			Proc:      sc.Proc,
+			Client:    sc.Client,
+			StartUnix: sc.Start.UnixNano(),
+			QueueNs:   int64(sc.QueueWait),
+			TotalNs:   int64(sc.Duration),
+		}
+	}
+	return marshal(&out)
 }
 
 func marshal(v interface{}) ([]byte, error) {

@@ -7,6 +7,7 @@
 package admin
 
 import (
+	"repro/internal/rpc"
 	"repro/internal/typedparams"
 )
 
@@ -28,7 +29,32 @@ const (
 	ProcLogFiltersSet
 	ProcLogOutputsGet
 	ProcLogOutputsSet
+	ProcServerMetrics
+	ProcServerSlowCalls
 )
+
+func init() {
+	rpc.RegisterProcNames(rpc.ProgramAdmin, map[uint32]string{
+		ProcConnectOpen:      "ConnectOpen",
+		ProcServerList:       "ServerList",
+		ProcServerLookup:     "ServerLookup",
+		ProcThreadpoolGet:    "ThreadpoolGet",
+		ProcThreadpoolSet:    "ThreadpoolSet",
+		ProcClientLimitsGet:  "ClientLimitsGet",
+		ProcClientLimitsSet:  "ClientLimitsSet",
+		ProcClientList:       "ClientList",
+		ProcClientInfo:       "ClientInfo",
+		ProcClientDisconnect: "ClientDisconnect",
+		ProcLogLevelGet:      "LogLevelGet",
+		ProcLogLevelSet:      "LogLevelSet",
+		ProcLogFiltersGet:    "LogFiltersGet",
+		ProcLogFiltersSet:    "LogFiltersSet",
+		ProcLogOutputsGet:    "LogOutputsGet",
+		ProcLogOutputsSet:    "LogOutputsSet",
+		ProcServerMetrics:    "ServerMetrics",
+		ProcServerSlowCalls:  "ServerSlowCalls",
+	})
+}
 
 // Typed-parameter field names of the threadpool interface. Read-only
 // fields are reported by Get and rejected by Set.
@@ -225,4 +251,60 @@ type StringArgs struct {
 // StringReply returns a definition string.
 type StringReply struct {
 	Value string
+}
+
+// MetricCounter is one counter sample in a metrics reply.
+type MetricCounter struct {
+	Name  string
+	Value uint64
+}
+
+// MetricGauge is one gauge sample in a metrics reply.
+type MetricGauge struct {
+	Name  string
+	Value int64
+}
+
+// MetricBucket is one cumulative histogram bucket; UpperNs 0 means +Inf.
+type MetricBucket struct {
+	UpperNs    uint64
+	Cumulative uint64
+}
+
+// MetricHistogram is one histogram sample with server-computed quantiles.
+type MetricHistogram struct {
+	Name    string
+	Count   uint64
+	SumNs   uint64
+	P50Ns   uint64
+	P95Ns   uint64
+	P99Ns   uint64
+	Buckets []MetricBucket
+}
+
+// MetricsReply returns a full snapshot of the daemon's metric registry.
+type MetricsReply struct {
+	Counters   []MetricCounter
+	Gauges     []MetricGauge
+	Histograms []MetricHistogram
+}
+
+// SlowCallRecord is one recorded slow call.
+type SlowCallRecord struct {
+	Serial    uint32
+	Program   string
+	Proc      string
+	Client    uint64
+	StartUnix int64 // unix nanos
+	QueueNs   int64
+	TotalNs   int64
+}
+
+// SlowCallsReply returns the tracer's state: lifetime span counts, the
+// active threshold and the bounded ring of recent slow calls.
+type SlowCallsReply struct {
+	Started     uint64
+	Slow        uint64
+	ThresholdNs int64
+	Calls       []SlowCallRecord
 }

@@ -33,24 +33,29 @@ type Config struct {
 	LogLevel   int
 	LogFilters string
 	LogOutputs string
+
+	// Telemetry.
+	MetricsAddress      string // HTTP /metrics listener; "" disables
+	SlowCallThresholdMs int    // slow-call tracing threshold; 0 disables
 }
 
 // DefaultConfig returns the shipped defaults.
 func DefaultConfig() Config {
 	return Config{
-		UnixSocketPath:   "/var/run/govirt/govirt-sock",
-		AdminSocketPath:  "/var/run/govirt/govirt-admin-sock",
-		TCPBindAddress:   "0.0.0.0",
-		TCPPort:          16509,
-		AuthTCP:          "none",
-		SASLCredentials:  map[string]string{},
-		MinWorkers:       5,
-		MaxWorkers:       20,
-		PrioWorkers:      5,
-		MaxClients:       120,
-		MaxUnauthClients: 20,
-		LogLevel:         3,
-		LogOutputs:       "3:stderr",
+		UnixSocketPath:      "/var/run/govirt/govirt-sock",
+		AdminSocketPath:     "/var/run/govirt/govirt-admin-sock",
+		TCPBindAddress:      "0.0.0.0",
+		TCPPort:             16509,
+		AuthTCP:             "none",
+		SASLCredentials:     map[string]string{},
+		MinWorkers:          5,
+		MaxWorkers:          20,
+		PrioWorkers:         5,
+		MaxClients:          120,
+		MaxUnauthClients:    20,
+		LogLevel:            3,
+		LogOutputs:          "3:stderr",
+		SlowCallThresholdMs: 250,
 	}
 }
 
@@ -131,6 +136,10 @@ func (c *Config) apply(key, value string) error {
 		return setString(&c.LogFilters, value)
 	case "log_outputs":
 		return setString(&c.LogOutputs, value)
+	case "metrics_address":
+		return setString(&c.MetricsAddress, value)
+	case "slow_call_threshold_ms":
+		return setInt(&c.SlowCallThresholdMs, value)
 	default:
 		return fmt.Errorf("unknown key %q", key)
 	}
@@ -158,6 +167,9 @@ func (c *Config) Validate() error {
 	}
 	if c.AuthTCP == "sasl" && len(c.SASLCredentials) == 0 {
 		return fmt.Errorf("daemon: auth_tcp=sasl requires sasl_credentials")
+	}
+	if c.SlowCallThresholdMs < 0 {
+		return fmt.Errorf("daemon: slow_call_threshold_ms must be non-negative")
 	}
 	return nil
 }

@@ -38,6 +38,9 @@ max_anonymous_clients = 30
 log_level = 1
 log_filters = "3:rpc 4:daemon.server"
 log_outputs = "1:stderr 3:buffer"
+
+metrics_address = "127.0.0.1:9177"
+slow_call_threshold_ms = 100
 `
 	cfg, err := ParseConfig(text)
 	if err != nil {
@@ -58,6 +61,22 @@ log_outputs = "1:stderr 3:buffer"
 	if cfg.LogLevel != 1 || !strings.Contains(cfg.LogFilters, "3:rpc") {
 		t.Fatalf("%+v", cfg)
 	}
+	if cfg.MetricsAddress != "127.0.0.1:9177" || cfg.SlowCallThresholdMs != 100 {
+		t.Fatalf("telemetry keys %+v", cfg)
+	}
+}
+
+func TestParseConfigTelemetryDefaults(t *testing.T) {
+	cfg, err := ParseConfig("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MetricsAddress != "" {
+		t.Fatalf("metrics listener on by default: %q", cfg.MetricsAddress)
+	}
+	if cfg.SlowCallThresholdMs != 250 {
+		t.Fatalf("slow-call default %d", cfg.SlowCallThresholdMs)
+	}
 }
 
 func TestParseConfigErrors(t *testing.T) {
@@ -76,6 +95,8 @@ func TestParseConfigErrors(t *testing.T) {
 		"tcp_port = 99999",
 		"log_level = 9",
 		`auth_tcp = "sasl"`, // sasl without credentials
+		"slow_call_threshold_ms = -1",
+		`metrics_address = unquoted`,
 	}
 	for _, text := range bad {
 		if _, err := ParseConfig(text); err == nil {

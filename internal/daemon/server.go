@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/logging"
 	"repro/internal/rpc"
+	"repro/internal/telemetry"
 )
 
 // Program dispatches the procedures of one protocol program.
@@ -46,6 +47,10 @@ type Server struct {
 	name string
 	log  *logging.Logger
 	pool *Workerpool
+
+	metrics       *telemetry.Registry // nil = uninstrumented
+	tracer        *telemetry.Tracer   // nil = untraced
+	dispatchStats sync.Map            // uint64(program)<<32|proc → *procStat
 
 	mu         sync.Mutex
 	clients    map[uint64]*Client
@@ -282,8 +287,26 @@ func (s *Server) serveClient(c *Client) {
 		}
 		hdr := h
 		body := payload
+		st := s.dispatchStat(h.Program, h.Procedure)
+		var span *telemetry.Span
+		if st != nil {
+			span = s.tracer.Start(st.program, st.proc, c.id, hdr.Serial)
+		}
+		enqueued := time.Now()
 		job := func() {
+			start := time.Now()
 			reply, err := prog.Dispatch(c, hdr.Procedure, body)
+			if st != nil {
+				st.calls.Inc()
+				st.latency.Observe(time.Since(start))
+				if err != nil {
+					st.errors.Inc()
+				}
+				if span != nil {
+					span.QueueWait = start.Sub(enqueued)
+					span.Finish()
+				}
+			}
 			if err != nil {
 				s.replyError(c, hdr, err)
 				return
@@ -362,25 +385,54 @@ func (s *Server) Shutdown() {
 	s.pool.Shutdown()
 }
 
-// Daemon hosts one or more servers plus the shared logging subsystem.
+// Daemon hosts one or more servers plus the shared logging and telemetry
+// subsystems.
 type Daemon struct {
-	log *logging.Logger
+	log     *logging.Logger
+	metrics *telemetry.Registry // nil = uninstrumented
+	tracer  *telemetry.Tracer   // nil = untraced
 
 	mu      sync.Mutex
 	servers map[string]*Server
 	order   []string
 }
 
-// New creates an empty daemon around the given logger.
+// New creates an empty daemon around the given logger, reporting into
+// the process-wide telemetry registry.
 func New(log *logging.Logger) *Daemon {
+	return NewWithTelemetry(log, telemetry.Default)
+}
+
+// NewWithTelemetry creates a daemon reporting into the given registry. A
+// nil registry disables all instrumentation and tracing — the dispatch
+// path then carries no telemetry cost at all (used as the benchmark
+// baseline).
+func NewWithTelemetry(log *logging.Logger, reg *telemetry.Registry) *Daemon {
 	if log == nil {
 		log = logging.NewQuiet(logging.Error)
 	}
-	return &Daemon{log: log, servers: make(map[string]*Server)}
+	d := &Daemon{log: log, metrics: reg, servers: make(map[string]*Server)}
+	if reg != nil {
+		d.tracer = telemetry.NewTracer(slowCallRing, telemetry.DefaultSlowCallThreshold)
+		// Slow calls surface as structured warnings under their own
+		// module, so the existing log filter machinery controls them.
+		d.tracer.OnSlow(func(sc telemetry.SlowCall) {
+			d.log.Warnf("daemon.slowcall",
+				"slow call: %s.%s client=%d serial=%d queue=%v total=%v",
+				sc.Program, sc.Proc, sc.Client, sc.Serial, sc.QueueWait, sc.Duration)
+		})
+	}
+	return d
 }
 
 // Log exposes the daemon's logging subsystem (admin interface).
 func (d *Daemon) Log() *logging.Logger { return d.log }
+
+// Metrics exposes the daemon's registry; nil when uninstrumented.
+func (d *Daemon) Metrics() *telemetry.Registry { return d.metrics }
+
+// Tracer exposes the daemon's call tracer; nil when uninstrumented.
+func (d *Daemon) Tracer() *telemetry.Tracer { return d.tracer }
 
 // AddServer creates a named server with its own workerpool and limits.
 func (d *Daemon) AddServer(name string, min, max, prio int, limits ClientLimits) (*Server, error) {
@@ -395,14 +447,20 @@ func (d *Daemon) AddServer(name string, min, max, prio int, limits ClientLimits)
 		limits.MaxClients = 120
 	}
 	s := newServer(name, pool, limits, d.log)
+	s.metrics = d.metrics
+	s.tracer = d.tracer
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, dup := d.servers[name]; dup {
+		d.mu.Unlock()
 		pool.Shutdown()
 		return nil, core.Errorf(core.ErrDuplicate, "server %q already exists", name)
 	}
 	d.servers[name] = s
 	d.order = append(d.order, name)
+	d.mu.Unlock()
+	if d.metrics != nil {
+		registerServerMetrics(d.metrics, s)
+	}
 	return s, nil
 }
 

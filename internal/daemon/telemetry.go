@@ -1,0 +1,81 @@
+package daemon
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+)
+
+// slowCallRing is how many recent slow calls the daemon's tracer keeps.
+const slowCallRing = 64
+
+// procStat caches the metric handles of one (program, procedure) pair so
+// the dispatch hot path touches only atomics after the first call.
+type procStat struct {
+	program string
+	proc    string
+	calls   *telemetry.Counter
+	errors  *telemetry.Counter
+	latency *telemetry.Histogram
+}
+
+// dispatchStat returns the cached per-procedure stat, creating it on
+// first dispatch. Returns nil when the server is uninstrumented.
+func (s *Server) dispatchStat(program, proc uint32) *procStat {
+	if s.metrics == nil {
+		return nil
+	}
+	key := uint64(program)<<32 | uint64(proc)
+	if v, ok := s.dispatchStats.Load(key); ok {
+		return v.(*procStat)
+	}
+	progName := rpc.ProgramName(program)
+	procName := rpc.ProcName(program, proc)
+	labels := fmt.Sprintf("{program=%q,proc=%q}", progName, procName)
+	st := &procStat{
+		program: progName,
+		proc:    procName,
+		calls:   s.metrics.Counter("daemon_dispatch_total" + labels),
+		errors:  s.metrics.Counter("daemon_dispatch_errors_total" + labels),
+		latency: s.metrics.Histogram("daemon_dispatch_seconds" + labels),
+	}
+	actual, _ := s.dispatchStats.LoadOrStore(key, st)
+	return actual.(*procStat)
+}
+
+// registerServerMetrics installs the per-server function metrics: client
+// occupancy, rejected connections and workerpool state sampled straight
+// from the server at snapshot time.
+func registerServerMetrics(reg *telemetry.Registry, s *Server) {
+	label := fmt.Sprintf("{server=%q}", s.name)
+	reg.GaugeFunc("daemon_clients"+label, func() int64 {
+		_, current, _ := s.Limits()
+		return int64(current)
+	})
+	reg.CounterFunc("daemon_clients_rejected_total"+label, s.RejectedCount)
+	reg.GaugeFunc("daemon_pool_workers"+label, func() int64 {
+		return int64(s.pool.Params().NWorkers)
+	})
+	reg.GaugeFunc("daemon_pool_queue_depth"+label, func() int64 {
+		st := s.pool.Stats()
+		return int64(st.QueueLen + st.PrioQueueLen)
+	})
+	reg.GaugeFunc("daemon_pool_busy_workers"+label, func() int64 {
+		st := s.pool.Stats()
+		return int64(st.Busy + st.PrioBusy)
+	})
+	reg.CounterFunc("daemon_pool_jobs_done_total"+label, func() uint64 {
+		st := s.pool.Stats()
+		return st.OrdinaryDone + st.PriorityDone
+	})
+	reg.CounterFunc("daemon_pool_spawns_total"+label, func() uint64 {
+		return s.pool.Stats().Spawns
+	})
+	// Queue wait observed per dequeued job, split by priority class.
+	waitH := reg.Histogram("daemon_queue_wait_seconds" + label)
+	s.pool.SetWaitObserver(func(wait time.Duration, priority bool) {
+		waitH.Observe(wait)
+	})
+}

@@ -9,10 +9,18 @@ package daemon
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Job is one unit of work for a workerpool.
 type Job func()
+
+// queuedJob is a job with its enqueue time, so dequeuing can report how
+// long the job sat in the queue.
+type queuedJob struct {
+	job Job
+	at  time.Time
+}
 
 // PoolParams are the tunable attributes of a workerpool. NWorkers,
 // FreeWorkers and JobQueueDepth are read-only.
@@ -34,8 +42,9 @@ type Workerpool struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	queue     []Job // ordinary jobs
-	prioQueue []Job // priority jobs
+	queue     []queuedJob // ordinary jobs
+	prioQueue []queuedJob // priority jobs
+	waitObs   func(wait time.Duration, priority bool)
 
 	minWorkers  int
 	maxWorkers  int
@@ -105,21 +114,27 @@ func (p *Workerpool) ordinaryWorker() {
 			p.mu.Unlock()
 			return
 		}
-		var job Job
+		var qj queuedJob
+		var priority bool
 		switch {
 		case len(p.prioQueue) > 0:
-			job = p.prioQueue[0]
+			qj = p.prioQueue[0]
 			p.prioQueue = p.prioQueue[1:]
+			priority = true
 		case len(p.queue) > 0:
-			job = p.queue[0]
+			qj = p.queue[0]
 			p.queue = p.queue[1:]
 		default:
 			p.cond.Wait()
 			continue
 		}
 		p.busy++
+		obs := p.waitObs
 		p.mu.Unlock()
-		job()
+		if obs != nil {
+			obs(time.Since(qj.at), priority)
+		}
+		qj.job()
 		p.mu.Lock()
 		p.busy--
 		p.jobsDone++
@@ -138,11 +153,15 @@ func (p *Workerpool) priorityWorker() {
 			p.cond.Wait()
 			continue
 		}
-		job := p.prioQueue[0]
+		qj := p.prioQueue[0]
 		p.prioQueue = p.prioQueue[1:]
 		p.prioBusy++
+		obs := p.waitObs
 		p.mu.Unlock()
-		job()
+		if obs != nil {
+			obs(time.Since(qj.at), true)
+		}
+		qj.job()
 		p.mu.Lock()
 		p.prioBusy--
 		p.prioDone++
@@ -163,9 +182,9 @@ func (p *Workerpool) Submit(job Job, priority bool) error {
 		return fmt.Errorf("daemon: workerpool is shut down")
 	}
 	if priority {
-		p.prioQueue = append(p.prioQueue, job)
+		p.prioQueue = append(p.prioQueue, queuedJob{job: job, at: time.Now()})
 	} else {
-		p.queue = append(p.queue, job)
+		p.queue = append(p.queue, queuedJob{job: job, at: time.Now()})
 	}
 	freeOrdinary := p.nWorkers - p.busy
 	if freeOrdinary <= len(p.queue)+len(p.prioQueue)-1 && p.nWorkers < p.maxWorkers {
@@ -220,12 +239,40 @@ func (p *Workerpool) SetParams(min, max, prio int) error {
 	return nil
 }
 
-// Stats reports lifetime counters: jobs completed by ordinary and
-// priority workers and total workers ever spawned.
-func (p *Workerpool) Stats() (ordinaryDone, priorityDone, spawns uint64) {
+// PoolStats combines the pool's lifetime counters with its current
+// state: queue depths and how many workers are running a job right now.
+type PoolStats struct {
+	OrdinaryDone uint64 // jobs completed by ordinary workers
+	PriorityDone uint64 // jobs completed by priority workers
+	Spawns       uint64 // workers ever spawned
+	QueueLen     int    // ordinary jobs waiting
+	PrioQueueLen int    // priority jobs waiting
+	Busy         int    // ordinary workers running a job
+	PrioBusy     int    // priority workers running a job
+}
+
+// Stats reports lifetime counters and current queue/worker occupancy.
+func (p *Workerpool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.jobsDone, p.prioDone, p.spawnsTotal
+	return PoolStats{
+		OrdinaryDone: p.jobsDone,
+		PriorityDone: p.prioDone,
+		Spawns:       p.spawnsTotal,
+		QueueLen:     len(p.queue),
+		PrioQueueLen: len(p.prioQueue),
+		Busy:         p.busy,
+		PrioBusy:     p.prioBusy,
+	}
+}
+
+// SetWaitObserver installs a callback invoked once per dequeued job with
+// the time the job spent queued. The callback runs on the worker
+// goroutine just before the job; it must be cheap. Pass nil to clear.
+func (p *Workerpool) SetWaitObserver(fn func(wait time.Duration, priority bool)) {
+	p.mu.Lock()
+	p.waitObs = fn
+	p.mu.Unlock()
 }
 
 // Shutdown stops accepting jobs and makes all workers exit; queued jobs

@@ -200,12 +200,71 @@ func TestStatsCounters(t *testing.T) {
 	p.Submit(func() { wg.Done() }, true)  //nolint:errcheck
 	wg.Wait()
 	waitFor(t, "counters", func() bool {
-		o, pr, _ := p.Stats()
-		return o+pr == 2
+		s := p.Stats()
+		return s.OrdinaryDone+s.PriorityDone == 2
 	})
-	_, _, spawns := p.Stats()
-	if spawns < 2 {
+	if spawns := p.Stats().Spawns; spawns < 2 {
 		t.Fatalf("spawns %d", spawns)
+	}
+}
+
+func TestStatsOccupancyAndQueueDepth(t *testing.T) {
+	p, _ := NewWorkerpool(1, 1, 0)
+	defer p.Shutdown()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p.Submit(func() { close(started); <-block }, false) //nolint:errcheck
+	<-started
+	// One more job queues behind the single wedged worker.
+	p.Submit(func() {}, false) //nolint:errcheck
+	waitFor(t, "busy worker and queued job", func() bool {
+		s := p.Stats()
+		return s.Busy == 1 && s.QueueLen == 1
+	})
+	// A priority job with no priority workers sits in the priority queue.
+	p.Submit(func() {}, true) //nolint:errcheck
+	waitFor(t, "priority backlog", func() bool { return p.Stats().PrioQueueLen == 1 })
+	close(block)
+	waitFor(t, "drain", func() bool {
+		s := p.Stats()
+		return s.Busy == 0 && s.QueueLen == 0 && s.PrioQueueLen == 0
+	})
+}
+
+func TestWaitObserver(t *testing.T) {
+	p, _ := NewWorkerpool(1, 1, 0)
+	defer p.Shutdown()
+	var mu sync.Mutex
+	var waits []time.Duration
+	var prios []bool
+	p.SetWaitObserver(func(w time.Duration, priority bool) {
+		mu.Lock()
+		waits = append(waits, w)
+		prios = append(prios, priority)
+		mu.Unlock()
+	})
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p.Submit(func() { close(started); <-block }, false) //nolint:errcheck
+	<-started
+	// This job waits in the queue while the worker is wedged.
+	p.Submit(func() {}, true) //nolint:errcheck
+	time.Sleep(20 * time.Millisecond)
+	close(block)
+	waitFor(t, "observer calls", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(waits) == 2
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	// The queued priority job waited at least as long as we slept; the
+	// first job was dequeued immediately.
+	if !prios[1] {
+		t.Fatalf("priority flag lost: %v", prios)
+	}
+	if waits[1] < 15*time.Millisecond {
+		t.Fatalf("queued job wait %v", waits[1])
 	}
 }
 

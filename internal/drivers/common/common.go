@@ -93,6 +93,7 @@ type Base struct {
 	defs  map[string]*record
 	nets  *vnet.Manager
 	pools *storage.Manager
+	ops   sync.Map // op string → *telemetry.Counter
 }
 
 var (
@@ -221,6 +222,7 @@ func (b *Base) LookupDomainByUUID(uuidStr string) (core.DomainMeta, error) {
 
 // DefineDomain implements core.DriverConn.
 func (b *Base) DefineDomain(xmlDesc string) (core.DomainMeta, error) {
+	b.countOp("define")
 	def, err := xmlspec.ParseDomain([]byte(xmlDesc))
 	if err != nil {
 		return core.DomainMeta{}, core.Errorf(core.ErrXML, "%v", err)
@@ -260,6 +262,7 @@ func (b *Base) DefineDomain(xmlDesc string) (core.DomainMeta, error) {
 
 // UndefineDomain implements core.DriverConn.
 func (b *Base) UndefineDomain(name string) error {
+	b.countOp("undefine")
 	b.mu.Lock()
 	r, ok := b.defs[name]
 	if !ok {
@@ -280,6 +283,7 @@ func (b *Base) UndefineDomain(name string) error {
 
 // CreateDomain implements core.DriverConn: start a defined domain.
 func (b *Base) CreateDomain(name string) error {
+	b.countOp("create")
 	b.mu.Lock()
 	r, ok := b.defs[name]
 	if !ok {
@@ -386,13 +390,20 @@ func (b *Base) stop(name string, graceful bool) error {
 }
 
 // DestroyDomain implements core.DriverConn.
-func (b *Base) DestroyDomain(name string) error { return b.stop(name, false) }
+func (b *Base) DestroyDomain(name string) error {
+	b.countOp("destroy")
+	return b.stop(name, false)
+}
 
 // ShutdownDomain implements core.DriverConn.
-func (b *Base) ShutdownDomain(name string) error { return b.stop(name, true) }
+func (b *Base) ShutdownDomain(name string) error {
+	b.countOp("shutdown")
+	return b.stop(name, true)
+}
 
 // RebootDomain implements core.DriverConn.
 func (b *Base) RebootDomain(name string) error {
+	b.countOp("reboot")
 	r, err := b.activeRecord(name)
 	if err != nil {
 		return err
@@ -406,6 +417,7 @@ func (b *Base) RebootDomain(name string) error {
 
 // SuspendDomain implements core.DriverConn.
 func (b *Base) SuspendDomain(name string) error {
+	b.countOp("suspend")
 	r, err := b.activeRecord(name)
 	if err != nil {
 		return err
@@ -419,6 +431,7 @@ func (b *Base) SuspendDomain(name string) error {
 
 // ResumeDomain implements core.DriverConn.
 func (b *Base) ResumeDomain(name string) error {
+	b.countOp("resume")
 	r, err := b.activeRecord(name)
 	if err != nil {
 		return err
@@ -445,6 +458,7 @@ func (b *Base) activeRecord(name string) (*record, error) {
 
 // DomainInfo implements core.DriverConn.
 func (b *Base) DomainInfo(name string) (core.DomainInfo, error) {
+	b.countOp("info")
 	b.mu.Lock()
 	r, ok := b.defs[name]
 	b.mu.Unlock()
@@ -495,6 +509,7 @@ func (b *Base) inactiveInfo(r *record) core.DomainInfo {
 
 // DomainStats implements core.DriverConn.
 func (b *Base) DomainStats(name string) (core.DomainStats, error) {
+	b.countOp("stats")
 	b.mu.Lock()
 	r, ok := b.defs[name]
 	b.mu.Unlock()
@@ -515,6 +530,7 @@ func (b *Base) DomainStats(name string) (core.DomainStats, error) {
 
 // DomainXML implements core.DriverConn.
 func (b *Base) DomainXML(name string) (string, error) {
+	b.countOp("getxml")
 	b.mu.Lock()
 	r, ok := b.defs[name]
 	b.mu.Unlock()
@@ -530,6 +546,7 @@ func (b *Base) DomainXML(name string) (string, error) {
 
 // SetDomainMemory implements core.DriverConn.
 func (b *Base) SetDomainMemory(name string, kib uint64) error {
+	b.countOp("setmemory")
 	if _, err := b.activeRecord(name); err != nil {
 		return err
 	}
@@ -541,6 +558,7 @@ func (b *Base) SetDomainMemory(name string, kib uint64) error {
 
 // SetDomainVCPUs implements core.DriverConn.
 func (b *Base) SetDomainVCPUs(name string, n int) error {
+	b.countOp("setvcpus")
 	if _, err := b.activeRecord(name); err != nil {
 		return err
 	}

@@ -1,0 +1,21 @@
+package common
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// countOp bumps the per-driver operation counter
+// driver_ops_total{driver,op}. Handles are cached per Base so the cost
+// after the first call of each op is one map load and one atomic add.
+func (b *Base) countOp(op string) {
+	if v, ok := b.ops.Load(op); ok {
+		v.(*telemetry.Counter).Inc()
+		return
+	}
+	c := telemetry.Default.Counter(fmt.Sprintf(
+		"driver_ops_total{driver=%q,op=%q}", b.hooks.Type(), op))
+	actual, _ := b.ops.LoadOrStore(op, c)
+	actual.(*telemetry.Counter).Inc()
+}

@@ -46,6 +46,7 @@ var (
 func Open(u *uri.URI) (*Conn, error) {
 	nc, err := dial(u)
 	if err != nil {
+		remoteConnErrors.Inc()
 		return nil, err
 	}
 	c := &Conn{bus: events.NewBus()}
@@ -53,12 +54,15 @@ func Open(u *uri.URI) (*Conn, error) {
 
 	if err := c.authenticate(u); err != nil {
 		c.client.Close()
+		remoteConnErrors.Inc()
 		return nil, err
 	}
 	if err := c.call(wire.ProcConnectOpen, &wire.ConnectOpenArgs{URI: u.String()}, nil); err != nil {
 		c.client.Close()
+		remoteConnErrors.Inc()
 		return nil, err
 	}
+	remoteConnects.Inc()
 	// Subscribe to all lifecycle events so the local bus mirrors the
 	// daemon-side one.
 	var reg wire.EventRegisterReply
@@ -156,10 +160,14 @@ func (c *Conn) authenticate(u *uri.URI) error {
 
 // call performs one RPC, translating remote errors to API errors.
 func (c *Conn) call(proc uint32, args, ret interface{}) error {
+	start := time.Now()
 	err := c.client.Call(proc, args, ret)
+	callLatency(proc).Observe(time.Since(start))
+	remoteCalls.Inc()
 	if err == nil {
 		return nil
 	}
+	remoteCallErrs.Inc()
 	if re, ok := err.(*rpc.RemoteError); ok {
 		return &core.Error{Code: core.ErrorCode(re.Code), Message: re.Message}
 	}

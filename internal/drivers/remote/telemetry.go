@@ -1,0 +1,34 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+)
+
+// Client-side view of the management plane: how long calls take as seen
+// by the application (queue + wire + dispatch), and how often connecting
+// succeeds. These live in the Default registry because driver connections
+// have no daemon to report through.
+var (
+	remoteCalls      = telemetry.Default.Counter("remote_calls_total")
+	remoteCallErrs   = telemetry.Default.Counter("remote_call_errors_total")
+	remoteConnects   = telemetry.Default.Counter("remote_connects_total")
+	remoteConnErrors = telemetry.Default.Counter("remote_connect_failures_total")
+
+	// Per-procedure latency histograms, created on first use.
+	callLatencies sync.Map // proc uint32 → *telemetry.Histogram
+)
+
+// callLatency returns the cached per-procedure latency histogram.
+func callLatency(proc uint32) *telemetry.Histogram {
+	if v, ok := callLatencies.Load(proc); ok {
+		return v.(*telemetry.Histogram)
+	}
+	h := telemetry.Default.Histogram(fmt.Sprintf(
+		"remote_call_seconds{proc=%q}", rpc.ProcName(rpc.ProgramRemote, proc)))
+	actual, _ := callLatencies.LoadOrStore(proc, h)
+	return actual.(*telemetry.Histogram)
+}

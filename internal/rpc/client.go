@@ -85,6 +85,7 @@ func (c *Client) readLoop() {
 			c.conn.WriteMessage(pong, nil) //nolint:errcheck
 		case TypePong:
 			// Traffic note above is all a pong needs.
+			kaPongsRcvd.Inc()
 		case TypeReply:
 			c.mu.Lock()
 			ch, ok := c.pending[h.Serial]

@@ -37,6 +37,7 @@ func (c *Client) startKeepalive(cfg KeepaliveConfig) {
 			}
 			missed++
 			if missed > cfg.Count {
+				kaFailures.Inc()
 				c.failAll(fmt.Errorf("rpc: keepalive: peer silent for %d probes", cfg.Count))
 				c.conn.Close()
 				return
@@ -47,10 +48,12 @@ func (c *Client) startKeepalive(cfg KeepaliveConfig) {
 				Type:    uint32(TypePing),
 			}
 			if err := c.conn.WriteMessage(h, nil); err != nil {
+				kaFailures.Inc()
 				c.failAll(fmt.Errorf("rpc: keepalive send: %w", err))
 				c.conn.Close()
 				return
 			}
+			kaPingsSent.Inc()
 		}
 	}()
 }

@@ -97,7 +97,13 @@ func (c *Conn) WriteMessage(h Header, payload []byte) error {
 	copy(buf[28:], payload)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	_, err := c.c.Write(buf)
+	n, err := c.c.Write(buf)
+	if n > 0 {
+		txBytes.Add(uint64(n))
+	}
+	if err == nil {
+		txFrames.Inc()
+	}
 	return err
 }
 
@@ -125,5 +131,7 @@ func (c *Conn) ReadMessage() (Header, []byte, error) {
 		Serial:    binary.BigEndian.Uint32(rest[16:]),
 		Status:    binary.BigEndian.Uint32(rest[20:]),
 	}
+	rxFrames.Inc()
+	rxBytes.Add(uint64(total))
 	return h, rest[headerLen:], nil
 }

@@ -1,0 +1,70 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Wire-level counters. Every framed message in the process is counted
+// here regardless of which connection carried it; the cost is two atomic
+// adds per message. They live in the Default registry so the daemon's
+// metrics surface and the Prometheus endpoint see the whole substrate.
+var (
+	txFrames = telemetry.Default.Counter("rpc_tx_frames_total")
+	rxFrames = telemetry.Default.Counter("rpc_rx_frames_total")
+	txBytes  = telemetry.Default.Counter("rpc_tx_bytes_total")
+	rxBytes  = telemetry.Default.Counter("rpc_rx_bytes_total")
+
+	kaPingsSent = telemetry.Default.Counter("rpc_keepalive_pings_total")
+	kaPongsRcvd = telemetry.Default.Counter("rpc_keepalive_pongs_total")
+	kaFailures  = telemetry.Default.Counter("rpc_keepalive_failures_total")
+)
+
+// procNames maps program → procedure → symbolic name. Programs register
+// their tables at init so the daemon, tracer and admin surface can label
+// metrics with names instead of raw numbers.
+var (
+	procNamesMu  sync.RWMutex
+	procNames    = make(map[uint32]map[uint32]string)
+	programNames = map[uint32]string{
+		ProgramRemote: "remote",
+		ProgramAdmin:  "admin",
+	}
+)
+
+// RegisterProcNames installs the symbolic procedure names of a program.
+// Later registrations merge over earlier ones.
+func RegisterProcNames(program uint32, names map[uint32]string) {
+	procNamesMu.Lock()
+	defer procNamesMu.Unlock()
+	tbl, ok := procNames[program]
+	if !ok {
+		tbl = make(map[uint32]string, len(names))
+		procNames[program] = tbl
+	}
+	for proc, name := range names {
+		tbl[proc] = name
+	}
+}
+
+// ProgramName returns the symbolic name of a program number.
+func ProgramName(program uint32) string {
+	if s, ok := programNames[program]; ok {
+		return s
+	}
+	return fmt.Sprintf("program-0x%x", program)
+}
+
+// ProcName returns the symbolic name of a procedure, falling back to the
+// numeric form for unregistered procedures.
+func ProcName(program, proc uint32) string {
+	procNamesMu.RLock()
+	name, ok := procNames[program][proc]
+	procNamesMu.RUnlock()
+	if ok {
+		return name
+	}
+	return fmt.Sprintf("proc-%d", proc)
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// splitName separates a metric name from its optional label clause:
+// `a_total{x="1"}` → (`a_total`, `x="1"`).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// joinLabels merges two label clauses, either of which may be empty.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	default:
+		return a + "," + b
+	}
+}
+
+// metricLine renders one sample with an optional label clause.
+func metricLine(w *strings.Builder, base, labels, value string) {
+	w.WriteString(base)
+	if labels != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Histograms are emitted in seconds, following
+// the Prometheus base-unit convention; internal nanosecond names ending
+// in `_seconds` are expected from callers.
+func (s Snapshot) Prometheus() string {
+	var b strings.Builder
+	typeSeen := make(map[string]bool)
+	writeType := func(base, kind string) {
+		if !typeSeen[base] {
+			typeSeen[base] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, kind)
+		}
+	}
+	for _, c := range s.Counters {
+		base, labels := splitName(c.Name)
+		writeType(base, "counter")
+		metricLine(&b, base, labels, fmt.Sprintf("%d", c.Value))
+	}
+	for _, g := range s.Gauges {
+		base, labels := splitName(g.Name)
+		writeType(base, "gauge")
+		metricLine(&b, base, labels, fmt.Sprintf("%d", g.Value))
+	}
+	for _, h := range s.Histograms {
+		base, labels := splitName(h.Name)
+		writeType(base, "histogram")
+		for _, bucket := range h.Buckets {
+			le := "+Inf"
+			if bucket.UpperNs != 0 {
+				le = formatSeconds(bucket.UpperNs)
+			}
+			metricLine(&b, base+"_bucket", joinLabels(labels, fmt.Sprintf("le=%q", le)),
+				fmt.Sprintf("%d", bucket.Cumulative))
+		}
+		metricLine(&b, base+"_sum", labels, formatSeconds(h.SumNs))
+		metricLine(&b, base+"_count", labels, fmt.Sprintf("%d", h.Count))
+	}
+	return b.String()
+}
+
+// formatSeconds renders nanoseconds as a decimal seconds literal without
+// float artefacts (1_000 ns → "0.000001").
+func formatSeconds(ns uint64) string {
+	whole := ns / 1_000_000_000
+	frac := ns % 1_000_000_000
+	if frac == 0 {
+		return fmt.Sprintf("%d", whole)
+	}
+	s := fmt.Sprintf("%d.%09d", whole, frac)
+	return strings.TrimRight(s, "0")
+}
+
+// Handler serves the registry in Prometheus text format — the daemon
+// mounts this at /metrics when the listener is enabled in configuration.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = fmt.Fprint(w, r.Snapshot().Prometheus())
+	})
+}
+
+// sortedBucketBounds is exported for tests via BucketBounds.
+func sortedBucketBounds() []uint64 {
+	out := make([]uint64, len(bucketBoundsNs))
+	copy(out, bucketBoundsNs[:])
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BucketBounds returns the fixed histogram bucket upper bounds in
+// nanoseconds (ascending), exposed for tests and report tooling.
+func BucketBounds() []uint64 { return sortedBucketBounds() }

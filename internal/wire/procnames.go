@@ -1,0 +1,73 @@
+package wire
+
+import "repro/internal/rpc"
+
+// procNames gives every remote procedure a symbolic name for metrics and
+// slow-call traces. The table must grow in lockstep with the constant
+// block in wire.go.
+var procNames = map[uint32]string{
+	ProcConnectOpen:        "ConnectOpen",
+	ProcConnectClose:       "ConnectClose",
+	ProcGetType:            "GetType",
+	ProcGetVersion:         "GetVersion",
+	ProcGetHostname:        "GetHostname",
+	ProcGetCapabilities:    "GetCapabilities",
+	ProcNodeGetInfo:        "NodeGetInfo",
+	ProcDomainList:         "DomainList",
+	ProcDomainLookupByName: "DomainLookupByName",
+	ProcDomainLookupByUUID: "DomainLookupByUUID",
+	ProcDomainDefine:       "DomainDefine",
+	ProcDomainUndefine:     "DomainUndefine",
+	ProcDomainCreate:       "DomainCreate",
+	ProcDomainDestroy:      "DomainDestroy",
+	ProcDomainShutdown:     "DomainShutdown",
+	ProcDomainReboot:       "DomainReboot",
+	ProcDomainSuspend:      "DomainSuspend",
+	ProcDomainResume:       "DomainResume",
+	ProcDomainGetInfo:      "DomainGetInfo",
+	ProcDomainGetStats:     "DomainGetStats",
+	ProcDomainGetXML:       "DomainGetXML",
+	ProcDomainSetMemory:    "DomainSetMemory",
+	ProcDomainSetVCPUs:     "DomainSetVCPUs",
+	ProcNetworkList:        "NetworkList",
+	ProcNetworkDefine:      "NetworkDefine",
+	ProcNetworkUndefine:    "NetworkUndefine",
+	ProcNetworkStart:       "NetworkStart",
+	ProcNetworkStop:        "NetworkStop",
+	ProcNetworkGetXML:      "NetworkGetXML",
+	ProcNetworkIsActive:    "NetworkIsActive",
+	ProcNetworkDHCPLeases:  "NetworkDHCPLeases",
+	ProcPoolList:           "PoolList",
+	ProcPoolDefine:         "PoolDefine",
+	ProcPoolUndefine:       "PoolUndefine",
+	ProcPoolStart:          "PoolStart",
+	ProcPoolStop:           "PoolStop",
+	ProcPoolGetXML:         "PoolGetXML",
+	ProcPoolGetInfo:        "PoolGetInfo",
+	ProcVolList:            "VolList",
+	ProcVolCreate:          "VolCreate",
+	ProcVolDelete:          "VolDelete",
+	ProcVolGetXML:          "VolGetXML",
+	ProcEventRegister:      "EventRegister",
+	ProcEventDeregister:    "EventDeregister",
+	ProcAuthList:           "AuthList",
+	ProcAuthSASLStart:      "AuthSASLStart",
+	ProcSnapshotCreate:     "SnapshotCreate",
+	ProcSnapshotList:       "SnapshotList",
+	ProcSnapshotGetXML:     "SnapshotGetXML",
+	ProcSnapshotRevert:     "SnapshotRevert",
+	ProcSnapshotDelete:     "SnapshotDelete",
+	ProcManagedSave:        "ManagedSave",
+	ProcHasManagedSave:     "HasManagedSave",
+	ProcManagedSaveRemove:  "ManagedSaveRemove",
+	ProcDeviceAttach:       "DeviceAttach",
+	ProcDeviceDetach:       "DeviceDetach",
+	ProcEventLifecycle:     "EventLifecycle",
+}
+
+func init() {
+	rpc.RegisterProcNames(rpc.ProgramRemote, procNames)
+}
+
+// ProcName returns the symbolic name of a remote procedure.
+func ProcName(proc uint32) string { return rpc.ProcName(rpc.ProgramRemote, proc) }

@@ -1,0 +1,18 @@
+#!/bin/sh
+# check.sh — the repo's verification gate. Everything the README and
+# EXPERIMENTS.md claim (builds clean, tests pass, race-free) is enforced
+# here; run it before every commit (or via `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== OK"
