@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/drivers/remote"
 	drvtest "repro/internal/drivers/test"
 	"repro/internal/drivers/xen"
+	"repro/internal/fleet"
 	"repro/internal/hyper"
 	"repro/internal/hyper/qsim"
 	"repro/internal/hyper/xsim"
@@ -558,6 +560,152 @@ func BenchmarkF4_XDR(b *testing.B) {
 			}
 		})
 	}
+}
+
+// synthFleet builds a synthetic fleet snapshot for the pure scheduler
+// and planner benches: server-profile hosts with a sawtooth of existing
+// load so policies have real choices to make.
+func synthFleet(hosts int) []fleet.HostInventory {
+	invs := make([]fleet.HostInventory, 0, hosts)
+	for i := 0; i < hosts; i++ {
+		inv := fleet.HostInventory{
+			Host: fmt.Sprintf("host%04d", i), State: fleet.HostUp, DriverType: "test",
+			Node: core.NodeInfo{MemoryKiB: 256 * 1024 * 1024, CPUs: 64},
+		}
+		for j := 0; j < i%8; j++ {
+			inv.Domains = append(inv.Domains, fleet.DomainRecord{
+				Name: fmt.Sprintf("vm%04d-%d", i, j), State: core.DomainRunning,
+				MemKiB: 8 * 1024 * 1024, VCPUs: 4,
+			})
+		}
+		invs = append(invs, inv)
+	}
+	return invs
+}
+
+// startBenchFleet brings up n in-process daemons and a fleet registry
+// over them, for the live placement and rebalance benches.
+func startBenchFleet(b *testing.B, n int) *fleet.Registry {
+	b.Helper()
+	core.ResetRegistryForTest()
+	drvtest.Register(quiet)
+	remote.Register()
+	dir := b.TempDir()
+	var uris []string
+	for i := 0; i < n; i++ {
+		d := daemon.New(quiet)
+		srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{MaxClients: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.AddProgram(daemon.NewRemoteProgram(srv))
+		sock := filepath.Join(dir, fmt.Sprintf("node%d.sock", i))
+		if err := srv.ListenUnix(sock, daemon.ServiceConfig{}); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(d.Shutdown)
+		uris = append(uris, "test+unix:///empty?socket="+strings.ReplaceAll(sock, "/", "%2F"))
+	}
+	reg, err := fleet.New(fleet.Config{Hosts: uris, PollInterval: time.Second, Log: quiet})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg.Start()
+	b.Cleanup(func() {
+		reg.Close()
+		core.ResetRegistryForTest()
+	})
+	if up := reg.WaitSettled(5 * time.Second); up != n {
+		b.Fatalf("%d/%d fleet hosts up", up, n)
+	}
+	return reg
+}
+
+// BenchmarkF5_Placement measures the fleet scheduler (Figure F5): the
+// pure ranking pass across fleet sizes and policies, and a live
+// place-and-teardown cycle against three in-process daemons.
+func BenchmarkF5_Placement(b *testing.B) {
+	req := fleet.Request{Name: "new", TypeName: "test", MemKiB: 8 * 1024 * 1024, VCPUs: 4}
+	for _, hosts := range []int{10, 100, 1000} {
+		invs := synthFleet(hosts)
+		for _, pol := range []fleet.Policy{fleet.Spread(), fleet.Pack()} {
+			b.Run(fmt.Sprintf("rank/%s/hosts-%d", pol.Name(), hosts), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if got := fleet.Rank(pol, req, invs); len(got) == 0 {
+						b.Fatal("empty ranking")
+					}
+				}
+			})
+		}
+	}
+	b.Run("live/schedule-3hosts", func(b *testing.B) {
+		reg := startBenchFleet(b, 3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Full cycle: rank, define+start over RPC, then tear the
+			// domain back down so the fleet stays at steady state.
+			p, err := reg.Schedule(benchDomainXML("test", fmt.Sprintf("vm%06d", i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := p.Domain.Destroy(); err != nil {
+				b.Fatal(err)
+			}
+			if err := p.Domain.Undefine(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkT7_Rebalance measures the fleet rebalancer (Table T7): the
+// pure planning pass across fleet sizes, and a live drain that moves a
+// domain between two daemons by iterative pre-copy each iteration.
+func BenchmarkT7_Rebalance(b *testing.B) {
+	for _, hosts := range []int{4, 16, 64} {
+		invs := synthFleet(hosts)
+		b.Run(fmt.Sprintf("plan/hosts-%d", hosts), func(b *testing.B) {
+			b.ReportAllocs()
+			var moves int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mv, _, _, _ := fleet.PlanRebalance(invs, fleet.RebalanceOptions{
+					SkewThreshold: 0.05, MaxMigrations: 64,
+				})
+				moves = len(mv)
+			}
+			b.ReportMetric(float64(moves), "moves")
+		})
+	}
+	b.Run("live/drain-migrate", func(b *testing.B) {
+		reg := startBenchFleet(b, 2)
+		p, err := reg.Schedule(benchDomainXML("test", "wanderer"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		from := p.Host
+		var simTotalNs, simDownNs uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := reg.Rebalance(context.Background(), fleet.RebalanceOptions{Drain: from})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Migrations) != 1 || res.Migrations[0].Err != nil {
+				b.Fatalf("drain pass: %+v", res)
+			}
+			from = res.Migrations[0].To
+			simTotalNs += res.Migrations[0].Result.TotalTimeNs
+			simDownNs += res.Migrations[0].Result.DowntimeNs
+		}
+		b.StopTimer()
+		if b.N > 0 {
+			b.ReportMetric(float64(simTotalNs)/float64(b.N)/1e6, "sim-total-ms/op")
+			b.ReportMetric(float64(simDownNs)/float64(b.N)/1e6, "sim-downtime-ms/op")
+		}
+	})
 }
 
 // BenchmarkA1_PriorityWorkers is the ablation for the priority-worker

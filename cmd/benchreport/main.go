@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/drivers/remote"
 	drvtest "repro/internal/drivers/test"
 	"repro/internal/drivers/xen"
+	"repro/internal/fleet"
 	"repro/internal/hyper"
 	"repro/internal/hyper/qsim"
 	"repro/internal/hyper/xsim"
@@ -43,11 +45,11 @@ var quiet = logging.NewQuiet(logging.Error)
 func main() {
 	all := map[string]func(){
 		"T1": tableT1, "T2": tableT2, "T3": tableT3, "T4": tableT4, "T5": tableT5,
-		"T6": tableT6,
-		"F1": figureF1, "F2": figureF2, "F3": figureF3, "F4": figureF4,
+		"T6": tableT6, "T7": tableT7,
+		"F1": figureF1, "F2": figureF2, "F3": figureF3, "F4": figureF4, "F5": figureF5,
 		"A3": ablationA3,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "A3"}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "F1", "F2", "F3", "F4", "F5", "A3"}
 	want := os.Args[1:]
 	if len(want) == 0 {
 		want = order
@@ -496,6 +498,134 @@ func ablationA3() {
 		fmt.Printf("%-12s %-18.2f %-12.2f\n", mode,
 			float64(served)/cycles, float64(saved)/cycles)
 	}
+}
+
+// synthFleetInv builds a synthetic fleet snapshot (server-profile hosts
+// with a sawtooth of existing load) for the pure scheduler and planner
+// measurements.
+func synthFleetInv(hosts int) []fleet.HostInventory {
+	invs := make([]fleet.HostInventory, 0, hosts)
+	for i := 0; i < hosts; i++ {
+		inv := fleet.HostInventory{
+			Host: fmt.Sprintf("host%04d", i), State: fleet.HostUp, DriverType: "test",
+			Node: core.NodeInfo{MemoryKiB: 256 * 1024 * 1024, CPUs: 64},
+		}
+		for j := 0; j < i%8; j++ {
+			inv.Domains = append(inv.Domains, fleet.DomainRecord{
+				Name: fmt.Sprintf("vm%04d-%d", i, j), State: core.DomainRunning,
+				MemKiB: 8 * 1024 * 1024, VCPUs: 4,
+			})
+		}
+		invs = append(invs, inv)
+	}
+	return invs
+}
+
+// benchFleet brings up n in-process daemons and a registry over them.
+func benchFleet(n int) (*fleet.Registry, func()) {
+	core.ResetRegistryForTest()
+	drvtest.Register(quiet)
+	remote.Register()
+	dir, err := os.MkdirTemp("", "benchreport")
+	must(err)
+	var uris []string
+	var daemons []*daemon.Daemon
+	for i := 0; i < n; i++ {
+		d := daemon.New(quiet)
+		srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{MaxClients: 64})
+		must(err)
+		srv.AddProgram(daemon.NewRemoteProgram(srv))
+		sock := filepath.Join(dir, fmt.Sprintf("node%d.sock", i))
+		must(srv.ListenUnix(sock, daemon.ServiceConfig{}))
+		daemons = append(daemons, d)
+		uris = append(uris, "test+unix:///empty?socket="+strings.ReplaceAll(sock, "/", "%2F"))
+	}
+	reg, err := fleet.New(fleet.Config{Hosts: uris, PollInterval: time.Second, Log: quiet})
+	must(err)
+	reg.Start()
+	if up := reg.WaitSettled(5 * time.Second); up != n {
+		must(fmt.Errorf("%d/%d fleet hosts up", up, n))
+	}
+	return reg, func() {
+		reg.Close()
+		for _, d := range daemons {
+			d.Shutdown()
+		}
+		os.RemoveAll(dir)
+		core.ResetRegistryForTest()
+	}
+}
+
+func tableT7() {
+	header("Table T7", "fleet rebalancing: planning cost and live drain migration",
+		fmt.Sprintf("%-22s %-14s %-10s %-14s %-14s", "case", "wall/op", "moves", "sim total", "sim downtime"))
+	for _, hosts := range []int{4, 16, 64} {
+		invs := synthFleetInv(hosts)
+		var moves int
+		plan := perOp(200, func() {
+			mv, _, _, _ := fleet.PlanRebalance(invs, fleet.RebalanceOptions{
+				SkewThreshold: 0.05, MaxMigrations: 64,
+			})
+			moves = len(mv)
+		})
+		fmt.Printf("%-22s %-14s %-10d %-14s %-14s\n",
+			fmt.Sprintf("plan/hosts-%d", hosts), plan, moves, "-", "-")
+	}
+
+	// Live drain: one domain ping-pongs between two daemons, a full
+	// iterative pre-copy over RPC each time.
+	reg, shutdown := benchFleet(2)
+	defer shutdown()
+	p, err := reg.Schedule(domainXML("test", "wanderer"))
+	must(err)
+	from := p.Host
+	var simTotalNs, simDownNs, n uint64
+	wall := perOp(20, func() {
+		res, err := reg.Rebalance(context.Background(), fleet.RebalanceOptions{Drain: from})
+		must(err)
+		if len(res.Migrations) != 1 {
+			must(fmt.Errorf("drain pass moved %d domains", len(res.Migrations)))
+		}
+		must(res.Migrations[0].Err)
+		from = res.Migrations[0].To
+		simTotalNs += res.Migrations[0].Result.TotalTimeNs
+		simDownNs += res.Migrations[0].Result.DowntimeNs
+		n++
+	})
+	fmt.Printf("%-22s %-14s %-10d %-14s %-14s\n", "live/drain-2hosts", wall, 1,
+		fmt.Sprintf("%.0f ms", float64(simTotalNs)/float64(n)/1e6),
+		fmt.Sprintf("%.1f ms", float64(simDownNs)/float64(n)/1e6))
+}
+
+func figureF5() {
+	header("Figure F5", "placement scheduling latency vs fleet size and policy",
+		fmt.Sprintf("%-26s %-14s", "case", "per placement"))
+	req := fleet.Request{Name: "new", TypeName: "test", MemKiB: 8 * 1024 * 1024, VCPUs: 4}
+	for _, hosts := range []int{10, 100, 1000} {
+		invs := synthFleetInv(hosts)
+		for _, pol := range []fleet.Policy{fleet.Spread(), fleet.Pack()} {
+			lat := perOp(500, func() {
+				if got := fleet.Rank(pol, req, invs); len(got) == 0 {
+					must(fmt.Errorf("empty ranking"))
+				}
+			})
+			fmt.Printf("%-26s %-14s\n", fmt.Sprintf("rank/%s/hosts-%d", pol.Name(), hosts), lat)
+		}
+	}
+
+	// Live: the full Schedule path (rank + define/start over RPC) against
+	// three daemons, with teardown to keep the fleet at steady state.
+	reg, shutdown := benchFleet(3)
+	defer shutdown()
+	seq := 0
+	lat := perOp(50, func() {
+		p, err := reg.Schedule(domainXML("test", fmt.Sprintf("vm%06d", seq)))
+		must(err)
+		seq++
+		must(p.Domain.Destroy())
+		must(p.Domain.Undefine())
+	})
+	fmt.Printf("%-26s %-14s\n", "live/schedule-3hosts", lat)
 }
 
 func defStart(drv core.DriverConn, driver, name string) error {

@@ -1,0 +1,259 @@
+// Command virtfleetx is the fleet controller CLI: one management
+// application driving a pool of govirtd daemons through the uniform
+// API. It lists host health, places domains with a pluggable policy and
+// rebalances load between hosts by live migration — the multi-host
+// management story the underlying library exists to enable.
+//
+// Usage:
+//
+//	virtfleetx -hosts uri1,uri2[,...] <command> [args...]
+//	virtfleetx -conf fleet.conf <command> [args...]
+//
+// Commands:
+//
+//	hosts                       list hosts and their health
+//	status                      show per-host load and fleet skew
+//	schedule <file.xml>...      place domain definitions on the fleet
+//	rebalance [flags]           migrate domains to even out load
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/drivers/lxc"
+	"repro/internal/drivers/qemu"
+	"repro/internal/drivers/remote"
+	drvtest "repro/internal/drivers/test"
+	"repro/internal/drivers/xen"
+	"repro/internal/fleet"
+	"repro/internal/logging"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("virtfleetx", flag.ContinueOnError)
+	hostsFlag := fs.String("hosts", "", "comma-separated daemon connection URIs")
+	confFlag := fs.String("conf", "", "fleet.conf path (flags override it)")
+	policyFlag := fs.String("policy", "", `placement policy: "spread", "pack" or "weighted"`)
+	verbose := fs.Bool("v", false, "verbose logging")
+	waitFlag := fs.Duration("wait", 5*time.Second, "time to wait for hosts to connect")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	args := fs.Args()
+	if len(args) == 0 || args[0] == "help" {
+		printHelp()
+		return nil
+	}
+
+	level := logging.Warn
+	if *verbose {
+		level = logging.Info
+	}
+	log := logging.New(level)
+	drvtest.Register(log)
+	qemu.Register(log)
+	xen.Register(log)
+	lxc.Register(log)
+	remote.Register()
+
+	fileCfg := fleet.DefaultFileConfig()
+	if *confFlag != "" {
+		text, err := os.ReadFile(*confFlag)
+		if err != nil {
+			return err
+		}
+		fileCfg, err = fleet.ParseFileConfig(string(text))
+		if err != nil {
+			return err
+		}
+	}
+	if *hostsFlag != "" {
+		fileCfg.Hosts = strings.Split(*hostsFlag, ",")
+	}
+	if *policyFlag != "" {
+		fileCfg.Policy = *policyFlag
+	}
+	cfg, err := fileCfg.RegistryConfig()
+	if err != nil {
+		return err
+	}
+	cfg.Log = log
+
+	reg, err := fleet.New(cfg)
+	if err != nil {
+		return err
+	}
+	reg.Start()
+	defer reg.Close()
+	if up := reg.WaitSettled(*waitFlag); up == 0 {
+		return fmt.Errorf("no fleet host is reachable")
+	}
+
+	switch args[0] {
+	case "hosts":
+		return cmdHosts(reg)
+	case "status":
+		return cmdStatus(reg)
+	case "schedule":
+		if len(args) < 2 {
+			return fmt.Errorf("schedule needs at least one XML file")
+		}
+		return cmdSchedule(reg, args[1:])
+	case "rebalance":
+		return cmdRebalance(reg, fileCfg, args[1:])
+	default:
+		return fmt.Errorf("unknown command %q (try \"help\")", args[0])
+	}
+}
+
+func printHelp() {
+	fmt.Print(`virtfleetx — multi-daemon fleet controller
+usage: virtfleetx [-hosts uri1,uri2] [-conf fleet.conf] [-policy name] [-v] <command> [args...]
+
+Commands:
+  hosts                       list hosts and their health
+  status                      show per-host load, domains and fleet skew
+  schedule <file.xml>...      place each domain definition on the best host
+  rebalance [flags]           live-migrate domains to even out load
+    --drain <host>            evacuate one host completely
+    --skew <x>                target load spread (default from config, 0.2)
+    --max <n>                 migration cap for the pass
+    --concurrency <n>         parallel migrations
+    --dry-run                 plan only, do not migrate
+`)
+}
+
+func cmdHosts(reg *fleet.Registry) error {
+	fmt.Printf(" %-16s %-12s %-8s %s\n %s\n", "Name", "State", "Domains", "URI",
+		strings.Repeat("-", 64))
+	for _, st := range reg.Status() {
+		extra := st.URI
+		if st.Err != "" {
+			extra += "  (" + st.Err + ")"
+		}
+		fmt.Printf(" %-16s %-12s %-8d %s\n", st.Name, st.State, st.Domains, extra)
+	}
+	return nil
+}
+
+func cmdStatus(reg *fleet.Registry) error {
+	reg.RefreshNow()
+	invs := reg.Inventory()
+	fmt.Printf(" %-16s %-8s %-10s %-10s %-10s %-12s\n %s\n",
+		"Host", "State", "Domains", "MemLoad", "CPULoad", "FreeMemMiB",
+		strings.Repeat("-", 72))
+	for i := range invs {
+		inv := &invs[i]
+		fmt.Printf(" %-16s %-8s %-10d %-10.2f %-10.2f %-12d\n",
+			inv.Host, inv.State, inv.ActiveDomains(), inv.MemLoad(), inv.CPULoad(),
+			inv.FreeMemKiB()/1024)
+	}
+	fmt.Printf("\nFleet skew (hottest - coldest load): %.3f\n", fleet.Skew(invs))
+	return nil
+}
+
+func cmdSchedule(reg *fleet.Registry, files []string) error {
+	for _, file := range files {
+		xmlDesc, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		p, err := reg.Schedule(string(xmlDesc))
+		if err != nil {
+			return fmt.Errorf("%s: %v", file, err)
+		}
+		note := ""
+		if len(p.FailedHosts) > 0 {
+			note = fmt.Sprintf("  (retried past %s)", strings.Join(p.FailedHosts, ", "))
+		}
+		fmt.Printf("Domain %s placed on %s%s\n", p.Domain.Name(), p.Host, note)
+	}
+	return nil
+}
+
+func cmdRebalance(reg *fleet.Registry, fileCfg fleet.FileConfig, args []string) error {
+	opts := fileCfg.RebalanceConfig()
+	dryRun := false
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "--drain":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--drain needs a host name")
+			}
+			opts.Drain = args[i+1]
+			i++
+		case "--skew":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--skew needs a value")
+			}
+			if _, err := fmt.Sscanf(args[i+1], "%g", &opts.SkewThreshold); err != nil {
+				return fmt.Errorf("--skew: bad value %q", args[i+1])
+			}
+			i++
+		case "--max":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--max needs a value")
+			}
+			if _, err := fmt.Sscanf(args[i+1], "%d", &opts.MaxMigrations); err != nil {
+				return fmt.Errorf("--max: bad value %q", args[i+1])
+			}
+			i++
+		case "--concurrency":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--concurrency needs a value")
+			}
+			if _, err := fmt.Sscanf(args[i+1], "%d", &opts.Concurrency); err != nil {
+				return fmt.Errorf("--concurrency: bad value %q", args[i+1])
+			}
+			i++
+		case "--dry-run":
+			dryRun = true
+		default:
+			return fmt.Errorf("unknown flag %q", args[i])
+		}
+	}
+
+	if dryRun {
+		reg.RefreshNow()
+		moves, before, after, converged := fleet.PlanRebalance(reg.Inventory(), opts)
+		fmt.Printf("Skew %.3f -> %.3f (converged: %v), %d move(s) planned:\n",
+			before, after, converged, len(moves))
+		for _, mv := range moves {
+			fmt.Printf("  %s: %s -> %s (%d MiB)\n", mv.Domain, mv.From, mv.To, mv.MemKiB/1024)
+		}
+		return nil
+	}
+
+	// Ctrl-C stops scheduling new migrations; in-flight ones finish.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	opts.OnMigration = func(rec fleet.MigrationRecord) {
+		if rec.Err != nil {
+			fmt.Printf("  %s: %s -> %s FAILED: %v\n", rec.Domain, rec.From, rec.To, rec.Err)
+			return
+		}
+		fmt.Printf("  %s: %s -> %s in %.1f ms (downtime %.2f ms)\n",
+			rec.Domain, rec.From, rec.To, rec.Result.TotalTimeMs(), rec.Result.DowntimeMs())
+	}
+	res, err := reg.Rebalance(ctx, opts)
+	if err != nil && len(res.Planned) == 0 {
+		return err // rejected before planning (e.g. unknown drain host)
+	}
+	fmt.Printf("Skew %.3f -> %.3f, %d/%d migration(s) done, converged: %v\n",
+		res.SkewBefore, res.SkewAfter, len(res.Migrations), len(res.Planned), res.Converged)
+	return err
+}

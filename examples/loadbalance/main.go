@@ -155,4 +155,8 @@ func main() {
 	for _, c := range conns {
 		c.Close()
 	}
+
+	fmt.Println("\nThis tuned one daemon under load. For balancing load across" +
+		" several daemons\n— placement policies and live-migration rebalancing —" +
+		" see examples/fleet.")
 }

@@ -33,6 +33,7 @@ const (
 	ErrXML
 	ErrMigrate
 	ErrAdmin
+	ErrHostUnreachable // the managing daemon itself is down or lost mid-call
 )
 
 var codeNames = map[ErrorCode]string{
@@ -52,6 +53,7 @@ var codeNames = map[ErrorCode]string{
 	ErrXML:              "XML error",
 	ErrMigrate:          "migration failure",
 	ErrAdmin:            "admin operation failed",
+	ErrHostUnreachable:  "host unreachable",
 }
 
 func (c ErrorCode) String() string {
@@ -91,6 +93,20 @@ func CodeOf(err error) ErrorCode {
 
 // IsCode reports whether err carries the given code.
 func IsCode(err error, code ErrorCode) bool { return CodeOf(err) == code }
+
+// IsRetryable reports whether err is a host-level failure — the daemon
+// is unreachable or died mid-call — rather than an operation error that
+// would fail identically anywhere. Multi-host schedulers use it to
+// decide between retrying the same request on a different host and
+// propagating the failure to the caller.
+func IsRetryable(err error) bool {
+	switch CodeOf(err) {
+	case ErrHostUnreachable, ErrNoConnect:
+		return true
+	default:
+		return false
+	}
+}
 
 // wrap converts an arbitrary error into an API error with the given
 // code, passing existing API errors through unchanged.

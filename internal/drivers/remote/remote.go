@@ -6,6 +6,7 @@
 package remote
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
@@ -159,6 +160,9 @@ func (c *Conn) authenticate(u *uri.URI) error {
 }
 
 // call performs one RPC, translating remote errors to API errors.
+// Transport-level failures (the daemon died or became unreachable
+// mid-call) surface as the typed, retryable ErrHostUnreachable so a
+// multi-host scheduler can distinguish host-down from operation-invalid.
 func (c *Conn) call(proc uint32, args, ret interface{}) error {
 	start := time.Now()
 	err := c.client.Call(proc, args, ret)
@@ -170,6 +174,10 @@ func (c *Conn) call(proc uint32, args, ret interface{}) error {
 	remoteCallErrs.Inc()
 	if re, ok := err.(*rpc.RemoteError); ok {
 		return &core.Error{Code: core.ErrorCode(re.Code), Message: re.Message}
+	}
+	var te *rpc.TransportError
+	if errors.As(err, &te) {
+		return core.Errorf(core.ErrHostUnreachable, "%v", te)
 	}
 	return core.Errorf(core.ErrRPC, "%v", err)
 }

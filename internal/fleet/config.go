@@ -1,0 +1,206 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// FileConfig is the on-disk fleet controller configuration, read from a
+// fleet.conf document in the same key = value dialect as the daemon's
+// config (comments with '#', quoted strings, ["a", "b"] lists).
+type FileConfig struct {
+	Hosts          []string // daemon connection URIs
+	PollIntervalMs int
+	BackoffMinMs   int
+	BackoffMaxMs   int
+	Policy         string // "spread", "pack" or "weighted"
+
+	RebalanceSkew          float64 // load spread that triggers rebalancing
+	RebalanceMaxMigrations int
+	RebalanceConcurrency   int
+
+	MigrateBandwidthMBps uint64
+	MigrateMaxDowntimeMs uint64
+}
+
+// DefaultFileConfig returns the shipped defaults.
+func DefaultFileConfig() FileConfig {
+	return FileConfig{
+		PollIntervalMs:         2000,
+		BackoffMinMs:           100,
+		BackoffMaxMs:           10000,
+		Policy:                 "spread",
+		RebalanceSkew:          0.2,
+		RebalanceMaxMigrations: 16,
+		RebalanceConcurrency:   1,
+	}
+}
+
+// ParseFileConfig reads a fleet.conf document.
+func ParseFileConfig(text string) (FileConfig, error) {
+	cfg := DefaultFileConfig()
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, value, found := strings.Cut(line, "=")
+		if !found {
+			return cfg, fmt.Errorf("fleet: config line %d: missing '='", lineNo+1)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		if err := cfg.apply(key, value); err != nil {
+			return cfg, fmt.Errorf("fleet: config line %d: %v", lineNo+1, err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func (c *FileConfig) apply(key, value string) error {
+	switch key {
+	case "hosts":
+		list, err := parseList(value)
+		if err != nil {
+			return err
+		}
+		c.Hosts = list
+		return nil
+	case "poll_interval_ms":
+		return setInt(&c.PollIntervalMs, value)
+	case "backoff_min_ms":
+		return setInt(&c.BackoffMinMs, value)
+	case "backoff_max_ms":
+		return setInt(&c.BackoffMaxMs, value)
+	case "policy":
+		if err := setString(&c.Policy, value); err != nil {
+			return err
+		}
+		_, err := PolicyByName(c.Policy)
+		return err
+	case "rebalance_skew":
+		return setFloat(&c.RebalanceSkew, value)
+	case "rebalance_max_migrations":
+		return setInt(&c.RebalanceMaxMigrations, value)
+	case "rebalance_concurrency":
+		return setInt(&c.RebalanceConcurrency, value)
+	case "migrate_bandwidth_mbps":
+		return setUint(&c.MigrateBandwidthMBps, value)
+	case "migrate_max_downtime_ms":
+		return setUint(&c.MigrateMaxDowntimeMs, value)
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+}
+
+// Validate cross-checks the configuration.
+func (c *FileConfig) Validate() error {
+	if c.PollIntervalMs < 1 {
+		return fmt.Errorf("fleet: poll_interval_ms must be >= 1")
+	}
+	if c.BackoffMinMs < 1 || c.BackoffMaxMs < c.BackoffMinMs {
+		return fmt.Errorf("fleet: backoff window invalid: min=%dms max=%dms",
+			c.BackoffMinMs, c.BackoffMaxMs)
+	}
+	if c.RebalanceSkew <= 0 || c.RebalanceSkew > 1 {
+		return fmt.Errorf("fleet: rebalance_skew %g outside (0, 1]", c.RebalanceSkew)
+	}
+	if c.RebalanceMaxMigrations < 1 {
+		return fmt.Errorf("fleet: rebalance_max_migrations must be >= 1")
+	}
+	if c.RebalanceConcurrency < 1 {
+		return fmt.Errorf("fleet: rebalance_concurrency must be >= 1")
+	}
+	return nil
+}
+
+// RegistryConfig converts the file form into a runtime Config.
+func (c *FileConfig) RegistryConfig() (Config, error) {
+	policy, err := PolicyByName(c.Policy)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Hosts:        c.Hosts,
+		PollInterval: time.Duration(c.PollIntervalMs) * time.Millisecond,
+		BackoffMin:   time.Duration(c.BackoffMinMs) * time.Millisecond,
+		BackoffMax:   time.Duration(c.BackoffMaxMs) * time.Millisecond,
+		Policy:       policy,
+	}, nil
+}
+
+// RebalanceConfig converts the file form into runtime RebalanceOptions.
+func (c *FileConfig) RebalanceConfig() RebalanceOptions {
+	return RebalanceOptions{
+		SkewThreshold: c.RebalanceSkew,
+		MaxMigrations: c.RebalanceMaxMigrations,
+		Concurrency:   c.RebalanceConcurrency,
+		Migrate: core.MigrateOptions{
+			BandwidthMBps: c.MigrateBandwidthMBps,
+			MaxDowntimeMs: c.MigrateMaxDowntimeMs,
+		},
+	}
+}
+
+func setString(dst *string, value string) error {
+	if len(value) < 2 || value[0] != '"' || value[len(value)-1] != '"' {
+		return fmt.Errorf("expected a quoted string, got %s", value)
+	}
+	*dst = value[1 : len(value)-1]
+	return nil
+}
+
+func setInt(dst *int, value string) error {
+	n, err := strconv.Atoi(value)
+	if err != nil {
+		return fmt.Errorf("expected an integer, got %q", value)
+	}
+	*dst = n
+	return nil
+}
+
+func setUint(dst *uint64, value string) error {
+	n, err := strconv.ParseUint(value, 10, 64)
+	if err != nil {
+		return fmt.Errorf("expected a non-negative integer, got %q", value)
+	}
+	*dst = n
+	return nil
+}
+
+func setFloat(dst *float64, value string) error {
+	f, err := strconv.ParseFloat(value, 64)
+	if err != nil {
+		return fmt.Errorf("expected a number, got %q", value)
+	}
+	*dst = f
+	return nil
+}
+
+func parseList(value string) ([]string, error) {
+	value = strings.TrimSpace(value)
+	if len(value) < 2 || value[0] != '[' || value[len(value)-1] != ']' {
+		return nil, fmt.Errorf("expected a [\"...\"] list, got %s", value)
+	}
+	inner := strings.TrimSpace(value[1 : len(value)-1])
+	if inner == "" {
+		return nil, nil
+	}
+	parts := strings.Split(inner, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		var s string
+		if err := setString(&s, strings.TrimSpace(p)); err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

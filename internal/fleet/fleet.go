@@ -1,0 +1,529 @@
+// Package fleet is the multi-daemon orchestration layer: it turns N
+// independent govirtd daemons, each managing one host through the
+// uniform API, into a single schedulable pool. The paper's thesis is
+// that one management application can drive many heterogeneous
+// hypervisor hosts through one stable API; this package is that
+// application's core, composed entirely over the public surface —
+// core.Open with remote URIs, nodeinfo/stats polling for non-intrusive
+// inventory, lifecycle events for cache invalidation, and the migration
+// engine for rebalancing.
+//
+// Three parts:
+//
+//   - the host Registry dials every configured URI, tracks per-host
+//     health (keepalive-backed connections, reconnect with exponential
+//     backoff) and maintains a cached inventory per host;
+//   - the Scheduler (scheduler.go) answers "where should this domain
+//     run" with pluggable policies and performs define+start on the
+//     winner, retrying on another host when one dies mid-placement;
+//   - the Rebalancer (rebalance.go) watches load skew and drains hot
+//     hosts by live-migrating domains between daemons.
+package fleet
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/logging"
+	"repro/internal/uri"
+)
+
+// HostState is a host's position in the registry's health model.
+type HostState int
+
+// Host states. A host cycles Connecting → Up → Down → Connecting...
+const (
+	HostConnecting HostState = iota
+	HostUp
+	HostDown
+)
+
+var hostStateNames = map[HostState]string{
+	HostConnecting: "connecting",
+	HostUp:         "up",
+	HostDown:       "down",
+}
+
+func (s HostState) String() string {
+	if n, ok := hostStateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Config configures a Registry.
+type Config struct {
+	Hosts        []string      // connection URIs, one daemon each
+	PollInterval time.Duration // inventory refresh period (default 2s)
+	BackoffMin   time.Duration // first reconnect delay (default 100ms)
+	BackoffMax   time.Duration // reconnect delay ceiling (default 10s)
+	Policy       Policy        // placement policy (default Spread())
+	Log          *logging.Logger
+}
+
+func (c *Config) applyDefaults() {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 2 * time.Second
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 100 * time.Millisecond
+	}
+	if c.BackoffMax < c.BackoffMin {
+		c.BackoffMax = 10 * time.Second
+	}
+	if c.Policy == nil {
+		c.Policy = Spread()
+	}
+	if c.Log == nil {
+		c.Log = logging.NewQuiet(logging.Error)
+	}
+}
+
+// host is the registry's per-daemon record. Its connection is owned by
+// the host goroutine; consumers take a reference under the lock and
+// tolerate the connection failing underneath them (those failures are
+// the typed retryable kind).
+type host struct {
+	name string
+	uri  string
+
+	mu      sync.Mutex
+	conn    *core.Connect
+	state   HostState
+	lastErr error
+	inv     HostInventory
+
+	poke chan struct{} // event-driven "refresh now" signal
+}
+
+func (h *host) connRef() (*core.Connect, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state != HostUp || h.conn == nil {
+		return nil, core.Errorf(core.ErrHostUnreachable, "fleet: host %q is %s", h.name, h.state)
+	}
+	return h.conn, nil
+}
+
+// invalidate requests an immediate inventory refresh; callers must not
+// block (it runs on event-delivery goroutines).
+func (h *host) invalidate() {
+	select {
+	case h.poke <- struct{}{}:
+	default:
+	}
+}
+
+// HostStatus is the externally visible health row for one host.
+type HostStatus struct {
+	Name    string
+	URI     string
+	State   HostState
+	Err     string // last connection error while down
+	Domains int    // active domains at last refresh
+	MemLoad float64
+	CPULoad float64
+}
+
+// Registry manages the pool of daemon connections and their cached
+// inventories.
+type Registry struct {
+	cfg Config
+	log *logging.Logger
+
+	mu     sync.Mutex
+	hosts  map[string]*host
+	order  []string
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// hookAfterDefine, when set by tests, runs between the define and
+	// start halves of a placement — the window where a dying daemon must
+	// surface a retryable error.
+	hookAfterDefine func(hostName string)
+}
+
+// New builds a Registry over the configured host URIs. Call Start to
+// begin connecting.
+func New(cfg Config) (*Registry, error) {
+	cfg.applyDefaults()
+	if len(cfg.Hosts) == 0 {
+		return nil, core.Errorf(core.ErrInvalidArg, "fleet: no hosts configured")
+	}
+	r := &Registry{
+		cfg:   cfg,
+		log:   cfg.Log,
+		hosts: make(map[string]*host, len(cfg.Hosts)),
+		stop:  make(chan struct{}),
+	}
+	for i, s := range cfg.Hosts {
+		u, err := uri.Parse(s)
+		if err != nil {
+			return nil, core.Errorf(core.ErrInvalidArg, "fleet: host %d: %v", i, err)
+		}
+		name := hostName(u, i)
+		if _, dup := r.hosts[name]; dup {
+			return nil, core.Errorf(core.ErrInvalidArg, "fleet: duplicate host %q", name)
+		}
+		h := &host{name: name, uri: s, poke: make(chan struct{}, 1)}
+		h.inv = HostInventory{Host: name, URI: s, State: HostConnecting}
+		r.hosts[name] = h
+		r.order = append(r.order, name)
+	}
+	return r, nil
+}
+
+// hostName derives a stable human-readable name for a host URI:
+// host[:port] for TCP, the socket file's base name for unix sockets,
+// else a positional fallback.
+func hostName(u *uri.URI, idx int) string {
+	if u.Host != "" {
+		if u.Port != 0 {
+			return fmt.Sprintf("%s:%d", u.Host, u.Port)
+		}
+		return u.Host
+	}
+	if sock, ok := u.Param("socket"); ok {
+		base := path.Base(sock)
+		if ext := path.Ext(base); ext != "" {
+			base = base[:len(base)-len(ext)]
+		}
+		if base != "" && base != "." && base != "/" {
+			return base
+		}
+	}
+	return fmt.Sprintf("host%d", idx)
+}
+
+// Start launches the per-host connection managers.
+func (r *Registry) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fleetHostsKnown.Add(int64(len(r.order)))
+	for _, name := range r.order {
+		h := r.hosts[name]
+		r.wg.Add(1)
+		go r.runHost(h)
+	}
+}
+
+// Close tears down every connection and stops the managers.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.stop)
+	r.wg.Wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fleetHostsKnown.Add(-int64(len(r.order)))
+	for _, h := range r.hosts {
+		h.mu.Lock()
+		if h.conn != nil {
+			h.conn.Close() //nolint:errcheck
+			h.conn = nil
+		}
+		if h.state == HostUp {
+			fleetHostsUp.Add(-1)
+		}
+		h.state = HostDown
+		h.mu.Unlock()
+	}
+}
+
+// runHost is the per-host manager: connect, poll until the connection
+// dies, reconnect with exponential backoff, forever (until Close).
+func (r *Registry) runHost(h *host) {
+	defer r.wg.Done()
+	backoff := r.cfg.BackoffMin
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		conn, err := core.Open(h.uri)
+		if err != nil {
+			r.setDown(h, err)
+			fleetReconnects.Inc()
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > r.cfg.BackoffMax {
+				backoff = r.cfg.BackoffMax
+			}
+			continue
+		}
+		backoff = r.cfg.BackoffMin
+		r.setUp(h, conn)
+		// Lifecycle events invalidate the cached inventory immediately,
+		// so placements see changes faster than the poll interval.
+		conn.SubscribeEvents("", nil, func(events.Event) { h.invalidate() }) //nolint:errcheck
+		if err := r.refresh(h, conn); err != nil && core.IsRetryable(err) {
+			r.setDown(h, err)
+			conn.Close() //nolint:errcheck
+			continue
+		}
+		err = r.pollLoop(h, conn)
+		conn.Close()    //nolint:errcheck
+		if err == nil { // Close() requested
+			return
+		}
+		r.setDown(h, err)
+	}
+}
+
+// pollLoop refreshes the host inventory on the poll interval and on
+// event pokes. It returns nil on shutdown and the failure when the
+// connection looks dead.
+func (r *Registry) pollLoop(h *host, conn *core.Connect) error {
+	t := time.NewTicker(r.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return nil
+		case <-t.C:
+		case <-h.poke:
+		}
+		if err := r.refresh(h, conn); err != nil {
+			if core.IsRetryable(err) || core.IsCode(err, core.ErrConnectionClosed) {
+				return err
+			}
+			// Transient operation error (e.g. racing undefine): keep the
+			// host up, try again next tick.
+			r.log.Warnf("fleet", "host %s: inventory refresh: %v", h.name, err)
+		}
+	}
+}
+
+// refresh collects one inventory snapshot over the given connection.
+func (r *Registry) refresh(h *host, conn *core.Connect) error {
+	fleetPolls.Inc()
+	d := conn.Driver()
+	node, err := d.NodeInfo()
+	if err != nil {
+		return err
+	}
+	names, err := d.ListDomains(0)
+	if err != nil {
+		return err
+	}
+	records := make([]DomainRecord, 0, len(names))
+	for _, name := range names {
+		info, err := d.DomainInfo(name)
+		if err != nil {
+			if core.IsCode(err, core.ErrNoDomain) {
+				continue // undefined between list and info
+			}
+			return err
+		}
+		records = append(records, DomainRecord{
+			Name: name, State: info.State, MemKiB: info.MemKiB,
+			MaxMemKiB: info.MaxMemKiB, VCPUs: info.VCPUs, CPUTimeNs: info.CPUTimeNs,
+		})
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.inv = HostInventory{
+		Host: h.name, URI: h.uri, State: h.state, DriverType: h.inv.DriverType,
+		Node: node, Domains: records, Gen: h.inv.Gen + 1, CollectedAt: time.Now(),
+	}
+	return nil
+}
+
+func (r *Registry) setUp(h *host, conn *core.Connect) {
+	drvType, _ := conn.Type()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state != HostUp {
+		fleetHostsUp.Add(1)
+	}
+	h.conn = conn
+	h.state = HostUp
+	h.lastErr = nil
+	h.inv.State = HostUp
+	h.inv.DriverType = drvType
+	r.log.Infof("fleet", "host %s up (%s driver)", h.name, drvType)
+}
+
+func (r *Registry) setDown(h *host, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state == HostUp {
+		fleetHostsUp.Add(-1)
+		r.log.Warnf("fleet", "host %s down: %v", h.name, err)
+	}
+	h.conn = nil
+	h.state = HostDown
+	h.lastErr = err
+	h.inv.State = HostDown
+	h.inv.Domains = nil
+}
+
+// markDown records an externally observed host failure (a placement or
+// migration call failing retryably): the connection is closed so the
+// host goroutine's next poll notices and enters reconnect.
+func (r *Registry) markDown(name string, err error) {
+	r.mu.Lock()
+	h, ok := r.hosts[name]
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	conn := h.conn
+	h.mu.Unlock()
+	if conn != nil {
+		conn.Close() //nolint:errcheck
+	}
+	h.invalidate()
+	_ = err
+}
+
+// Host returns the named host's live connection, or a retryable error
+// when the host is not up.
+func (r *Registry) Host(name string) (*core.Connect, error) {
+	r.mu.Lock()
+	h, ok := r.hosts[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, core.Errorf(core.ErrInvalidArg, "fleet: unknown host %q", name)
+	}
+	return h.connRef()
+}
+
+// Hosts lists the configured host names in configuration order.
+func (r *Registry) Hosts() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Status reports per-host health.
+func (r *Registry) Status() []HostStatus {
+	invs := r.Inventory()
+	out := make([]HostStatus, 0, len(invs))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, inv := range invs {
+		st := HostStatus{
+			Name: inv.Host, URI: inv.URI, State: inv.State,
+			Domains: inv.ActiveDomains(), MemLoad: inv.MemLoad(), CPULoad: inv.CPULoad(),
+		}
+		if h, ok := r.hosts[inv.Host]; ok {
+			h.mu.Lock()
+			if h.lastErr != nil {
+				st.Err = h.lastErr.Error()
+			}
+			h.mu.Unlock()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Inventory snapshots every host's cached inventory, in configuration
+// order.
+func (r *Registry) Inventory() []HostInventory {
+	r.mu.Lock()
+	order := make([]string, len(r.order))
+	copy(order, r.order)
+	hosts := make([]*host, 0, len(order))
+	for _, name := range order {
+		hosts = append(hosts, r.hosts[name])
+	}
+	r.mu.Unlock()
+	out := make([]HostInventory, 0, len(hosts))
+	for _, h := range hosts {
+		h.mu.Lock()
+		out = append(out, h.inv.clone())
+		h.mu.Unlock()
+	}
+	return out
+}
+
+// RefreshNow synchronously refreshes the named hosts (all when none are
+// given), so callers that just mutated the fleet observe their writes.
+func (r *Registry) RefreshNow(names ...string) {
+	if len(names) == 0 {
+		names = r.Hosts()
+	}
+	for _, name := range names {
+		r.mu.Lock()
+		h, ok := r.hosts[name]
+		r.mu.Unlock()
+		if !ok {
+			continue
+		}
+		h.mu.Lock()
+		conn := h.conn
+		up := h.state == HostUp
+		h.mu.Unlock()
+		if up && conn != nil {
+			if err := r.refresh(h, conn); err != nil && core.IsRetryable(err) {
+				r.markDown(name, err)
+			}
+		}
+	}
+}
+
+// WaitSettled blocks until every host has resolved its first connection
+// attempt (up or down) or the timeout elapses; it returns the number of
+// hosts up.
+func (r *Registry) WaitSettled(timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		settled, up := true, 0
+		for _, inv := range r.Inventory() {
+			switch inv.State {
+			case HostUp:
+				up++
+			case HostConnecting:
+				settled = false
+			}
+		}
+		if settled || time.Now().After(deadline) {
+			return up
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// WaitHostState blocks until the named host reaches the wanted state,
+// reporting whether it did before the timeout.
+func (r *Registry) WaitHostState(name string, want HostState, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, inv := range r.Inventory() {
+			if inv.Host == name && inv.State == want {
+				return true
+			}
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// sortHostsByName is a small shared helper for deterministic output.
+func sortHostsByName(invs []HostInventory) {
+	sort.Slice(invs, func(i, j int) bool { return invs[i].Host < invs[j].Host })
+}

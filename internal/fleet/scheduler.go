@@ -1,0 +1,245 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/xmlspec"
+)
+
+// Request is the resource ask extracted from a domain definition: what
+// the scheduler needs to know to place it.
+type Request struct {
+	Name     string
+	TypeName string // hypervisor type attribute ("test", "qsim", ...)
+	MemKiB   uint64
+	VCPUs    int
+}
+
+// ParseRequest extracts a placement request from domain XML, validating
+// the definition the same way define would so a bad document fails
+// before any host is touched.
+func ParseRequest(xmlDesc string) (Request, error) {
+	def, err := xmlspec.ParseDomain([]byte(xmlDesc))
+	if err != nil {
+		return Request{}, core.Errorf(core.ErrXML, "%v", err)
+	}
+	if err := def.Validate(); err != nil {
+		return Request{}, core.Errorf(core.ErrXML, "%v", err)
+	}
+	memKiB, err := def.Memory.KiB()
+	if err != nil {
+		return Request{}, core.Errorf(core.ErrXML, "%v", err)
+	}
+	vcpus := int(def.VCPU.Count)
+	if vcpus <= 0 {
+		vcpus = 1
+	}
+	return Request{Name: def.Name, TypeName: def.Type, MemKiB: memKiB, VCPUs: vcpus}, nil
+}
+
+// Policy scores candidate hosts for a request; the scheduler places on
+// the highest-scoring host and falls through the ranking on failure.
+// Score is only called for hosts that passed the capability and
+// capacity filters.
+type Policy interface {
+	Name() string
+	Score(req Request, inv *HostInventory) float64
+}
+
+type policyFunc struct {
+	name  string
+	score func(req Request, inv *HostInventory) float64
+}
+
+func (p policyFunc) Name() string                                  { return p.name }
+func (p policyFunc) Score(req Request, inv *HostInventory) float64 { return p.score(req, inv) }
+
+// Spread prefers the least-loaded host, keeping headroom everywhere —
+// the default policy.
+func Spread() Policy {
+	return policyFunc{name: "spread", score: func(req Request, inv *HostInventory) float64 {
+		return 1 - loadAfter(req, inv)
+	}}
+}
+
+// Pack prefers the most-loaded host that still fits, consolidating the
+// fleet onto few hosts so the rest can be drained or powered down.
+func Pack() Policy {
+	return policyFunc{name: "pack", score: func(req Request, inv *HostInventory) float64 {
+		return loadAfter(req, inv)
+	}}
+}
+
+// Weighted scores free capacity with explicit cpu/memory weights; with
+// equal weights it behaves like Spread but lets operators bias toward
+// whichever resource their workloads contend on.
+func Weighted(cpuWeight, memWeight float64) Policy {
+	name := fmt.Sprintf("weighted(cpu=%g,mem=%g)", cpuWeight, memWeight)
+	return policyFunc{name: name, score: func(req Request, inv *HostInventory) float64 {
+		memFree := 1 - inv.MemLoad()
+		cpuFree := 1 - inv.CPULoad()
+		return (cpuWeight*cpuFree + memWeight*memFree) / (cpuWeight + memWeight)
+	}}
+}
+
+// PolicyByName resolves the textual policy names used by config files
+// and the CLI.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", "spread":
+		return Spread(), nil
+	case "pack":
+		return Pack(), nil
+	case "weighted":
+		return Weighted(1, 1), nil
+	default:
+		return nil, core.Errorf(core.ErrInvalidArg, "fleet: unknown policy %q", name)
+	}
+}
+
+// loadAfter projects the host's scalar load as if the request were
+// already placed there.
+func loadAfter(req Request, inv *HostInventory) float64 {
+	mem, cpu := inv.MemLoad(), inv.CPULoad()
+	if inv.Node.MemoryKiB > 0 {
+		mem += float64(req.MemKiB) / float64(inv.Node.MemoryKiB)
+	}
+	if inv.Node.CPUs > 0 {
+		cpu += float64(req.VCPUs) / float64(inv.Node.CPUs)
+	}
+	if mem > cpu {
+		return mem
+	}
+	return cpu
+}
+
+// Candidates filters a fleet snapshot down to the hosts that can take
+// the request: up, matching driver capability, and with enough free
+// memory. It is a pure function so policies can be unit-tested and
+// benchmarked on synthetic inventories.
+func Candidates(req Request, invs []HostInventory) []HostInventory {
+	out := make([]HostInventory, 0, len(invs))
+	for i := range invs {
+		inv := &invs[i]
+		if inv.State != HostUp {
+			continue
+		}
+		if req.TypeName != "" && inv.DriverType != "" && inv.DriverType != req.TypeName {
+			continue
+		}
+		if inv.FreeMemKiB() < req.MemKiB {
+			continue
+		}
+		out = append(out, *inv)
+	}
+	return out
+}
+
+// Rank orders the candidate hosts for a request best-first under the
+// given policy. Ties break on host name so rankings are deterministic.
+func Rank(p Policy, req Request, invs []HostInventory) []string {
+	cands := Candidates(req, invs)
+	type scored struct {
+		host  string
+		score float64
+	}
+	rows := make([]scored, 0, len(cands))
+	for i := range cands {
+		rows = append(rows, scored{cands[i].Host, p.Score(req, &cands[i])})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].score != rows[j].score {
+			return rows[i].score > rows[j].score
+		}
+		return rows[i].host < rows[j].host
+	})
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		out[i] = row.host
+	}
+	return out
+}
+
+// Placement reports where Schedule put a domain and what it took to get
+// there.
+type Placement struct {
+	Domain      *core.Domain
+	Host        string
+	Attempts    int
+	FailedHosts []string // hosts that died mid-placement and were retried past
+}
+
+// Schedule places the domain described by xmlDesc on the best host under
+// the registry's policy: rank the up hosts, then define+start on each in
+// order until one succeeds. A host failing with a retryable (host-level)
+// error is marked down and the next candidate is tried; an operation
+// error (duplicate name, invalid XML) aborts immediately since it would
+// fail identically everywhere.
+func (r *Registry) Schedule(xmlDesc string) (Placement, error) {
+	start := time.Now()
+	req, err := ParseRequest(xmlDesc)
+	if err != nil {
+		fleetPlacementFailures.Inc()
+		return Placement{}, err
+	}
+	ranked := Rank(r.cfg.Policy, req, r.Inventory())
+	if len(ranked) == 0 {
+		fleetPlacementFailures.Inc()
+		return Placement{}, core.Errorf(core.ErrOperationInvalid,
+			"fleet: no host can take %q (%d KiB, %d vcpus)", req.Name, req.MemKiB, req.VCPUs)
+	}
+
+	var p Placement
+	for _, hostName := range ranked {
+		p.Attempts++
+		dom, err := r.placeOn(hostName, xmlDesc)
+		if err != nil {
+			if core.IsRetryable(err) {
+				r.log.Warnf("fleet", "placement of %q on %s failed (%v), trying next host",
+					req.Name, hostName, err)
+				r.markDown(hostName, err)
+				p.FailedHosts = append(p.FailedHosts, hostName)
+				fleetPlacementRetries.Inc()
+				continue
+			}
+			fleetPlacementFailures.Inc()
+			return p, err
+		}
+		p.Domain = dom
+		p.Host = hostName
+		fleetPlacements.Inc()
+		fleetPlacementLatency.Observe(time.Since(start))
+		r.RefreshNow(hostName)
+		return p, nil
+	}
+	fleetPlacementFailures.Inc()
+	return p, core.Errorf(core.ErrHostUnreachable,
+		"fleet: all %d candidate hosts failed while placing %q", p.Attempts, req.Name)
+}
+
+// placeOn runs the define+start pair on one host. If start fails for a
+// non-host reason the define is rolled back so retries elsewhere don't
+// leave orphans behind.
+func (r *Registry) placeOn(hostName, xmlDesc string) (*core.Domain, error) {
+	conn, err := r.Host(hostName)
+	if err != nil {
+		return nil, err
+	}
+	dom, err := conn.DefineDomain(xmlDesc)
+	if err != nil {
+		return nil, err
+	}
+	if r.hookAfterDefine != nil {
+		r.hookAfterDefine(hostName)
+	}
+	if err := dom.Create(); err != nil {
+		if !core.IsRetryable(err) {
+			_ = dom.Undefine() // best effort; the host is still healthy
+		}
+		return nil, err
+	}
+	return dom, nil
+}

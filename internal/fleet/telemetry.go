@@ -1,0 +1,22 @@
+package fleet
+
+import "repro/internal/telemetry"
+
+// Fleet-controller metrics. They live in the Default registry so they
+// surface through every existing export path (the Prometheus text
+// endpoint, `virtadminx metrics` against an in-process daemon, and
+// telemetry.Default.Snapshot()) without new plumbing.
+var (
+	fleetPlacements        = telemetry.Default.Counter("fleet_placements_total")
+	fleetPlacementRetries  = telemetry.Default.Counter("fleet_placement_retries_total")
+	fleetPlacementFailures = telemetry.Default.Counter("fleet_placement_failures_total")
+	fleetPlacementLatency  = telemetry.Default.Histogram("fleet_placement_seconds")
+
+	fleetHostsUp    = telemetry.Default.Gauge("fleet_hosts_up")
+	fleetHostsKnown = telemetry.Default.Gauge("fleet_hosts_known")
+	fleetReconnects = telemetry.Default.Counter("fleet_reconnects_total")
+
+	fleetRebalanceMigrations = telemetry.Default.Counter("fleet_rebalance_migrations_total")
+	fleetRebalanceFailures   = telemetry.Default.Counter("fleet_rebalance_failures_total")
+	fleetPolls               = telemetry.Default.Counter("fleet_inventory_polls_total")
+)

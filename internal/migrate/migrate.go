@@ -9,12 +9,22 @@
 // DESIGN.md, Substitutions), so total time, downtime and convergence
 // behaviour — the properties the evaluation reports — are faithfully
 // reproduced without moving real memory.
+//
+// Both ends may be local or remote connections. A local source exposes
+// its substrate machine directly; for a daemon-managed source, whose
+// machine lives on the far side of the wire, the engine reconstructs an
+// equivalent workload model from the domain's XML definition (memory
+// size plus the same description hints the daemon-side machine was
+// built from), so fleet controllers can drive migrations between two
+// daemons through the uniform API alone.
 package migrate
 
 import (
 	"repro/internal/core"
+	"repro/internal/drivers/common"
 	"repro/internal/events"
 	"repro/internal/hyper"
+	"repro/internal/xmlspec"
 )
 
 // switchoverOverheadNs models the fixed cost of the stop-and-copy
@@ -36,9 +46,10 @@ func (r Result) TotalTimeMs() float64 { return float64(r.TotalTimeNs) / 1e6 }
 // DowntimeMs returns the guest-visible downtime in milliseconds.
 func (r Result) DowntimeMs() float64 { return float64(r.DowntimeNs) / 1e6 }
 
-// Migrate moves the named running domain from src to dst. The source
-// connection must be backed by a local driver (the daemon performs
-// migrations host-side); the destination may be local or remote.
+// Migrate moves the named running domain from src to dst. Both ends may
+// be local or remote: a local source is migrated against its substrate
+// machine; a daemon-managed source is migrated against a model machine
+// reconstructed from its XML definition (see the package comment).
 func Migrate(src *core.Domain, dst *core.Connect, opts core.MigrateOptions) (Result, error) {
 	applyDefaults(&opts)
 
@@ -50,16 +61,16 @@ func Migrate(src *core.Domain, dst *core.Connect, opts core.MigrateOptions) (Res
 		return Result{}, core.Errorf(core.ErrOperationInvalid,
 			"domain %q is %s; live migration needs a running domain", src.Name(), info.State)
 	}
-	ma, ok := src.Connect().Driver().(core.MachineAccess)
-	if !ok {
-		return Result{}, core.Errorf(core.ErrNoSupport,
-			"source driver %q cannot perform host-side migration", src.Connect().Driver().Type())
-	}
-	machine, err := ma.Machine(src.Name())
+	xmlDesc, err := src.XML()
 	if err != nil {
 		return Result{}, err
 	}
-	xmlDesc, err := src.XML()
+	var machine *hyper.Machine
+	if ma, ok := src.Connect().Driver().(core.MachineAccess); ok {
+		machine, err = ma.Machine(src.Name())
+	} else {
+		machine, err = modelMachine(xmlDesc)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -98,6 +109,31 @@ func Migrate(src *core.Domain, dst *core.Connect, opts core.MigrateOptions) (Res
 	emitMigrated(src.Connect(), src.Name(), src.UUID(), "source")
 	emitMigrated(dst, dstDom.Name(), dstDom.UUID(), "destination")
 	return res, nil
+}
+
+// modelMachine reconstructs the source's workload model from its XML
+// definition. A remote source cannot expose its substrate machine
+// across the wire, but the definition carries the memory size and the
+// same description hints (cpu_util, dirty_pages_sec) the daemon-side
+// machine was built from, so the precopy rounds computed here match the
+// ones the source host itself would compute.
+func modelMachine(xmlDesc string) (*hyper.Machine, error) {
+	def, err := xmlspec.ParseDomain([]byte(xmlDesc))
+	if err != nil {
+		return nil, core.Errorf(core.ErrXML, "migrate: source definition: %v", err)
+	}
+	cfg, err := common.DefToConfig(def)
+	if err != nil {
+		return nil, core.Errorf(core.ErrXML, "migrate: source definition: %v", err)
+	}
+	m, err := hyper.NewMachine(cfg)
+	if err != nil {
+		return nil, core.Errorf(core.ErrInternal, "migrate: model machine: %v", err)
+	}
+	if err := m.Start(); err != nil {
+		return nil, core.Errorf(core.ErrInternal, "migrate: model machine: %v", err)
+	}
+	return m, nil
 }
 
 func applyDefaults(opts *core.MigrateOptions) {

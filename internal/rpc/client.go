@@ -139,9 +139,9 @@ func (c *Client) Call(procedure uint32, args interface{}, ret interface{}) error
 		readErr := c.readErr
 		c.mu.Unlock()
 		if readErr != nil {
-			return fmt.Errorf("rpc: connection failed: %w", readErr)
+			return &TransportError{Op: "call", Err: fmt.Errorf("connection failed: %w", readErr)}
 		}
-		return fmt.Errorf("rpc: client is closed")
+		return &TransportError{Op: "call", Err: fmt.Errorf("client is closed")}
 	}
 	c.serial++
 	serial := c.serial
@@ -159,7 +159,7 @@ func (c *Client) Call(procedure uint32, args interface{}, ret interface{}) error
 		c.mu.Lock()
 		delete(c.pending, serial)
 		c.mu.Unlock()
-		return fmt.Errorf("rpc: send proc %d: %w", procedure, err)
+		return &TransportError{Op: "send", Err: fmt.Errorf("send proc %d: %w", procedure, err)}
 	}
 
 	r, ok := <-ch
@@ -167,7 +167,7 @@ func (c *Client) Call(procedure uint32, args interface{}, ret interface{}) error
 		c.mu.Lock()
 		readErr := c.readErr
 		c.mu.Unlock()
-		return fmt.Errorf("rpc: connection lost awaiting proc %d: %v", procedure, readErr)
+		return &TransportError{Op: "recv", Err: fmt.Errorf("connection lost awaiting proc %d: %v", procedure, readErr)}
 	}
 	if r.status == StatusError {
 		var ep ErrorPayload
@@ -193,3 +193,18 @@ type RemoteError struct {
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("remote error %d: %s", e.Code, e.Message)
 }
+
+// TransportError is a connection-level failure: the peer could not be
+// reached, the send failed, or the connection died before the reply
+// arrived. It is distinct from RemoteError (the server processed the
+// call and reported a failure), so callers managing many hosts can tell
+// "this daemon is gone" apart from "this operation is invalid" and
+// retry elsewhere.
+type TransportError struct {
+	Op  string // "call", "send" or "recv"
+	Err error
+}
+
+func (e *TransportError) Error() string { return fmt.Sprintf("rpc: %v", e.Err) }
+
+func (e *TransportError) Unwrap() error { return e.Err }

@@ -15,4 +15,13 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== examples build (quickstart, monitoring, migration, loadbalance, statemgmt, fleet)"
+go build ./examples/...
+
+echo "== fleet gate: go test -run TestFleet -race ./internal/fleet"
+go test -run TestFleet -race ./internal/fleet
+
+echo "== fleet smoke: 2 daemons, 4 domains, assert spread (examples/fleet exits non-zero on failure)"
+go run ./examples/fleet -hosts 2 -domains 4 -drain=false >/dev/null
+
 echo "== OK"
