@@ -19,11 +19,13 @@ import (
 	"repro/internal/admin"
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/drivers/common"
 	"repro/internal/drivers/lxc"
 	"repro/internal/drivers/qemu"
 	"repro/internal/drivers/remote"
 	drvtest "repro/internal/drivers/test"
 	"repro/internal/drivers/xen"
+	"repro/internal/faultpoint"
 	"repro/internal/fleet"
 	"repro/internal/hyper"
 	"repro/internal/hyper/qsim"
@@ -706,6 +708,143 @@ func BenchmarkT7_Rebalance(b *testing.B) {
 			b.ReportMetric(float64(simDownNs)/float64(b.N)/1e6, "sim-downtime-ms/op")
 		}
 	})
+}
+
+// BenchmarkR1_Recovery measures crash recovery (Table R1): the time a
+// restarted daemon spends replaying its state journal back into a
+// serving driver, versus the number of persistently defined domains.
+// Each iteration is one full recovery — open a fresh driver base over
+// the same journal and verify every domain came back.
+func BenchmarkR1_Recovery(b *testing.B) {
+	for _, count := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("domains-%d", count), func(b *testing.B) {
+			common.SetStateRoot(b.TempDir())
+			defer common.SetStateRoot("")
+			u := &uri.URI{Driver: "test", Path: "/r1"}
+			seed, err := drvtest.New(u, quiet)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < count; i++ {
+				if _, err := seed.DefineDomain(benchDomainXML("test", fmt.Sprintf("vm%05d", i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				recovered, err := drvtest.New(u, quiet)
+				if err != nil {
+					b.Fatal(err)
+				}
+				names, err := recovered.ListDomains(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(names) != count {
+					b.Fatalf("recovered %d/%d domains", len(names), count)
+				}
+			}
+		})
+	}
+}
+
+// startChaosFleet brings up n journal-backed daemons (distinct state
+// scopes, so a connection dropped by a fault replays its environment
+// instead of forgetting it) and a registry with fast reconnect and a
+// per-call deadline — the configuration the chaos suite exercises.
+func startChaosFleet(b *testing.B, n int) *fleet.Registry {
+	b.Helper()
+	core.ResetRegistryForTest()
+	drvtest.Register(quiet)
+	remote.Register()
+	common.SetStateRoot(b.TempDir())
+	b.Cleanup(func() { common.SetStateRoot("") })
+	dir := b.TempDir()
+	var uris []string
+	for i := 0; i < n; i++ {
+		d := daemon.New(quiet)
+		srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{MaxClients: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.AddProgram(daemon.NewRemoteProgram(srv))
+		sock := filepath.Join(dir, fmt.Sprintf("node%d.sock", i))
+		if err := srv.ListenUnix(sock, daemon.ServiceConfig{}); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(d.Shutdown)
+		uris = append(uris, fmt.Sprintf("test+unix:///env%d?socket=%s",
+			i, strings.ReplaceAll(sock, "/", "%2F")))
+	}
+	reg, err := fleet.New(fleet.Config{
+		Hosts:        uris,
+		PollInterval: 200 * time.Millisecond,
+		BackoffMin:   10 * time.Millisecond,
+		BackoffMax:   100 * time.Millisecond,
+		CallTimeout:  250 * time.Millisecond,
+		Seed:         42,
+		Log:          quiet,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg.Start()
+	b.Cleanup(func() {
+		reg.Close()
+		core.ResetRegistryForTest()
+	})
+	if up := reg.WaitSettled(5 * time.Second); up != n {
+		b.Fatalf("%d/%d fleet hosts up", up, n)
+	}
+	return reg
+}
+
+// BenchmarkR2_RebalanceUnderFaults measures the drain-migration cycle of
+// T7 with a fraction of received RPC frames deterministically dropped
+// (Table R2). Faulted passes are retried after the fleet re-settles, so
+// ns/op captures the real operational cost of transport loss; the
+// reported metrics separate clean moves from faulted passes.
+func BenchmarkR2_RebalanceUnderFaults(b *testing.B) {
+	for _, prob := range []float64{0, 0.05, 0.10} {
+		// No '%' in the name: it would reach the unix socket path via
+		// b.TempDir and be eaten by the URI percent-decoder.
+		b.Run(fmt.Sprintf("recv-drop-%d", int(prob*100+0.5)), func(b *testing.B) {
+			reg := startChaosFleet(b, 2)
+			p, err := reg.Schedule(benchDomainXML("test", "wanderer"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			from := p.Host
+			if prob > 0 {
+				faultpoint.Default.Set("rpc.recv", faultpoint.Spec{
+					Mode: faultpoint.ModeDrop, Prob: prob,
+				})
+				faultpoint.Default.Arm(42)
+				b.Cleanup(faultpoint.Default.Disarm)
+			}
+			var moved, faulted int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := reg.Rebalance(context.Background(), fleet.RebalanceOptions{Drain: from})
+				if err != nil || len(res.Migrations) == 0 {
+					faulted++
+					reg.WaitSettled(5 * time.Second)
+					continue
+				}
+				rec := res.Migrations[len(res.Migrations)-1]
+				if rec.Err != nil {
+					faulted++
+					reg.WaitSettled(5 * time.Second)
+					continue
+				}
+				from = rec.To
+				moved++
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(moved), "migrations")
+			b.ReportMetric(float64(faulted), "faulted-passes")
+		})
+	}
 }
 
 // BenchmarkA1_PriorityWorkers is the ablation for the priority-worker

@@ -22,11 +22,13 @@ import (
 	"repro/internal/admin"
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/drivers/common"
 	"repro/internal/drivers/lxc"
 	"repro/internal/drivers/qemu"
 	"repro/internal/drivers/remote"
 	drvtest "repro/internal/drivers/test"
 	"repro/internal/drivers/xen"
+	"repro/internal/faultpoint"
 	"repro/internal/fleet"
 	"repro/internal/hyper"
 	"repro/internal/hyper/qsim"
@@ -47,9 +49,10 @@ func main() {
 		"T1": tableT1, "T2": tableT2, "T3": tableT3, "T4": tableT4, "T5": tableT5,
 		"T6": tableT6, "T7": tableT7,
 		"F1": figureF1, "F2": figureF2, "F3": figureF3, "F4": figureF4, "F5": figureF5,
+		"R1": tableR1, "R2": tableR2,
 		"A3": ablationA3,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "F1", "F2", "F3", "F4", "F5", "A3"}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "F1", "F2", "F3", "F4", "F5", "R1", "R2", "A3"}
 	want := os.Args[1:]
 	if len(want) == 0 {
 		want = order
@@ -626,6 +629,136 @@ func figureF5() {
 		must(p.Domain.Undefine())
 	})
 	fmt.Printf("%-26s %-14s\n", "live/schedule-3hosts", lat)
+}
+
+// tableR1 measures crash recovery: a daemon killed and restarted over
+// its state journal replays every persisted definition on driver open;
+// the row is the median replay wall time per defined-domain count.
+func tableR1() {
+	header("Table R1", "crash recovery: journal replay time vs defined domains",
+		fmt.Sprintf("%-10s %-16s %-16s", "domains", "recovery", "per-domain"))
+	for _, count := range []int{10, 100, 1000} {
+		root, err := os.MkdirTemp("", "benchreport-r1")
+		must(err)
+		common.SetStateRoot(root)
+		u := &uri.URI{Driver: "test", Path: "/r1"}
+		seed, err := drvtest.New(u, quiet)
+		must(err)
+		for i := 0; i < count; i++ {
+			_, err := seed.DefineDomain(domainXML("test", fmt.Sprintf("vm%05d", i)))
+			must(err)
+		}
+		rec := median(5, func() {
+			// One recovery: a fresh driver base over the same journal.
+			drv, err := drvtest.New(u, quiet)
+			must(err)
+			names, err := drv.ListDomains(0)
+			must(err)
+			if len(names) != count {
+				must(fmt.Errorf("recovered %d/%d domains", len(names), count))
+			}
+		})
+		common.SetStateRoot("")
+		os.RemoveAll(root)
+		fmt.Printf("%-10d %-16s %-16s\n", count, rec, rec/time.Duration(count))
+	}
+}
+
+// chaosFleet is benchFleet hardened the way the chaos suite runs it:
+// journal-backed daemons (distinct state scopes, so a faulted connection
+// replays instead of forgetting), fast reconnect, a per-call deadline,
+// and a fixed registry seed.
+func chaosFleet(n int) (*fleet.Registry, func()) {
+	core.ResetRegistryForTest()
+	drvtest.Register(quiet)
+	remote.Register()
+	root, err := os.MkdirTemp("", "benchreport-r2-state")
+	must(err)
+	common.SetStateRoot(root)
+	dir, err := os.MkdirTemp("", "benchreport-r2")
+	must(err)
+	var uris []string
+	var daemons []*daemon.Daemon
+	for i := 0; i < n; i++ {
+		d := daemon.New(quiet)
+		srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{MaxClients: 64})
+		must(err)
+		srv.AddProgram(daemon.NewRemoteProgram(srv))
+		sock := filepath.Join(dir, fmt.Sprintf("node%d.sock", i))
+		must(srv.ListenUnix(sock, daemon.ServiceConfig{}))
+		daemons = append(daemons, d)
+		uris = append(uris, fmt.Sprintf("test+unix:///env%d?socket=%s",
+			i, strings.ReplaceAll(sock, "/", "%2F")))
+	}
+	reg, err := fleet.New(fleet.Config{
+		Hosts:        uris,
+		PollInterval: 200 * time.Millisecond,
+		BackoffMin:   10 * time.Millisecond,
+		BackoffMax:   100 * time.Millisecond,
+		CallTimeout:  250 * time.Millisecond,
+		Seed:         42,
+		Log:          quiet,
+	})
+	must(err)
+	reg.Start()
+	if up := reg.WaitSettled(5 * time.Second); up != n {
+		must(fmt.Errorf("%d/%d chaos-fleet hosts up", up, n))
+	}
+	return reg, func() {
+		reg.Close()
+		for _, d := range daemons {
+			d.Shutdown()
+		}
+		common.SetStateRoot("")
+		os.RemoveAll(root)
+		os.RemoveAll(dir)
+		core.ResetRegistryForTest()
+	}
+}
+
+// tableR2 reruns the T7 drain cycle with a fraction of received RPC
+// frames deterministically dropped (seed 42). Faulted passes re-settle
+// the fleet and count separately; wall/pass shows the deadline-bounded
+// cost of transport loss, never an unbounded hang.
+func tableR2() {
+	header("Table R2", "rebalance drain cycle under injected transport faults (2 daemons, seed 42)",
+		fmt.Sprintf("%-12s %-10s %-14s %-12s %-12s", "recv drop", "passes", "wall/pass", "migrated", "faulted"))
+	for _, prob := range []float64{0, 0.05, 0.10} {
+		reg, shutdown := chaosFleet(2)
+		p, err := reg.Schedule(domainXML("test", "wanderer"))
+		must(err)
+		from := p.Host
+		if prob > 0 {
+			faultpoint.Default.Set("rpc.recv", faultpoint.Spec{
+				Mode: faultpoint.ModeDrop, Prob: prob,
+			})
+			faultpoint.Default.Arm(42)
+		}
+		const passes = 10
+		moved, faulted := 0, 0
+		start := time.Now()
+		for i := 0; i < passes; i++ {
+			res, err := reg.Rebalance(context.Background(), fleet.RebalanceOptions{Drain: from})
+			if err != nil || len(res.Migrations) == 0 {
+				faulted++
+				reg.WaitSettled(5 * time.Second)
+				continue
+			}
+			rec := res.Migrations[len(res.Migrations)-1]
+			if rec.Err != nil {
+				faulted++
+				reg.WaitSettled(5 * time.Second)
+				continue
+			}
+			from = rec.To
+			moved++
+		}
+		wall := time.Since(start) / passes
+		faultpoint.Default.Disarm()
+		shutdown()
+		fmt.Printf("%-12s %-10d %-14s %-12d %-12d\n",
+			fmt.Sprintf("%.0f%%", prob*100), passes, wall, moved, faulted)
+	}
 }
 
 func defStart(drv core.DriverConn, driver, name string) error {

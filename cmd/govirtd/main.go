@@ -20,10 +20,12 @@ import (
 
 	"repro/internal/admin"
 	"repro/internal/daemon"
+	"repro/internal/drivers/common"
 	"repro/internal/drivers/lxc"
 	"repro/internal/drivers/qemu"
 	drvtest "repro/internal/drivers/test"
 	"repro/internal/drivers/xen"
+	"repro/internal/faultpoint"
 	"repro/internal/logging"
 	"repro/internal/telemetry"
 )
@@ -72,6 +74,29 @@ func run() error {
 		}
 	}
 
+	// Crash-safe persistence: every driver connection journals defined
+	// objects under state_dir and replays them on open.
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return fmt.Errorf("state_dir: %w", err)
+		}
+		common.SetStateRoot(cfg.StateDir)
+		log.Infof("daemon", "state journal at %s", cfg.StateDir)
+	}
+
+	// Debug-only deterministic fault injection.
+	if cfg.FaultInjection != "" {
+		specs, err := faultpoint.ParseSpecs(cfg.FaultInjection)
+		if err != nil {
+			return err
+		}
+		for site, spec := range specs {
+			faultpoint.Default.Set(site, spec)
+		}
+		faultpoint.Default.Arm(int64(cfg.FaultSeed))
+		log.Warnf("daemon", "fault injection armed (seed %d): %s", cfg.FaultSeed, cfg.FaultInjection)
+	}
+
 	// Server-side drivers.
 	drvtest.Register(log)
 	qemu.Register(log)
@@ -80,6 +105,8 @@ func run() error {
 
 	d := daemon.New(log)
 	d.Tracer().SetThreshold(time.Duration(cfg.SlowCallThresholdMs) * time.Millisecond)
+	d.SetCallTimeout(time.Duration(cfg.CallTimeoutMs) * time.Millisecond)
+	d.SetShutdownGrace(time.Duration(cfg.ShutdownGraceMs) * time.Millisecond)
 	mgmt, err := d.AddServer("govirtd", cfg.MinWorkers, cfg.MaxWorkers, cfg.PrioWorkers,
 		daemon.ClientLimits{MaxClients: cfg.MaxClients, MaxUnauthClients: cfg.MaxUnauthClients})
 	if err != nil {

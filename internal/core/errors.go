@@ -34,6 +34,7 @@ const (
 	ErrMigrate
 	ErrAdmin
 	ErrHostUnreachable // the managing daemon itself is down or lost mid-call
+	ErrTimedOut        // the call exceeded its deadline; the op may have run
 )
 
 var codeNames = map[ErrorCode]string{
@@ -54,6 +55,7 @@ var codeNames = map[ErrorCode]string{
 	ErrMigrate:          "migration failure",
 	ErrAdmin:            "admin operation failed",
 	ErrHostUnreachable:  "host unreachable",
+	ErrTimedOut:         "operation timed out",
 }
 
 func (c ErrorCode) String() string {

@@ -1,0 +1,416 @@
+package daemon_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/drivers/common"
+	"repro/internal/drivers/remote"
+	drvtest "repro/internal/drivers/test"
+	"repro/internal/faultpoint"
+	"repro/internal/logging"
+)
+
+// Chaos suite: deterministic fault injection against a live daemon.
+// Every test arms the global faultpoint registry with a fixed seed and
+// disarms it on exit, so runs are reproducible and leak nothing into
+// the rest of the package.
+
+func chaosDomainXML(name string) string {
+	return fmt.Sprintf(`
+<domain type='test'>
+  <name>%s</name>
+  <memory unit='MiB'>128</memory>
+  <vcpu>1</vcpu>
+  <os><type arch='x86_64'>hvm</type></os>
+</domain>`, name)
+}
+
+func chaosNetworkXML(name string) string {
+	return fmt.Sprintf(`
+<network>
+  <name>%s</name>
+  <bridge name='br-%s'/>
+  <forward mode='nat'/>
+</network>`, name, name)
+}
+
+func chaosPoolXML(name string) string {
+	return fmt.Sprintf(`
+<pool type='dir'>
+  <name>%s</name>
+  <capacity unit='GiB'>10</capacity>
+  <target><path>/var/lib/test/%s</path></target>
+</pool>`, name, name)
+}
+
+// emptyEnvURI connects to the daemon's test driver with an empty
+// environment (no canned default objects), so only journaled state is
+// visible after a replay.
+func emptyEnvURI(sock, extra string) string {
+	return "test+unix:///empty?socket=" + escapeSock(sock) + extra
+}
+
+func escapeSock(sock string) string {
+	out := make([]byte, 0, len(sock)*3)
+	for i := 0; i < len(sock); i++ {
+		if sock[i] == '/' {
+			out = append(out, '%', '2', 'F')
+			continue
+		}
+		out = append(out, sock[i])
+	}
+	return string(out)
+}
+
+// TestChaosKillRecoverState is the crash-safety acceptance test: define
+// domains, networks and pools against a state_dir-backed daemon, kill
+// the daemon abruptly (no drain, no graceful teardown), bring up a
+// fresh daemon over the same journal, and require 100% of the defined
+// objects back — including the active markers for started networks and
+// pools.
+func TestChaosKillRecoverState(t *testing.T) {
+	stateRoot := t.TempDir()
+	common.SetStateRoot(stateRoot)
+	defer common.SetStateRoot("")
+
+	sock, _, d := startDaemon(t, daemon.ClientLimits{}, nil)
+	conn, err := core.Open(emptyEnvURI(sock, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nDomains = 8
+	for i := 0; i < nDomains; i++ {
+		dom, err := conn.DefineDomain(chaosDomainXML(fmt.Sprintf("crash%02d", i)))
+		if err != nil {
+			t.Fatalf("define crash%02d: %v", i, err)
+		}
+		// Start half of them: the journal's active markers must bring
+		// these back up on replay, not merely re-define them.
+		if i%2 == 0 {
+			if err := dom.Create(); err != nil {
+				t.Fatalf("start crash%02d: %v", i, err)
+			}
+		}
+	}
+	for _, net := range []string{"neta", "netb"} {
+		if err := conn.DefineNetwork(chaosNetworkXML(net)); err != nil {
+			t.Fatalf("define network %s: %v", net, err)
+		}
+	}
+	if err := conn.StartNetwork("neta"); err != nil {
+		t.Fatal(err)
+	}
+	for _, pool := range []string{"poola", "poolb"} {
+		if err := conn.DefineStoragePool(chaosPoolXML(pool)); err != nil {
+			t.Fatalf("define pool %s: %v", pool, err)
+		}
+	}
+	if err := conn.StartStoragePool("poolb"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Abrupt death: no drain, no reply flush, client sockets torn down.
+	d.Kill()
+	conn.Close()
+
+	// The journal must exist on disk before any recovery attempt.
+	if entries, err := os.ReadDir(filepath.Join(stateRoot, "test", "empty", "domains")); err != nil || len(entries) != nDomains {
+		t.Fatalf("journal has %d domain entries (err=%v), want %d", len(entries), err, nDomains)
+	}
+
+	// A fresh daemon over the same journal: everything comes back.
+	sock2, _, _ := startDaemon(t, daemon.ClientLimits{}, nil)
+	conn2, err := core.Open(emptyEnvURI(sock2, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+
+	doms, err := conn2.ListAllDomains(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doms) != nDomains {
+		t.Fatalf("recovered %d domains, want %d", len(doms), nDomains)
+	}
+	for i := 0; i < nDomains; i++ {
+		name := fmt.Sprintf("crash%02d", i)
+		dom, err := conn2.LookupDomain(name)
+		if err != nil {
+			t.Fatalf("domain %s lost in crash: %v", name, err)
+		}
+		// The persisted definition carries the original UUID, so the
+		// recovered object is the same domain, not a fresh redefine.
+		if dom.UUID() == "" {
+			t.Fatalf("domain %s recovered without UUID", name)
+		}
+		st, err := dom.State()
+		if err != nil {
+			t.Fatalf("state of %s: %v", name, err)
+		}
+		if wantRunning := i%2 == 0; (st == core.DomainRunning) != wantRunning {
+			t.Fatalf("domain %s recovered in state %v, want running=%v", name, st, wantRunning)
+		}
+	}
+	nets, err := conn2.ListNetworks()
+	if err != nil || len(nets) != 2 {
+		t.Fatalf("recovered networks %v (err=%v), want 2", nets, err)
+	}
+	if active, err := conn2.NetworkIsActive("neta"); err != nil || !active {
+		t.Fatalf("network neta active=%v err=%v, want active after replay", active, err)
+	}
+	if active, err := conn2.NetworkIsActive("netb"); err != nil || active {
+		t.Fatalf("network netb active=%v err=%v, want inactive after replay", active, err)
+	}
+	pools, err := conn2.ListStoragePools()
+	if err != nil || len(pools) != 2 {
+		t.Fatalf("recovered pools %v (err=%v), want 2", pools, err)
+	}
+	if info, err := conn2.StoragePoolInfo("poolb"); err != nil || !info.Active {
+		t.Fatalf("pool poolb info %+v err=%v, want active after replay", info, err)
+	}
+}
+
+// TestChaosUndefineSurvivesCrash makes sure deletions journal too: an
+// undefined domain must NOT resurrect on replay.
+func TestChaosUndefineSurvivesCrash(t *testing.T) {
+	common.SetStateRoot(t.TempDir())
+	defer common.SetStateRoot("")
+
+	sock, _, d := startDaemon(t, daemon.ClientLimits{}, nil)
+	conn, err := core.Open(emptyEnvURI(sock, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := conn.DefineDomain(chaosDomainXML("keep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = keep
+	gone, err := conn.DefineDomain(chaosDomainXML("gone"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gone.Undefine(); err != nil {
+		t.Fatal(err)
+	}
+	d.Kill()
+	conn.Close()
+
+	sock2, _, _ := startDaemon(t, daemon.ClientLimits{}, nil)
+	conn2, err := core.Open(emptyEnvURI(sock2, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.LookupDomain("keep"); err != nil {
+		t.Fatalf("domain keep lost: %v", err)
+	}
+	if _, err := conn2.LookupDomain("gone"); !core.IsCode(err, core.ErrNoDomain) {
+		t.Fatalf("undefined domain resurrected after crash: err=%v", err)
+	}
+}
+
+// TestChaosClientDeadline injects a server-side driver delay longer
+// than the client's configured call_timeout_ms and requires the call to
+// come back quickly as a retryable host-unreachable error instead of
+// hanging on the slow host.
+func TestChaosClientDeadline(t *testing.T) {
+	sock, _, _ := startDaemon(t, daemon.ClientLimits{}, nil)
+
+	faultpoint.Default.Set("driver.op.info", faultpoint.Spec{
+		Mode: faultpoint.ModeDelay, Prob: 1, Delay: 400 * time.Millisecond,
+	})
+	faultpoint.Default.Arm(42)
+	defer faultpoint.Default.Disarm()
+
+	conn, err := core.Open(emptyEnvURI(sock, "&call_timeout_ms=60"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	dom, err := conn.DefineDomain(chaosDomainXML("slowpoke"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, err = dom.Info()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Info under a 400ms injected delay succeeded within a 60ms deadline")
+	}
+	if !core.IsCode(err, core.ErrHostUnreachable) {
+		t.Fatalf("deadline error = %v (code %v), want ErrHostUnreachable", err, core.CodeOf(err))
+	}
+	if !core.IsRetryable(err) {
+		t.Fatalf("deadline error %v not retryable", err)
+	}
+	if elapsed > 300*time.Millisecond {
+		t.Fatalf("call blocked %v past its 60ms deadline", elapsed)
+	}
+	if n := faultpoint.Default.Fires("driver.op.info"); n == 0 {
+		t.Fatal("fault point never fired")
+	}
+}
+
+// TestChaosServerDispatchDeadline disables the client-side timeout and
+// relies on the server's own dispatch deadline: the daemon must answer
+// with ErrTimedOut rather than hold the call hostage behind a stuck
+// driver operation.
+func TestChaosServerDispatchDeadline(t *testing.T) {
+	sock, _, d := startDaemon(t, daemon.ClientLimits{}, nil)
+	d.SetCallTimeout(50 * time.Millisecond)
+
+	faultpoint.Default.Set("driver.op.info", faultpoint.Spec{
+		Mode: faultpoint.ModeDelay, Prob: 1, Delay: 300 * time.Millisecond,
+	})
+	faultpoint.Default.Arm(42)
+	defer faultpoint.Default.Disarm()
+
+	// call_timeout_ms=0 disables the client deadline entirely.
+	conn, err := core.Open(emptyEnvURI(sock, "&call_timeout_ms=0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	dom, err := conn.DefineDomain(chaosDomainXML("stuck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = dom.Info()
+	if !core.IsCode(err, core.ErrTimedOut) {
+		t.Fatalf("dispatch deadline error = %v (code %v), want ErrTimedOut", err, core.CodeOf(err))
+	}
+	// A server-side timeout is NOT retryable: the operation may have run.
+	if core.IsRetryable(err) {
+		t.Fatalf("ErrTimedOut classified retryable: %v", err)
+	}
+}
+
+// TestChaosGracefulShutdownDrains starts a slow call, shuts the daemon
+// down with a generous grace budget, and requires the in-flight call to
+// complete with a real reply instead of being cut off mid-operation.
+func TestChaosGracefulShutdownDrains(t *testing.T) {
+	core.ResetRegistryForTest()
+	log := logging.NewQuiet(logging.Error)
+	drvtest.Register(log)
+	remote.Register()
+	t.Cleanup(core.ResetRegistryForTest)
+
+	d := daemon.New(log)
+	d.SetShutdownGrace(2 * time.Second)
+	srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AddProgram(daemon.NewRemoteProgram(srv))
+	sock := filepath.Join(t.TempDir(), "drain.sock")
+	if err := srv.ListenUnix(sock, daemon.ServiceConfig{}); err != nil {
+		t.Fatal(err)
+	}
+
+	faultpoint.Default.Set("driver.op.suspend", faultpoint.Spec{
+		Mode: faultpoint.ModeDelay, Prob: 1, Delay: 150 * time.Millisecond,
+	})
+	faultpoint.Default.Arm(42)
+	defer faultpoint.Default.Disarm()
+
+	conn, err := core.Open(emptyEnvURI(sock, "&call_timeout_ms=0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	dom, err := conn.CreateDomainXML(chaosDomainXML("inflight"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- dom.Suspend() }()
+	time.Sleep(30 * time.Millisecond) // let the call reach a worker
+
+	d.Shutdown() // grace covers the 150ms injected delay
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("in-flight call lost during graceful shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight call never completed")
+	}
+}
+
+// TestChaosDaemonKillFaultpoint arms the daemon.kill site so the very
+// next dispatched call takes the whole daemon down, and verifies the
+// client observes a retryable transport failure — the same signal a
+// fleet controller uses to fail over.
+func TestChaosDaemonKillFaultpoint(t *testing.T) {
+	sock, _, _ := startDaemon(t, daemon.ClientLimits{}, nil)
+
+	conn, err := core.Open(emptyEnvURI(sock, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	dom, err := conn.DefineDomain(chaosDomainXML("victim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultpoint.Default.Set("daemon.kill", faultpoint.Spec{Mode: faultpoint.ModeKill, Prob: 1})
+	faultpoint.Default.Arm(42)
+	defer faultpoint.Default.Disarm()
+
+	_, err = dom.Info()
+	if err == nil {
+		t.Fatal("call against a self-killed daemon succeeded")
+	}
+	if !core.IsRetryable(err) {
+		t.Fatalf("post-kill error = %v (code %v), want retryable", err, core.CodeOf(err))
+	}
+	if n := faultpoint.Default.Fires("daemon.kill"); n != 1 {
+		t.Fatalf("daemon.kill fired %d times, want 1", n)
+	}
+}
+
+// TestChaosTransportFaultsDeterministic pins down reproducibility: two
+// runs with the same seed against the rpc.send site must fire on
+// exactly the same call positions.
+func TestChaosTransportFaultsDeterministic(t *testing.T) {
+	run := func(seed int64) []uint64 {
+		sock, _, _ := startDaemon(t, daemon.ClientLimits{}, nil)
+		conn, err := core.Open(emptyEnvURI(sock, "&call_timeout_ms=40"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+
+		faultpoint.Default.Set("rpc.send", faultpoint.Spec{Mode: faultpoint.ModeDrop, Prob: 0.3})
+		faultpoint.Default.Arm(seed)
+		defer faultpoint.Default.Disarm()
+
+		var fires []uint64
+		for i := 0; i < 20; i++ {
+			conn.ListAllDomains(0) //nolint:errcheck // drops are the point
+			fires = append(fires, faultpoint.Default.Fires("rpc.send"))
+		}
+		return fires
+	}
+
+	a := run(7)
+	b := run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire history diverged at call %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/faultpoint"
 )
 
 // Config is the daemon's persistent configuration, read once at start-up
@@ -37,6 +39,16 @@ type Config struct {
 	// Telemetry.
 	MetricsAddress      string // HTTP /metrics listener; "" disables
 	SlowCallThresholdMs int    // slow-call tracing threshold; 0 disables
+
+	// Robustness.
+	StateDir        string // crash-safe object journal root; "" disables
+	CallTimeoutMs   int    // per-call dispatch deadline; 0 disables
+	ShutdownGraceMs int    // in-flight drain budget on shutdown
+
+	// Debug: deterministic fault injection (see internal/faultpoint).
+	// Production configurations leave these empty.
+	FaultInjection string // "site:mode:prob[:delay_ms],..." spec list
+	FaultSeed      int    // PRNG seed the registry is armed with
 }
 
 // DefaultConfig returns the shipped defaults.
@@ -56,6 +68,8 @@ func DefaultConfig() Config {
 		LogLevel:            3,
 		LogOutputs:          "3:stderr",
 		SlowCallThresholdMs: 250,
+		CallTimeoutMs:       30000,
+		ShutdownGraceMs:     5000,
 	}
 }
 
@@ -140,6 +154,16 @@ func (c *Config) apply(key, value string) error {
 		return setString(&c.MetricsAddress, value)
 	case "slow_call_threshold_ms":
 		return setInt(&c.SlowCallThresholdMs, value)
+	case "state_dir":
+		return setString(&c.StateDir, value)
+	case "call_timeout_ms":
+		return setInt(&c.CallTimeoutMs, value)
+	case "shutdown_grace_ms":
+		return setInt(&c.ShutdownGraceMs, value)
+	case "fault_injection":
+		return setString(&c.FaultInjection, value)
+	case "fault_seed":
+		return setInt(&c.FaultSeed, value)
 	default:
 		return fmt.Errorf("unknown key %q", key)
 	}
@@ -170,6 +194,17 @@ func (c *Config) Validate() error {
 	}
 	if c.SlowCallThresholdMs < 0 {
 		return fmt.Errorf("daemon: slow_call_threshold_ms must be non-negative")
+	}
+	if c.CallTimeoutMs < 0 {
+		return fmt.Errorf("daemon: call_timeout_ms must be non-negative")
+	}
+	if c.ShutdownGraceMs < 0 {
+		return fmt.Errorf("daemon: shutdown_grace_ms must be non-negative")
+	}
+	if c.FaultInjection != "" {
+		if _, err := faultpoint.ParseSpecs(c.FaultInjection); err != nil {
+			return fmt.Errorf("daemon: fault_injection: %v", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,92 @@
+package daemon_test
+
+import (
+	"encoding/binary"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/drivers/remote"
+	drvtest "repro/internal/drivers/test"
+	"repro/internal/logging"
+	"repro/internal/rpc"
+)
+
+// dispatchFrame assembles one raw wire frame (length word + 24-byte
+// header + payload) so seeds can speak valid, truncated, or lying
+// protocol without going through the client library.
+func dispatchFrame(program, version, proc, typ, serial, status uint32, payload []byte) []byte {
+	buf := make([]byte, 4+24+len(payload))
+	binary.BigEndian.PutUint32(buf[0:], uint32(len(buf)))
+	binary.BigEndian.PutUint32(buf[4:], program)
+	binary.BigEndian.PutUint32(buf[8:], version)
+	binary.BigEndian.PutUint32(buf[12:], proc)
+	binary.BigEndian.PutUint32(buf[16:], typ)
+	binary.BigEndian.PutUint32(buf[20:], serial)
+	binary.BigEndian.PutUint32(buf[24:], status)
+	copy(buf[28:], payload)
+	return buf
+}
+
+// FuzzServerDispatch pushes raw byte streams — wellformed calls with
+// garbage payloads, unknown programs and procedures, truncated and
+// oversized frames, pure noise — through a live daemon's full dispatch
+// path (framing, program lookup, workerpool, driver) over a real unix
+// socket. Two invariants: the daemon never panics, and a well-formed
+// client on another connection keeps getting answers afterwards.
+func FuzzServerDispatch(f *testing.F) {
+	core.ResetRegistryForTest()
+	log := logging.NewQuiet(logging.Error)
+	drvtest.Register(log)
+	remote.Register()
+	d := daemon.New(log)
+	srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv.AddProgram(daemon.NewRemoteProgram(srv))
+	sock := filepath.Join(f.TempDir(), "fuzz.sock")
+	if err := srv.ListenUnix(sock, daemon.ServiceConfig{}); err != nil {
+		f.Fatal(err)
+	}
+	probe, err := core.Open("test+unix:///default?socket=" + strings.ReplaceAll(sock, "/", "%2F"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() {
+		probe.Close()
+		d.Shutdown()
+		core.ResetRegistryForTest()
+	})
+
+	f.Add(dispatchFrame(rpc.ProgramRemote, rpc.ProtocolVersion, 1, uint32(rpc.TypeCall), 1, 0, nil))
+	f.Add(dispatchFrame(rpc.ProgramRemote, rpc.ProtocolVersion, 2, uint32(rpc.TypeCall), 2, 0, []byte("not-xdr")))
+	f.Add(dispatchFrame(0xdeadbeef, 1, 1, uint32(rpc.TypeCall), 3, 0, nil))                                          // unknown program
+	f.Add(dispatchFrame(rpc.ProgramRemote, 99, 9999, 7, 4, 1, []byte{0xff}))                                         // bad version/type/proc
+	f.Add(dispatchFrame(rpc.ProgramRemote, rpc.ProtocolVersion, 1, uint32(rpc.TypeCall), 5, 0, []byte("xyzw"))[:11]) // truncated mid-header
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                                                                            // hostile length word
+	f.Add([]byte("complete garbage, not a frame at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nc, err := net.Dial("unix", sock)
+		if err != nil {
+			t.Fatalf("daemon stopped accepting connections: %v", err)
+		}
+		nc.SetDeadline(time.Now().Add(200 * time.Millisecond)) //nolint:errcheck
+		nc.Write(data)                                         //nolint:errcheck // partial writes are part of the test
+		// Collect whatever the server says back (an error reply, a
+		// connection close, or nothing before the deadline) — the point
+		// is only that it keeps running.
+		var scratch [512]byte
+		nc.Read(scratch[:]) //nolint:errcheck
+		nc.Close()          //nolint:errcheck
+
+		if _, err := probe.Hostname(); err != nil {
+			t.Fatalf("daemon wedged after raw frame injection: %v", err)
+		}
+	})
+}

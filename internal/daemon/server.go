@@ -5,9 +5,11 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultpoint"
 	"repro/internal/logging"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
@@ -51,6 +53,7 @@ type Server struct {
 	metrics       *telemetry.Registry // nil = uninstrumented
 	tracer        *telemetry.Tracer   // nil = untraced
 	dispatchStats sync.Map            // uint64(program)<<32|proc → *procStat
+	callTimeout   atomic.Int64        // per-call dispatch deadline in nanos; 0 = none
 
 	mu         sync.Mutex
 	clients    map[uint64]*Client
@@ -81,6 +84,14 @@ func newServer(name string, pool *Workerpool, limits ClientLimits, log *logging.
 
 // Name returns the server name.
 func (s *Server) Name() string { return s.name }
+
+// SetCallTimeout bounds every dispatched call: a call that has not
+// replied within d (queue wait included) is answered with ErrTimedOut;
+// its late result, if any, is discarded. Zero disables the bound.
+func (s *Server) SetCallTimeout(d time.Duration) { s.callTimeout.Store(int64(d)) }
+
+// CallTimeout returns the per-call dispatch deadline (zero = none).
+func (s *Server) CallTimeout() time.Duration { return time.Duration(s.callTimeout.Load()) }
 
 // Pool exposes the server's workerpool (admin interface).
 func (s *Server) Pool() *Workerpool { return s.pool }
@@ -285,12 +296,33 @@ func (s *Server) serveClient(c *Client) {
 			s.replyError(c, h, core.Errorf(core.ErrAuthFailed, "authentication required"))
 			continue
 		}
+		if spec, ok := faultpoint.Default.Eval("daemon.kill"); ok && spec.Mode == faultpoint.ModeKill {
+			s.log.Warnf("daemon.server", "server %s: injected kill", s.name)
+			go s.Kill()
+			return
+		}
 		hdr := h
 		body := payload
 		st := s.dispatchStat(h.Program, h.Procedure)
 		var span *telemetry.Span
 		if st != nil {
 			span = s.tracer.Start(st.program, st.proc, c.id, hdr.Serial)
+		}
+		// The dispatch deadline starts now, so time spent queued counts
+		// against it — a wedged pool times calls out just like a wedged
+		// hypervisor. The replied flag guarantees exactly one reply per
+		// serial whichever side (timer or worker) finishes first.
+		var replied *atomic.Bool
+		var timer *time.Timer
+		if d := s.CallTimeout(); d > 0 {
+			replied = new(atomic.Bool)
+			flag, header := replied, hdr
+			timer = time.AfterFunc(d, func() {
+				if flag.CompareAndSwap(false, true) {
+					s.replyError(c, header, core.Errorf(core.ErrTimedOut,
+						"call %d exceeded %v dispatch deadline", header.Procedure, d))
+				}
+			})
 		}
 		enqueued := time.Now()
 		job := func() {
@@ -307,6 +339,12 @@ func (s *Server) serveClient(c *Client) {
 					span.Finish()
 				}
 			}
+			if timer != nil {
+				timer.Stop()
+			}
+			if replied != nil && !replied.CompareAndSwap(false, true) {
+				return // the deadline already answered this serial
+			}
 			if err != nil {
 				s.replyError(c, hdr, err)
 				return
@@ -319,7 +357,12 @@ func (s *Server) serveClient(c *Client) {
 			}
 		}
 		if err := s.pool.Submit(job, prog.IsPriority(hdr.Procedure)); err != nil {
-			s.replyError(c, h, core.Errorf(core.ErrInternal, "workerpool: %v", err))
+			if timer != nil {
+				timer.Stop()
+			}
+			if replied == nil || replied.CompareAndSwap(false, true) {
+				s.replyError(c, h, core.Errorf(core.ErrInternal, "workerpool: %v", err))
+			}
 		}
 	}
 }
@@ -363,6 +406,53 @@ func (s *Server) removeClient(c *Client) {
 // Shutdown closes listeners and all client connections and stops the
 // workerpool.
 func (s *Server) Shutdown() {
+	s.shutdown(0)
+}
+
+// ShutdownGrace is the graceful stop: listeners close first so no new
+// work arrives, then in-flight worker-pool jobs get up to grace to
+// finish (and their replies to flush) before client connections drop.
+// Grace zero degenerates to Shutdown.
+func (s *Server) ShutdownGrace(grace time.Duration) {
+	s.shutdown(grace)
+}
+
+func (s *Server) shutdown(grace time.Duration) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	listeners := s.listeners
+	clients := make([]*Client, 0, len(s.clients))
+	for _, c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
+	if grace > 0 {
+		if !s.pool.Drain(grace) {
+			s.log.Warnf("daemon.server",
+				"server %s: worker pool still busy after %v grace; dropping remaining work", s.name, grace)
+		}
+	}
+	for _, c := range clients {
+		c.Close() //nolint:errcheck
+	}
+	s.wg.Wait()
+	s.pool.Shutdown()
+}
+
+// Kill is the simulated kill -9: listeners, client connections and the
+// worker pool are torn down immediately — no drain, no flushing, queued
+// jobs dropped. Unlike Shutdown it does not wait for serving goroutines,
+// so it is safe to call from one (the daemon.kill faultpoint does). Only
+// state already journalled to the state_dir survives, which is exactly
+// what the chaos suite asserts.
+func (s *Server) Kill() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -381,7 +471,6 @@ func (s *Server) Shutdown() {
 	for _, c := range clients {
 		c.Close() //nolint:errcheck
 	}
-	s.wg.Wait()
 	s.pool.Shutdown()
 }
 
@@ -395,6 +484,9 @@ type Daemon struct {
 	mu      sync.Mutex
 	servers map[string]*Server
 	order   []string
+
+	callTimeout   atomic.Int64 // default dispatch deadline for new servers
+	shutdownGrace atomic.Int64 // drain budget used by Shutdown
 }
 
 // New creates an empty daemon around the given logger, reporting into
@@ -449,6 +541,7 @@ func (d *Daemon) AddServer(name string, min, max, prio int, limits ClientLimits)
 	s := newServer(name, pool, limits, d.log)
 	s.metrics = d.metrics
 	s.tracer = d.tracer
+	s.SetCallTimeout(time.Duration(d.callTimeout.Load()))
 	d.mu.Lock()
 	if _, dup := d.servers[name]; dup {
 		d.mu.Unlock()
@@ -481,8 +574,10 @@ func (d *Daemon) Servers() []string {
 	return out
 }
 
-// Shutdown stops every server.
-func (d *Daemon) Shutdown() {
+// SetCallTimeout sets the dispatch deadline applied to every current and
+// future server of this daemon. Zero disables it.
+func (d *Daemon) SetCallTimeout(timeout time.Duration) {
+	d.callTimeout.Store(int64(timeout))
 	d.mu.Lock()
 	servers := make([]*Server, 0, len(d.servers))
 	for _, s := range d.servers {
@@ -490,6 +585,41 @@ func (d *Daemon) Shutdown() {
 	}
 	d.mu.Unlock()
 	for _, s := range servers {
-		s.Shutdown()
+		s.SetCallTimeout(timeout)
+	}
+}
+
+// SetShutdownGrace sets how long Shutdown lets in-flight calls drain
+// before dropping connections. Zero (the default) shuts down abruptly.
+func (d *Daemon) SetShutdownGrace(grace time.Duration) {
+	d.shutdownGrace.Store(int64(grace))
+}
+
+// Shutdown stops every server, draining in-flight calls for the
+// configured grace period first.
+func (d *Daemon) Shutdown() {
+	grace := time.Duration(d.shutdownGrace.Load())
+	d.mu.Lock()
+	servers := make([]*Server, 0, len(d.servers))
+	for _, s := range d.servers {
+		servers = append(servers, s)
+	}
+	d.mu.Unlock()
+	for _, s := range servers {
+		s.ShutdownGrace(grace)
+	}
+}
+
+// Kill tears every server down abruptly — the in-process stand-in for
+// kill -9, pairing with state_dir persistence in the chaos suite.
+func (d *Daemon) Kill() {
+	d.mu.Lock()
+	servers := make([]*Server, 0, len(d.servers))
+	for _, s := range d.servers {
+		servers = append(servers, s)
+	}
+	d.mu.Unlock()
+	for _, s := range servers {
+		s.Kill()
 	}
 }

@@ -275,6 +275,26 @@ func (p *Workerpool) SetWaitObserver(fn func(wait time.Duration, priority bool))
 	p.mu.Unlock()
 }
 
+// Drain waits up to grace for the pool to go quiet: empty queues and no
+// worker running a job. It reports whether the pool drained in time. The
+// pool keeps accepting jobs while draining — callers wanting a clean
+// stop close their listeners first, so no new work arrives.
+func (p *Workerpool) Drain(grace time.Duration) bool {
+	deadline := time.Now().Add(grace)
+	for {
+		p.mu.Lock()
+		quiet := len(p.queue) == 0 && len(p.prioQueue) == 0 && p.busy == 0 && p.prioBusy == 0
+		p.mu.Unlock()
+		if quiet {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // Shutdown stops accepting jobs and makes all workers exit; queued jobs
 // are dropped. It does not wait for running jobs to finish.
 func (p *Workerpool) Shutdown() {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/hyper"
 	"repro/internal/logging"
 	"repro/internal/nodeinfo"
+	"repro/internal/statestore"
 	"repro/internal/storage"
 	"repro/internal/uuid"
 	"repro/internal/vnet"
@@ -65,6 +66,14 @@ type Options struct {
 	Networks bool
 	Storage  bool
 	Log      *logging.Logger
+
+	// Scope namespaces this connection's persistent state under the
+	// process state root. Drivers whose URI path selects a distinct
+	// environment (like the test driver) pass the path here, so
+	// connections to different environments journal — and replay —
+	// independent object sets. Empty means the driver has a single
+	// system-wide environment.
+	Scope string
 }
 
 // record is the per-domain registry entry.
@@ -94,6 +103,10 @@ type Base struct {
 	nets  *vnet.Manager
 	pools *storage.Manager
 	ops   sync.Map // op string → *telemetry.Counter
+
+	store     *statestore.Store // nil unless a state root is configured
+	scope     string            // persistence namespace under the state root
+	replaying bool              // journal replay in progress; suppress re-saves
 }
 
 var (
@@ -122,6 +135,8 @@ func New(hooks Hooks, opts Options) *Base {
 	if opts.Storage {
 		b.pools = storage.NewManager()
 	}
+	b.scope = sanitizeScope(opts.Scope)
+	b.openStore()
 	return b
 }
 
@@ -222,7 +237,9 @@ func (b *Base) LookupDomainByUUID(uuidStr string) (core.DomainMeta, error) {
 
 // DefineDomain implements core.DriverConn.
 func (b *Base) DefineDomain(xmlDesc string) (core.DomainMeta, error) {
-	b.countOp("define")
+	if err := b.beginOp("define"); err != nil {
+		return core.DomainMeta{}, err
+	}
 	def, err := xmlspec.ParseDomain([]byte(xmlDesc))
 	if err != nil {
 		return core.DomainMeta{}, core.Errorf(core.ErrXML, "%v", err)
@@ -248,10 +265,16 @@ func (b *Base) DefineDomain(xmlDesc string) (core.DomainMeta, error) {
 			return core.DomainMeta{}, core.Errorf(core.ErrDuplicate,
 				"domain %q already exists with a different UUID", def.Name)
 		}
+		if err := b.persistDomain(def); err != nil {
+			return core.DomainMeta{}, err
+		}
 		existing.def = def
 		b.log.Infof(b.module(), "domain %s redefined", def.Name)
 		b.bus.Emit(events.Event{Type: events.EventDefined, Domain: def.Name, UUID: def.UUID, Detail: "redefined"})
 		return b.meta(def.Name, existing), nil
+	}
+	if err := b.persistDomain(def); err != nil {
+		return core.DomainMeta{}, err
 	}
 	r := &record{def: def, uuidStr: def.UUID}
 	b.defs[def.Name] = r
@@ -260,9 +283,25 @@ func (b *Base) DefineDomain(xmlDesc string) (core.DomainMeta, error) {
 	return b.meta(def.Name, r), nil
 }
 
+// persistDomain journals the canonical (marshalled) definition so the
+// generated UUID survives a restart even when the caller's XML omitted
+// one.
+func (b *Base) persistDomain(def *xmlspec.Domain) error {
+	if b.store == nil || b.replaying {
+		return nil
+	}
+	out, err := def.Marshal()
+	if err != nil {
+		return core.Errorf(core.ErrXML, "%v", err)
+	}
+	return b.persistSave(statestore.KindDomains, def.Name, out)
+}
+
 // UndefineDomain implements core.DriverConn.
 func (b *Base) UndefineDomain(name string) error {
-	b.countOp("undefine")
+	if err := b.beginOp("undefine"); err != nil {
+		return err
+	}
 	b.mu.Lock()
 	r, ok := b.defs[name]
 	if !ok {
@@ -276,6 +315,8 @@ func (b *Base) UndefineDomain(name string) error {
 	delete(b.defs, name)
 	uuidStr := r.uuidStr
 	b.mu.Unlock()
+	b.persistDelete(statestore.KindDomains, name)
+	b.persistDelete(statestore.KindDomsActive, name)
 	b.log.Infof(b.module(), "domain %s undefined", name)
 	b.bus.Emit(events.Event{Type: events.EventUndefined, Domain: name, UUID: uuidStr})
 	return nil
@@ -283,7 +324,9 @@ func (b *Base) UndefineDomain(name string) error {
 
 // CreateDomain implements core.DriverConn: start a defined domain.
 func (b *Base) CreateDomain(name string) error {
-	b.countOp("create")
+	if err := b.beginOp("create"); err != nil {
+		return err
+	}
 	b.mu.Lock()
 	r, ok := b.defs[name]
 	if !ok {
@@ -310,6 +353,11 @@ func (b *Base) CreateDomain(name string) error {
 	r.active = true
 	r.leases = leases
 	b.mu.Unlock()
+	// Active markers are best-effort snapshots of desired run state; the
+	// domain is already up, so a journal hiccup only warns.
+	if err := b.persistSave(statestore.KindDomsActive, name, nil); err != nil {
+		b.log.Warnf(b.module(), "%v", err)
+	}
 	if err := b.restoreFromManagedSave(name, r); err != nil {
 		return err
 	}
@@ -377,6 +425,7 @@ func (b *Base) stop(name string, graceful bool) error {
 	r.active = false
 	r.leases = nil
 	b.mu.Unlock()
+	b.persistDelete(statestore.KindDomsActive, name)
 	b.detachNICs(leases)
 	evType := events.EventStopped
 	detail := "destroyed"
@@ -391,19 +440,25 @@ func (b *Base) stop(name string, graceful bool) error {
 
 // DestroyDomain implements core.DriverConn.
 func (b *Base) DestroyDomain(name string) error {
-	b.countOp("destroy")
+	if err := b.beginOp("destroy"); err != nil {
+		return err
+	}
 	return b.stop(name, false)
 }
 
 // ShutdownDomain implements core.DriverConn.
 func (b *Base) ShutdownDomain(name string) error {
-	b.countOp("shutdown")
+	if err := b.beginOp("shutdown"); err != nil {
+		return err
+	}
 	return b.stop(name, true)
 }
 
 // RebootDomain implements core.DriverConn.
 func (b *Base) RebootDomain(name string) error {
-	b.countOp("reboot")
+	if err := b.beginOp("reboot"); err != nil {
+		return err
+	}
 	r, err := b.activeRecord(name)
 	if err != nil {
 		return err
@@ -417,7 +472,9 @@ func (b *Base) RebootDomain(name string) error {
 
 // SuspendDomain implements core.DriverConn.
 func (b *Base) SuspendDomain(name string) error {
-	b.countOp("suspend")
+	if err := b.beginOp("suspend"); err != nil {
+		return err
+	}
 	r, err := b.activeRecord(name)
 	if err != nil {
 		return err
@@ -431,7 +488,9 @@ func (b *Base) SuspendDomain(name string) error {
 
 // ResumeDomain implements core.DriverConn.
 func (b *Base) ResumeDomain(name string) error {
-	b.countOp("resume")
+	if err := b.beginOp("resume"); err != nil {
+		return err
+	}
 	r, err := b.activeRecord(name)
 	if err != nil {
 		return err
@@ -458,7 +517,9 @@ func (b *Base) activeRecord(name string) (*record, error) {
 
 // DomainInfo implements core.DriverConn.
 func (b *Base) DomainInfo(name string) (core.DomainInfo, error) {
-	b.countOp("info")
+	if err := b.beginOp("info"); err != nil {
+		return core.DomainInfo{}, err
+	}
 	b.mu.Lock()
 	r, ok := b.defs[name]
 	b.mu.Unlock()
@@ -509,7 +570,9 @@ func (b *Base) inactiveInfo(r *record) core.DomainInfo {
 
 // DomainStats implements core.DriverConn.
 func (b *Base) DomainStats(name string) (core.DomainStats, error) {
-	b.countOp("stats")
+	if err := b.beginOp("stats"); err != nil {
+		return core.DomainStats{}, err
+	}
 	b.mu.Lock()
 	r, ok := b.defs[name]
 	b.mu.Unlock()
@@ -530,7 +593,9 @@ func (b *Base) DomainStats(name string) (core.DomainStats, error) {
 
 // DomainXML implements core.DriverConn.
 func (b *Base) DomainXML(name string) (string, error) {
-	b.countOp("getxml")
+	if err := b.beginOp("getxml"); err != nil {
+		return "", err
+	}
 	b.mu.Lock()
 	r, ok := b.defs[name]
 	b.mu.Unlock()
@@ -546,7 +611,9 @@ func (b *Base) DomainXML(name string) (string, error) {
 
 // SetDomainMemory implements core.DriverConn.
 func (b *Base) SetDomainMemory(name string, kib uint64) error {
-	b.countOp("setmemory")
+	if err := b.beginOp("setmemory"); err != nil {
+		return err
+	}
 	if _, err := b.activeRecord(name); err != nil {
 		return err
 	}
@@ -558,7 +625,9 @@ func (b *Base) SetDomainMemory(name string, kib uint64) error {
 
 // SetDomainVCPUs implements core.DriverConn.
 func (b *Base) SetDomainVCPUs(name string, n int) error {
-	b.countOp("setvcpus")
+	if err := b.beginOp("setvcpus"); err != nil {
+		return err
+	}
 	if _, err := b.activeRecord(name); err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package common
 
 import (
 	"repro/internal/core"
+	"repro/internal/statestore"
 	"repro/internal/xmlspec"
 )
 
@@ -32,6 +33,10 @@ func (b *Base) DefineNetwork(xmlDesc string) error {
 	if err := b.nets.Define(def); err != nil {
 		return core.Errorf(core.ErrDuplicate, "%v", err)
 	}
+	if err := b.persistSave(statestore.KindNetworks, def.Name, []byte(xmlDesc)); err != nil {
+		b.nets.Undefine(def.Name) //nolint:errcheck
+		return err
+	}
 	return nil
 }
 
@@ -43,6 +48,8 @@ func (b *Base) UndefineNetwork(name string) error {
 	if err := b.nets.Undefine(name); err != nil {
 		return core.Errorf(core.ErrNoNetwork, "%v", err)
 	}
+	b.persistDelete(statestore.KindNetworks, name)
+	b.persistDelete(statestore.KindNetsActive, name)
 	return nil
 }
 
@@ -53,6 +60,11 @@ func (b *Base) StartNetwork(name string) error {
 	}
 	if err := b.nets.Start(name); err != nil {
 		return core.Errorf(core.ErrOperationInvalid, "%v", err)
+	}
+	// Active markers are best-effort snapshots of desired run state; the
+	// network itself is already up, so a journal hiccup only warns.
+	if err := b.persistSave(statestore.KindNetsActive, name, nil); err != nil {
+		b.log.Warnf(b.module(), "%v", err)
 	}
 	return nil
 }
@@ -65,6 +77,7 @@ func (b *Base) StopNetwork(name string) error {
 	if err := b.nets.Stop(name); err != nil {
 		return core.Errorf(core.ErrOperationInvalid, "%v", err)
 	}
+	b.persistDelete(statestore.KindNetsActive, name)
 	return nil
 }
 
@@ -134,6 +147,10 @@ func (b *Base) DefineStoragePool(xmlDesc string) error {
 	if err := b.pools.Define(def); err != nil {
 		return core.Errorf(core.ErrDuplicate, "%v", err)
 	}
+	if err := b.persistSave(statestore.KindPools, def.Name, []byte(xmlDesc)); err != nil {
+		b.pools.Undefine(def.Name) //nolint:errcheck
+		return err
+	}
 	return nil
 }
 
@@ -145,6 +162,8 @@ func (b *Base) UndefineStoragePool(name string) error {
 	if err := b.pools.Undefine(name); err != nil {
 		return core.Errorf(core.ErrNoStoragePool, "%v", err)
 	}
+	b.persistDelete(statestore.KindPools, name)
+	b.persistDelete(statestore.KindPoolsActive, name)
 	return nil
 }
 
@@ -155,6 +174,9 @@ func (b *Base) StartStoragePool(name string) error {
 	}
 	if err := b.pools.Start(name); err != nil {
 		return core.Errorf(core.ErrOperationInvalid, "%v", err)
+	}
+	if err := b.persistSave(statestore.KindPoolsActive, name, nil); err != nil {
+		b.log.Warnf(b.module(), "%v", err)
 	}
 	return nil
 }
@@ -167,6 +189,7 @@ func (b *Base) StopStoragePool(name string) error {
 	if err := b.pools.Stop(name); err != nil {
 		return core.Errorf(core.ErrOperationInvalid, "%v", err)
 	}
+	b.persistDelete(statestore.KindPoolsActive, name)
 	return nil
 }
 

@@ -3,6 +3,8 @@ package common
 import (
 	"fmt"
 
+	"repro/internal/core"
+	"repro/internal/faultpoint"
 	"repro/internal/telemetry"
 )
 
@@ -18,4 +20,21 @@ func (b *Base) countOp(op string) {
 		"driver_ops_total{driver=%q,op=%q}", b.hooks.Type(), op))
 	actual, _ := b.ops.LoadOrStore(op, c)
 	actual.(*telemetry.Counter).Inc()
+}
+
+// beginOp counts the operation and evaluates the "driver.op.<op>"
+// faultpoint: an armed error spec fails the operation before it touches
+// any state (delay specs sleep inside Eval). Disarmed — always, outside
+// chaos runs — this is countOp plus one atomic load.
+func (b *Base) beginOp(op string) error {
+	b.countOp(op)
+	if spec, ok := faultpoint.Default.Eval("driver.op." + op); ok {
+		if spec.Mode == faultpoint.ModeError {
+			if spec.Err != nil {
+				return spec.Err
+			}
+			return core.Errorf(core.ErrInternal, "injected fault at driver.op.%s", op)
+		}
+	}
+	return nil
 }

@@ -25,6 +25,12 @@ const DefaultTCPPort = 16509
 // DefaultSocketPath is the daemon's conventional unix socket.
 const DefaultSocketPath = "/var/run/govirt/govirt-sock"
 
+// DefaultCallTimeout bounds every remote call unless the URI overrides
+// it ("call_timeout_ms" parameter; 0 disables). Without a bound, a
+// daemon that accepts the connection but never answers wedges callers
+// forever — the exact failure mode the chaos suite injects.
+const DefaultCallTimeout = 30 * time.Second
+
 // Conn is the remote driver connection.
 type Conn struct {
 	client *rpc.Client
@@ -52,6 +58,7 @@ func Open(u *uri.URI) (*Conn, error) {
 	}
 	c := &Conn{bus: events.NewBus()}
 	c.client = rpc.NewClientKeepalive(nc, rpc.ProgramRemote, c.handleEvent, keepaliveFor(u))
+	c.client.SetCallTimeout(callTimeoutFor(u))
 
 	if err := c.authenticate(u); err != nil {
 		c.client.Close()
@@ -91,6 +98,18 @@ func keepaliveFor(u *uri.URI) rpc.KeepaliveConfig {
 		cfg.Count = n
 	}
 	return cfg
+}
+
+// callTimeoutFor derives the per-call deadline from the URI;
+// "call_timeout_ms=0" disables it.
+func callTimeoutFor(u *uri.URI) time.Duration {
+	if v, ok := u.Param("call_timeout_ms"); ok {
+		ms, err := strconv.Atoi(v)
+		if err == nil && ms >= 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	return DefaultCallTimeout
 }
 
 func dial(u *uri.URI) (net.Conn, error) {
@@ -172,7 +191,8 @@ func (c *Conn) call(proc uint32, args, ret interface{}) error {
 		return nil
 	}
 	remoteCallErrs.Inc()
-	if re, ok := err.(*rpc.RemoteError); ok {
+	var re *rpc.RemoteError
+	if errors.As(err, &re) {
 		return &core.Error{Code: core.ErrorCode(re.Code), Message: re.Message}
 	}
 	var te *rpc.TransportError

@@ -7,6 +7,7 @@ package test
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -147,10 +148,21 @@ func New(u *uri.URI, log *logging.Logger) (core.DriverConn, error) {
 		return nil, err
 	}
 	h := &hooks{host: hyper.NewHost(node, 10)}
-	b := common.New(h, common.Options{Node: node, Networks: true, Storage: true, Log: log})
+	scope := "default"
+	if u != nil && u.Path != "" && u.Path != "/" {
+		scope = strings.TrimPrefix(u.Path, "/")
+	}
+	b := common.New(h, common.Options{
+		Node: node, Networks: true, Storage: true, Log: log, Scope: scope,
+	})
 	if u == nil || u.Path == "/default" {
-		if err := populateDefault(b); err != nil {
-			return nil, fmt.Errorf("test: populate default objects: %w", err)
+		// When a state journal already replayed the default environment,
+		// re-defining it would collide; the replayed objects win (the
+		// canned domain comes back defined but not running).
+		if names, _ := b.ListDomains(0); len(names) == 0 {
+			if err := populateDefault(b); err != nil {
+				return nil, fmt.Errorf("test: populate default objects: %w", err)
+			}
 		}
 	}
 	return b, nil
@@ -196,22 +208,31 @@ const DefaultPoolXML = `
 </pool>`
 
 func populateDefault(b *common.Base) error {
-	if err := b.DefineNetwork(DefaultNetworkXML); err != nil {
+	// A journal replay may have brought back any subset of the default
+	// objects (replay skips individual failures), so each one that
+	// already exists is left as the replay produced it.
+	skipDup := func(err error) error {
+		if core.IsCode(err, core.ErrDuplicate) {
+			return nil
+		}
 		return err
 	}
-	if err := b.StartNetwork("default"); err != nil {
+	if err := skipDup(b.DefineNetwork(DefaultNetworkXML)); err != nil {
 		return err
 	}
-	if err := b.DefineStoragePool(DefaultPoolXML); err != nil {
+	if err := b.StartNetwork("default"); err != nil && !core.IsCode(err, core.ErrOperationInvalid) {
 		return err
 	}
-	if err := b.StartStoragePool("default-pool"); err != nil {
+	if err := skipDup(b.DefineStoragePool(DefaultPoolXML)); err != nil {
+		return err
+	}
+	if err := b.StartStoragePool("default-pool"); err != nil && !core.IsCode(err, core.ErrOperationInvalid) {
 		return err
 	}
 	// Fix the placeholder MAC before defining.
 	xml := fixDefaultMAC(DefaultDomainXML)
 	if _, err := b.DefineDomain(xml); err != nil {
-		return err
+		return skipDup(err)
 	}
 	return b.CreateDomain("test")
 }

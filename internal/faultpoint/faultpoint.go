@@ -1,0 +1,268 @@
+// Package faultpoint is the deterministic fault-injection registry: a
+// set of named sites sprinkled through the stack (RPC framing, driver-op
+// boundaries, daemon dispatch) that a test or a debug configuration can
+// arm with failure specs. Disarmed — the default — every site check is a
+// single atomic load, so production paths pay nothing. Armed, each
+// evaluation consumes one roll of a seeded PRNG, making a chaos run
+// reproducible from its seed: the same sequence of sites observes the
+// same sequence of verdicts.
+//
+// Sites are evaluated by name ("rpc.recv", "driver.op.define",
+// "daemon.kill"); specs match a site exactly or by "prefix.*" wildcard.
+// What a fired spec *means* is defined by the site: the RPC layer
+// interprets ModeDrop as a lost frame, the driver base interprets
+// ModeError as a failed operation, the daemon interprets ModeKill as its
+// own abrupt death. ModeDelay sleeps inside Eval, so every site gains
+// latency injection for free.
+package faultpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode says what happens when a point fires. The interpretation is
+// site-specific; sites ignore modes that make no sense for them.
+type Mode int
+
+// Fault modes.
+const (
+	ModeError   Mode = iota // the operation fails with an injected error
+	ModeDelay               // the operation is delayed by Spec.Delay
+	ModeDrop                // the frame/result is silently discarded
+	ModeCorrupt             // the payload is bit-flipped before use
+	ModeKill                // the daemon dies abruptly at this point
+)
+
+var modeNames = map[Mode]string{
+	ModeError:   "error",
+	ModeDelay:   "delay",
+	ModeDrop:    "drop",
+	ModeCorrupt: "corrupt",
+	ModeKill:    "kill",
+}
+
+var modesByName = map[string]Mode{
+	"error":   ModeError,
+	"delay":   ModeDelay,
+	"drop":    ModeDrop,
+	"corrupt": ModeCorrupt,
+	"kill":    ModeKill,
+}
+
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Spec is the failure behaviour armed at a point.
+type Spec struct {
+	Mode  Mode
+	Prob  float64       // firing probability per evaluation, (0, 1]
+	Delay time.Duration // sleep applied when a ModeDelay spec fires
+	Err   error         // ModeError override; nil uses the site's default
+	After int           // skip the first After evaluations of this point
+	Limit int           // stop firing after Limit fires; 0 = unlimited
+}
+
+// point tracks one armed spec and its evaluation counters.
+type point struct {
+	spec  Spec
+	evals uint64
+	fires uint64
+}
+
+// PointStatus is the introspection row for one armed point.
+type PointStatus struct {
+	Name  string
+	Mode  Mode
+	Prob  float64
+	Evals uint64
+	Fires uint64
+}
+
+// Registry holds the armed points. The zero value is not usable; call
+// New. The package-level Default registry is what the built-in sites
+// consult.
+type Registry struct {
+	armed atomic.Bool
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	points map[string]*point
+}
+
+// New creates a disarmed registry.
+func New() *Registry {
+	return &Registry{points: make(map[string]*point)}
+}
+
+// Default is the process-wide registry every built-in site consults.
+// Tests arm it with a fixed seed and disarm it when done.
+var Default = New()
+
+// Arm enables the registry with a deterministic seed. Arming resets the
+// PRNG but keeps armed points, so a test may Set points first and Arm
+// last (or vice versa).
+func (r *Registry) Arm(seed int64) {
+	r.mu.Lock()
+	r.rng = rand.New(rand.NewSource(seed)) //nolint:gosec // determinism is the point
+	r.mu.Unlock()
+	r.armed.Store(true)
+}
+
+// Disarm disables the registry and clears every point.
+func (r *Registry) Disarm() {
+	r.armed.Store(false)
+	r.mu.Lock()
+	r.points = make(map[string]*point)
+	r.rng = nil
+	r.mu.Unlock()
+}
+
+// Armed reports whether the registry is live.
+func (r *Registry) Armed() bool { return r.armed.Load() }
+
+// Set arms (or replaces) a point. Name may end in ".*" to match every
+// site sharing the prefix.
+func (r *Registry) Set(name string, s Spec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.points[name] = &point{spec: s}
+}
+
+// Clear removes one point.
+func (r *Registry) Clear(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.points, name)
+}
+
+// Fires reports how many times the named point has fired.
+func (r *Registry) Fires(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.points[name]; ok {
+		return p.fires
+	}
+	return 0
+}
+
+// Status lists every armed point with its counters (diagnostics).
+func (r *Registry) Status() []PointStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PointStatus, 0, len(r.points))
+	for name, p := range r.points {
+		out = append(out, PointStatus{
+			Name: name, Mode: p.spec.Mode, Prob: p.spec.Prob,
+			Evals: p.evals, Fires: p.fires,
+		})
+	}
+	return out
+}
+
+// lookupLocked finds the point governing a site: exact match wins, then
+// the longest matching "prefix.*" wildcard.
+func (r *Registry) lookupLocked(site string) *point {
+	if p, ok := r.points[site]; ok {
+		return p
+	}
+	var best *point
+	bestLen := -1
+	for name, p := range r.points {
+		if !strings.HasSuffix(name, "*") {
+			continue
+		}
+		prefix := name[:len(name)-1]
+		if strings.HasPrefix(site, prefix) && len(prefix) > bestLen {
+			best, bestLen = p, len(prefix)
+		}
+	}
+	return best
+}
+
+// Eval rolls the dice for a site. It returns the armed Spec and true
+// when the point fires; ModeDelay sleeps before returning so callers
+// need no special handling for latency injection. Disarmed registries
+// return immediately (one atomic load).
+func (r *Registry) Eval(site string) (Spec, bool) {
+	if !r.armed.Load() {
+		return Spec{}, false
+	}
+	r.mu.Lock()
+	p := r.lookupLocked(site)
+	if p == nil || r.rng == nil {
+		r.mu.Unlock()
+		return Spec{}, false
+	}
+	p.evals++
+	if p.spec.After > 0 && p.evals <= uint64(p.spec.After) {
+		r.mu.Unlock()
+		return Spec{}, false
+	}
+	if p.spec.Limit > 0 && p.fires >= uint64(p.spec.Limit) {
+		r.mu.Unlock()
+		return Spec{}, false
+	}
+	if r.rng.Float64() >= p.spec.Prob {
+		r.mu.Unlock()
+		return Spec{}, false
+	}
+	p.fires++
+	spec := p.spec
+	r.mu.Unlock()
+	if spec.Mode == ModeDelay && spec.Delay > 0 {
+		time.Sleep(spec.Delay)
+	}
+	return spec, true
+}
+
+// ParseSpecs reads the govirtd.conf fault_injection grammar: a
+// comma-separated list of "site:mode:prob[:delay_ms]" entries, e.g.
+//
+//	rpc.recv:drop:0.05,driver.op.*:delay:0.1:20,daemon.kill:kill:0.001
+//
+// Prob must be in (0, 1]; delay_ms only applies to the delay mode.
+func ParseSpecs(text string) (map[string]Spec, error) {
+	out := make(map[string]Spec)
+	for _, entry := range strings.Split(text, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("faultpoint: entry %q: want site:mode:prob[:delay_ms]", entry)
+		}
+		site := strings.TrimSpace(parts[0])
+		if site == "" {
+			return nil, fmt.Errorf("faultpoint: entry %q: empty site", entry)
+		}
+		mode, ok := modesByName[strings.TrimSpace(parts[1])]
+		if !ok {
+			return nil, fmt.Errorf("faultpoint: entry %q: unknown mode %q", entry, parts[1])
+		}
+		prob, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil || prob <= 0 || prob > 1 {
+			return nil, fmt.Errorf("faultpoint: entry %q: prob must be in (0, 1]", entry)
+		}
+		spec := Spec{Mode: mode, Prob: prob}
+		if len(parts) == 4 {
+			ms, err := strconv.Atoi(strings.TrimSpace(parts[3]))
+			if err != nil || ms < 0 {
+				return nil, fmt.Errorf("faultpoint: entry %q: bad delay_ms %q", entry, parts[3])
+			}
+			spec.Delay = time.Duration(ms) * time.Millisecond
+		}
+		out[site] = spec
+	}
+	return out, nil
+}

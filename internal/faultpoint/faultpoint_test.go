@@ -1,0 +1,133 @@
+package faultpoint
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsFree(t *testing.T) {
+	r := New()
+	r.Set("rpc.send", Spec{Mode: ModeDrop, Prob: 1})
+	if _, ok := r.Eval("rpc.send"); ok {
+		t.Fatal("disarmed registry fired")
+	}
+}
+
+func TestDeterministicSequence(t *testing.T) {
+	roll := func() []bool {
+		r := New()
+		r.Set("site", Spec{Mode: ModeError, Prob: 0.5})
+		r.Arm(42)
+		out := make([]bool, 64)
+		for i := range out {
+			_, out[i] = r.Eval("site")
+		}
+		return out
+	}
+	a, b := roll(), roll()
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("roll %d differs between identically seeded registries", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times; expected a mix", fires, len(a))
+	}
+}
+
+func TestWildcardAndPrecedence(t *testing.T) {
+	r := New()
+	r.Arm(1)
+	r.Set("driver.op.*", Spec{Mode: ModeDelay, Prob: 1})
+	r.Set("driver.op.define", Spec{Mode: ModeError, Prob: 1})
+	if s, ok := r.Eval("driver.op.define"); !ok || s.Mode != ModeError {
+		t.Fatalf("exact match should win: %v %v", s, ok)
+	}
+	if s, ok := r.Eval("driver.op.create"); !ok || s.Mode != ModeDelay {
+		t.Fatalf("wildcard should catch unmatched sites: %v %v", s, ok)
+	}
+	if _, ok := r.Eval("rpc.send"); ok {
+		t.Fatal("unrelated site fired")
+	}
+}
+
+func TestAfterAndLimit(t *testing.T) {
+	r := New()
+	r.Arm(7)
+	r.Set("site", Spec{Mode: ModeError, Prob: 1, After: 2, Limit: 3})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if _, ok := r.Eval("site"); ok {
+			fired++
+			if i < 2 {
+				t.Fatalf("fired during After window at eval %d", i)
+			}
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("Limit 3 but fired %d times", fired)
+	}
+	if got := r.Fires("site"); got != 3 {
+		t.Fatalf("Fires() = %d, want 3", got)
+	}
+}
+
+func TestDelayModeSleeps(t *testing.T) {
+	r := New()
+	r.Arm(1)
+	r.Set("slow", Spec{Mode: ModeDelay, Prob: 1, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if _, ok := r.Eval("slow"); !ok {
+		t.Fatal("prob 1 did not fire")
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay mode slept only %v", d)
+	}
+}
+
+func TestDisarmClearsPoints(t *testing.T) {
+	r := New()
+	r.Arm(1)
+	r.Set("site", Spec{Mode: ModeError, Prob: 1})
+	r.Disarm()
+	r.Arm(1)
+	if _, ok := r.Eval("site"); ok {
+		t.Fatal("point survived Disarm")
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	specs, err := ParseSpecs("rpc.recv:drop:0.05, driver.op.*:delay:0.1:20,daemon.kill:kill:0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("parsed %d specs, want 3", len(specs))
+	}
+	if s := specs["driver.op.*"]; s.Mode != ModeDelay || s.Delay != 20*time.Millisecond {
+		t.Fatalf("delay spec parsed wrong: %+v", s)
+	}
+	if s := specs["rpc.recv"]; s.Mode != ModeDrop || s.Prob != 0.05 {
+		t.Fatalf("drop spec parsed wrong: %+v", s)
+	}
+	for _, bad := range []string{
+		"rpc.recv",                // missing fields
+		"rpc.recv:explode:0.5",    // unknown mode
+		"rpc.recv:drop:1.5",       // prob out of range
+		"rpc.recv:drop:0",         // prob zero
+		":drop:0.5",               // empty site
+		"rpc.recv:delay:0.5:-3",   // negative delay
+		"rpc.recv:drop:0.5:1:2:3", // too many fields
+	} {
+		if _, err := ParseSpecs(bad); err == nil {
+			t.Fatalf("ParseSpecs(%q) accepted bad input", bad)
+		}
+	}
+	if specs, err := ParseSpecs(""); err != nil || len(specs) != 0 {
+		t.Fatalf("empty input should parse to nothing: %v %v", specs, err)
+	}
+}

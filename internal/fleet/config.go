@@ -17,7 +17,9 @@ type FileConfig struct {
 	PollIntervalMs int
 	BackoffMinMs   int
 	BackoffMaxMs   int
-	Policy         string // "spread", "pack" or "weighted"
+	BackoffJitter  float64 // reconnect jitter fraction, [0, 1]
+	CallTimeoutMs  int     // per-call deadline on host URIs; 0 = driver default
+	Policy         string  // "spread", "pack" or "weighted"
 
 	RebalanceSkew          float64 // load spread that triggers rebalancing
 	RebalanceMaxMigrations int
@@ -33,6 +35,7 @@ func DefaultFileConfig() FileConfig {
 		PollIntervalMs:         2000,
 		BackoffMinMs:           100,
 		BackoffMaxMs:           10000,
+		BackoffJitter:          0.2,
 		Policy:                 "spread",
 		RebalanceSkew:          0.2,
 		RebalanceMaxMigrations: 16,
@@ -79,6 +82,10 @@ func (c *FileConfig) apply(key, value string) error {
 		return setInt(&c.BackoffMinMs, value)
 	case "backoff_max_ms":
 		return setInt(&c.BackoffMaxMs, value)
+	case "backoff_jitter":
+		return setFloat(&c.BackoffJitter, value)
+	case "call_timeout_ms":
+		return setInt(&c.CallTimeoutMs, value)
 	case "policy":
 		if err := setString(&c.Policy, value); err != nil {
 			return err
@@ -109,6 +116,12 @@ func (c *FileConfig) Validate() error {
 		return fmt.Errorf("fleet: backoff window invalid: min=%dms max=%dms",
 			c.BackoffMinMs, c.BackoffMaxMs)
 	}
+	if c.BackoffJitter < 0 || c.BackoffJitter > 1 {
+		return fmt.Errorf("fleet: backoff_jitter %g outside [0, 1]", c.BackoffJitter)
+	}
+	if c.CallTimeoutMs < 0 {
+		return fmt.Errorf("fleet: call_timeout_ms must be non-negative")
+	}
 	if c.RebalanceSkew <= 0 || c.RebalanceSkew > 1 {
 		return fmt.Errorf("fleet: rebalance_skew %g outside (0, 1]", c.RebalanceSkew)
 	}
@@ -127,12 +140,18 @@ func (c *FileConfig) RegistryConfig() (Config, error) {
 	if err != nil {
 		return Config{}, err
 	}
+	jitter := c.BackoffJitter
+	if jitter == 0 {
+		jitter = -1 // explicit zero in the file means "no jitter"
+	}
 	return Config{
-		Hosts:        c.Hosts,
-		PollInterval: time.Duration(c.PollIntervalMs) * time.Millisecond,
-		BackoffMin:   time.Duration(c.BackoffMinMs) * time.Millisecond,
-		BackoffMax:   time.Duration(c.BackoffMaxMs) * time.Millisecond,
-		Policy:       policy,
+		Hosts:         c.Hosts,
+		PollInterval:  time.Duration(c.PollIntervalMs) * time.Millisecond,
+		BackoffMin:    time.Duration(c.BackoffMinMs) * time.Millisecond,
+		BackoffMax:    time.Duration(c.BackoffMaxMs) * time.Millisecond,
+		BackoffJitter: jitter,
+		CallTimeout:   time.Duration(c.CallTimeoutMs) * time.Millisecond,
+		Policy:        policy,
 	}, nil
 }
 

@@ -22,8 +22,10 @@ package fleet
 
 import (
 	"fmt"
+	"math/rand"
 	"path"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -62,8 +64,20 @@ type Config struct {
 	PollInterval time.Duration // inventory refresh period (default 2s)
 	BackoffMin   time.Duration // first reconnect delay (default 100ms)
 	BackoffMax   time.Duration // reconnect delay ceiling (default 10s)
-	Policy       Policy        // placement policy (default Spread())
-	Log          *logging.Logger
+	// BackoffJitter spreads reconnect delays by up to this fraction of
+	// the base delay (default 0.2), so a fleet that lost one daemon does
+	// not hammer it in lock-step when it returns. Negative disables.
+	BackoffJitter float64
+	// CallTimeout, when positive, is appended to every host URI as
+	// call_timeout_ms so each remote call is deadline-bounded; zero keeps
+	// the remote driver's default. URIs that already carry the parameter
+	// are left alone.
+	CallTimeout time.Duration
+	// Seed fixes the jitter PRNG for reproducible chaos runs; 0 seeds
+	// from the configuration (still deterministic, just unchosen).
+	Seed   int64
+	Policy Policy // placement policy (default Spread())
+	Log    *logging.Logger
 }
 
 func (c *Config) applyDefaults() {
@@ -76,12 +90,34 @@ func (c *Config) applyDefaults() {
 	if c.BackoffMax < c.BackoffMin {
 		c.BackoffMax = 10 * time.Second
 	}
+	if c.BackoffJitter == 0 {
+		c.BackoffJitter = 0.2
+	}
+	if c.BackoffJitter < 0 {
+		c.BackoffJitter = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = int64(len(c.Hosts)) + 1
+	}
 	if c.Policy == nil {
 		c.Policy = Spread()
 	}
 	if c.Log == nil {
 		c.Log = logging.NewQuiet(logging.Error)
 	}
+}
+
+// withCallTimeout appends the call_timeout_ms parameter to a host URI
+// unless the URI already sets one.
+func withCallTimeout(hostURI string, d time.Duration) string {
+	if d <= 0 || strings.Contains(hostURI, "call_timeout_ms=") {
+		return hostURI
+	}
+	sep := "?"
+	if strings.Contains(hostURI, "?") {
+		sep = "&"
+	}
+	return fmt.Sprintf("%s%scall_timeout_ms=%d", hostURI, sep, d.Milliseconds())
 }
 
 // host is the registry's per-daemon record. Its connection is owned by
@@ -144,6 +180,9 @@ type Registry struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
+	rngMu sync.Mutex
+	rng   *rand.Rand // backoff jitter; seeded for reproducibility
+
 	// hookAfterDefine, when set by tests, runs between the define and
 	// start halves of a placement — the window where a dying daemon must
 	// surface a retryable error.
@@ -162,6 +201,7 @@ func New(cfg Config) (*Registry, error) {
 		log:   cfg.Log,
 		hosts: make(map[string]*host, len(cfg.Hosts)),
 		stop:  make(chan struct{}),
+		rng:   rand.New(rand.NewSource(cfg.Seed)), //nolint:gosec // jitter only
 	}
 	for i, s := range cfg.Hosts {
 		u, err := uri.Parse(s)
@@ -172,6 +212,7 @@ func New(cfg Config) (*Registry, error) {
 		if _, dup := r.hosts[name]; dup {
 			return nil, core.Errorf(core.ErrInvalidArg, "fleet: duplicate host %q", name)
 		}
+		s = withCallTimeout(s, cfg.CallTimeout)
 		h := &host{name: name, uri: s, poke: make(chan struct{}, 1)}
 		h.inv = HostInventory{Host: name, URI: s, State: HostConnecting}
 		r.hosts[name] = h
@@ -260,7 +301,7 @@ func (r *Registry) runHost(h *host) {
 			select {
 			case <-r.stop:
 				return
-			case <-time.After(backoff):
+			case <-time.After(r.jittered(backoff)):
 			}
 			backoff *= 2
 			if backoff > r.cfg.BackoffMax {
@@ -287,6 +328,18 @@ func (r *Registry) runHost(h *host) {
 	}
 }
 
+// jittered adds up to BackoffJitter × d of seeded random slack to a
+// reconnect delay.
+func (r *Registry) jittered(d time.Duration) time.Duration {
+	if r.cfg.BackoffJitter <= 0 {
+		return d
+	}
+	r.rngMu.Lock()
+	f := r.rng.Float64()
+	r.rngMu.Unlock()
+	return d + time.Duration(float64(d)*r.cfg.BackoffJitter*f)
+}
+
 // pollLoop refreshes the host inventory on the poll interval and on
 // event pokes. It returns nil on shutdown and the failure when the
 // connection looks dead.
@@ -311,21 +364,37 @@ func (r *Registry) pollLoop(h *host, conn *core.Connect) error {
 	}
 }
 
+// readAttempts bounds how often a read-only inventory call is retried
+// when it fails with a transient transport error (a dropped frame, a
+// per-call deadline). One lost frame must not condemn a healthy host;
+// a genuinely dead connection fails fast and non-retryably, so the
+// retries cost nothing there.
+const readAttempts = 3
+
+func retryRead[T any](f func() (T, error)) (out T, err error) {
+	for i := 0; i < readAttempts; i++ {
+		if out, err = f(); err == nil || !core.IsRetryable(err) {
+			return out, err
+		}
+	}
+	return out, err
+}
+
 // refresh collects one inventory snapshot over the given connection.
 func (r *Registry) refresh(h *host, conn *core.Connect) error {
 	fleetPolls.Inc()
 	d := conn.Driver()
-	node, err := d.NodeInfo()
+	node, err := retryRead(d.NodeInfo)
 	if err != nil {
 		return err
 	}
-	names, err := d.ListDomains(0)
+	names, err := retryRead(func() ([]string, error) { return d.ListDomains(0) })
 	if err != nil {
 		return err
 	}
 	records := make([]DomainRecord, 0, len(names))
 	for _, name := range names {
-		info, err := d.DomainInfo(name)
+		info, err := retryRead(func() (core.DomainInfo, error) { return d.DomainInfo(name) })
 		if err != nil {
 			if core.IsCode(err, core.ErrNoDomain) {
 				continue // undefined between list and info

@@ -1,10 +1,12 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // EventHandler receives unsolicited server messages (procedure + raw
@@ -25,8 +27,9 @@ type Client struct {
 	closed  bool
 	readErr error
 
-	lastRx  atomic.Int64 // unix nanos of the last received message
-	onEvent EventHandler
+	lastRx      atomic.Int64 // unix nanos of the last received message
+	callTimeout atomic.Int64 // default per-call deadline in nanos; 0 = none
+	onEvent     EventHandler
 }
 
 type reply struct {
@@ -121,16 +124,45 @@ func (c *Client) failAll(err error) {
 	}
 }
 
+// SetCallTimeout sets the default deadline applied to every Call (and to
+// CallContext invocations whose context carries no deadline of its own).
+// Zero disables the default, restoring unbounded waits.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.callTimeout.Store(int64(d))
+}
+
+// CallTimeout returns the default per-call deadline (zero = none).
+func (c *Client) CallTimeout() time.Duration {
+	return time.Duration(c.callTimeout.Load())
+}
+
 // Call invokes a procedure: args are XDR-marshalled, the reply payload is
 // XDR-unmarshalled into ret (which may be nil for void returns). Error
-// replies decode the standard error payload.
+// replies decode the standard error payload. The client's default call
+// timeout, if set, bounds the wait.
 func (c *Client) Call(procedure uint32, args interface{}, ret interface{}) error {
+	return c.CallContext(context.Background(), procedure, args, ret)
+}
+
+// CallContext is Call bounded by a context. When ctx has no deadline and
+// the client has a default call timeout, that timeout applies. A call
+// abandoned at its deadline returns a *TransportError (Op "deadline")
+// wrapping ctx's error; the reply, if it ever arrives, is discarded by
+// the reader since the pending entry is gone.
+func (c *Client) CallContext(ctx context.Context, procedure uint32, args interface{}, ret interface{}) error {
 	var payload []byte
 	var err error
 	if args != nil {
 		payload, err = Marshal(args)
 		if err != nil {
 			return fmt.Errorf("rpc: marshal args for proc %d: %w", procedure, err)
+		}
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		if d := c.CallTimeout(); d > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
 		}
 	}
 	ch := make(chan reply, 1)
@@ -162,7 +194,29 @@ func (c *Client) Call(procedure uint32, args interface{}, ret interface{}) error
 		return &TransportError{Op: "send", Err: fmt.Errorf("send proc %d: %w", procedure, err)}
 	}
 
-	r, ok := <-ch
+	var r reply
+	var ok bool
+	select {
+	case r, ok = <-ch:
+	case <-ctx.Done():
+		c.mu.Lock()
+		_, pending := c.pending[serial]
+		delete(c.pending, serial)
+		c.mu.Unlock()
+		if !pending {
+			// Reply raced the deadline into the channel; use it.
+			select {
+			case r, ok = <-ch:
+			default:
+				ok = false
+			}
+			if ok {
+				break
+			}
+		}
+		callsDeadlined.Inc()
+		return &TransportError{Op: "deadline", Err: fmt.Errorf("proc %d abandoned: %w", procedure, ctx.Err())}
+	}
 	if !ok {
 		c.mu.Lock()
 		readErr := c.readErr

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"repro/internal/faultpoint"
 )
 
 // Program numbers identify the protocol spoken on a connection.
@@ -80,8 +82,25 @@ func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
 // LocalAddr returns the local address.
 func (c *Conn) LocalAddr() net.Addr { return c.c.LocalAddr() }
 
-// WriteMessage frames and sends one message.
+// WriteMessage frames and sends one message. The "rpc.send" faultpoint
+// can drop the frame (reported as sent — the bytes just never leave, as
+// on a lossy network), corrupt its payload, or fail the write outright.
 func (c *Conn) WriteMessage(h Header, payload []byte) error {
+	if spec, ok := faultpoint.Default.Eval("rpc.send"); ok {
+		switch spec.Mode {
+		case faultpoint.ModeDrop:
+			faultsDropped.Inc()
+			return nil
+		case faultpoint.ModeCorrupt:
+			payload = corruptCopy(payload)
+			faultsCorrupted.Inc()
+		case faultpoint.ModeError:
+			if spec.Err != nil {
+				return spec.Err
+			}
+			return fmt.Errorf("rpc: injected send fault")
+		}
+	}
 	total := 4 + headerLen + len(payload)
 	if total > MaxMessageLen {
 		return fmt.Errorf("rpc: message of %d exceeds limit", total)
@@ -107,31 +126,65 @@ func (c *Conn) WriteMessage(h Header, payload []byte) error {
 	return err
 }
 
-// ReadMessage receives one framed message.
+// ReadMessage receives one framed message. The "rpc.recv" faultpoint can
+// drop a received frame (the read loops on to the next one, as if the
+// frame were lost in flight), corrupt its payload, or fail the read.
 func (c *Conn) ReadMessage() (Header, []byte, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(c.c, lenBuf[:]); err != nil {
-		return Header{}, nil, err
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(c.c, lenBuf[:]); err != nil {
+			return Header{}, nil, err
+		}
+		total := binary.BigEndian.Uint32(lenBuf[:])
+		if total < 4+headerLen || total > MaxMessageLen {
+			return Header{}, nil, fmt.Errorf("rpc: invalid message length %d", total)
+		}
+		rest := make([]byte, total-4)
+		if _, err := io.ReadFull(c.c, rest); err != nil {
+			return Header{}, nil, err
+		}
+		h := Header{
+			Program:   binary.BigEndian.Uint32(rest[0:]),
+			Version:   binary.BigEndian.Uint32(rest[4:]),
+			Procedure: binary.BigEndian.Uint32(rest[8:]),
+			Type:      binary.BigEndian.Uint32(rest[12:]),
+			Serial:    binary.BigEndian.Uint32(rest[16:]),
+			Status:    binary.BigEndian.Uint32(rest[20:]),
+		}
+		rxFrames.Inc()
+		rxBytes.Add(uint64(total))
+		payload := rest[headerLen:]
+		if spec, ok := faultpoint.Default.Eval("rpc.recv"); ok {
+			switch spec.Mode {
+			case faultpoint.ModeDrop:
+				faultsDropped.Inc()
+				continue
+			case faultpoint.ModeCorrupt:
+				payload = corruptCopy(payload)
+				faultsCorrupted.Inc()
+			case faultpoint.ModeError:
+				if spec.Err != nil {
+					return Header{}, nil, spec.Err
+				}
+				return Header{}, nil, fmt.Errorf("rpc: injected recv fault")
+			}
+		}
+		return h, payload, nil
 	}
-	total := binary.BigEndian.Uint32(lenBuf[:])
-	if total < 4+headerLen || total > MaxMessageLen {
-		return Header{}, nil, fmt.Errorf("rpc: invalid message length %d", total)
+}
+
+// corruptCopy returns a bit-flipped copy of a payload; the original is
+// left alone so callers retrying with the same buffer are unaffected.
+func corruptCopy(payload []byte) []byte {
+	if len(payload) == 0 {
+		return payload
 	}
-	rest := make([]byte, total-4)
-	if _, err := io.ReadFull(c.c, rest); err != nil {
-		return Header{}, nil, err
-	}
-	h := Header{
-		Program:   binary.BigEndian.Uint32(rest[0:]),
-		Version:   binary.BigEndian.Uint32(rest[4:]),
-		Procedure: binary.BigEndian.Uint32(rest[8:]),
-		Type:      binary.BigEndian.Uint32(rest[12:]),
-		Serial:    binary.BigEndian.Uint32(rest[16:]),
-		Status:    binary.BigEndian.Uint32(rest[20:]),
-	}
-	rxFrames.Inc()
-	rxBytes.Add(uint64(total))
-	return h, rest[headerLen:], nil
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	out[0] ^= 0xff
+	out[len(out)/2] ^= 0xa5
+	out[len(out)-1] ^= 0xff
+	return out
 }

@@ -20,6 +20,14 @@ var (
 	kaPingsSent = telemetry.Default.Counter("rpc_keepalive_pings_total")
 	kaPongsRcvd = telemetry.Default.Counter("rpc_keepalive_pongs_total")
 	kaFailures  = telemetry.Default.Counter("rpc_keepalive_failures_total")
+
+	// Robustness counters: calls abandoned at their deadline and frames
+	// perturbed by the armed faultpoint registry. Fault counters stay at
+	// zero in production (the registry is disarmed); under chaos tests
+	// they let assertions confirm faults actually flowed.
+	callsDeadlined  = telemetry.Default.Counter("rpc_calls_deadline_total")
+	faultsDropped   = telemetry.Default.Counter("rpc_faults_dropped_total")
+	faultsCorrupted = telemetry.Default.Counter("rpc_faults_corrupted_total")
 )
 
 // procNames maps program → procedure → symbolic name. Programs register

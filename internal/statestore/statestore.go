@@ -1,0 +1,172 @@
+// Package statestore is the daemon's crash-safe persistence layer: a
+// directory of per-object documents written atomically (write to a
+// temp file, fsync, rename), so a daemon killed at any instant — even
+// mid-write — restarts with every completed definition intact. One
+// object per file keeps the journal trivially replayable: startup lists
+// a kind's directory and re-applies each document; there is no log to
+// compact and a torn write can only ever lose the single object being
+// written, never corrupt its neighbours.
+//
+// The layout under the root is kind/name (e.g. domains/web1,
+// networks/default, networks.active/default), one store per driver
+// instance rooted at state_dir/<driver-type>.
+package statestore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Kinds used by the driver base. Stores accept any kind name; these are
+// the conventional ones.
+const (
+	KindDomains     = "domains"
+	KindDomsActive  = "domains.active"
+	KindNetworks    = "networks"
+	KindNetsActive  = "networks.active"
+	KindPools       = "pools"
+	KindPoolsActive = "pools.active"
+)
+
+// Store persists objects under one root directory. Methods are safe for
+// concurrent use by multiple goroutines (and multiple Stores over the
+// same directory): every write goes through a unique temp file and an
+// atomic rename.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and returns a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("statestore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("statestore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validName rejects object names that would escape the kind directory.
+func validName(name string) error {
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, "/\\") || strings.HasPrefix(name, ".tmp-") {
+		return fmt.Errorf("statestore: invalid object name %q", name)
+	}
+	return nil
+}
+
+func (s *Store) path(kind, name string) string {
+	return filepath.Join(s.dir, kind, name)
+}
+
+// Save durably writes one object: temp file in the same directory,
+// fsync, atomic rename over the final name. A crash leaves either the
+// old document or the new one, never a torn mix.
+func (s *Store) Save(kind, name string, data []byte) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	kindDir := filepath.Join(s.dir, kind)
+	if err := os.MkdirAll(kindDir, 0o755); err != nil {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	tmp, err := os.CreateTemp(kindDir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()           //nolint:errcheck
+		os.Remove(tmpName)    //nolint:errcheck
+		return fmt.Errorf("statestore: write %s/%s: %w", kind, name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()        //nolint:errcheck
+		os.Remove(tmpName) //nolint:errcheck
+		return fmt.Errorf("statestore: sync %s/%s: %w", kind, name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName) //nolint:errcheck
+		return fmt.Errorf("statestore: close %s/%s: %w", kind, name, err)
+	}
+	if err := os.Rename(tmpName, s.path(kind, name)); err != nil {
+		os.Remove(tmpName) //nolint:errcheck
+		return fmt.Errorf("statestore: commit %s/%s: %w", kind, name, err)
+	}
+	return nil
+}
+
+// Delete removes one object; deleting a missing object is not an error
+// (an undefine replayed against an empty store must succeed).
+func (s *Store) Delete(kind, name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if err := os.Remove(s.path(kind, name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("statestore: delete %s/%s: %w", kind, name, err)
+	}
+	return nil
+}
+
+// Load reads one object; missing objects return os.ErrNotExist.
+func (s *Store) Load(kind, name string) ([]byte, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(s.path(kind, name))
+}
+
+// List returns the object names of a kind, sorted. A kind that was never
+// written lists as empty.
+func (s *Store) List(kind string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, kind))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("statestore: list %s: %w", kind, err)
+	}
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".tmp-") {
+			continue // abandoned temp from a crash mid-write
+		}
+		out = append(out, e.Name())
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// LoadAll reads every object of a kind in sorted name order. Objects
+// deleted between list and read are skipped.
+func (s *Store) LoadAll(kind string) ([]Object, error) {
+	names, err := s.List(kind)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Object, 0, len(names))
+	for _, name := range names {
+		data, err := s.Load(kind, name)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, Object{Name: name, Data: data})
+	}
+	return out, nil
+}
+
+// Object is one persisted document.
+type Object struct {
+	Name string
+	Data []byte
+}

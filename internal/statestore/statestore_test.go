@@ -1,0 +1,118 @@
+package statestore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestSaveLoadDelete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(KindDomains, "web1", []byte("<domain/>")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Load(KindDomains, "web1")
+	if err != nil || string(data) != "<domain/>" {
+		t.Fatalf("Load = %q, %v", data, err)
+	}
+	// Overwrite must replace, not append.
+	if err := s.Save(KindDomains, "web1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := s.Load(KindDomains, "web1"); string(data) != "v2" {
+		t.Fatalf("overwrite left %q", data)
+	}
+	if err := s.Delete(KindDomains, "web1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(KindDomains, "web1"); !os.IsNotExist(err) {
+		t.Fatalf("Load after delete: %v", err)
+	}
+	// Deleting a missing object is fine.
+	if err := s.Delete(KindDomains, "web1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListSortedAndSkipsTemp(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := s.Save(KindNetworks, n, []byte(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash mid-write: abandoned temp file must be invisible.
+	tmp := filepath.Join(s.Dir(), KindNetworks, ".tmp-crashed")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.List(KindNetworks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"alpha", "mid", "zeta"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("List = %v, want %v", names, want)
+	}
+	objs, err := s.LoadAll(KindNetworks)
+	if err != nil || len(objs) != 3 {
+		t.Fatalf("LoadAll = %v, %v", objs, err)
+	}
+	if objs[0].Name != "alpha" || string(objs[0].Data) != "alpha" {
+		t.Fatalf("LoadAll[0] = %+v", objs[0])
+	}
+}
+
+func TestEmptyKindListsEmpty(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names, err := s.List("never-written"); err != nil || len(names) != 0 {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+}
+
+func TestInvalidNamesRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`, ".tmp-x"} {
+		if err := s.Save(KindDomains, bad, nil); err == nil {
+			t.Fatalf("Save(%q) accepted", bad)
+		}
+		if _, err := s.Load(KindDomains, bad); err == nil {
+			t.Fatalf("Load(%q) accepted", bad)
+		}
+		if err := s.Delete(KindDomains, bad); err == nil {
+			t.Fatalf("Delete(%q) accepted", bad)
+		}
+	}
+}
+
+func TestReopenSeesState(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Save(KindPools, "default", []byte("<pool/>")); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store over the same directory — the restart path.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s2.Load(KindPools, "default")
+	if err != nil || string(data) != "<pool/>" {
+		t.Fatalf("reopened Load = %q, %v", data, err)
+	}
+}

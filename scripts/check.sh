@@ -24,4 +24,7 @@ go test -run TestFleet -race ./internal/fleet
 echo "== fleet smoke: 2 daemons, 4 domains, assert spread (examples/fleet exits non-zero on failure)"
 go run ./examples/fleet -hosts 2 -domains 4 -drain=false >/dev/null
 
+echo "== chaos gate: go test -race -run 'TestChaos' ./..."
+go test -race -run 'TestChaos' ./...
+
 echo "== OK"
