@@ -201,6 +201,80 @@ func BenchmarkT2_Transports(b *testing.B) {
 	}
 }
 
+// BenchmarkT2b_BulkSweep measures the monitoring-sweep cost over a unix
+// socket as the fleet grows (Table T2b): the per-domain loop issues one
+// round trip per domain, the bulk procedure issues exactly one for the
+// whole host. A single DomainInfo round trip is included as the unit the
+// bulk sweep is compared against.
+func BenchmarkT2b_BulkSweep(b *testing.B) {
+	setup := func(b *testing.B, domains int) *core.Connect {
+		b.Helper()
+		conn := startBenchDaemon(b, "unix")
+		for i := 0; i < domains; i++ {
+			dom, err := conn.DefineDomain(benchDomainXML("test", fmt.Sprintf("vm%04d", i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := dom.Create(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return conn
+	}
+	b.Run("single-dominfo", func(b *testing.B) {
+		conn := setup(b, 1)
+		dom, err := conn.LookupDomain("vm0000")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dom.Info(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, domains := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("singles/domains-%d", domains), func(b *testing.B) {
+			conn := setup(b, domains)
+			names, err := conn.ListAllDomains(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, dom := range names {
+					if _, err := dom.Info(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(domains), "domains")
+		})
+		b.Run(fmt.Sprintf("bulk/domains-%d", domains), func(b *testing.B) {
+			conn := setup(b, domains)
+			// Steady-state polling form: the inventory is retained
+			// across sweeps, exactly as the fleet poller holds it.
+			var inv core.NodeInventory
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := conn.NodeInventoryInto(&inv); err != nil {
+					b.Fatal(err)
+				}
+				if len(inv.Domains) < domains {
+					b.Fatalf("inventory lost domains: %d < %d", len(inv.Domains), domains)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(domains), "domains")
+		})
+	}
+}
+
 // startBenchDaemon brings up a daemon with the test driver and returns a
 // remote connection over the chosen transport.
 func startBenchDaemon(b *testing.B, transport string) *core.Connect {

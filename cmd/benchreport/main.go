@@ -7,16 +7,19 @@
 // Usage:
 //
 //	benchreport [table|figure id ...]   # default: all
+//	benchreport --json                  # machine-readable fast-path metrics
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"testing"
 	"time"
 
 	"repro/internal/admin"
@@ -46,14 +49,18 @@ var quiet = logging.NewQuiet(logging.Error)
 
 func main() {
 	all := map[string]func(){
-		"T1": tableT1, "T2": tableT2, "T3": tableT3, "T4": tableT4, "T5": tableT5,
-		"T6": tableT6, "T7": tableT7,
+		"T1": tableT1, "T2": tableT2, "T2B": tableT2b, "T3": tableT3, "T4": tableT4,
+		"T5": tableT5, "T6": tableT6, "T7": tableT7,
 		"F1": figureF1, "F2": figureF2, "F3": figureF3, "F4": figureF4, "F5": figureF5,
 		"R1": tableR1, "R2": tableR2,
 		"A3": ablationA3,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "F1", "F2", "F3", "F4", "F5", "R1", "R2", "A3"}
+	order := []string{"T1", "T2", "T2B", "T3", "T4", "T5", "T6", "T7", "F1", "F2", "F3", "F4", "F5", "R1", "R2", "A3"}
 	want := os.Args[1:]
+	if len(want) == 1 && want[0] == "--json" {
+		emitJSON()
+		return
+	}
 	if len(want) == 0 {
 		want = order
 	}
@@ -218,6 +225,136 @@ func tableT2() {
 
 func benchDaemon(transport string) (*core.Connect, func()) {
 	return benchDaemonOn(transport, daemon.New(quiet))
+}
+
+// sweepPayload builds a 64-row monitoring reply, the steady-state unit
+// of the codec comparison.
+func sweepPayload() *struct{ Domains []core.NamedDomainInfo } {
+	rows := make([]core.NamedDomainInfo, 64)
+	for i := range rows {
+		rows[i] = core.NamedDomainInfo{
+			Name: fmt.Sprintf("vm%04d", i),
+			Info: core.DomainInfo{
+				State: core.DomainRunning, MaxMemKiB: 1 << 21,
+				MemKiB: 1 << 20, VCPUs: 2, CPUTimeNs: uint64(i) * 1e9,
+			},
+		}
+	}
+	return &struct{ Domains []core.NamedDomainInfo }{rows}
+}
+
+// t2bCodec benchmarks the reflective and compiled codecs over the same
+// 64-row payload, returning ns/op and allocs/op for each stage.
+type codecStats struct {
+	ReflectNs, CompiledNs         int64
+	ReflectAllocs, CompiledAllocs int64
+}
+
+func benchCodec() (marshal, unmarshal codecStats) {
+	v := sweepPayload()
+	data, err := rpc.Marshal(v)
+	must(err)
+	bench := func(fn func()) (int64, int64) {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		return res.NsPerOp(), res.AllocsPerOp()
+	}
+	marshal.ReflectNs, marshal.ReflectAllocs = bench(func() { rpc.MarshalReflect(v) }) //nolint:errcheck
+	marshal.CompiledNs, marshal.CompiledAllocs = bench(func() { rpc.Marshal(v) })      //nolint:errcheck
+	unmarshal.ReflectNs, unmarshal.ReflectAllocs = bench(func() {
+		var out struct{ Domains []core.NamedDomainInfo }
+		rpc.UnmarshalReflect(data, &out) //nolint:errcheck
+	})
+	unmarshal.CompiledNs, unmarshal.CompiledAllocs = bench(func() {
+		var out struct{ Domains []core.NamedDomainInfo }
+		rpc.Unmarshal(data, &out) //nolint:errcheck
+	})
+	return marshal, unmarshal
+}
+
+// benchSweep measures the live 64-domain monitoring sweep over a unix
+// socket: one DomainInfo round trip, the per-domain loop, and the bulk
+// procedure in its steady-state (retained inventory) form.
+func benchSweep() (single, singles, bulk time.Duration) {
+	conn, shutdown := benchDaemon("unix")
+	defer shutdown()
+	const domains = 64
+	for i := 0; i < domains; i++ {
+		name := fmt.Sprintf("vm%04d", i)
+		_, err := conn.DefineDomain(fmt.Sprintf(
+			`<domain type='test'><name>%s</name><memory unit='MiB'>128</memory><vcpu>2</vcpu><os><type>hvm</type></os></domain>`, name))
+		must(err)
+		dom, err := conn.LookupDomain(name)
+		must(err)
+		must(dom.Create())
+	}
+	dom, err := conn.LookupDomain("vm0000")
+	must(err)
+	single = perOp(2000, func() { dom.Info() }) //nolint:errcheck
+	doms, err := conn.ListAllDomains(0)
+	must(err)
+	singles = perOp(20, func() {
+		for _, d := range doms {
+			d.Info() //nolint:errcheck
+		}
+	})
+	var inv core.NodeInventory
+	bulk = perOp(500, func() {
+		must(conn.NodeInventoryInto(&inv))
+		if len(inv.Domains) < domains {
+			must(fmt.Errorf("sweep lost rows: %d", len(inv.Domains)))
+		}
+	})
+	return single, singles, bulk
+}
+
+// tableT2b is the fast-path table: compiled codec vs reflection on a
+// 64-row monitoring payload, and the live bulk sweep against the
+// per-domain loop it replaces.
+func tableT2b() {
+	header("Table T2b", "RPC fast path: compiled codec vs reflection; bulk sweep vs per-domain loop",
+		fmt.Sprintf("%-26s %-16s %-16s %-12s", "case", "reflect/singles", "compiled/bulk", "gain"))
+	mar, unm := benchCodec()
+	row := func(name string, s codecStats) {
+		fmt.Printf("%-26s %-16s %-16s %-12s\n", name,
+			fmt.Sprintf("%dns/%da", s.ReflectNs, s.ReflectAllocs),
+			fmt.Sprintf("%dns/%da", s.CompiledNs, s.CompiledAllocs),
+			fmt.Sprintf("%.1fx", float64(s.ReflectNs)/float64(s.CompiledNs)))
+	}
+	row("codec/marshal-64rows", mar)
+	row("codec/unmarshal-64rows", unm)
+	single, singles, bulk := benchSweep()
+	fmt.Printf("%-26s %-16s %-16s %-12s\n", "live/single-dominfo", "-", single, "-")
+	fmt.Printf("%-26s %-16s %-16s %-12s\n", "live/sweep-64", singles, bulk,
+		fmt.Sprintf("%.1fx", float64(singles)/float64(bulk)))
+	fmt.Printf("bulk sweep vs one round trip: %.2fx\n", float64(bulk)/float64(single))
+}
+
+// emitJSON prints the fast-path metrics as JSON for scripts/bench.sh.
+func emitJSON() {
+	mar, unm := benchCodec()
+	single, singles, bulk := benchSweep()
+	out := map[string]interface{}{
+		"schema": "benchreport/t2b/v1",
+		"codec": map[string]interface{}{
+			"marshal_64rows":   mar,
+			"unmarshal_64rows": unm,
+		},
+		"sweep_unix_64domains": map[string]interface{}{
+			"single_dominfo_ns":    single.Nanoseconds(),
+			"singles_loop_ns":      singles.Nanoseconds(),
+			"bulk_ns":              bulk.Nanoseconds(),
+			"bulk_vs_single":       float64(bulk) / float64(single),
+			"bulk_vs_singles_gain": float64(singles) / float64(bulk),
+		},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	must(enc.Encode(out))
 }
 
 func benchDaemonOn(transport string, d *daemon.Daemon) (*core.Connect, func()) {

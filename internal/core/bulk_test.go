@@ -1,0 +1,179 @@
+package core
+
+import "testing"
+
+// bulkDriver layers BulkMonitor behaviour over fakeDriver: it can
+// answer bulk calls, refuse them like an old daemon (ErrNoSupport), or
+// fail outright, while counting what was invoked.
+type bulkDriver struct {
+	fakeDriver
+	bulkErr   error // returned by the bulk procedures; nil = answer
+	bulkCalls int
+	infoCalls int
+	listCalls int
+}
+
+func (d *bulkDriver) ListDomains(f ListFlags) ([]string, error) {
+	d.listCalls++
+	return []string{"a", "b", "gone"}, nil
+}
+
+func (d *bulkDriver) DomainInfo(name string) (DomainInfo, error) {
+	d.infoCalls++
+	if name == "gone" {
+		return DomainInfo{}, Errorf(ErrNoDomain, "no %q", name)
+	}
+	return DomainInfo{State: DomainRunning, MemKiB: 1024}, nil
+}
+
+func (d *bulkDriver) DomainListInfo(flags ListFlags, names []string) ([]NamedDomainInfo, error) {
+	d.bulkCalls++
+	if d.bulkErr != nil {
+		return nil, d.bulkErr
+	}
+	return []NamedDomainInfo{
+		{Name: "a", Info: DomainInfo{State: DomainRunning, MemKiB: 1024}},
+		{Name: "b", Info: DomainInfo{State: DomainRunning, MemKiB: 1024}},
+	}, nil
+}
+
+func (d *bulkDriver) NodeInventory() (NodeInventory, error) {
+	d.bulkCalls++
+	if d.bulkErr != nil {
+		return NodeInventory{}, d.bulkErr
+	}
+	rows, _ := d.DomainListInfo(0, nil)
+	d.bulkCalls-- // inner call above; count the outer one only
+	return NodeInventory{Node: NodeInfo{CPUs: 4}, Domains: rows}, nil
+}
+
+func TestListDomainInfoUsesBulkPath(t *testing.T) {
+	d := &bulkDriver{}
+	rows, err := ListDomainInfo(d, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || d.bulkCalls != 1 || d.infoCalls != 0 || d.listCalls != 0 {
+		t.Fatalf("bulk path not taken: rows=%d bulk=%d info=%d list=%d",
+			len(rows), d.bulkCalls, d.infoCalls, d.listCalls)
+	}
+}
+
+func TestListDomainInfoFallsBackOnNoSupport(t *testing.T) {
+	// An old daemon answers the bulk procedure with ErrNoSupport; the
+	// helper must degrade to the list + per-domain loop, skipping
+	// domains undefined mid-sweep.
+	d := &bulkDriver{bulkErr: Errorf(ErrNoSupport, "unknown procedure")}
+	rows, err := ListDomainInfo(d, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("fallback rows = %d, want 2 (racing undefine skipped)", len(rows))
+	}
+	if d.listCalls != 1 || d.infoCalls != 3 {
+		t.Fatalf("fallback path not taken: list=%d info=%d", d.listCalls, d.infoCalls)
+	}
+}
+
+func TestListDomainInfoPropagatesRealErrors(t *testing.T) {
+	d := &bulkDriver{bulkErr: Errorf(ErrInternal, "hypervisor exploded")}
+	if _, err := ListDomainInfo(d, 0, nil); !IsCode(err, ErrInternal) {
+		t.Fatalf("real bulk error not propagated: %v", err)
+	}
+	if d.infoCalls != 0 {
+		t.Fatal("fell back despite a non-ErrNoSupport failure")
+	}
+}
+
+func TestCollectInventoryFallback(t *testing.T) {
+	d := &bulkDriver{bulkErr: Errorf(ErrNoSupport, "unknown procedure")}
+	inv, err := CollectInventory(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Node.CPUs != 4 || len(inv.Domains) != 2 {
+		t.Fatalf("fallback inventory: %+v", inv)
+	}
+
+	fast := &bulkDriver{}
+	inv, err = CollectInventory(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Node.CPUs != 4 || len(inv.Domains) != 2 || fast.infoCalls != 0 {
+		t.Fatalf("bulk inventory: %+v (info calls %d)", inv, fast.infoCalls)
+	}
+}
+
+// intoDriver adds BulkMonitorInto on top of bulkDriver.
+type intoDriver struct {
+	bulkDriver
+	intoCalls int
+}
+
+func (d *intoDriver) NodeInventoryInto(inv *NodeInventory) error {
+	d.intoCalls++
+	if d.bulkErr != nil {
+		return d.bulkErr
+	}
+	fresh, err := d.NodeInventory()
+	if err != nil {
+		return err
+	}
+	*inv = fresh
+	return nil
+}
+
+func TestCollectInventoryInto(t *testing.T) {
+	// A driver with the Into extension is used directly.
+	fast := &intoDriver{}
+	var inv NodeInventory
+	if err := CollectInventoryInto(fast, &inv); err != nil {
+		t.Fatal(err)
+	}
+	if inv.Node.CPUs != 4 || len(inv.Domains) != 2 || fast.intoCalls != 1 {
+		t.Fatalf("into inventory: %+v (into calls %d)", inv, fast.intoCalls)
+	}
+
+	// An Into driver whose peer lacks the procedure degrades all the way
+	// to the per-domain loop.
+	old := &intoDriver{bulkDriver: bulkDriver{bulkErr: Errorf(ErrNoSupport, "unknown procedure")}}
+	inv = NodeInventory{}
+	if err := CollectInventoryInto(old, &inv); err != nil {
+		t.Fatal(err)
+	}
+	if inv.Node.CPUs != 4 || len(inv.Domains) != 2 || old.infoCalls == 0 {
+		t.Fatalf("fallback inventory: %+v (info calls %d)", inv, old.infoCalls)
+	}
+
+	// A plain BulkMonitor driver still answers in one bulk call.
+	plain := &bulkDriver{}
+	inv = NodeInventory{}
+	if err := CollectInventoryInto(plain, &inv); err != nil {
+		t.Fatal(err)
+	}
+	if inv.Node.CPUs != 4 || len(inv.Domains) != 2 || plain.infoCalls != 0 {
+		t.Fatalf("bulk inventory: %+v", inv)
+	}
+
+	// Real errors propagate without a fallback sweep.
+	bad := &intoDriver{bulkDriver: bulkDriver{bulkErr: Errorf(ErrInternal, "boom")}}
+	if err := CollectInventoryInto(bad, &NodeInventory{}); !IsCode(err, ErrInternal) {
+		t.Fatalf("real error not propagated: %v", err)
+	}
+}
+
+func TestListDomainInfoNamesFilter(t *testing.T) {
+	d := &bulkDriver{bulkErr: Errorf(ErrNoSupport, "unknown procedure")}
+	rows, err := ListDomainInfo(d, 0, []string{"a", "gone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Name != "a" {
+		t.Fatalf("names filter rows: %+v", rows)
+	}
+	if d.listCalls != 0 {
+		t.Fatal("listed domains despite an explicit names filter")
+	}
+}

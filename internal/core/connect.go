@@ -112,6 +112,38 @@ func (c *Connect) NodeInfo() (NodeInfo, error) {
 	return d.NodeInfo()
 }
 
+// DomainListInfo collects name+info rows for every domain matching
+// flags in one sweep — a single round trip on connections whose driver
+// implements BulkMonitor, a list + info loop otherwise.
+func (c *Connect) DomainListInfo(flags ListFlags) ([]NamedDomainInfo, error) {
+	d, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	return ListDomainInfo(d, flags, nil)
+}
+
+// NodeInventory returns a whole-host monitoring snapshot: the node
+// summary plus every domain's info, in one driver call when possible.
+func (c *Connect) NodeInventory() (NodeInventory, error) {
+	d, err := c.conn()
+	if err != nil {
+		return NodeInventory{}, err
+	}
+	return CollectInventory(d)
+}
+
+// NodeInventoryInto refreshes *inv in place — the steady-state form of
+// NodeInventory for monitoring pollers, reusing the inventory's row
+// storage when the driver supports it.
+func (c *Connect) NodeInventoryInto(inv *NodeInventory) error {
+	d, err := c.conn()
+	if err != nil {
+		return err
+	}
+	return CollectInventoryInto(d, inv)
+}
+
 // ListAllDomains enumerates domains matching flags (0 = all) as handles.
 func (c *Connect) ListAllDomains(flags ListFlags) ([]*Domain, error) {
 	d, err := c.conn()

@@ -93,6 +93,108 @@ type StoragePoolInfo struct {
 	AvailableKiB  uint64
 }
 
+// BulkMonitor is implemented by drivers that can collect monitoring data
+// for many domains in one call. Over the remote driver this turns an
+// O(domains) monitoring sweep into a single round trip; local drivers
+// implement it to batch their own locking. Callers should fall back to
+// the per-domain loop when the interface is absent or the peer reports
+// ErrNoSupport — ListDomainInfo and CollectInventory do exactly that.
+type BulkMonitor interface {
+	// DomainListInfo returns name+info rows for domains matching flags,
+	// or — when names is non-empty — for exactly those names. Domains
+	// that disappear mid-sweep are skipped, not errors.
+	DomainListInfo(flags ListFlags, names []string) ([]NamedDomainInfo, error)
+	// NodeInventory returns the node summary and all domain rows.
+	NodeInventory() (NodeInventory, error)
+}
+
+// ListDomainInfo collects name+info rows from any driver: one bulk call
+// when the driver implements BulkMonitor, otherwise a list + per-domain
+// info loop with racing undefines skipped. A BulkMonitor whose peer
+// lacks the bulk procedure (an older daemon answering ErrNoSupport)
+// also falls back.
+func ListDomainInfo(d DriverConn, flags ListFlags, names []string) ([]NamedDomainInfo, error) {
+	if bm, ok := d.(BulkMonitor); ok {
+		rows, err := bm.DomainListInfo(flags, names)
+		if err == nil {
+			return rows, nil
+		}
+		if !IsCode(err, ErrNoSupport) {
+			return nil, err
+		}
+	}
+	var err error
+	if len(names) == 0 {
+		names, err = d.ListDomains(flags)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rows := make([]NamedDomainInfo, 0, len(names))
+	for _, name := range names {
+		info, err := d.DomainInfo(name)
+		if err != nil {
+			if IsCode(err, ErrNoDomain) {
+				continue // undefined between list and info
+			}
+			return nil, err
+		}
+		rows = append(rows, NamedDomainInfo{Name: name, Info: info})
+	}
+	return rows, nil
+}
+
+// CollectInventory returns a whole-host snapshot from any driver, using
+// the BulkMonitor fast path when available.
+func CollectInventory(d DriverConn) (NodeInventory, error) {
+	if bm, ok := d.(BulkMonitor); ok {
+		inv, err := bm.NodeInventory()
+		if err == nil {
+			return inv, nil
+		}
+		if !IsCode(err, ErrNoSupport) {
+			return NodeInventory{}, err
+		}
+	}
+	node, err := d.NodeInfo()
+	if err != nil {
+		return NodeInventory{}, err
+	}
+	rows, err := ListDomainInfo(d, 0, nil)
+	if err != nil {
+		return NodeInventory{}, err
+	}
+	return NodeInventory{Node: node, Domains: rows}, nil
+}
+
+// BulkMonitorInto is an optional BulkMonitor extension for steady-state
+// pollers: the inventory is refreshed into a caller-retained value,
+// reusing its Domains capacity (and unchanged name strings) so sweeping
+// a fixed fleet costs no per-sweep allocation.
+type BulkMonitorInto interface {
+	// NodeInventoryInto refreshes *inv in place. On error the contents
+	// of *inv are unspecified (but safe to reuse on the next call).
+	NodeInventoryInto(inv *NodeInventory) error
+}
+
+// CollectInventoryInto refreshes *inv from any driver, reusing its
+// storage when the driver supports BulkMonitorInto and falling back to
+// a fresh CollectInventory snapshot otherwise.
+func CollectInventoryInto(d DriverConn, inv *NodeInventory) error {
+	if bi, ok := d.(BulkMonitorInto); ok {
+		err := bi.NodeInventoryInto(inv)
+		if err == nil || !IsCode(err, ErrNoSupport) {
+			return err
+		}
+	}
+	fresh, err := CollectInventory(d)
+	if err != nil {
+		return err
+	}
+	*inv = fresh
+	return nil
+}
+
 // MachineAccess is implemented by local drivers whose domains are backed
 // by the simulation substrate; the migration engine and workload clock
 // use it. Remote connections do not expose it.

@@ -82,6 +82,20 @@ type NodeInfo struct {
 	Threads   int
 }
 
+// NamedDomainInfo pairs a domain name with its compact info block; the
+// unit of bulk monitoring sweeps.
+type NamedDomainInfo struct {
+	Name string
+	Info DomainInfo
+}
+
+// NodeInventory is a whole-host monitoring snapshot collected in one
+// driver call: the node summary plus the info of every domain.
+type NodeInventory struct {
+	Node    NodeInfo
+	Domains []NamedDomainInfo
+}
+
 // ListFlags selects which domains ListAllDomains returns.
 type ListFlags int
 

@@ -12,6 +12,11 @@ import (
 	"repro/internal/wire"
 )
 
+// invPool recycles NodeInventory values between ProcNodeInventory
+// requests so their row storage survives across a monitoring poller's
+// sweeps.
+var invPool = sync.Pool{New: func() interface{} { return new(core.NodeInventory) }}
+
 // isAuthProc reports whether a procedure is allowed before
 // authentication completes.
 func isAuthProc(proc uint32) bool {
@@ -128,11 +133,8 @@ func (p *RemoteProgram) Dispatch(c *Client, proc uint32, payload []byte) ([]byte
 		if err != nil {
 			return nil, err
 		}
-		return marshal(&wire.NodeInfoReply{
-			Model: ni.Model, MemoryKiB: ni.MemoryKiB, CPUs: uint32(ni.CPUs),
-			MHz: uint32(ni.MHz), NUMANodes: uint32(ni.NUMANodes),
-			Sockets: uint32(ni.Sockets), Cores: uint32(ni.Cores), Threads: uint32(ni.Threads),
-		})
+		reply := nodeInfoToWire(ni)
+		return marshal(&reply)
 	case wire.ProcDomainList:
 		var args wire.DomainListArgs
 		if err := rpc.Unmarshal(payload, &args); err != nil {
@@ -441,6 +443,33 @@ func (p *RemoteProgram) Dispatch(c *Client, proc uint32, payload []byte) ([]byte
 			return voidReply(ds.AttachDevice(args.Domain, args.XML))
 		}
 		return voidReply(ds.DetachDevice(args.Domain, args.XML))
+	case wire.ProcDomainListInfo:
+		var args wire.DomainListInfoArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		rows, err := core.ListDomainInfo(conn.Driver(), core.ListFlags(args.Flags), args.Names)
+		if err != nil {
+			return nil, err
+		}
+		// Core rows encode in the wire.DomainInfoRow layout (the field
+		// widths are pinned by TestDomainInfoRowMatchesCore), so bulk
+		// replies skip the per-row conversion copy.
+		return marshal(&struct{ Domains []core.NamedDomainInfo }{rows})
+	case wire.ProcNodeInventory:
+		// The inventory is pooled across requests: a driver supporting
+		// BulkMonitorInto rebuilds the rows inside the retained slice,
+		// so steady-state monitoring traffic allocates almost nothing
+		// daemon-side. The payload is fully encoded before the Put.
+		inv := invPool.Get().(*core.NodeInventory)
+		defer invPool.Put(inv)
+		if err := core.CollectInventoryInto(conn.Driver(), inv); err != nil {
+			return nil, err
+		}
+		return marshal(&struct {
+			Node    wire.NodeInfoReply
+			Domains []core.NamedDomainInfo
+		}{nodeInfoToWire(inv.Node), inv.Domains})
 	default:
 		return nil, core.Errorf(core.ErrNoSupport, "unknown procedure %d", proc)
 	}
@@ -610,9 +639,19 @@ func (p *RemoteProgram) nameOp(payload []byte, op func(string) error) ([]byte, e
 	return voidReply(op(args.Name))
 }
 
+// nodeInfoToWire converts the core node summary to its wire form.
+func nodeInfoToWire(ni core.NodeInfo) wire.NodeInfoReply {
+	return wire.NodeInfoReply{
+		Model: ni.Model, MemoryKiB: ni.MemoryKiB, CPUs: uint32(ni.CPUs),
+		MHz: uint32(ni.MHz), NUMANodes: uint32(ni.NUMANodes),
+		Sockets: uint32(ni.Sockets), Cores: uint32(ni.Cores), Threads: uint32(ni.Threads),
+	}
+}
+
 func marshal(v interface{}) ([]byte, error) {
-	out, err := rpc.Marshal(v)
+	out, err := rpc.AppendMarshal(getReplyBuf(), v)
 	if err != nil {
+		putReplyBuf(out)
 		return nil, core.Errorf(core.ErrInternal, "marshal reply: %v", err)
 	}
 	return out, nil

@@ -15,12 +15,32 @@ import (
 	"repro/internal/telemetry"
 )
 
+// replyBufPool recycles reply payload buffers between a Program's
+// Dispatch and the post-write release in serveClient, so steady-state
+// replies — including multi-kilobyte bulk monitoring payloads — reuse
+// one buffer instead of allocating per call.
+var replyBufPool = sync.Pool{
+	New: func() interface{} { b := make([]byte, 0, 512); return &b },
+}
+
+func getReplyBuf() []byte { return (*replyBufPool.Get().(*[]byte))[:0] }
+
+func putReplyBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > 64<<10 {
+		return
+	}
+	replyBufPool.Put(&b)
+}
+
 // Program dispatches the procedures of one protocol program.
 type Program interface {
 	// ID returns the program number.
 	ID() uint32
 	// Dispatch executes one procedure and returns the marshalled reply
 	// payload. Errors are transported to the client with their core code.
+	// The server owns the returned payload and recycles it once the
+	// reply is written (see putReplyBuf): implementations must return a
+	// buffer they neither retain nor share.
 	Dispatch(c *Client, proc uint32, payload []byte) ([]byte, error)
 	// IsPriority reports whether the procedure is guaranteed to finish
 	// without hypervisor involvement and may run on priority workers.
@@ -34,6 +54,12 @@ type ServiceConfig struct {
 	Transport Transport
 	AuthSASL  bool // require SASL authentication before dispatch
 	ReadOnly  bool // mark clients read-only
+
+	// WriteCoalesce, when positive, batches this service's outgoing
+	// frames behind a flush-on-idle buffered writer of that many bytes
+	// (see rpc.Conn.EnableWriteCoalescing). Zero writes each frame
+	// directly.
+	WriteCoalesce int
 }
 
 // ClientLimits are the runtime-adjustable connection limits.
@@ -247,6 +273,9 @@ func (s *Server) accept(nc net.Conn, cfg ServiceConfig) {
 		identity:  identity,
 		connected: time.Now(),
 	}
+	if cfg.WriteCoalesce > 0 {
+		client.conn.EnableWriteCoalescing(cfg.WriteCoalesce)
+	}
 	client.authenticated = !cfg.AuthSASL
 	s.clients[client.id] = client
 	s.mu.Unlock()
@@ -261,15 +290,20 @@ func (s *Server) accept(nc net.Conn, cfg ServiceConfig) {
 }
 
 // serveClient reads requests until the connection drops, dispatching
-// each into the workerpool.
+// each into the workerpool. Frames arrive in pooled buffers: branches
+// that never reach dispatch release immediately, and dispatched calls
+// release as soon as the program's Dispatch returns (Unmarshal copies
+// everything it keeps out of the payload).
 func (s *Server) serveClient(c *Client) {
 	for {
-		h, payload, err := c.conn.ReadMessage()
+		f, err := c.conn.ReadFrame()
 		if err != nil {
 			s.removeClient(c)
 			return
 		}
+		h := f.Header
 		if rpc.MsgType(h.Type) == rpc.TypePing {
+			f.Release()
 			pong := h
 			pong.Type = uint32(rpc.TypePong)
 			if err := c.Send(pong, nil); err != nil {
@@ -278,6 +312,7 @@ func (s *Server) serveClient(c *Client) {
 			continue
 		}
 		if rpc.MsgType(h.Type) != rpc.TypeCall {
+			f.Release()
 			s.log.Warnf("daemon.server", "client %d sent non-call message type %d", c.id, h.Type)
 			continue
 		}
@@ -285,24 +320,28 @@ func (s *Server) serveClient(c *Client) {
 		prog, ok := s.programs[h.Program]
 		s.mu.Unlock()
 		if !ok {
+			f.Release()
 			s.replyError(c, h, core.Errorf(core.ErrNoSupport, "unknown program 0x%x", h.Program))
 			continue
 		}
 		if h.Version != rpc.ProtocolVersion {
+			f.Release()
 			s.replyError(c, h, core.Errorf(core.ErrNoSupport, "unsupported protocol version %d", h.Version))
 			continue
 		}
 		if !c.Authenticated() && !isAuthProc(h.Procedure) {
+			f.Release()
 			s.replyError(c, h, core.Errorf(core.ErrAuthFailed, "authentication required"))
 			continue
 		}
 		if spec, ok := faultpoint.Default.Eval("daemon.kill"); ok && spec.Mode == faultpoint.ModeKill {
+			f.Release()
 			s.log.Warnf("daemon.server", "server %s: injected kill", s.name)
 			go s.Kill()
 			return
 		}
 		hdr := h
-		body := payload
+		frame := f
 		st := s.dispatchStat(h.Program, h.Procedure)
 		var span *telemetry.Span
 		if st != nil {
@@ -327,7 +366,8 @@ func (s *Server) serveClient(c *Client) {
 		enqueued := time.Now()
 		job := func() {
 			start := time.Now()
-			reply, err := prog.Dispatch(c, hdr.Procedure, body)
+			reply, err := prog.Dispatch(c, hdr.Procedure, frame.Payload)
+			frame.Release()
 			if st != nil {
 				st.calls.Inc()
 				st.latency.Observe(time.Since(start))
@@ -343,9 +383,11 @@ func (s *Server) serveClient(c *Client) {
 				timer.Stop()
 			}
 			if replied != nil && !replied.CompareAndSwap(false, true) {
+				putReplyBuf(reply)
 				return // the deadline already answered this serial
 			}
 			if err != nil {
+				putReplyBuf(reply)
 				s.replyError(c, hdr, err)
 				return
 			}
@@ -355,8 +397,10 @@ func (s *Server) serveClient(c *Client) {
 			if err := c.Send(out, reply); err != nil {
 				s.log.Warnf("daemon.server", "client %d: send reply: %v", c.id, err)
 			}
+			putReplyBuf(reply)
 		}
 		if err := s.pool.Submit(job, prog.IsPriority(hdr.Procedure)); err != nil {
+			frame.Release() // the job never ran
 			if timer != nil {
 				timer.Stop()
 			}
@@ -371,17 +415,19 @@ func (s *Server) replyError(c *Client, h rpc.Header, err error) {
 	out := h
 	out.Type = uint32(rpc.TypeReply)
 	out.Status = uint32(rpc.StatusError)
-	payload, merr := rpc.Marshal(&rpc.ErrorPayload{
+	payload, merr := rpc.AppendMarshal(getReplyBuf(), &rpc.ErrorPayload{
 		Code:    uint32(core.CodeOf(err)),
 		Message: err.Error(),
 	})
 	if merr != nil {
+		putReplyBuf(payload)
 		s.log.Errorf("daemon.server", "marshal error payload: %v", merr)
 		return
 	}
 	if serr := c.Send(out, payload); serr != nil {
 		s.log.Warnf("daemon.server", "client %d: send error reply: %v", c.id, serr)
 	}
+	putReplyBuf(payload)
 }
 
 func (s *Server) removeClient(c *Client) {

@@ -42,8 +42,13 @@ type Workerpool struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
+	// Both queues are head-index rings: workers consume from queue[qhead]
+	// and Submit appends at the tail, so the backing array is reused
+	// instead of being re-allocated every time the slice slides to empty.
 	queue     []queuedJob // ordinary jobs
+	qhead     int
 	prioQueue []queuedJob // priority jobs
+	prioHead  int
 	waitObs   func(wait time.Duration, priority bool)
 
 	minWorkers  int
@@ -84,6 +89,37 @@ func NewWorkerpool(min, max, prio int) (*Workerpool, error) {
 	return p, nil
 }
 
+// ordLen / prioLen are the live queue depths under the head-index
+// scheme.
+func (p *Workerpool) ordLen() int  { return len(p.queue) - p.qhead }
+func (p *Workerpool) prioLen() int { return len(p.prioQueue) - p.prioHead }
+
+// popOrdinaryLocked removes and returns the oldest ordinary job. The
+// consumed slot is zeroed so the backing array does not pin the job
+// closure, and the slice is rewound to [:0] once drained so appends
+// reuse its capacity.
+func (p *Workerpool) popOrdinaryLocked() queuedJob {
+	qj := p.queue[p.qhead]
+	p.queue[p.qhead] = queuedJob{}
+	p.qhead++
+	if p.qhead == len(p.queue) {
+		p.queue = p.queue[:0]
+		p.qhead = 0
+	}
+	return qj
+}
+
+func (p *Workerpool) popPriorityLocked() queuedJob {
+	qj := p.prioQueue[p.prioHead]
+	p.prioQueue[p.prioHead] = queuedJob{}
+	p.prioHead++
+	if p.prioHead == len(p.prioQueue) {
+		p.prioQueue = p.prioQueue[:0]
+		p.prioHead = 0
+	}
+	return qj
+}
+
 func (p *Workerpool) spawnOrdinaryLocked() {
 	p.nWorkers++
 	p.spawnsTotal++
@@ -117,13 +153,11 @@ func (p *Workerpool) ordinaryWorker() {
 		var qj queuedJob
 		var priority bool
 		switch {
-		case len(p.prioQueue) > 0:
-			qj = p.prioQueue[0]
-			p.prioQueue = p.prioQueue[1:]
+		case p.prioLen() > 0:
+			qj = p.popPriorityLocked()
 			priority = true
-		case len(p.queue) > 0:
-			qj = p.queue[0]
-			p.queue = p.queue[1:]
+		case p.ordLen() > 0:
+			qj = p.popOrdinaryLocked()
 		default:
 			p.cond.Wait()
 			continue
@@ -149,12 +183,11 @@ func (p *Workerpool) priorityWorker() {
 			p.mu.Unlock()
 			return
 		}
-		if len(p.prioQueue) == 0 {
+		if p.prioLen() == 0 {
 			p.cond.Wait()
 			continue
 		}
-		qj := p.prioQueue[0]
-		p.prioQueue = p.prioQueue[1:]
+		qj := p.popPriorityLocked()
 		p.prioBusy++
 		obs := p.waitObs
 		p.mu.Unlock()
@@ -187,7 +220,7 @@ func (p *Workerpool) Submit(job Job, priority bool) error {
 		p.queue = append(p.queue, queuedJob{job: job, at: time.Now()})
 	}
 	freeOrdinary := p.nWorkers - p.busy
-	if freeOrdinary <= len(p.queue)+len(p.prioQueue)-1 && p.nWorkers < p.maxWorkers {
+	if freeOrdinary <= p.ordLen()+p.prioLen()-1 && p.nWorkers < p.maxWorkers {
 		p.spawnOrdinaryLocked()
 	}
 	p.cond.Broadcast()
@@ -204,7 +237,7 @@ func (p *Workerpool) Params() PoolParams {
 		PrioWorkers:   p.prioTarget,
 		NWorkers:      p.nWorkers,
 		FreeWorkers:   p.nWorkers - p.busy,
-		JobQueueDepth: len(p.queue) + len(p.prioQueue),
+		JobQueueDepth: p.ordLen() + p.prioLen(),
 	}
 }
 
@@ -259,8 +292,8 @@ func (p *Workerpool) Stats() PoolStats {
 		OrdinaryDone: p.jobsDone,
 		PriorityDone: p.prioDone,
 		Spawns:       p.spawnsTotal,
-		QueueLen:     len(p.queue),
-		PrioQueueLen: len(p.prioQueue),
+		QueueLen:     p.ordLen(),
+		PrioQueueLen: p.prioLen(),
 		Busy:         p.busy,
 		PrioBusy:     p.prioBusy,
 	}
@@ -283,7 +316,7 @@ func (p *Workerpool) Drain(grace time.Duration) bool {
 	deadline := time.Now().Add(grace)
 	for {
 		p.mu.Lock()
-		quiet := len(p.queue) == 0 && len(p.prioQueue) == 0 && p.busy == 0 && p.prioBusy == 0
+		quiet := p.ordLen() == 0 && p.prioLen() == 0 && p.busy == 0 && p.prioBusy == 0
 		p.mu.Unlock()
 		if quiet {
 			return true

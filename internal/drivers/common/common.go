@@ -78,6 +78,7 @@ type Options struct {
 
 // record is the per-domain registry entry.
 type record struct {
+	name        string
 	def         *xmlspec.Domain
 	uuidStr     string
 	active      bool
@@ -100,6 +101,7 @@ type Base struct {
 	log   *logging.Logger
 	bus   *events.Bus
 	defs  map[string]*record
+	order []*record // records in definition order: a stable sweep order
 	nets  *vnet.Manager
 	pools *storage.Manager
 	ops   sync.Map // op string → *telemetry.Counter
@@ -276,8 +278,9 @@ func (b *Base) DefineDomain(xmlDesc string) (core.DomainMeta, error) {
 	if err := b.persistDomain(def); err != nil {
 		return core.DomainMeta{}, err
 	}
-	r := &record{def: def, uuidStr: def.UUID}
+	r := &record{name: def.Name, def: def, uuidStr: def.UUID}
 	b.defs[def.Name] = r
+	b.order = append(b.order, r)
 	b.log.Infof(b.module(), "domain %s defined", def.Name)
 	b.bus.Emit(events.Event{Type: events.EventDefined, Domain: def.Name, UUID: def.UUID})
 	return b.meta(def.Name, r), nil
@@ -313,6 +316,12 @@ func (b *Base) UndefineDomain(name string) error {
 		return core.Errorf(core.ErrOperationInvalid, "domain %q is active; cannot undefine", name)
 	}
 	delete(b.defs, name)
+	for i, o := range b.order {
+		if o == r {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
 	uuidStr := r.uuidStr
 	b.mu.Unlock()
 	b.persistDelete(statestore.KindDomains, name)

@@ -105,6 +105,20 @@ func (h *hooks) Info(name string) (core.DomainInfo, error) {
 	return common.InfoFromMachine(m.Stats()), nil
 }
 
+// InfoEach implements common.InfoBatcher: one registry pass answers a
+// whole monitoring sweep instead of a lock + lookup per guest, and each
+// machine contributes only the monitoring fields instead of a full
+// Stats snapshot.
+func (h *hooks) InfoEach(names []string, fn func(i int, info core.DomainInfo)) {
+	h.host.MachineEach(names, func(i int, m *hyper.Machine) {
+		st, cpu, mem, maxMem, vcpus := m.MonitorStats()
+		fn(i, core.DomainInfo{
+			State: common.StateFromHyper(st), MaxMemKiB: maxMem,
+			MemKiB: mem, VCPUs: vcpus, CPUTimeNs: cpu,
+		})
+	})
+}
+
 func (h *hooks) Stats(name string) (core.DomainStats, error) {
 	m, err := h.machine(name)
 	if err != nil {

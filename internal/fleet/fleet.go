@@ -134,6 +134,13 @@ type host struct {
 	lastErr error
 	inv     HostInventory
 
+	// sweep is the retained inventory scratch for BulkMonitorInto
+	// drivers: row storage and name strings survive between polls, so a
+	// steady-state sweep allocates almost nothing. sweepMu serializes
+	// refreshes (the poll loop and the rebalancer can overlap).
+	sweepMu sync.Mutex
+	sweep   core.NodeInventory
+
 	poke chan struct{} // event-driven "refresh now" signal
 }
 
@@ -381,30 +388,17 @@ func retryRead[T any](f func() (T, error)) (out T, err error) {
 }
 
 // refresh collects one inventory snapshot over the given connection.
+// Hosts whose driver implements BulkMonitor answer in a single round
+// trip (NodeInventory); older daemons answer ErrNoSupport once and the
+// sweep falls back to the per-domain loop.
 func (r *Registry) refresh(h *host, conn *core.Connect) error {
 	fleetPolls.Inc()
 	d := conn.Driver()
-	node, err := retryRead(d.NodeInfo)
+	h.sweepMu.Lock()
+	node, records, err := r.collectInventory(d, &h.sweep)
+	h.sweepMu.Unlock()
 	if err != nil {
 		return err
-	}
-	names, err := retryRead(func() ([]string, error) { return d.ListDomains(0) })
-	if err != nil {
-		return err
-	}
-	records := make([]DomainRecord, 0, len(names))
-	for _, name := range names {
-		info, err := retryRead(func() (core.DomainInfo, error) { return d.DomainInfo(name) })
-		if err != nil {
-			if core.IsCode(err, core.ErrNoDomain) {
-				continue // undefined between list and info
-			}
-			return err
-		}
-		records = append(records, DomainRecord{
-			Name: name, State: info.State, MemKiB: info.MemKiB,
-			MaxMemKiB: info.MaxMemKiB, VCPUs: info.VCPUs, CPUTimeNs: info.CPUTimeNs,
-		})
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -413,6 +407,70 @@ func (r *Registry) refresh(h *host, conn *core.Connect) error {
 		Node: node, Domains: records, Gen: h.inv.Gen + 1, CollectedAt: time.Now(),
 	}
 	return nil
+}
+
+// collectInventory gathers the node summary and domain records, bulk
+// first, falling back to the classic NodeInfo + list + N×DomainInfo
+// sweep when the driver (or its remote peer) lacks the bulk procedures.
+func (r *Registry) collectInventory(d core.DriverConn, scratch *core.NodeInventory) (core.NodeInfo, []DomainRecord, error) {
+	if bi, ok := d.(core.BulkMonitorInto); ok && scratch != nil {
+		_, err := retryRead(func() (struct{}, error) {
+			return struct{}{}, bi.NodeInventoryInto(scratch)
+		})
+		if err == nil {
+			fleetBulkPolls.Inc()
+			return scratch.Node, recordsFromRows(scratch.Domains), nil
+		}
+		if !core.IsCode(err, core.ErrNoSupport) {
+			return core.NodeInfo{}, nil, err
+		}
+		fleetBulkFallbacks.Inc()
+	} else if bm, ok := d.(core.BulkMonitor); ok {
+		inv, err := retryRead(bm.NodeInventory)
+		if err == nil {
+			fleetBulkPolls.Inc()
+			return inv.Node, recordsFromRows(inv.Domains), nil
+		}
+		if !core.IsCode(err, core.ErrNoSupport) {
+			return core.NodeInfo{}, nil, err
+		}
+		fleetBulkFallbacks.Inc()
+	}
+	node, err := retryRead(d.NodeInfo)
+	if err != nil {
+		return core.NodeInfo{}, nil, err
+	}
+	names, err := retryRead(func() ([]string, error) { return d.ListDomains(0) })
+	if err != nil {
+		return core.NodeInfo{}, nil, err
+	}
+	records := make([]DomainRecord, 0, len(names))
+	for _, name := range names {
+		info, err := retryRead(func() (core.DomainInfo, error) { return d.DomainInfo(name) })
+		if err != nil {
+			if core.IsCode(err, core.ErrNoDomain) {
+				continue // undefined between list and info
+			}
+			return core.NodeInfo{}, nil, err
+		}
+		records = append(records, DomainRecord{
+			Name: name, State: info.State, MemKiB: info.MemKiB,
+			MaxMemKiB: info.MaxMemKiB, VCPUs: info.VCPUs, CPUTimeNs: info.CPUTimeNs,
+		})
+	}
+	return node, records, nil
+}
+
+// recordsFromRows converts bulk monitoring rows to inventory records.
+func recordsFromRows(rows []core.NamedDomainInfo) []DomainRecord {
+	records := make([]DomainRecord, len(rows))
+	for i, row := range rows {
+		records[i] = DomainRecord{
+			Name: row.Name, State: row.Info.State, MemKiB: row.Info.MemKiB,
+			MaxMemKiB: row.Info.MaxMemKiB, VCPUs: row.Info.VCPUs, CPUTimeNs: row.Info.CPUTimeNs,
+		}
+	}
+	return records
 }
 
 func (r *Registry) setUp(h *host, conn *core.Connect) {

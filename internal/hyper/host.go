@@ -115,6 +115,20 @@ func (h *Host) Machines() []*Machine {
 	return out
 }
 
+// MachineEach calls fn for each named machine still registered, in
+// input order, under a single registry lock acquisition — the batched
+// form of Machine for monitoring sweeps. Unknown names are skipped. fn
+// runs with the registry locked and must not call back into the host.
+func (h *Host) MachineEach(names []string, fn func(i int, m *Machine)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, n := range names {
+		if m, ok := h.machines[n]; ok {
+			fn(i, m)
+		}
+	}
+}
+
 // Count returns the number of registered machines.
 func (h *Host) Count() int {
 	h.mu.Lock()

@@ -472,6 +472,15 @@ func (m *Machine) Stats() Stats {
 	}
 }
 
+// MonitorStats returns the five fields a monitoring sweep reports,
+// skipping the wide Stats copy — bulk sweeps call this once per machine
+// on every poll tick.
+func (m *Machine) MonitorStats() (st State, cpuTimeNs, memKiB, maxMemKiB uint64, vcpus int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state, m.cpuTimeNs, m.memKiB, m.cfg.MaxMemKiB, m.vcpus
+}
+
 // MemKiB returns the current balloon size.
 func (m *Machine) MemKiB() uint64 {
 	m.mu.Lock()

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -13,19 +14,40 @@ import (
 // payload). It runs on the client's reader goroutine and must not block.
 type EventHandler func(procedure uint32, payload []byte)
 
+// pendingShards is the size of the pending-call table; a power of two so
+// the shard index is a mask. Sixteen shards keep lock contention
+// negligible even with dozens of goroutines calling concurrently.
+const pendingShards = 16
+
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[uint32]chan reply
+}
+
+// maxPongWriteFailures is how many consecutive pong replies may fail to
+// send before the client declares the connection dead. One failure can
+// be an injected fault or a transient buffer problem; a run of them
+// means the write side is gone while the read side still limps along,
+// and the peer's keepalive will kill us anyway — better to fail fast.
+const maxPongWriteFailures = 3
+
 // Client drives the call side of a connection: it assigns serials,
 // matches replies, and forwards events. Multiple goroutines may call
 // concurrently; replies are routed by serial, so slow calls do not block
-// fast ones.
+// fast ones. The serial counter is atomic and the pending table is
+// sharded, so concurrent callers do not serialise on a single lock.
 type Client struct {
 	program uint32
 	conn    *Conn
 
-	mu      sync.Mutex
-	serial  uint32
-	pending map[uint32]chan reply
-	closed  bool
+	serial atomic.Uint32
+	shards [pendingShards]pendingShard
+
+	closed  atomic.Bool
+	errMu   sync.Mutex
 	readErr error
+
+	pongFails int // consecutive pong send failures; readLoop-only
 
 	lastRx      atomic.Int64 // unix nanos of the last received message
 	callTimeout atomic.Int64 // default per-call deadline in nanos; 0 = none
@@ -35,6 +57,44 @@ type Client struct {
 type reply struct {
 	status  Status
 	payload []byte
+	frame   *Frame // pooled backing of payload; released after decode
+}
+
+func (r *reply) release() {
+	if r.frame != nil {
+		r.frame.Release()
+		r.frame = nil
+	}
+}
+
+// replyChanPool recycles the one-shot reply channels: every call needs
+// one, and steady-state traffic would otherwise allocate a fresh channel
+// per round trip. A channel is recycled only when it is provably empty
+// and unreachable by the reader (see CallContext); channels closed by
+// failAll or racing an in-flight send are left to the GC.
+var replyChanPool = sync.Pool{
+	New: func() interface{} { return make(chan reply, 1) },
+}
+
+// timerPool recycles the per-call deadline timers, saving the timer and
+// context allocations that would otherwise dominate a round trip's
+// allocation budget.
+var timerPool = sync.Pool{
+	New: func() interface{} {
+		t := time.NewTimer(time.Hour)
+		t.Stop()
+		return t
+	},
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
 }
 
 // NewClient wraps an established transport connection for the given
@@ -49,8 +109,10 @@ func NewClientKeepalive(nc net.Conn, program uint32, onEvent EventHandler, ka Ke
 	c := &Client{
 		program: program,
 		conn:    NewConn(nc),
-		pending: make(map[uint32]chan reply),
 		onEvent: onEvent,
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint32]chan reply)
 	}
 	c.noteTraffic()
 	go c.readLoop()
@@ -60,52 +122,141 @@ func NewClientKeepalive(nc net.Conn, program uint32, onEvent EventHandler, ka Ke
 	return c
 }
 
+// EnableWriteCoalescing batches this client's outgoing frames behind a
+// flush-on-idle buffered writer of the given size. Call it right after
+// construction, before issuing calls.
+func (c *Client) EnableWriteCoalescing(size int) {
+	c.conn.EnableWriteCoalescing(size)
+}
+
 // Close tears the connection down; in-flight calls fail.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Swap(true) {
 		return nil
 	}
-	c.closed = true
-	c.mu.Unlock()
 	return c.conn.Close()
+}
+
+func (c *Client) shard(serial uint32) *pendingShard {
+	return &c.shards[serial%pendingShards]
+}
+
+// register assigns the next free serial and parks ch under it. A serial
+// still pending from a wrapped-around earlier call is skipped, so a
+// slow in-flight call can never have its reply stolen by a new one.
+func (c *Client) register(ch chan reply) (uint32, bool) {
+	for {
+		s := c.serial.Add(1)
+		if s == 0 {
+			continue // serial 0 is never assigned
+		}
+		sh := c.shard(s)
+		sh.mu.Lock()
+		if _, busy := sh.m[s]; busy {
+			sh.mu.Unlock()
+			continue // wraparound landed on a still-pending call
+		}
+		sh.m[s] = ch
+		sh.mu.Unlock()
+		if c.closed.Load() {
+			// failAll may have drained the shard before our insert; undo.
+			// If the entry is still ours the channel was never shared and
+			// can be recycled; if failAll got there first it closed it.
+			if _, ok := c.take(s); ok {
+				replyChanPool.Put(ch)
+			}
+			return 0, false
+		}
+		return s, true
+	}
+}
+
+// reclaim resolves a call abandoned at its deadline. If the pending
+// entry is still present the reader never answered: remove it (making
+// the channel unreachable, hence reusable) and report abandonment.
+// Otherwise the reply may have raced the deadline into the channel
+// buffer; use it if it landed.
+func (c *Client) reclaim(serial uint32, ch chan reply) (r reply, got, abandoned bool) {
+	if _, pending := c.take(serial); pending {
+		replyChanPool.Put(ch)
+		return reply{}, false, true
+	}
+	select {
+	case r, got = <-ch:
+	default:
+	}
+	if !got {
+		// The reader removed the entry but its send has not landed yet
+		// (or failAll closed the channel); this channel may still receive
+		// and must not be recycled.
+		return reply{}, false, true
+	}
+	return r, true, false
+}
+
+// take removes and returns the channel pending under serial.
+func (c *Client) take(serial uint32) (chan reply, bool) {
+	sh := c.shard(serial)
+	sh.mu.Lock()
+	ch, ok := sh.m[serial]
+	if ok {
+		delete(sh.m, serial)
+	}
+	sh.mu.Unlock()
+	return ch, ok
 }
 
 func (c *Client) readLoop() {
 	for {
-		h, payload, err := c.conn.ReadMessage()
+		f, err := c.conn.ReadFrame()
 		if err != nil {
 			c.failAll(err)
 			return
 		}
 		c.noteTraffic()
+		h := f.Header
 		switch MsgType(h.Type) {
 		case TypePing:
-			// Server-initiated probe: answer immediately.
+			// Server-initiated probe: answer immediately. A failed pong
+			// write is counted, and a persistent run of them tears the
+			// connection down instead of silently looping while the
+			// peer concludes we are dead.
+			f.Release()
 			pong := h
 			pong.Type = uint32(TypePong)
-			c.conn.WriteMessage(pong, nil) //nolint:errcheck
+			if err := c.conn.WriteMessage(pong, nil); err != nil {
+				pongWriteFails.Inc()
+				c.pongFails++
+				if c.pongFails >= maxPongWriteFailures {
+					c.failAll(fmt.Errorf("rpc: pong send failed %d times: %w", c.pongFails, err))
+					c.conn.Close()
+					return
+				}
+			} else {
+				c.pongFails = 0
+			}
 		case TypePong:
 			// Traffic note above is all a pong needs.
+			f.Release()
 			kaPongsRcvd.Inc()
 		case TypeReply:
-			c.mu.Lock()
-			ch, ok := c.pending[h.Serial]
-			if ok {
-				delete(c.pending, h.Serial)
-			}
-			c.mu.Unlock()
-			if ok {
-				ch <- reply{status: Status(h.Status), payload: payload}
+			if ch, ok := c.take(h.Serial); ok {
+				// The frame travels with the reply; the caller releases
+				// it after decoding. Channel capacity 1 guarantees the
+				// send never blocks the reader.
+				ch <- reply{status: Status(h.Status), payload: f.Payload, frame: f}
+			} else {
+				f.Release() // abandoned at its deadline; discard
 			}
 		case TypeEvent:
 			if c.onEvent != nil {
-				c.onEvent(h.Procedure, payload)
+				c.onEvent(h.Procedure, f.Payload)
 			}
+			f.Release()
 		default:
 			// A Call arriving at a client is a protocol violation; drop
 			// the connection rather than guessing.
+			f.Release()
 			c.failAll(fmt.Errorf("rpc: unexpected message type %d from server", h.Type))
 			c.conn.Close()
 			return
@@ -114,14 +265,27 @@ func (c *Client) readLoop() {
 }
 
 func (c *Client) failAll(err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.readErr = err
-	c.closed = true
-	for serial, ch := range c.pending {
-		delete(c.pending, serial)
-		close(ch)
+	c.errMu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
 	}
+	c.errMu.Unlock()
+	c.closed.Store(true)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for serial, ch := range sh.m {
+			delete(sh.m, serial)
+			close(ch)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func (c *Client) lastErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.readErr
 }
 
 // SetCallTimeout sets the default deadline applied to every Call (and to
@@ -150,35 +314,32 @@ func (c *Client) Call(procedure uint32, args interface{}, ret interface{}) error
 // wrapping ctx's error; the reply, if it ever arrives, is discarded by
 // the reader since the pending entry is gone.
 func (c *Client) CallContext(ctx context.Context, procedure uint32, args interface{}, ret interface{}) error {
-	var payload []byte
-	var err error
-	if args != nil {
-		payload, err = Marshal(args)
-		if err != nil {
-			return fmt.Errorf("rpc: marshal args for proc %d: %w", procedure, err)
-		}
-	}
-	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
-		if d := c.CallTimeout(); d > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, d)
-			defer cancel()
-		}
-	}
-	ch := make(chan reply, 1)
-	c.mu.Lock()
-	if c.closed {
-		readErr := c.readErr
-		c.mu.Unlock()
-		if readErr != nil {
+	if c.closed.Load() {
+		if readErr := c.lastErr(); readErr != nil {
 			return &TransportError{Op: "call", Err: fmt.Errorf("connection failed: %w", readErr)}
 		}
 		return &TransportError{Op: "call", Err: fmt.Errorf("client is closed")}
 	}
-	c.serial++
-	serial := c.serial
-	c.pending[serial] = ch
-	c.mu.Unlock()
+	// A caller-supplied context deadline is honoured as-is; the client's
+	// default call timeout is enforced with a pooled timer instead of a
+	// derived context, which would cost several allocations per call.
+	var timeoutC <-chan time.Time
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		if d := c.CallTimeout(); d > 0 {
+			t := timerPool.Get().(*time.Timer)
+			t.Reset(d)
+			defer putTimer(t)
+			timeoutC = t.C
+		}
+	}
+	ch := replyChanPool.Get().(chan reply)
+	serial, ok := c.register(ch)
+	if !ok {
+		if readErr := c.lastErr(); readErr != nil {
+			return &TransportError{Op: "call", Err: fmt.Errorf("connection failed: %w", readErr)}
+		}
+		return &TransportError{Op: "call", Err: fmt.Errorf("client is closed")}
+	}
 
 	h := Header{
 		Program:   c.program,
@@ -187,53 +348,61 @@ func (c *Client) CallContext(ctx context.Context, procedure uint32, args interfa
 		Type:      uint32(TypeCall),
 		Serial:    serial,
 	}
-	if err := c.conn.WriteMessage(h, payload); err != nil {
-		c.mu.Lock()
-		delete(c.pending, serial)
-		c.mu.Unlock()
+	// Args are encoded straight into the pooled frame buffer — no
+	// intermediate payload allocation.
+	if err := c.conn.WriteMarshal(h, args); err != nil {
+		if _, pending := c.take(serial); pending {
+			// The reader never saw this serial; the channel is untouched.
+			replyChanPool.Put(ch)
+		}
+		var ce *codecError
+		if errors.As(err, &ce) {
+			return fmt.Errorf("rpc: marshal args for proc %d: %w", procedure, ce.err)
+		}
 		return &TransportError{Op: "send", Err: fmt.Errorf("send proc %d: %w", procedure, err)}
 	}
 
 	var r reply
-	var ok bool
+	var got bool
+	var abandoned bool
 	select {
-	case r, ok = <-ch:
+	case r, got = <-ch:
 	case <-ctx.Done():
-		c.mu.Lock()
-		_, pending := c.pending[serial]
-		delete(c.pending, serial)
-		c.mu.Unlock()
-		if !pending {
-			// Reply raced the deadline into the channel; use it.
-			select {
-			case r, ok = <-ch:
-			default:
-				ok = false
-			}
-			if ok {
-				break
-			}
+		r, got, abandoned = c.reclaim(serial, ch)
+		if abandoned {
+			callsDeadlined.Inc()
+			return &TransportError{Op: "deadline", Err: fmt.Errorf("proc %d abandoned: %w", procedure, ctx.Err())}
 		}
-		callsDeadlined.Inc()
-		return &TransportError{Op: "deadline", Err: fmt.Errorf("proc %d abandoned: %w", procedure, ctx.Err())}
+	case <-timeoutC:
+		r, got, abandoned = c.reclaim(serial, ch)
+		if abandoned {
+			callsDeadlined.Inc()
+			return &TransportError{Op: "deadline", Err: fmt.Errorf("proc %d abandoned: %w", procedure, context.DeadlineExceeded)}
+		}
 	}
-	if !ok {
-		c.mu.Lock()
-		readErr := c.readErr
-		c.mu.Unlock()
-		return &TransportError{Op: "recv", Err: fmt.Errorf("connection lost awaiting proc %d: %v", procedure, readErr)}
+	if !got {
+		// failAll closed the channel; it must not be recycled.
+		return &TransportError{Op: "recv", Err: fmt.Errorf("connection lost awaiting proc %d: %v", procedure, c.lastErr())}
 	}
+	// The reader delivered exactly one reply and forgot the serial; the
+	// drained channel is safe to reuse.
+	replyChanPool.Put(ch)
 	if r.status == StatusError {
 		var ep ErrorPayload
-		if err := Unmarshal(r.payload, &ep); err != nil {
+		err := Unmarshal(r.payload, &ep)
+		r.release()
+		if err != nil {
 			return fmt.Errorf("rpc: proc %d failed with undecodable error: %v", procedure, err)
 		}
 		return &RemoteError{Code: ep.Code, Message: ep.Message}
 	}
+	var uerr error
 	if ret != nil {
-		if err := Unmarshal(r.payload, ret); err != nil {
-			return fmt.Errorf("rpc: unmarshal reply for proc %d: %w", procedure, err)
-		}
+		uerr = Unmarshal(r.payload, ret)
+	}
+	r.release()
+	if uerr != nil {
+		return fmt.Errorf("rpc: unmarshal reply for proc %d: %w", procedure, uerr)
 	}
 	return nil
 }

@@ -24,10 +24,7 @@ func (c *Client) startKeepalive(cfg KeepaliveConfig) {
 		defer ticker.Stop()
 		var missed int
 		for range ticker.C {
-			c.mu.Lock()
-			closed := c.closed
-			c.mu.Unlock()
-			if closed {
+			if c.closed.Load() {
 				return
 			}
 			last := time.Unix(0, c.lastRx.Load())

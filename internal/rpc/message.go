@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -52,8 +53,16 @@ type Header struct {
 
 const headerLen = 6 * 4
 
+// frameOverhead is the length word plus header preceding every payload.
+const frameOverhead = 4 + headerLen
+
 // MaxMessageLen bounds a whole framed message (length word included).
 const MaxMessageLen = 16 * 1024 * 1024
+
+// maxPooledFrame caps the buffer capacity retained in the frame pool;
+// occasional jumbo frames (domain XML documents) are let go to the GC
+// rather than pinning megabytes per idle connection.
+const maxPooledFrame = 64 * 1024
 
 // ErrorPayload carries a failure across the wire.
 type ErrorPayload struct {
@@ -61,20 +70,126 @@ type ErrorPayload struct {
 	Message string
 }
 
+// Frame is one received message backed by a pooled buffer. Payload
+// aliases that buffer, so the recipient must call Release exactly once
+// when done with it — after Unmarshal (which copies all strings and
+// byte slices out) the payload is never needed again.
+type Frame struct {
+	Header  Header
+	Payload []byte
+	buf     []byte
+}
+
+var framePool = sync.Pool{New: func() interface{} { return new(Frame) }}
+
+func getFrame() *Frame { return framePool.Get().(*Frame) }
+
+// Release returns the frame's buffer to the pool. The frame and its
+// Payload must not be touched afterwards.
+func (f *Frame) Release() {
+	if f == nil {
+		return
+	}
+	if cap(f.buf) > maxPooledFrame {
+		f.buf = nil
+	}
+	f.Payload = nil
+	f.Header = Header{}
+	framePool.Put(f)
+}
+
+// grow returns b truncated to zero length with capacity for at least n
+// bytes, reusing b's array when possible.
+func grow(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:0]
+	}
+	return make([]byte, 0, n)
+}
+
+// codecError marks a WriteMarshal failure that happened while encoding
+// the arguments — before any bytes reached the wire — so callers can
+// report it as a marshalling problem rather than a transport one.
+type codecError struct{ err error }
+
+func (e *codecError) Error() string { return e.err.Error() }
+
+func (e *codecError) Unwrap() error { return e.err }
+
 // Conn frames messages over a stream transport. Reads and writes are
 // independently serialised, so one goroutine may read while others
-// write.
+// write. EnableWriteCoalescing optionally batches small frames behind a
+// flush-on-idle buffered writer.
 type Conn struct {
 	rmu sync.Mutex
 	wmu sync.Mutex
 	c   net.Conn
+
+	// Write coalescing, nil/inactive by default. All three fields are
+	// guarded by wmu except flushCh/stopCh signalling.
+	bw       *bufio.Writer
+	writeErr error
+	flushCh  chan struct{}
+	stopCh   chan struct{}
+	stopOnce sync.Once
 }
 
 // NewConn wraps a stream connection.
 func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
 
-// Close closes the underlying transport.
-func (c *Conn) Close() error { return c.c.Close() }
+// EnableWriteCoalescing switches the connection to buffered writes of up
+// to size bytes with a flush-on-idle goroutine: each write signals the
+// flusher, which drains whatever accumulated while it was scheduled, so
+// bursts of small frames from concurrent callers leave in one syscall
+// while a lone frame still flushes within a goroutine wakeup. Call it
+// before the connection carries traffic; size <= 0 is a no-op.
+func (c *Conn) EnableWriteCoalescing(size int) {
+	if size <= 0 {
+		return
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.bw != nil {
+		return
+	}
+	c.bw = bufio.NewWriterSize(c.c, size)
+	c.flushCh = make(chan struct{}, 1)
+	c.stopCh = make(chan struct{})
+	go c.flushLoop()
+}
+
+func (c *Conn) flushLoop() {
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-c.flushCh:
+		}
+		c.wmu.Lock()
+		if c.writeErr == nil && c.bw.Buffered() > 0 {
+			if err := c.bw.Flush(); err != nil {
+				c.writeErr = err
+			} else {
+				coalescedFlushes.Inc()
+			}
+		}
+		c.wmu.Unlock()
+	}
+}
+
+// Close closes the underlying transport after a best-effort flush of
+// any coalesced frames still buffered.
+func (c *Conn) Close() error {
+	c.wmu.Lock()
+	if c.bw != nil {
+		if c.writeErr == nil {
+			c.writeErr = c.bw.Flush()
+		}
+		c.stopOnce.Do(func() { close(c.stopCh) })
+	}
+	c.wmu.Unlock()
+	return c.c.Close()
+}
 
 // RemoteAddr returns the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
@@ -82,9 +197,58 @@ func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
 // LocalAddr returns the local address.
 func (c *Conn) LocalAddr() net.Addr { return c.c.LocalAddr() }
 
-// WriteMessage frames and sends one message. The "rpc.send" faultpoint
-// can drop the frame (reported as sent — the bytes just never leave, as
-// on a lossy network), corrupt its payload, or fail the write outright.
+// writeFrame sends one fully built frame under the write lock, through
+// the coalescing writer when enabled.
+func (c *Conn) writeFrame(buf []byte) error {
+	c.wmu.Lock()
+	if c.writeErr != nil {
+		err := c.writeErr
+		c.wmu.Unlock()
+		return err
+	}
+	var n int
+	var err error
+	if c.bw != nil {
+		n, err = c.bw.Write(buf)
+		if err != nil {
+			c.writeErr = err
+		}
+	} else {
+		n, err = c.c.Write(buf)
+	}
+	flushCh := c.flushCh
+	c.wmu.Unlock()
+	if n > 0 {
+		txBytes.Add(uint64(n))
+	}
+	if err == nil {
+		txFrames.Inc()
+		if flushCh != nil {
+			select {
+			case flushCh <- struct{}{}:
+			default:
+			}
+		}
+	}
+	return err
+}
+
+// putFrameHeader writes the length word and header into buf[0:28].
+func putFrameHeader(buf []byte, total uint32, h Header) {
+	binary.BigEndian.PutUint32(buf[0:], total)
+	binary.BigEndian.PutUint32(buf[4:], h.Program)
+	binary.BigEndian.PutUint32(buf[8:], h.Version)
+	binary.BigEndian.PutUint32(buf[12:], h.Procedure)
+	binary.BigEndian.PutUint32(buf[16:], h.Type)
+	binary.BigEndian.PutUint32(buf[20:], h.Serial)
+	binary.BigEndian.PutUint32(buf[24:], h.Status)
+}
+
+// WriteMessage frames and sends one message. The frame is assembled in
+// a pooled buffer, so the steady-state write path allocates nothing.
+// The "rpc.send" faultpoint can drop the frame (reported as sent — the
+// bytes just never leave, as on a lossy network), corrupt its payload,
+// or fail the write outright.
 func (c *Conn) WriteMessage(h Header, payload []byte) error {
 	if spec, ok := faultpoint.Default.Eval("rpc.send"); ok {
 		switch spec.Mode {
@@ -101,51 +265,98 @@ func (c *Conn) WriteMessage(h Header, payload []byte) error {
 			return fmt.Errorf("rpc: injected send fault")
 		}
 	}
-	total := 4 + headerLen + len(payload)
+	total := frameOverhead + len(payload)
 	if total > MaxMessageLen {
 		return fmt.Errorf("rpc: message of %d exceeds limit", total)
 	}
-	buf := make([]byte, total)
-	binary.BigEndian.PutUint32(buf[0:], uint32(total))
-	binary.BigEndian.PutUint32(buf[4:], h.Program)
-	binary.BigEndian.PutUint32(buf[8:], h.Version)
-	binary.BigEndian.PutUint32(buf[12:], h.Procedure)
-	binary.BigEndian.PutUint32(buf[16:], h.Type)
-	binary.BigEndian.PutUint32(buf[20:], h.Serial)
-	binary.BigEndian.PutUint32(buf[24:], h.Status)
-	copy(buf[28:], payload)
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	n, err := c.c.Write(buf)
-	if n > 0 {
-		txBytes.Add(uint64(n))
-	}
-	if err == nil {
-		txFrames.Inc()
-	}
+	f := getFrame()
+	buf := grow(f.buf, total)[:frameOverhead]
+	putFrameHeader(buf, uint32(total), h)
+	buf = append(buf, payload...)
+	err := c.writeFrame(buf)
+	f.buf = buf
+	f.Release()
 	return err
 }
 
-// ReadMessage receives one framed message. The "rpc.recv" faultpoint can
-// drop a received frame (the read loops on to the next one, as if the
-// frame were lost in flight), corrupt its payload, or fail the read.
-func (c *Conn) ReadMessage() (Header, []byte, error) {
+// WriteMarshal XDR-encodes args directly into the pooled frame buffer
+// behind the header and sends the result: one buffer, zero payload
+// copies, no per-call allocation. A nil args sends an empty payload.
+// Encoding failures return a *codecError; everything else is a
+// transport-level error. Fault injection semantics match WriteMessage,
+// with the "rpc.send" faultpoint evaluated once the frame is built (a
+// marshalling bug is reported even on a dropped frame).
+func (c *Conn) WriteMarshal(h Header, args interface{}) error {
+	f := getFrame()
+	buf := grow(f.buf, 256)[:frameOverhead]
+	if args != nil {
+		var err error
+		buf, err = AppendMarshal(buf, args)
+		if err != nil {
+			f.buf = buf
+			f.Release()
+			return &codecError{err}
+		}
+	}
+	total := len(buf)
+	if total > MaxMessageLen {
+		f.buf = buf
+		f.Release()
+		return fmt.Errorf("rpc: message of %d exceeds limit", total)
+	}
+	putFrameHeader(buf, uint32(total), h)
+	if spec, ok := faultpoint.Default.Eval("rpc.send"); ok {
+		switch spec.Mode {
+		case faultpoint.ModeDrop:
+			faultsDropped.Inc()
+			f.buf = buf
+			f.Release()
+			return nil
+		case faultpoint.ModeCorrupt:
+			corruptInPlace(buf[frameOverhead:])
+			faultsCorrupted.Inc()
+		case faultpoint.ModeError:
+			f.buf = buf
+			f.Release()
+			if spec.Err != nil {
+				return spec.Err
+			}
+			return fmt.Errorf("rpc: injected send fault")
+		}
+	}
+	err := c.writeFrame(buf)
+	f.buf = buf
+	f.Release()
+	return err
+}
+
+// ReadFrame receives one framed message into a pooled buffer. The
+// caller owns the returned frame and must Release it once the payload
+// has been consumed. The "rpc.recv" faultpoint can drop a received
+// frame (the read loops on to the next one, as if the frame were lost
+// in flight), corrupt its payload, or fail the read.
+func (c *Conn) ReadFrame() (*Frame, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
+	f := getFrame()
 	for {
 		var lenBuf [4]byte
 		if _, err := io.ReadFull(c.c, lenBuf[:]); err != nil {
-			return Header{}, nil, err
+			f.Release()
+			return nil, err
 		}
 		total := binary.BigEndian.Uint32(lenBuf[:])
-		if total < 4+headerLen || total > MaxMessageLen {
-			return Header{}, nil, fmt.Errorf("rpc: invalid message length %d", total)
+		if total < frameOverhead || total > MaxMessageLen {
+			f.Release()
+			return nil, fmt.Errorf("rpc: invalid message length %d", total)
 		}
-		rest := make([]byte, total-4)
+		rest := grow(f.buf, int(total)-4)[:int(total)-4]
+		f.buf = rest
 		if _, err := io.ReadFull(c.c, rest); err != nil {
-			return Header{}, nil, err
+			f.Release()
+			return nil, err
 		}
-		h := Header{
+		f.Header = Header{
 			Program:   binary.BigEndian.Uint32(rest[0:]),
 			Version:   binary.BigEndian.Uint32(rest[4:]),
 			Procedure: binary.BigEndian.Uint32(rest[8:]),
@@ -160,19 +371,36 @@ func (c *Conn) ReadMessage() (Header, []byte, error) {
 			switch spec.Mode {
 			case faultpoint.ModeDrop:
 				faultsDropped.Inc()
-				continue
+				continue // reuse the buffer for the next frame
 			case faultpoint.ModeCorrupt:
-				payload = corruptCopy(payload)
+				corruptInPlace(payload) // the buffer is ours; flip in place
 				faultsCorrupted.Inc()
 			case faultpoint.ModeError:
+				f.Release()
 				if spec.Err != nil {
-					return Header{}, nil, spec.Err
+					return nil, spec.Err
 				}
-				return Header{}, nil, fmt.Errorf("rpc: injected recv fault")
+				return nil, fmt.Errorf("rpc: injected recv fault")
 			}
 		}
-		return h, payload, nil
+		f.Payload = payload
+		return f, nil
 	}
+}
+
+// ReadMessage receives one framed message, copying the payload out of
+// the pooled buffer. Callers on hot paths should prefer ReadFrame +
+// Release; this convenience form exists for tests and simple loops.
+func (c *Conn) ReadMessage() (Header, []byte, error) {
+	f, err := c.ReadFrame()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	h := f.Header
+	payload := make([]byte, len(f.Payload))
+	copy(payload, f.Payload)
+	f.Release()
+	return h, payload, nil
 }
 
 // corruptCopy returns a bit-flipped copy of a payload; the original is
@@ -183,8 +411,16 @@ func corruptCopy(payload []byte) []byte {
 	}
 	out := make([]byte, len(payload))
 	copy(out, payload)
-	out[0] ^= 0xff
-	out[len(out)/2] ^= 0xa5
-	out[len(out)-1] ^= 0xff
+	corruptInPlace(out)
 	return out
+}
+
+// corruptInPlace bit-flips a payload the caller owns.
+func corruptInPlace(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	p[0] ^= 0xff
+	p[len(p)/2] ^= 0xa5
+	p[len(p)-1] ^= 0xff
 }

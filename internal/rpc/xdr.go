@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"unsafe"
 )
 
 // Maximum sizes, enforced on both encode and decode so a malicious or
@@ -24,7 +25,70 @@ const (
 // uint, float64, string, []byte, slices of supported kinds, and nested
 // structs. int/uint are transmitted as 64-bit. Unexported fields are
 // skipped.
+//
+// Struct and pointer-to-struct values run on a compiled codec plan (see
+// xdr_plan.go): the first Marshal of a type pays for plan compilation,
+// every later call executes flat field ops with no per-field reflection
+// and exactly one allocation (the output buffer, sized by a pre-pass).
 func Marshal(v interface{}) ([]byte, error) {
+	return AppendMarshal(nil, v)
+}
+
+// AppendMarshal encodes v like Marshal but appends to buf, so callers
+// holding a reusable buffer encode with zero allocations in the steady
+// state. The appended slice is returned (buf's array is reused when its
+// capacity suffices).
+func AppendMarshal(buf []byte, v interface{}) ([]byte, error) {
+	if v != nil {
+		t := reflect.TypeOf(v)
+		switch t.Kind() {
+		case reflect.Ptr:
+			if t.Elem().Kind() == reflect.Struct {
+				if p := planFor(t.Elem()); p != nil {
+					rv := reflect.ValueOf(v)
+					if rv.IsNil() {
+						return nil, fmt.Errorf("xdr: cannot encode nil pointer")
+					}
+					return appendPlanned(buf, p, rv.UnsafePointer())
+				}
+			}
+		case reflect.Struct:
+			if p := planFor(t); p != nil {
+				// A bare struct value inside an interface is not
+				// addressable; copy it once to get a stable base pointer.
+				rv := reflect.New(t)
+				rv.Elem().Set(reflect.ValueOf(v))
+				return appendPlanned(buf, p, rv.UnsafePointer())
+			}
+		}
+	}
+	// Reflective fallback: non-struct values and plan-rejected shapes.
+	e := &encoder{buf: buf}
+	if err := e.encode(reflect.ValueOf(v)); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// appendPlanned runs the encode ops. A buffer without spare capacity is
+// sized exactly by a pre-pass so a bare Marshal allocates once; a reused
+// buffer (frame pool, reply pool) skips the sizing walk and relies on
+// its capacity, growing geometrically only until the pool warms up.
+func appendPlanned(buf []byte, p *codecPlan, base unsafe.Pointer) ([]byte, error) {
+	if cap(buf) == len(buf) {
+		need := planSize(p.ops, base)
+		nb := make([]byte, len(buf), len(buf)+need)
+		copy(nb, buf)
+		buf = nb
+	}
+	return appendPlan(buf, p.ops, base)
+}
+
+// MarshalReflect is the original reflective encoder, retained as the
+// semantic reference: differential tests and the benchreport T2b
+// ablation compare the compiled plans against it, and it remains the
+// fallback for shapes plans cannot express.
+func MarshalReflect(v interface{}) ([]byte, error) {
 	e := &encoder{}
 	if err := e.encode(reflect.ValueOf(v)); err != nil {
 		return nil, err
@@ -116,8 +180,33 @@ func (e *encoder) encode(v reflect.Value) error {
 }
 
 // Unmarshal decodes XDR bytes into v, which must be a non-nil pointer.
-// It errors on truncated input and on trailing bytes.
+// It errors on truncated input and on trailing bytes. Struct targets
+// decode through the same compiled plans as Marshal.
 func Unmarshal(data []byte, v interface{}) error {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Ptr || rv.IsNil() {
+		return fmt.Errorf("xdr: Unmarshal target must be a non-nil pointer")
+	}
+	if t := rv.Type().Elem(); t.Kind() == reflect.Struct {
+		if p := planFor(t); p != nil {
+			var a byteArena
+			pos, err := decodePlan(data, 0, p.ops, rv.UnsafePointer(), &a)
+			if err != nil {
+				return err
+			}
+			if pos != len(data) {
+				return fmt.Errorf("xdr: %d trailing bytes", len(data)-pos)
+			}
+			return nil
+		}
+	}
+	return UnmarshalReflect(data, v)
+}
+
+// UnmarshalReflect is the original reflective decoder, kept as the
+// reference implementation (see MarshalReflect) and the fallback for
+// non-struct targets and plan-rejected types.
+func UnmarshalReflect(data []byte, v interface{}) error {
 	rv := reflect.ValueOf(v)
 	if rv.Kind() != reflect.Ptr || rv.IsNil() {
 		return fmt.Errorf("xdr: Unmarshal target must be a non-nil pointer")

@@ -83,8 +83,8 @@ func (s *Store) Save(kind, name string, data []byte) error {
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()           //nolint:errcheck
-		os.Remove(tmpName)    //nolint:errcheck
+		tmp.Close()        //nolint:errcheck
+		os.Remove(tmpName) //nolint:errcheck
 		return fmt.Errorf("statestore: write %s/%s: %w", kind, name, err)
 	}
 	if err := tmp.Sync(); err != nil {

@@ -62,6 +62,8 @@ var procNames = map[uint32]string{
 	ProcManagedSaveRemove:  "ManagedSaveRemove",
 	ProcDeviceAttach:       "DeviceAttach",
 	ProcDeviceDetach:       "DeviceDetach",
+	ProcDomainListInfo:     "DomainListInfo",
+	ProcNodeInventory:      "NodeInventory",
 	ProcEventLifecycle:     "EventLifecycle",
 }
 

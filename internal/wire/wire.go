@@ -67,6 +67,8 @@ const (
 	ProcManagedSaveRemove
 	ProcDeviceAttach
 	ProcDeviceDetach
+	ProcDomainListInfo
+	ProcNodeInventory
 )
 
 // ProcEventLifecycle is the procedure number of unsolicited lifecycle
@@ -269,4 +271,41 @@ type SASLStartArgs struct {
 type SASLStartReply struct {
 	Complete bool
 	Data     []byte
+}
+
+// DomainListInfoArgs selects domains for a bulk info sweep. Flags
+// filters like DomainList; Names, when non-empty, restricts the sweep
+// to exactly those domains instead.
+type DomainListInfoArgs struct {
+	Flags uint32
+	Names []string
+}
+
+// DomainInfoRow pairs one domain's name with its compact info block in
+// bulk monitoring replies. Field widths deliberately mirror the XDR
+// encoding of core.NamedDomainInfo (int encodes as 64-bit), so the
+// daemon and the remote driver encode and decode the core row type
+// directly — a bulk sweep crosses the boundary with zero per-row
+// conversion. TestDomainInfoRowMatchesCore pins the equivalence.
+type DomainInfoRow struct {
+	Name      string
+	State     int64
+	MaxMemKiB uint64
+	MemKiB    uint64
+	VCPUs     int64
+	CPUTimeNs uint64
+}
+
+// DomainListInfoReply returns one row per matched domain — the bulk
+// counterpart of N DomainGetInfo round trips.
+type DomainListInfoReply struct {
+	Domains []DomainInfoRow
+}
+
+// NodeInventoryReply returns the node summary plus every domain's info
+// in a single round trip: one call replaces the NodeGetInfo +
+// DomainList + N×DomainGetInfo monitoring sweep.
+type NodeInventoryReply struct {
+	Node    NodeInfoReply
+	Domains []DomainInfoRow
 }

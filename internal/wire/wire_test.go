@@ -4,10 +4,12 @@
 package wire_test
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/core"
 	"repro/internal/rpc"
 	"repro/internal/wire"
 )
@@ -109,6 +111,42 @@ func TestProcedureNumbersAreStable(t *testing.T) {
 		if got[name] != want {
 			t.Errorf("procedure %s renumbered: %d, want %d", name, got[name], want)
 		}
+	}
+}
+
+// TestDomainInfoRowMatchesCore pins the zero-conversion contract of the
+// bulk monitoring procedures: the daemon marshals []core.NamedDomainInfo
+// and the remote driver unmarshals into it, with wire.DomainInfoRow
+// documenting the layout. If the encodings ever diverge, the fast path
+// silently corrupts sweeps — so byte equality is asserted here.
+func TestDomainInfoRowMatchesCore(t *testing.T) {
+	wireRows := wire.DomainListInfoReply{Domains: []wire.DomainInfoRow{
+		{Name: "vm-1", State: int64(core.DomainRunning), MaxMemKiB: 1 << 40, MemKiB: 4096, VCPUs: 8, CPUTimeNs: 123456789},
+		{Name: "", State: int64(core.DomainShutoff), MaxMemKiB: 0, MemKiB: 0, VCPUs: 0, CPUTimeNs: 0},
+		{Name: "padding-check", State: int64(core.DomainCrashed), MaxMemKiB: 7, MemKiB: 3, VCPUs: 2, CPUTimeNs: 1},
+	}}
+	coreRows := struct{ Domains []core.NamedDomainInfo }{[]core.NamedDomainInfo{
+		{Name: "vm-1", Info: core.DomainInfo{State: core.DomainRunning, MaxMemKiB: 1 << 40, MemKiB: 4096, VCPUs: 8, CPUTimeNs: 123456789}},
+		{Name: "", Info: core.DomainInfo{State: core.DomainShutoff}},
+		{Name: "padding-check", Info: core.DomainInfo{State: core.DomainCrashed, MaxMemKiB: 7, MemKiB: 3, VCPUs: 2, CPUTimeNs: 1}},
+	}}
+	a, err := rpc.Marshal(&wireRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rpc.Marshal(&coreRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("wire.DomainInfoRow and core.NamedDomainInfo encodings diverge:\nwire %x\ncore %x", a, b)
+	}
+	var back struct{ Domains []core.NamedDomainInfo }
+	if err := rpc.Unmarshal(a, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Domains, coreRows.Domains) {
+		t.Fatalf("decode into core rows diverges:\n in %+v\nout %+v", coreRows.Domains, back.Domains)
 	}
 }
 

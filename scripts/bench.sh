@@ -1,0 +1,11 @@
+#!/bin/sh
+# bench.sh — regenerate the machine-readable fast-path metrics
+# (BENCH_5.json). Run on an otherwise idle machine: the sweep numbers
+# are wall-clock sensitive and CPU contention inflates them badly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_5.json
+go run ./cmd/benchreport --json >"$out"
+echo "wrote $out"

@@ -27,4 +27,7 @@ go run ./examples/fleet -hosts 2 -domains 4 -drain=false >/dev/null
 echo "== chaos gate: go test -race -run 'TestChaos' ./..."
 go test -race -run 'TestChaos' ./...
 
+echo "== bench smoke: every benchmark runs once (-benchtime=1x)"
+go test . -run 'XXX' -bench . -benchtime=1x >/dev/null
+
 echo "== OK"
