@@ -34,6 +34,7 @@ import (
 	"repro/internal/migrate"
 	"repro/internal/nodeinfo"
 	"repro/internal/rpc"
+	"repro/internal/telemetry"
 	"repro/internal/typedparams"
 	"repro/internal/uri"
 )
@@ -1063,4 +1064,82 @@ func BenchmarkA3_HypercallBatching(b *testing.B) {
 			b.ReportMetric(float64(saved)/float64(b.N), "saved/op")
 		})
 	}
+}
+
+// BenchmarkT9_Scrape measures the per-domain metrics export (Table T9):
+// what one /metrics scrape costs as a function of domain count, swept
+// (staleness 0: every scrape pays one bulk inventory sweep plus a
+// render) versus cached (inside the staleness window: one mutex, zero
+// allocations). The cached/parallel case is the N-concurrent-scrapers
+// story — single-flight means they all ride one sweep.
+func BenchmarkT9_Scrape(b *testing.B) {
+	setup := func(b *testing.B, domains int, staleness time.Duration) *telemetry.DomainCollector {
+		b.Helper()
+		drv := driverConn(b, "test")
+		for i := 0; i < domains; i++ {
+			if _, err := drv.DefineDomain(benchDomainXML("test", fmt.Sprintf("vm%05d", i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		dc, err := telemetry.NewDriverDomainCollector(drv, telemetry.DomainCollectorConfig{
+			Staleness: staleness,
+			Labels:    []string{"domain", "state"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dc.Exposition(); err != nil { // warm buffers and caches
+			b.Fatal(err)
+		}
+		return dc
+	}
+
+	for _, domains := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("sweep/domains-%d", domains), func(b *testing.B) {
+			dc := setup(b, domains, 0)
+			warmSweeps := dc.Stats().Sweeps
+			b.ReportAllocs()
+			b.ResetTimer()
+			var bytesOut int
+			for i := 0; i < b.N; i++ {
+				out, err := dc.Exposition()
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytesOut = len(out)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(bytesOut), "bytes/scrape")
+			st := dc.Stats()
+			b.ReportMetric(float64(st.Sweeps-warmSweeps)/float64(b.N), "sweeps/scrape")
+		})
+	}
+
+	b.Run("cached/domains-10000", func(b *testing.B) {
+		dc := setup(b, 10000, time.Hour)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dc.Exposition(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("cached/parallel-10000", func(b *testing.B) {
+		dc := setup(b, 10000, time.Hour)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := dc.Exposition(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.StopTimer()
+		if st := dc.Stats(); st.Sweeps != 1 {
+			b.Fatalf("cached parallel scrape swept %d times, want 1", st.Sweeps)
+		}
+	})
 }

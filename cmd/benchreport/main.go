@@ -50,12 +50,12 @@ var quiet = logging.NewQuiet(logging.Error)
 func main() {
 	all := map[string]func(){
 		"T1": tableT1, "T2": tableT2, "T2B": tableT2b, "T3": tableT3, "T4": tableT4,
-		"T5": tableT5, "T6": tableT6, "T7": tableT7,
+		"T5": tableT5, "T6": tableT6, "T7": tableT7, "T9": tableT9,
 		"F1": figureF1, "F2": figureF2, "F3": figureF3, "F4": figureF4, "F5": figureF5,
 		"R1": tableR1, "R2": tableR2,
 		"A3": ablationA3,
 	}
-	order := []string{"T1", "T2", "T2B", "T3", "T4", "T5", "T6", "T7", "F1", "F2", "F3", "F4", "F5", "R1", "R2", "A3"}
+	order := []string{"T1", "T2", "T2B", "T3", "T4", "T5", "T6", "T7", "T9", "F1", "F2", "F3", "F4", "F5", "R1", "R2", "A3"}
 	want := os.Args[1:]
 	if len(want) == 1 && want[0] == "--json" {
 		emitJSON()
@@ -334,12 +334,85 @@ func tableT2b() {
 	fmt.Printf("bulk sweep vs one round trip: %.2fx\n", float64(bulk)/float64(single))
 }
 
+// scrapeStats is one measured scrape configuration for T9.
+type scrapeStats struct {
+	Domains      int
+	SweepNs      int64 // scrape outside the staleness window
+	SweepAllocs  int64
+	CachedNs     int64 // scrape inside the window
+	CachedAllocs int64
+	Bytes        int
+}
+
+// benchScrape measures one domain-count point of the T9 table: the cost
+// of a swept scrape (staleness 0) and a cached one (large staleness)
+// against a test driver carrying n defined domains.
+func benchScrape(n int) scrapeStats {
+	drv := openDriver("test")
+	for i := 0; i < n; i++ {
+		_, err := drv.DefineDomain(domainXML("test", fmt.Sprintf("vm%05d", i)))
+		must(err)
+	}
+	mk := func(staleness time.Duration) *telemetry.DomainCollector {
+		dc, err := telemetry.NewDriverDomainCollector(drv, telemetry.DomainCollectorConfig{
+			Staleness: staleness,
+			Labels:    []string{"domain", "state"},
+		})
+		must(err)
+		_, err = dc.Exposition() // warm buffers and caches
+		must(err)
+		return dc
+	}
+	bench := func(dc *telemetry.DomainCollector) (int64, int64, int) {
+		var size int
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := dc.Exposition()
+				must(err)
+				size = len(out)
+			}
+		})
+		return res.NsPerOp(), res.AllocsPerOp(), size
+	}
+	st := scrapeStats{Domains: n}
+	st.SweepNs, st.SweepAllocs, st.Bytes = bench(mk(0))
+	st.CachedNs, st.CachedAllocs, _ = bench(mk(time.Hour))
+	return st
+}
+
+// tableT9 is the per-domain metrics export table: one /metrics scrape
+// as a function of domain count, sweeping versus cached.
+func tableT9() {
+	header("Table T9", "per-domain /metrics scrape: bulk sweep vs staleness cache",
+		fmt.Sprintf("%-10s %-14s %-12s %-14s %-12s %-12s",
+			"domains", "sweep", "allocs", "cached", "allocs", "bytes"))
+	for _, n := range []int{100, 1000, 10000} {
+		st := benchScrape(n)
+		fmt.Printf("%-10d %-14s %-12d %-14s %-12d %-12d\n",
+			n, time.Duration(st.SweepNs), st.SweepAllocs,
+			time.Duration(st.CachedNs), st.CachedAllocs, st.Bytes)
+	}
+}
+
 // emitJSON prints the fast-path metrics as JSON for scripts/bench.sh.
 func emitJSON() {
 	mar, unm := benchCodec()
 	single, singles, bulk := benchSweep()
+	scrapes := []scrapeStats{benchScrape(100), benchScrape(1000), benchScrape(10000)}
+	scrapeOut := make([]map[string]interface{}, 0, len(scrapes))
+	for _, s := range scrapes {
+		scrapeOut = append(scrapeOut, map[string]interface{}{
+			"domains":         s.Domains,
+			"sweep_ns":        s.SweepNs,
+			"sweep_allocs":    s.SweepAllocs,
+			"cached_ns":       s.CachedNs,
+			"cached_allocs":   s.CachedAllocs,
+			"exposition_size": s.Bytes,
+		})
+	}
 	out := map[string]interface{}{
-		"schema": "benchreport/t2b/v1",
+		"schema": "benchreport/v2",
 		"codec": map[string]interface{}{
 			"marshal_64rows":   mar,
 			"unmarshal_64rows": unm,
@@ -351,6 +424,7 @@ func emitJSON() {
 			"bulk_vs_single":       float64(bulk) / float64(single),
 			"bulk_vs_singles_gain": float64(singles) / float64(bulk),
 		},
+		"domain_scrape": scrapeOut,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -10,8 +10,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -19,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/admin"
+	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/drivers/common"
 	"repro/internal/drivers/lxc"
@@ -155,28 +154,51 @@ func run() error {
 	}
 	log.Infof("daemon", "admin server listening on %s", cfg.AdminSocketPath)
 
+	// Chaos observability: count fired injections on /metrics.
+	telemetry.InstrumentFaultpoints(telemetry.Default, faultpoint.Default)
+
 	// Optional Prometheus-text metrics endpoint; off unless configured.
+	// With domain_metrics set, /metrics additionally exports per-domain
+	// rows swept from that driver URI behind the staleness-bounded
+	// single-flight cache.
+	var metricsSrv *telemetry.MetricsServer
 	if cfg.MetricsAddress != "" {
-		ln, err := net.Listen("tcp", cfg.MetricsAddress)
+		var dc *telemetry.DomainCollector
+		if cfg.DomainMetricsURI != "" {
+			conn, err := core.Open(cfg.DomainMetricsURI)
+			if err != nil {
+				return fmt.Errorf("domain_metrics: %w", err)
+			}
+			dc, err = telemetry.NewDriverDomainCollector(conn.Driver(), telemetry.DomainCollectorConfig{
+				Staleness:  time.Duration(cfg.DomainMetricsStalenessMs) * time.Millisecond,
+				MaxDomains: cfg.DomainMetricsMaxDomains,
+			})
+			if err != nil {
+				return fmt.Errorf("domain_metrics: %w", err)
+			}
+			log.Infof("daemon", "per-domain metrics export sweeping %s (staleness %dms, cap %d)",
+				cfg.DomainMetricsURI, cfg.DomainMetricsStalenessMs, cfg.DomainMetricsMaxDomains)
+		}
+		metricsSrv, err = telemetry.ServeMetrics(cfg.MetricsAddress,
+			telemetry.HandlerWith(telemetry.Default, dc))
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", telemetry.Handler(telemetry.Default))
-		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-		go func() {
-			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-				log.Errorf("daemon", "metrics endpoint: %v", err)
-			}
-		}()
-		defer srv.Close() //nolint:errcheck
-		log.Infof("daemon", "metrics endpoint listening on http://%s/metrics", ln.Addr())
+		log.Infof("daemon", "metrics endpoint listening on http://%s/metrics", metricsSrv.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	s := <-sig
 	log.Infof("daemon", "received %s, shutting down", s)
+	if metricsSrv != nil {
+		// Drain in-flight scrapes within the same grace budget as the
+		// RPC servers instead of dying with the process.
+		grace := time.Duration(cfg.ShutdownGraceMs) * time.Millisecond
+		if err := metricsSrv.Shutdown(grace); err != nil {
+			log.Errorf("daemon", "metrics endpoint shutdown: %v", err)
+		}
+	}
 	d.Shutdown()
 	removeStale(cfg.UnixSocketPath)
 	removeStale(cfg.AdminSocketPath)

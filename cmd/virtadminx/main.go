@@ -18,7 +18,14 @@ import (
 	"time"
 
 	"repro/internal/admin"
+	"repro/internal/core"
+	"repro/internal/drivers/lxc"
+	"repro/internal/drivers/qemu"
+	"repro/internal/drivers/remote"
+	drvtest "repro/internal/drivers/test"
+	"repro/internal/drivers/xen"
 	"repro/internal/logging"
+	"repro/internal/telemetry"
 	"repro/internal/typedparams"
 )
 
@@ -39,6 +46,11 @@ func run(argv []string) error {
 	if len(args) == 0 || args[0] == "help" {
 		printHelp()
 		return nil
+	}
+	// domain-metrics talks to a driver URI, not the admin socket, so it
+	// must not require a running daemon.
+	if args[0] == "domain-metrics" {
+		return needArgs(args, 2, func() error { return domainMetrics(args[1], args[2:]) })
 	}
 	conn, err := admin.Open(*sock)
 	if err != nil {
@@ -96,6 +108,7 @@ Monitoring commands:
   dmn-log-info                      show logging level, filters, outputs
   metrics [--all]                   show call counts and dispatch latencies
   slow-calls                        show the recent slow-call ring
+  domain-metrics <uri> [--prom]     per-domain stats from one bulk sweep of a driver URI
 
 Management commands:
   srv-threadpool-set <server> [--min-workers N] [--max-workers N] [--prio-workers N]
@@ -355,6 +368,55 @@ func metrics(conn *admin.Connect, args []string) error {
 			h.Name, h.Count, avg,
 			time.Duration(h.P50Ns), time.Duration(h.P95Ns), time.Duration(h.P99Ns))
 	}
+	return nil
+}
+
+// domainMetrics sweeps a driver URI once through the domain collector
+// and prints the rows — the CLI face of the /metrics export, useful for
+// eyeballing what the daemon would serve. --prom dumps the raw
+// exposition instead of the table.
+func domainMetrics(uriStr string, args []string) error {
+	prom := false
+	for _, a := range args {
+		if a != "--prom" {
+			return fmt.Errorf("unknown flag %q", a)
+		}
+		prom = true
+	}
+	quiet := logging.NewQuiet(logging.Error)
+	drvtest.Register(quiet)
+	qemu.Register(quiet)
+	xen.Register(quiet)
+	lxc.Register(quiet)
+	remote.Register()
+	conn, err := core.Open(uriStr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close() //nolint:errcheck
+	dc, err := telemetry.NewDriverDomainCollector(conn.Driver(), telemetry.DomainCollectorConfig{})
+	if err != nil {
+		return err
+	}
+	out, err := dc.Exposition()
+	if err != nil {
+		return err
+	}
+	if prom {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	rows := dc.Rows()
+	fmt.Printf(" %-24s %-36s %-12s %6s %12s %12s %12s\n",
+		"Domain", "UUID", "State", "VCPUs", "Mem KiB", "CPU time", "Uptime")
+	fmt.Println(" " + strings.Repeat("-", 122))
+	for _, r := range rows {
+		fmt.Printf(" %-24s %-36s %-12s %6d %12d %12v %12v\n",
+			r.Name, r.UUID, r.State, r.VCPUs, r.MemKiB,
+			time.Duration(r.CPUTimeNs).Round(time.Millisecond),
+			time.Duration(r.UptimeNs).Round(time.Second))
+	}
+	fmt.Printf("\n%d domain(s), one bulk sweep (%v)\n", len(rows), dc.Stats().LastSweep.Round(time.Microsecond))
 	return nil
 }
 

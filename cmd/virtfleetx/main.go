@@ -34,6 +34,7 @@ import (
 	"repro/internal/drivers/xen"
 	"repro/internal/fleet"
 	"repro/internal/logging"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -108,6 +109,8 @@ func run(argv []string) error {
 		return cmdHosts(reg)
 	case "status":
 		return cmdStatus(reg)
+	case "metrics":
+		return cmdMetrics(reg, args[1:])
 	case "schedule":
 		if len(args) < 2 {
 			return fmt.Errorf("schedule needs at least one XML file")
@@ -127,6 +130,8 @@ usage: virtfleetx [-hosts uri1,uri2] [-conf fleet.conf] [-policy name] [-v] <com
 Commands:
   hosts                       list hosts and their health
   status                      show per-host load, domains and fleet skew
+  metrics [--prom]            per-domain stats across the fleet; --prom emits
+                              one Prometheus exposition with host="..." labels
   schedule <file.xml>...      place each domain definition on the best host
   rebalance [flags]           live-migrate domains to even out load
     --drain <host>            evacuate one host completely
@@ -163,6 +168,65 @@ func cmdStatus(reg *fleet.Registry) error {
 			inv.FreeMemKiB()/1024)
 	}
 	fmt.Printf("\nFleet skew (hottest - coldest load): %.3f\n", fleet.Skew(invs))
+	return nil
+}
+
+// cmdMetrics is the fleet-wide aggregated scrape: every up host's
+// inventory becomes one DomainRowSet tagged host="...", rendered as a
+// single spec-compliant exposition (each family appears once, carrying
+// all hosts' samples). The data rides the registry's existing bulk
+// inventory polls — no extra per-domain round trips.
+func cmdMetrics(reg *fleet.Registry, args []string) error {
+	prom := false
+	for _, a := range args {
+		if a != "--prom" {
+			return fmt.Errorf("unknown flag %q", a)
+		}
+		prom = true
+	}
+	reg.RefreshNow()
+	invs := reg.Inventory()
+
+	// Fleet inventories carry no UUIDs, so that label stays off.
+	labels := telemetry.DomainLabelSet{State: true}
+	sets := make([]telemetry.DomainRowSet, 0, len(invs))
+	hosts := make([]string, 0, len(invs))
+	for i := range invs {
+		inv := &invs[i]
+		if inv.State != fleet.HostUp {
+			continue
+		}
+		rows := make([]telemetry.DomainRow, len(inv.Domains))
+		for j, d := range inv.Domains {
+			rows[j] = telemetry.DomainRow{
+				Name: d.Name, State: d.State,
+				MemKiB: d.MemKiB, MaxMemKiB: d.MaxMemKiB,
+				VCPUs: d.VCPUs, CPUTimeNs: d.CPUTimeNs,
+			}
+		}
+		sets = append(sets, telemetry.DomainRowSet{
+			Extra: telemetry.Labels("host", inv.Host),
+			Rows:  rows,
+		})
+		hosts = append(hosts, inv.Host)
+	}
+	if prom {
+		_, err := os.Stdout.Write(telemetry.AppendDomainExposition(nil, sets, labels))
+		return err
+	}
+	fmt.Printf(" %-16s %-24s %-12s %6s %12s %12s\n %s\n",
+		"Host", "Domain", "State", "VCPUs", "Mem KiB", "CPU time",
+		strings.Repeat("-", 88))
+	total := 0
+	for i, set := range sets {
+		for _, r := range set.Rows {
+			fmt.Printf(" %-16s %-24s %-12s %6d %12d %12v\n",
+				hosts[i], r.Name, r.State, r.VCPUs, r.MemKiB,
+				time.Duration(r.CPUTimeNs).Round(time.Millisecond))
+			total++
+		}
+	}
+	fmt.Printf("\n%d domain(s) on %d host(s)\n", total, len(sets))
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/faultpoint"
+	"repro/internal/uri"
 )
 
 // Config is the daemon's persistent configuration, read once at start-up
@@ -40,6 +41,11 @@ type Config struct {
 	MetricsAddress      string // HTTP /metrics listener; "" disables
 	SlowCallThresholdMs int    // slow-call tracing threshold; 0 disables
 
+	// Per-domain metrics export (needs MetricsAddress).
+	DomainMetricsURI        string // driver URI swept per scrape; "" disables
+	DomainMetricsStalenessMs int   // rendered-sweep reuse window
+	DomainMetricsMaxDomains  int   // cardinality cap on exported rows; 0 = unlimited
+
 	// Robustness.
 	StateDir        string // crash-safe object journal root; "" disables
 	CallTimeoutMs   int    // per-call dispatch deadline; 0 disables
@@ -70,6 +76,9 @@ func DefaultConfig() Config {
 		SlowCallThresholdMs: 250,
 		CallTimeoutMs:       30000,
 		ShutdownGraceMs:     5000,
+
+		DomainMetricsStalenessMs: 1000,
+		DomainMetricsMaxDomains:  10000,
 	}
 }
 
@@ -154,6 +163,12 @@ func (c *Config) apply(key, value string) error {
 		return setString(&c.MetricsAddress, value)
 	case "slow_call_threshold_ms":
 		return setInt(&c.SlowCallThresholdMs, value)
+	case "domain_metrics":
+		return setString(&c.DomainMetricsURI, value)
+	case "domain_metrics_staleness_ms":
+		return setInt(&c.DomainMetricsStalenessMs, value)
+	case "domain_metrics_max_domains":
+		return setInt(&c.DomainMetricsMaxDomains, value)
 	case "state_dir":
 		return setString(&c.StateDir, value)
 	case "call_timeout_ms":
@@ -194,6 +209,17 @@ func (c *Config) Validate() error {
 	}
 	if c.SlowCallThresholdMs < 0 {
 		return fmt.Errorf("daemon: slow_call_threshold_ms must be non-negative")
+	}
+	if c.DomainMetricsStalenessMs < 0 {
+		return fmt.Errorf("daemon: domain_metrics_staleness_ms must be non-negative")
+	}
+	if c.DomainMetricsMaxDomains < 0 {
+		return fmt.Errorf("daemon: domain_metrics_max_domains must be non-negative")
+	}
+	if c.DomainMetricsURI != "" {
+		if _, err := uri.Parse(c.DomainMetricsURI); err != nil {
+			return fmt.Errorf("daemon: domain_metrics: %v", err)
+		}
 	}
 	if c.CallTimeoutMs < 0 {
 		return fmt.Errorf("daemon: call_timeout_ms must be non-negative")

@@ -94,6 +94,11 @@ type PointStatus struct {
 type Registry struct {
 	armed atomic.Bool
 
+	// observer holds a func(site string, mode Mode) called after every
+	// fire, outside the registry lock. Telemetry hooks in here without
+	// faultpoint importing anything.
+	observer atomic.Value
+
 	mu     sync.Mutex
 	rng    *rand.Rand
 	points map[string]*point
@@ -129,6 +134,25 @@ func (r *Registry) Disarm() {
 
 // Armed reports whether the registry is live.
 func (r *Registry) Armed() bool { return r.armed.Load() }
+
+// SetObserver installs a callback invoked after each fired point with
+// the site name and the fired mode. It runs outside the registry lock on
+// the evaluating goroutine, so it must be cheap and non-blocking. A nil
+// fn removes the observer. Survives Disarm.
+func (r *Registry) SetObserver(fn func(site string, mode Mode)) {
+	r.observer.Store(observerBox{fn})
+}
+
+// observerBox wraps the callback so atomic.Value accepts a nil fn (the
+// stored concrete type must stay consistent).
+type observerBox struct{ fn func(site string, mode Mode) }
+
+// notify invokes the observer, if any, for a fired point.
+func (r *Registry) notify(site string, mode Mode) {
+	if box, ok := r.observer.Load().(observerBox); ok && box.fn != nil {
+		box.fn(site, mode)
+	}
+}
 
 // Set arms (or replaces) a point. Name may end in ".*" to match every
 // site sharing the prefix.
@@ -219,6 +243,7 @@ func (r *Registry) Eval(site string) (Spec, bool) {
 	p.fires++
 	spec := p.spec
 	r.mu.Unlock()
+	r.notify(site, spec.Mode)
 	if spec.Mode == ModeDelay && spec.Delay > 0 {
 		time.Sleep(spec.Delay)
 	}

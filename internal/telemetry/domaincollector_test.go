@@ -1,0 +1,382 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fakeSource is a swappable DomainSource: fixed rows, optional error,
+// optional blocking gate so tests can hold a sweep open.
+type fakeSource struct {
+	mu      sync.Mutex
+	rows    []core.NamedDomainInfo
+	err     error
+	block   chan struct{} // non-nil: SweepInventory waits for close
+	uuids   map[string]string
+	lookups atomic.Int64
+}
+
+func (f *fakeSource) SweepInventory(inv *core.NodeInventory) error {
+	f.mu.Lock()
+	block, err := f.block, f.err
+	f.mu.Unlock()
+	if block != nil {
+		<-block
+	}
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	inv.Domains = append(inv.Domains[:0], f.rows...)
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *fakeSource) DomainUUID(name string) (string, bool) {
+	f.lookups.Add(1)
+	u, ok := f.uuids[name]
+	return u, ok
+}
+
+func (f *fakeSource) setErr(err error) {
+	f.mu.Lock()
+	f.err = err
+	f.mu.Unlock()
+}
+
+// fakeRows builds n running domains.
+func fakeRows(n int) []core.NamedDomainInfo {
+	rows := make([]core.NamedDomainInfo, n)
+	for i := range rows {
+		rows[i] = core.NamedDomainInfo{
+			Name: fmt.Sprintf("vm%05d", i),
+			Info: core.DomainInfo{
+				State: core.DomainRunning, MaxMemKiB: 1 << 20, MemKiB: 1 << 19,
+				VCPUs: 2, CPUTimeNs: uint64(i) * 1_000_000,
+			},
+		}
+	}
+	return rows
+}
+
+// fakeClock is a hand-advanced clock for staleness tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestDomainCollectorSingleFlight is the ISSUE acceptance scenario: a
+// 10k-domain host, 8 concurrent scrapers inside the staleness window,
+// exactly one bulk sweep total.
+func TestDomainCollectorSingleFlight(t *testing.T) {
+	const scrapers = 8
+	src := &fakeSource{rows: fakeRows(10_000), block: make(chan struct{})}
+	c, err := NewDomainCollector(src, DomainCollectorConfig{
+		Staleness: time.Hour,
+		Labels:    []string{"domain", "state"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	outs := make([][]byte, scrapers)
+	errs := make([]error, scrapers)
+	var wg sync.WaitGroup
+	for i := 0; i < scrapers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = c.Exposition()
+		}(i)
+	}
+	// One scraper is blocked inside the sweep; wait until the other
+	// seven have coalesced onto it, then release.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Coalesced < scrapers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d scrapers coalesced", c.Stats().Coalesced)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(src.block)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Sweeps != 1 {
+		t.Fatalf("sweeps = %d, want 1", st.Sweeps)
+	}
+	if st.Coalesced != scrapers-1 {
+		t.Fatalf("coalesced = %d, want %d", st.Coalesced, scrapers-1)
+	}
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("scraper %d: %v", i, errs[i])
+		}
+		if len(outs[i]) == 0 {
+			t.Fatalf("scraper %d: empty exposition", i)
+		}
+		if string(outs[i]) != string(outs[0]) {
+			t.Fatalf("scraper %d served a different render", i)
+		}
+	}
+	if got := len(c.Rows()); got != 10_000 {
+		t.Fatalf("rows = %d, want 10000", got)
+	}
+	if !strings.Contains(string(outs[0]), `govirt_domain_info{domain="vm00000",state="running"} 1`) {
+		t.Fatalf("exposition missing expected series:\n%.400s", outs[0])
+	}
+}
+
+// TestDomainCollectorStaleness drives the cache window with a fake
+// clock: scrapes inside the window reuse the render, crossing it sweeps
+// again.
+func TestDomainCollectorStaleness(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	src := &fakeSource{rows: fakeRows(3)}
+	c, err := NewDomainCollector(src, DomainCollectorConfig{
+		Staleness: time.Second,
+		Now:       clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Exposition(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Sweeps != 1 {
+		t.Fatalf("sweeps within window = %d, want 1", st.Sweeps)
+	}
+	clk.Advance(999 * time.Millisecond) // still inside
+	if _, err := c.Exposition(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Sweeps != 1 {
+		t.Fatalf("sweeps at window edge = %d, want 1", st.Sweeps)
+	}
+	clk.Advance(2 * time.Millisecond) // crosses the bound
+	if _, err := c.Exposition(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Sweeps != 2 {
+		t.Fatalf("sweeps after expiry = %d, want 2", st.Sweeps)
+	}
+}
+
+// TestDomainCollectorZeroStaleness: staleness 0 sweeps on every scrape.
+func TestDomainCollectorZeroStaleness(t *testing.T) {
+	src := &fakeSource{rows: fakeRows(2)}
+	c, err := NewDomainCollector(src, DomainCollectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Exposition(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Sweeps != 3 {
+		t.Fatalf("sweeps = %d, want 3", st.Sweeps)
+	}
+}
+
+// TestDomainCollectorTruncation checks the cardinality cap and its
+// counter.
+func TestDomainCollectorTruncation(t *testing.T) {
+	src := &fakeSource{rows: fakeRows(8)}
+	c, err := NewDomainCollector(src, DomainCollectorConfig{MaxDomains: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Exposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Rows()); got != 5 {
+		t.Fatalf("rows = %d, want 5", got)
+	}
+	if st := c.Stats(); st.Truncated != 3 {
+		t.Fatalf("truncated = %d, want 3", st.Truncated)
+	}
+	if !strings.Contains(string(out), "govirt_domains_truncated_total 3\n") {
+		t.Fatalf("truncation counter missing:\n%s", out)
+	}
+	if !strings.Contains(string(out), "govirt_domains 5\n") {
+		t.Fatalf("domain gauge missing:\n%s", out)
+	}
+}
+
+// TestDomainCollectorLabelAllowlist: disabled labels vanish from the
+// output and uuid resolution is skipped entirely.
+func TestDomainCollectorLabelAllowlist(t *testing.T) {
+	src := &fakeSource{rows: fakeRows(2), uuids: map[string]string{"vm00000": "u-0"}}
+	c, err := NewDomainCollector(src, DomainCollectorConfig{Labels: []string{"domain"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Exposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "uuid=") || strings.Contains(string(out), "state=") {
+		t.Fatalf("disabled labels leaked:\n%s", out)
+	}
+	if src.lookups.Load() != 0 {
+		t.Fatalf("uuid lookups = %d, want 0 with uuid label off", src.lookups.Load())
+	}
+
+	if _, err := ParseDomainLabels([]string{"bogus"}); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+// TestDomainCollectorUUIDCache: uuids resolve once per domain, then come
+// from the cache.
+func TestDomainCollectorUUIDCache(t *testing.T) {
+	src := &fakeSource{
+		rows:  fakeRows(2),
+		uuids: map[string]string{"vm00000": "uuid-a", "vm00001": "uuid-b"},
+	}
+	c, err := NewDomainCollector(src, DomainCollectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Exposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `uuid="uuid-a"`) {
+		t.Fatalf("uuid label missing:\n%s", out)
+	}
+	if _, err := c.Exposition(); err != nil { // staleness 0: second sweep
+		t.Fatal(err)
+	}
+	if got := src.lookups.Load(); got != 2 {
+		t.Fatalf("uuid lookups = %d, want 2 (cached on resweep)", got)
+	}
+}
+
+// TestDomainCollectorUptime: observed uptime accumulates across sweeps
+// while up and resets when the domain goes down.
+func TestDomainCollectorUptime(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	src := &fakeSource{rows: fakeRows(1)}
+	c, err := NewDomainCollector(src, DomainCollectorConfig{Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exposition(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(90 * time.Second)
+	if _, err := c.Exposition(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Rows()[0].UptimeNs; got != uint64(90*time.Second) {
+		t.Fatalf("uptime = %v, want 90s", time.Duration(got))
+	}
+	src.mu.Lock()
+	src.rows[0].Info.State = core.DomainShutoff
+	src.mu.Unlock()
+	if _, err := c.Exposition(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Rows()[0].UptimeNs; got != 0 {
+		t.Fatalf("uptime after shutoff = %v, want 0", time.Duration(got))
+	}
+}
+
+// TestDomainCollectorSweepError: a failed sweep surfaces as an error and
+// the next scrape retries instead of serving the failure from cache.
+func TestDomainCollectorSweepError(t *testing.T) {
+	src := &fakeSource{rows: fakeRows(1)}
+	src.setErr(errors.New("driver down"))
+	c, err := NewDomainCollector(src, DomainCollectorConfig{Staleness: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exposition(); err == nil {
+		t.Fatal("sweep error not surfaced")
+	}
+	src.setErr(nil)
+	out, err := c.Exposition()
+	if err != nil {
+		t.Fatalf("retry after error: %v", err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty exposition after recovery")
+	}
+	if st := c.Stats(); st.Sweeps != 2 || st.SweepErrors != 1 {
+		t.Fatalf("sweeps=%d errors=%d, want 2/1", st.Sweeps, st.SweepErrors)
+	}
+}
+
+// TestDomainCollectorConfigValidation rejects bad configurations.
+func TestDomainCollectorConfigValidation(t *testing.T) {
+	if _, err := NewDomainCollector(&fakeSource{}, DomainCollectorConfig{Staleness: -1}); err == nil {
+		t.Fatal("negative staleness accepted")
+	}
+	if _, err := NewDomainCollector(&fakeSource{}, DomainCollectorConfig{MaxDomains: -1}); err == nil {
+		t.Fatal("negative max domains accepted")
+	}
+	if _, err := NewDomainCollector(&fakeSource{}, DomainCollectorConfig{Labels: []string{"nope"}}); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+// TestScrapeAllocsRegression is the allocation gate behind
+// BenchmarkT9_Scrape: a cached scrape allocates nothing, a sweeping
+// scrape stays within a small fixed budget.
+func TestScrapeAllocsRegression(t *testing.T) {
+	src := &fakeSource{rows: fakeRows(100)}
+	cached, err := NewDomainCollector(src, DomainCollectorConfig{Staleness: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.Exposition(); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := cached.Exposition(); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("cached scrape allocates %.1f objects, want 0", got)
+	}
+
+	sweeping, err := NewDomainCollector(src, DomainCollectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sweeping.Exposition(); err != nil {
+		t.Fatal(err) // warm the buffers and caches
+	}
+	// Steady-state sweep: one render buffer plus bounded bookkeeping.
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := sweeping.Exposition(); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 8 {
+		t.Fatalf("sweeping scrape allocates %.1f objects, want <= 8", got)
+	}
+}

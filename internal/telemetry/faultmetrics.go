@@ -1,0 +1,33 @@
+// Bridge from fault injection to telemetry: chaos runs become
+// observable on the same /metrics endpoint they perturb, as
+// fault_injected_total{site=...,kind=...} counters.
+package telemetry
+
+import (
+	"sync"
+
+	"repro/internal/faultpoint"
+)
+
+// InstrumentFaultpoints registers an observer on fr that counts every
+// fired injection in reg under fault_injected_total{site,kind}. Counter
+// handles are cached per (site, kind) so the steady-state cost per fire
+// is one map read under RLock plus one atomic add.
+func InstrumentFaultpoints(reg *Registry, fr *faultpoint.Registry) {
+	var mu sync.RWMutex
+	counters := make(map[string]*Counter)
+	fr.SetObserver(func(site string, mode faultpoint.Mode) {
+		kind := mode.String()
+		key := site + "\x00" + kind
+		mu.RLock()
+		c, ok := counters[key]
+		mu.RUnlock()
+		if !ok {
+			c = reg.Counter("fault_injected_total{" + Labels("site", site, "kind", kind) + "}")
+			mu.Lock()
+			counters[key] = c
+			mu.Unlock()
+		}
+		c.Inc()
+	})
+}

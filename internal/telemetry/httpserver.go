@@ -1,0 +1,68 @@
+// The metrics HTTP listener, owned by telemetry so every binary that
+// exposes /metrics gets the same lifecycle: bind first (fail fast on a
+// taken port), serve in the background, and drain in-flight scrapes on
+// shutdown instead of dying with the process.
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// MetricsServer is a background HTTP server for the /metrics endpoint
+// with a bounded graceful shutdown.
+type MetricsServer struct {
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+	err  error
+}
+
+// ServeMetrics binds addr, mounts handler at /metrics (and only there),
+// and serves in the background. The returned server must be shut down
+// with Shutdown.
+func ServeMetrics(addr string, handler http.Handler) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", handler)
+	m := &MetricsServer{
+		srv:  &http.Server{Handler: mux},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		err := m.srv.Serve(ln)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			m.err = err
+		}
+		close(m.done)
+	}()
+	return m, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// Shutdown stops accepting scrapes and waits up to grace for in-flight
+// ones to finish; stragglers are cut off when the grace expires. A
+// non-positive grace closes immediately.
+func (m *MetricsServer) Shutdown(grace time.Duration) error {
+	if grace > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := m.srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	if err := m.srv.Close(); err != nil {
+		return err
+	}
+	<-m.done
+	return m.err
+}

@@ -5,7 +5,12 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// ContentType is the exact content type of the Prometheus text exposition
+// format the handlers serve (format version 0.0.4).
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 // splitName separates a metric name from its optional label clause:
 // `a_total{x="1"}` → (`a_total`, `x="1"`).
@@ -42,32 +47,174 @@ func metricLine(w *strings.Builder, base, labels, value string) {
 	w.WriteByte('\n')
 }
 
+// appendEscapedLabelValue appends s with the label-value escapes the
+// exposition format requires: backslash, double quote and newline.
+func appendEscapedLabelValue(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		case '"':
+			dst = append(dst, '\\', '"')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// EscapeLabelValue escapes a label value for the text exposition format
+// (`\` → `\\`, `"` → `\"`, newline → `\n`).
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	return string(appendEscapedLabelValue(make([]byte, 0, len(s)+8), s))
+}
+
+// Labels renders key/value pairs as a label clause body with properly
+// escaped values: Labels("host", `n"1`) → `host="n\"1"`. Use it wherever
+// a label clause is baked into a metric name or an Extra clause.
+func Labels(kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("telemetry: Labels needs key/value pairs")
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP docstring (backslash and newline only, per
+// the exposition format).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// appendFamilyHeader appends the `# HELP` and `# TYPE` lines introducing
+// one metric family.
+func appendFamilyHeader(dst []byte, name, kind, help string) []byte {
+	dst = append(dst, "# HELP "...)
+	dst = append(dst, name...)
+	dst = append(dst, ' ')
+	dst = append(dst, escapeHelp(help)...)
+	dst = append(dst, "\n# TYPE "...)
+	dst = append(dst, name...)
+	dst = append(dst, ' ')
+	dst = append(dst, kind...)
+	return append(dst, '\n')
+}
+
+// helpMu guards helpText: registrations are set-up-path only, renders
+// take the read lock once per family.
+var helpMu sync.RWMutex
+
+// helpText maps metric family base names to their HELP docstrings.
+// Families not listed here get a generated placeholder so every family
+// in the exposition carries a HELP line.
+var helpText = map[string]string{
+	"daemon_dispatch_total":          "RPC procedures dispatched by the daemon.",
+	"daemon_dispatch_errors_total":   "RPC procedure dispatches that returned an error.",
+	"daemon_dispatch_seconds":        "Latency of RPC procedure dispatch.",
+	"daemon_clients":                 "Connected daemon clients.",
+	"daemon_clients_rejected_total":  "Client connections rejected at the accept limit.",
+	"daemon_pool_workers":            "Worker goroutines in the dispatch pool.",
+	"daemon_pool_queue_depth":        "Jobs waiting in the dispatch pool queue.",
+	"daemon_pool_busy_workers":       "Dispatch pool workers currently running a job.",
+	"daemon_pool_jobs_done_total":    "Jobs completed by the dispatch pool.",
+	"daemon_pool_spawns_total":       "Worker goroutines spawned by the dispatch pool.",
+	"daemon_queue_wait_seconds":      "Time jobs waited in the dispatch pool queue.",
+	"rpc_tx_frames_total":            "RPC frames transmitted.",
+	"rpc_rx_frames_total":            "RPC frames received.",
+	"rpc_tx_bytes_total":             "RPC bytes transmitted.",
+	"rpc_rx_bytes_total":             "RPC bytes received.",
+	"rpc_keepalive_pings_total":      "Keepalive pings sent.",
+	"rpc_keepalive_pongs_total":      "Keepalive pongs received.",
+	"rpc_keepalive_failures_total":   "Connections dropped by keepalive timeout.",
+	"rpc_calls_deadline_total":       "RPC calls abandoned at their deadline.",
+	"rpc_faults_dropped_total":       "Frames dropped by fault injection.",
+	"rpc_faults_corrupted_total":     "Frames corrupted by fault injection.",
+	"rpc_pong_write_failures_total":  "Keepalive pong writes that failed.",
+	"rpc_coalesced_flushes_total":    "Socket flushes saved by write coalescing.",
+	"remote_calls_total":             "Calls issued by the remote driver.",
+	"remote_call_errors_total":       "Remote driver calls that returned an error.",
+	"remote_connects_total":          "Connections opened by the remote driver.",
+	"remote_connect_failures_total":  "Remote driver connection attempts that failed.",
+	"remote_call_seconds":            "Latency of remote driver calls.",
+	"driver_ops_total":               "Operations executed by local drivers.",
+	"fleet_placements_total":         "Domain placements performed by the fleet scheduler.",
+	"fleet_placement_retries_total":  "Placements retried on another host.",
+	"fleet_placement_failures_total": "Placements that failed on every candidate host.",
+	"fleet_placement_seconds":        "Latency of fleet placements.",
+	"fleet_hosts_up":                 "Fleet hosts currently reachable.",
+	"fleet_hosts_known":              "Fleet hosts registered.",
+	"fleet_reconnects_total":         "Reconnect attempts to fleet hosts.",
+	"fleet_rebalance_migrations_total": "Migrations performed by the rebalancer.",
+	"fleet_rebalance_failures_total":   "Rebalancer migrations that failed.",
+	"fleet_inventory_polls_total":      "Fleet inventory polls.",
+	"fleet_inventory_bulk_polls_total": "Fleet inventory polls served by the bulk procedure.",
+	"fleet_inventory_bulk_fallbacks_total": "Fleet inventory polls that fell back to per-domain calls.",
+	"fault_injected_total":                 "Fault injections fired, by site and kind.",
+}
+
+// SetMetricHelp registers (or replaces) the HELP docstring for a metric
+// family base name, used when the registry snapshot is rendered.
+func SetMetricHelp(base, help string) {
+	helpMu.Lock()
+	helpText[base] = help
+	helpMu.Unlock()
+}
+
+// metricHelp returns the HELP docstring for a family, generating a
+// placeholder for unregistered names so the exposition never lacks one.
+func metricHelp(base string) string {
+	helpMu.RLock()
+	h, ok := helpText[base]
+	helpMu.RUnlock()
+	if ok {
+		return h
+	}
+	return "Metric " + base + "."
+}
+
 // Prometheus renders the snapshot in the Prometheus text exposition
-// format (version 0.0.4). Histograms are emitted in seconds, following
-// the Prometheus base-unit convention; internal nanosecond names ending
-// in `_seconds` are expected from callers.
+// format (version 0.0.4): every family introduced by `# HELP`/`# TYPE`
+// exactly once, samples grouped per family. Histograms are emitted in
+// seconds, following the Prometheus base-unit convention; internal
+// nanosecond names ending in `_seconds` are expected from callers.
 func (s Snapshot) Prometheus() string {
 	var b strings.Builder
-	typeSeen := make(map[string]bool)
-	writeType := func(base, kind string) {
-		if !typeSeen[base] {
-			typeSeen[base] = true
+	headerSeen := make(map[string]bool)
+	writeHeader := func(base, kind string) {
+		if !headerSeen[base] {
+			headerSeen[base] = true
+			fmt.Fprintf(&b, "# HELP %s %s\n", base, escapeHelp(metricHelp(base)))
 			fmt.Fprintf(&b, "# TYPE %s %s\n", base, kind)
 		}
 	}
 	for _, c := range s.Counters {
 		base, labels := splitName(c.Name)
-		writeType(base, "counter")
+		writeHeader(base, "counter")
 		metricLine(&b, base, labels, fmt.Sprintf("%d", c.Value))
 	}
 	for _, g := range s.Gauges {
 		base, labels := splitName(g.Name)
-		writeType(base, "gauge")
+		writeHeader(base, "gauge")
 		metricLine(&b, base, labels, fmt.Sprintf("%d", g.Value))
 	}
 	for _, h := range s.Histograms {
 		base, labels := splitName(h.Name)
-		writeType(base, "histogram")
+		writeHeader(base, "histogram")
 		for _, bucket := range h.Buckets {
 			le := "+Inf"
 			if bucket.UpperNs != 0 {
@@ -97,9 +244,30 @@ func formatSeconds(ns uint64) string {
 // Handler serves the registry in Prometheus text format — the daemon
 // mounts this at /metrics when the listener is enabled in configuration.
 func Handler(r *Registry) http.Handler {
+	return HandlerWith(r, nil)
+}
+
+// HandlerWith serves the registry plus, when dc is non-nil, the
+// per-domain collector's exposition on the same endpoint. The domain
+// sweep runs (or is served from cache) before any byte is written, so a
+// failed sweep becomes a clean 503 the scraper can see.
+func HandlerWith(r *Registry, dc *DomainCollector) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var domain []byte
+		if dc != nil {
+			var err error
+			domain, err = dc.Exposition()
+			if err != nil {
+				http.Error(w, "domain metrics sweep failed: "+err.Error(),
+					http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", ContentType)
 		_, _ = fmt.Fprint(w, r.Snapshot().Prometheus())
+		if len(domain) > 0 {
+			_, _ = w.Write(domain)
+		}
 	})
 }
 

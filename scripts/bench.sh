@@ -1,11 +1,12 @@
 #!/bin/sh
 # bench.sh — regenerate the machine-readable fast-path metrics
-# (BENCH_5.json). Run on an otherwise idle machine: the sweep numbers
-# are wall-clock sensitive and CPU contention inflates them badly.
+# (BENCH_6.json: codec, bulk sweep, per-domain scrape). Run on an
+# otherwise idle machine: the sweep numbers are wall-clock sensitive and
+# CPU contention inflates them badly.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=BENCH_5.json
+out=BENCH_6.json
 go run ./cmd/benchreport --json >"$out"
 echo "wrote $out"

@@ -27,7 +27,13 @@ go run ./examples/fleet -hosts 2 -domains 4 -drain=false >/dev/null
 echo "== chaos gate: go test -race -run 'TestChaos' ./..."
 go test -race -run 'TestChaos' ./...
 
+echo "== exposition lint: Prometheus format + scrape allocation gates"
+go test -race -run 'TestExposition|TestScrapeAllocs|TestDomainCollector' ./internal/telemetry
+
 echo "== bench smoke: every benchmark runs once (-benchtime=1x)"
 go test . -run 'XXX' -bench . -benchtime=1x >/dev/null
+
+echo "== T9 smoke: one scrape benchmark pass (-benchtime=1x)"
+go test . -run 'XXX' -bench 'BenchmarkT9_Scrape' -benchtime=1x >/dev/null
 
 echo "== OK"
