@@ -10,6 +10,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/migrate"
 	"repro/internal/nodeinfo"
 	"repro/internal/rpc"
+	"repro/internal/scale"
 	"repro/internal/telemetry"
 	"repro/internal/typedparams"
 	"repro/internal/uri"
@@ -1142,4 +1144,107 @@ func BenchmarkT9_Scrape(b *testing.B) {
 			b.Fatalf("cached parallel scrape swept %d times, want 1", st.Sweeps)
 		}
 	})
+}
+
+// t8Tiers returns the fleet sizes the T8 mega-fleet benchmark runs.
+// The 1,000-host / 100k-domain tier takes tens of seconds to bring up,
+// so it only runs when GOVIRT_T8_FULL is set; the default tiers keep
+// `go test -bench . -benchtime=1x` smoke runs fast.
+func t8Tiers() []int {
+	tiers := []int{10, 100}
+	if os.Getenv("GOVIRT_T8_FULL") != "" {
+		tiers = append(tiers, 1000)
+	}
+	return tiers
+}
+
+// BenchmarkT8_MegaFleet measures the management layer at simulated
+// mega-fleet scale (Table T8): N real daemon instances in one process,
+// each serving the fake hypervisor over a memory transport, driven by
+// one sharded registry. Per tier it reports scheduler placement
+// latency, rebalance planning time over the full inventory, the O(hosts)
+// summary read the scheduler ranks from, and — as metrics — how long the
+// fleet took to settle and the registry's retained working set.
+func BenchmarkT8_MegaFleet(b *testing.B) {
+	for _, hosts := range t8Tiers() {
+		b.Run(fmt.Sprintf("hosts-%d", hosts), func(b *testing.B) {
+			core.ResetRegistryForTest()
+			drvtest.Register(quiet)
+			remote.Register()
+			f, err := scale.Launch(scale.Options{
+				Hosts:          hosts,
+				DomainsPerHost: 100,
+				PollInterval:   time.Hour, // poll noise off; refreshes are explicit
+				Log:            quiet,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() {
+				f.Close()
+				core.ResetRegistryForTest()
+			})
+			if err := f.SeedDomains(); err != nil {
+				b.Fatal(err)
+			}
+
+			b.Run("schedule", func(b *testing.B) {
+				lats := make([]time.Duration, 0, b.N)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t0 := time.Now()
+					p, err := f.Reg.Schedule(benchDomainXML("test", fmt.Sprintf("t8vm%06d", i)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					lats = append(lats, time.Since(t0))
+					b.StopTimer()
+					// Tear back down outside the timer so the fleet stays at
+					// its seeded steady state across iterations.
+					if err := p.Domain.Destroy(); err != nil {
+						b.Fatal(err)
+					}
+					if err := p.Domain.Undefine(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(scale.Percentile(lats, 99))/1e6, "p99-ms")
+			})
+
+			b.Run("plan", func(b *testing.B) {
+				b.ReportAllocs()
+				var moves int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mv, _, _, _ := fleet.PlanRebalance(f.Reg.Inventory(), fleet.RebalanceOptions{
+						SkewThreshold: 0.05, MaxMigrations: 64,
+					})
+					moves = len(mv)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(moves), "moves")
+			})
+
+			b.Run("summaries", func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if got := len(f.Reg.Summaries()); got != hosts {
+						b.Fatalf("summaries = %d, want %d", got, hosts)
+					}
+				}
+			})
+
+			b.Run("stats", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = f.Domains()
+				}
+				b.ReportMetric(float64(f.SettleTime)/1e6, "settle-ms")
+				b.ReportMetric(float64(f.SeedTime)/1e6, "seed-ms")
+				b.ReportMetric(float64(f.RegistryBytes())/(1<<20), "registry-MiB")
+			})
+		})
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/migrate"
 	"repro/internal/nodeinfo"
 	"repro/internal/rpc"
+	"repro/internal/scale"
 	"repro/internal/telemetry"
 	"repro/internal/typedparams"
 	"repro/internal/uri"
@@ -50,15 +52,19 @@ var quiet = logging.NewQuiet(logging.Error)
 func main() {
 	all := map[string]func(){
 		"T1": tableT1, "T2": tableT2, "T2B": tableT2b, "T3": tableT3, "T4": tableT4,
-		"T5": tableT5, "T6": tableT6, "T7": tableT7, "T9": tableT9,
+		"T5": tableT5, "T6": tableT6, "T7": tableT7, "T8": tableT8, "T9": tableT9,
 		"F1": figureF1, "F2": figureF2, "F3": figureF3, "F4": figureF4, "F5": figureF5,
 		"R1": tableR1, "R2": tableR2,
 		"A3": ablationA3,
 	}
-	order := []string{"T1", "T2", "T2B", "T3", "T4", "T5", "T6", "T7", "T9", "F1", "F2", "F3", "F4", "F5", "R1", "R2", "A3"}
+	order := []string{"T1", "T2", "T2B", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "F1", "F2", "F3", "F4", "F5", "R1", "R2", "A3"}
 	want := os.Args[1:]
 	if len(want) == 1 && want[0] == "--json" {
 		emitJSON()
+		return
+	}
+	if len(want) == 1 && want[0] == "--trajectory" {
+		trajectory()
 		return
 	}
 	if len(want) == 0 {
@@ -395,6 +401,93 @@ func tableT9() {
 	}
 }
 
+// scaleStats is one tier of the T8 mega-fleet measurement: a real
+// in-process fleet (scale harness) brought up, seeded, and probed.
+type scaleStats struct {
+	Hosts         int
+	Domains       int
+	SettleNs      int64
+	SeedNs        int64
+	SchedP50Ns    int64
+	SchedP99Ns    int64
+	PlanNs        int64
+	PlanMoves     int
+	SummariesNs   int64
+	RegistryBytes uint64
+}
+
+func benchScale(hosts, domainsPerHost, probes int) scaleStats {
+	core.ResetRegistryForTest()
+	drvtest.Register(quiet)
+	remote.Register()
+	f, err := scale.Launch(scale.Options{
+		Hosts:          hosts,
+		DomainsPerHost: domainsPerHost,
+		PollInterval:   time.Hour, // poll noise off; refreshes are explicit
+		Log:            quiet,
+	})
+	must(err)
+	defer func() {
+		f.Close()
+		core.ResetRegistryForTest()
+	}()
+	must(f.SeedDomains())
+	_, err = f.ScheduleProbes(5) // warm the define/start path before timing
+	must(err)
+	// Flush the garbage the bring-up left behind (seeding churns XML and
+	// RPC buffers for every domain in the fleet) so collection pauses
+	// triggered by earlier work don't land inside the probe window.
+	runtime.GC()
+	lats, err := f.ScheduleProbes(probes)
+	must(err)
+	var planMoves int
+	plan := median(5, func() {
+		mv, _, _, _ := fleet.PlanRebalance(f.Reg.Inventory(), fleet.RebalanceOptions{
+			SkewThreshold: 0.05, MaxMigrations: 64,
+		})
+		planMoves = len(mv)
+	})
+	sums := perOp(200, func() {
+		if len(f.Reg.Summaries()) != hosts {
+			must(fmt.Errorf("bad summary count"))
+		}
+	})
+	return scaleStats{
+		Hosts: hosts, Domains: f.Domains(),
+		SettleNs: int64(f.SettleTime), SeedNs: int64(f.SeedTime),
+		SchedP50Ns: int64(scale.Percentile(lats, 50)), SchedP99Ns: int64(scale.Percentile(lats, 99)),
+		PlanNs: int64(plan), PlanMoves: planMoves,
+		SummariesNs: int64(sums), RegistryBytes: f.RegistryBytes(),
+	}
+}
+
+// t8Tiers picks the fleet sizes for the T8 curve. The 1,000-host tier
+// (100k domains) takes tens of seconds; it is always in bench.sh runs
+// (GOVIRT_T8_FULL is exported there) and skippable for a quick look.
+func t8Tiers() []int {
+	if os.Getenv("GOVIRT_T8_SKIP_FULL") != "" {
+		return []int{10, 100}
+	}
+	return []int{10, 100, 1000}
+}
+
+func tableT8() {
+	header("Table T8", "mega-fleet scale: N in-process daemons over memory transports",
+		fmt.Sprintf("%-7s %-9s %-10s %-10s %-12s %-12s %-12s %-7s %-9s",
+			"hosts", "domains", "settle", "seed", "sched p50", "sched p99", "plan", "moves", "reg MiB"))
+	for _, hosts := range t8Tiers() {
+		st := benchScale(hosts, 100, 200)
+		fmt.Printf("%-7d %-9d %-10s %-10s %-12s %-12s %-12s %-7d %-9.1f\n",
+			st.Hosts, st.Domains,
+			time.Duration(st.SettleNs).Round(time.Millisecond),
+			time.Duration(st.SeedNs).Round(time.Millisecond),
+			time.Duration(st.SchedP50Ns).Round(time.Microsecond),
+			time.Duration(st.SchedP99Ns).Round(time.Microsecond),
+			time.Duration(st.PlanNs).Round(time.Microsecond),
+			st.PlanMoves, float64(st.RegistryBytes)/(1<<20))
+	}
+}
+
 // emitJSON prints the fast-path metrics as JSON for scripts/bench.sh.
 func emitJSON() {
 	mar, unm := benchCodec()
@@ -411,8 +504,24 @@ func emitJSON() {
 			"exposition_size": s.Bytes,
 		})
 	}
+	scaleOut := make([]map[string]interface{}, 0, 3)
+	for _, hosts := range t8Tiers() {
+		st := benchScale(hosts, 100, 200)
+		scaleOut = append(scaleOut, map[string]interface{}{
+			"hosts":           st.Hosts,
+			"domains":         st.Domains,
+			"settle_ns":       st.SettleNs,
+			"seed_ns":         st.SeedNs,
+			"schedule_p50_ns": st.SchedP50Ns,
+			"schedule_p99_ns": st.SchedP99Ns,
+			"plan_ns":         st.PlanNs,
+			"plan_moves":      st.PlanMoves,
+			"summaries_ns":    st.SummariesNs,
+			"registry_bytes":  st.RegistryBytes,
+		})
+	}
 	out := map[string]interface{}{
-		"schema": "benchreport/v2",
+		"schema": "benchreport/v3",
 		"codec": map[string]interface{}{
 			"marshal_64rows":   mar,
 			"unmarshal_64rows": unm,
@@ -425,10 +534,110 @@ func emitJSON() {
 			"bulk_vs_singles_gain": float64(singles) / float64(bulk),
 		},
 		"domain_scrape": scrapeOut,
+		"fleet_scale":   scaleOut,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	must(enc.Encode(out))
+}
+
+// trajectory merges every BENCH_*.json in the repo root into one table,
+// one row per recorded run, so the performance history reads as a
+// curve across PRs rather than a single latest snapshot. Older schema
+// versions simply leave their missing columns blank.
+func trajectory() {
+	files, err := filepath.Glob("BENCH_*.json")
+	must(err)
+	sort.Strings(files)
+	if len(files) == 0 {
+		fmt.Println("no BENCH_*.json files found")
+		return
+	}
+	header("Trajectory", "headline fast-path metrics across recorded benchmark runs",
+		fmt.Sprintf("%-14s %-14s %-12s %-12s %-14s %-14s %-12s",
+			"run", "schema", "marshal", "bulk sweep", "scrape 10k", "sched p99*", "plan*"))
+	fmt.Println("(* largest fleet_scale tier in the file)")
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		must(err)
+		var doc map[string]interface{}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fmt.Printf("%-14s unreadable: %v\n", file, err)
+			continue
+		}
+		schema, _ := doc["schema"].(string)
+		schema = strings.TrimPrefix(schema, "benchreport/")
+		marshal := jsonDur(jsonDig(doc, "codec", "marshal_64rows", "CompiledNs"))
+		bulk := jsonDur(jsonDig(doc, "sweep_unix_64domains", "bulk_ns"))
+		scrape := jsonDur(jsonRowField(doc["domain_scrape"], "domains", 10000, "sweep_ns"))
+		tier := jsonMaxRow(doc["fleet_scale"], "hosts")
+		sched, plan := "-", "-"
+		if tier != nil {
+			sched = jsonDur(tier["schedule_p99_ns"])
+			plan = jsonDur(tier["plan_ns"])
+		}
+		fmt.Printf("%-14s %-14s %-12s %-12s %-14s %-14s %-12s\n",
+			strings.TrimSuffix(file, ".json"), schema, marshal, bulk, scrape, sched, plan)
+	}
+}
+
+// jsonDig walks nested JSON objects by key, returning nil when any
+// level is missing.
+func jsonDig(doc map[string]interface{}, keys ...string) interface{} {
+	var cur interface{} = doc
+	for _, k := range keys {
+		m, ok := cur.(map[string]interface{})
+		if !ok {
+			return nil
+		}
+		cur = m[k]
+	}
+	return cur
+}
+
+// jsonRowField finds the array element whose key equals want and
+// returns its field, or nil.
+func jsonRowField(arr interface{}, key string, want float64, field string) interface{} {
+	rows, ok := arr.([]interface{})
+	if !ok {
+		return nil
+	}
+	for _, r := range rows {
+		if m, ok := r.(map[string]interface{}); ok {
+			if v, _ := m[key].(float64); v == want {
+				return m[field]
+			}
+		}
+	}
+	return nil
+}
+
+// jsonMaxRow returns the array element with the largest numeric key, or
+// nil for missing/empty arrays.
+func jsonMaxRow(arr interface{}, key string) map[string]interface{} {
+	rows, ok := arr.([]interface{})
+	if !ok {
+		return nil
+	}
+	var best map[string]interface{}
+	bestV := -1.0
+	for _, r := range rows {
+		if m, ok := r.(map[string]interface{}); ok {
+			if v, _ := m[key].(float64); v > bestV {
+				best, bestV = m, v
+			}
+		}
+	}
+	return best
+}
+
+// jsonDur renders a JSON ns number as a rounded duration, "-" if absent.
+func jsonDur(v interface{}) string {
+	f, ok := v.(float64)
+	if !ok {
+		return "-"
+	}
+	return time.Duration(int64(f)).Round(100 * time.Nanosecond).String()
 }
 
 func benchDaemonOn(transport string, d *daemon.Daemon) (*core.Connect, func()) {

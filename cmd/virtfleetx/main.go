@@ -15,6 +15,7 @@
 //	status                      show per-host load and fleet skew
 //	schedule <file.xml>...      place domain definitions on the fleet
 //	rebalance [flags]           migrate domains to even out load
+//	simulate [flags]            mega-fleet scale harness (in-process daemons)
 package main
 
 import (
@@ -34,6 +35,7 @@ import (
 	"repro/internal/drivers/xen"
 	"repro/internal/fleet"
 	"repro/internal/logging"
+	"repro/internal/scale"
 	"repro/internal/telemetry"
 )
 
@@ -70,6 +72,12 @@ func run(argv []string) error {
 	xen.Register(log)
 	lxc.Register(log)
 	remote.Register()
+
+	// simulate builds its own in-process fleet; it never touches the
+	// -hosts registry bring-up below.
+	if args[0] == "simulate" {
+		return cmdSimulate(args[1:])
+	}
 
 	fileCfg := fleet.DefaultFileConfig()
 	if *confFlag != "" {
@@ -139,7 +147,61 @@ Commands:
     --max <n>                 migration cap for the pass
     --concurrency <n>         parallel migrations
     --dry-run                 plan only, do not migrate
+  simulate [flags]            stand up an in-process mega-fleet of fake
+                              daemons over memory transports and measure
+                              settle, schedule and rebalance-plan times
+    --hosts <n>               simulated daemons (default 100)
+    --domains <n>             seeded domains per host (default 100)
+    --probes <n>              schedule probes to time (default 100)
 `)
+}
+
+// cmdSimulate is the scale harness entry point: it launches N real
+// daemon instances inside this process, each serving the fake
+// hypervisor over a memory transport, drives them through a registry
+// exactly like a real fleet, and reports the scaling numbers the T8
+// experiment records.
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	hosts := fs.Int("hosts", 100, "simulated daemons")
+	domains := fs.Int("domains", 100, "seeded domains per host")
+	probes := fs.Int("probes", 100, "schedule probes to time")
+	policy := fs.String("policy", "spread", "placement policy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Printf("Launching %d in-process daemons...\n", *hosts)
+	f, err := scale.Launch(scale.Options{
+		Hosts:          *hosts,
+		DomainsPerHost: *domains,
+		Policy:         *policy,
+	})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Printf("Fleet settled: %d hosts up in %v\n", len(f.Names), f.SettleTime.Round(time.Millisecond))
+
+	if err := f.SeedDomains(); err != nil {
+		return err
+	}
+	fmt.Printf("Seeded %d domains (%d/host) in %v\n",
+		f.Domains(), *domains, f.SeedTime.Round(time.Millisecond))
+
+	lats, err := f.ScheduleProbes(*probes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Schedule: %d probes, p50 %v  p99 %v  max %v\n",
+		len(lats), scale.Percentile(lats, 50), scale.Percentile(lats, 99),
+		scale.Percentile(lats, 100))
+
+	planDur, moves := f.PlanRebalance(fleet.RebalanceOptions{})
+	fmt.Printf("Rebalance plan: %d move(s) in %v\n", moves, planDur.Round(time.Microsecond))
+	fmt.Printf("Registry working set: %.1f MiB for %d domains on %d hosts\n",
+		float64(f.RegistryBytes())/(1<<20), f.Domains(), len(f.Names))
+	return nil
 }
 
 func cmdHosts(reg *fleet.Registry) error {

@@ -19,12 +19,14 @@ const (
 	TransportUnix Transport = iota
 	TransportTCP
 	TransportTLS
+	TransportMem // in-process memnet endpoint (scale harness)
 )
 
 var transportNames = map[Transport]string{
 	TransportUnix: "unix",
 	TransportTCP:  "tcp",
 	TransportTLS:  "tls",
+	TransportMem:  "mem",
 }
 
 func (t Transport) String() string {

@@ -1,0 +1,53 @@
+package daemon_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/drivers/remote"
+	drvtest "repro/internal/drivers/test"
+	"repro/internal/logging"
+)
+
+func TestDaemonMemTransport(t *testing.T) {
+	core.ResetRegistryForTest()
+	defer core.ResetRegistryForTest()
+	log := logging.NewQuiet(logging.Error)
+	drvtest.Register(log)
+	remote.Register()
+
+	d := daemon.New(log)
+	srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AddProgram(daemon.NewRemoteProgram(srv))
+	if err := srv.ListenMem("smoke-node", daemon.ServiceConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+
+	conn, err := core.Open("test+mem://smoke-node/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if typ, err := conn.Type(); err != nil || typ != "test" {
+		t.Fatalf("type=%q err=%v", typ, err)
+	}
+	dom, err := conn.CreateDomainXML(`<domain type='test'><name>m0</name><memory unit='MiB'>64</memory><vcpu>1</vcpu><os><type arch='x86_64'>hvm</type></os></domain>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := dom.State(); err != nil || st != core.DomainRunning {
+		t.Fatalf("state=%v err=%v", st, err)
+	}
+	inv, err := conn.NodeInventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.Domains) != 1 {
+		t.Fatalf("inventory domains = %d", len(inv.Domains))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultpoint"
 	"repro/internal/logging"
+	"repro/internal/memnet"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
 )
@@ -221,6 +222,20 @@ func (s *Server) ListenUnix(path string, cfg ServiceConfig) error {
 		return fmt.Errorf("daemon: listen unix %s: %w", path, err)
 	}
 	cfg.Transport = TransportUnix
+	s.Listen(l, cfg)
+	return nil
+}
+
+// ListenMem starts an in-process service on the named memnet endpoint,
+// reachable with a "+mem" transport URI whose host is the name. The
+// scale harness uses this to run very large simulated fleets without
+// consuming sockets or ports; the full RPC stack still runs.
+func (s *Server) ListenMem(name string, cfg ServiceConfig) error {
+	l, err := memnet.Listen(name)
+	if err != nil {
+		return fmt.Errorf("daemon: %w", err)
+	}
+	cfg.Transport = TransportMem
 	s.Listen(l, cfg)
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/memnet"
 	"repro/internal/rpc"
 	"repro/internal/uri"
 	"repro/internal/wire"
@@ -145,6 +146,13 @@ func dial(u *uri.URI) (net.Conn, error) {
 		nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
 		if err != nil {
 			return nil, fmt.Errorf("remote: dial tcp %s: %w", addr, err)
+		}
+		return nc, nil
+	case uri.TransportMem:
+		// In-process endpoint: the host part names a memnet listener.
+		nc, err := memnet.Dial(u.Host)
+		if err != nil {
+			return nil, fmt.Errorf("remote: %w", err)
 		}
 		return nc, nil
 	default:

@@ -1,0 +1,63 @@
+package fleet
+
+import "time"
+
+// backoffTimer produces the reconnect pacing for one host: delays start
+// at min, double on every consecutive failure, cap at max, and reset to
+// min after a successful connection. Each delay is stretched by up to
+// jitter × delay using a caller-supplied uniform sample, so a fleet
+// that lost one daemon fans its reconnects out instead of hammering the
+// daemon in lock-step when it returns.
+//
+// The type is pure — it owns no clock and no randomness source — so the
+// exact delay sequence for a seeded PRNG can be asserted in tests
+// without sleeping (see TestFleetBackoffDeterministic).
+type backoffTimer struct {
+	min, max time.Duration
+	jitter   float64
+	cur      time.Duration
+}
+
+func newBackoffTimer(min, max time.Duration, jitter float64) backoffTimer {
+	if min <= 0 {
+		min = time.Millisecond
+	}
+	if max < min {
+		max = min
+	}
+	if jitter < 0 {
+		jitter = 0
+	}
+	return backoffTimer{min: min, max: max, jitter: jitter, cur: min}
+}
+
+// next returns the delay to wait before the next attempt and advances
+// the schedule. rnd must be a uniform sample from [0, 1).
+func (b *backoffTimer) next(rnd float64) time.Duration {
+	d := b.cur
+	if b.jitter > 0 {
+		d += time.Duration(float64(d) * b.jitter * rnd)
+	}
+	b.cur *= 2
+	if b.cur > b.max {
+		b.cur = b.max
+	}
+	return d
+}
+
+// reset restores the initial delay after a successful connection.
+func (b *backoffTimer) reset() { b.cur = b.min }
+
+// schedule materializes the next n attempt times starting from now,
+// advancing the timer. It is what the registry effectively executes one
+// step at a time; tests drive it with a fake clock to pin down the
+// whole reconnect trajectory at once.
+func (b *backoffTimer) schedule(now time.Time, n int, rnd func() float64) []time.Time {
+	out := make([]time.Time, 0, n)
+	t := now
+	for i := 0; i < n; i++ {
+		t = t.Add(b.next(rnd()))
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/logging"
+)
+
+// TestChaosConcurrentReadersDuringFlap hammers the registry's read API
+// from many goroutines while one host flaps — its daemon is torn down
+// and restarted on the same socket in a loop — to surface data races
+// between the poller's state transitions (setUp/setDown, summary-cache
+// publication) and concurrent RefreshNow/Status/Inventory/Summaries/
+// WaitSettled callers. The assertions are deliberately weak invariants
+// (snapshot shapes stay consistent, the fleet re-settles once the
+// flapping stops); the real check is the race detector.
+func TestChaosConcurrentReadersDuringFlap(t *testing.T) {
+	registerDrivers(t)
+	dir := t.TempDir()
+	const nHosts = 4
+	var uris []string
+	socks := make([]string, nHosts)
+	for i := 0; i < nHosts; i++ {
+		socks[i] = filepath.Join(dir, fmt.Sprintf("node%d.sock", i))
+		if i < nHosts-1 {
+			startFleetDaemon(t, socks[i])
+		}
+		uris = append(uris, emptyURI(socks[i]))
+	}
+	// The last host belongs to the flapper: it starts, kills and
+	// restarts this daemon itself, so setup must not hold the socket.
+	flapSock := socks[nHosts-1]
+	cur := flapDaemon(t, flapSock)
+
+	cfg := fastConfig(uris...)
+	cfg.Seed = 11
+	reg, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Start()
+	defer reg.Close()
+	if up := reg.WaitSettled(5 * time.Second); up != nHosts {
+		t.Fatalf("%d hosts up, want %d", up, nHosts)
+	}
+	flapName := reg.Hosts()[nHosts-1]
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Flapper: kill and restart the last host's daemon on the same
+	// socket. Each cycle the registry sees connection failures (host
+	// down), then a successful reconnect (host up). The daemon is
+	// always restarted before the loop exits so the final settle check
+	// sees a whole fleet.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for cycle := 0; cycle < 6; cycle++ {
+			cur.Shutdown()
+			reg.RefreshNow(flapName) // force the poller to notice quickly
+			time.Sleep(40 * time.Millisecond)
+			cur = flapDaemon(t, flapSock)
+			time.Sleep(40 * time.Millisecond)
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	// Readers: every public snapshot path, concurrently, for the whole
+	// flap window.
+	reader := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f()
+				}
+			}
+		}()
+	}
+	reader(func() {
+		sts := reg.Status()
+		if len(sts) != nHosts {
+			t.Errorf("Status returned %d hosts, want %d", len(sts), nHosts)
+		}
+	})
+	reader(func() {
+		invs := reg.Inventory()
+		if len(invs) != nHosts {
+			t.Errorf("Inventory returned %d hosts, want %d", len(invs), nHosts)
+		}
+	})
+	reader(func() {
+		sums := reg.Summaries()
+		if len(sums) != nHosts {
+			t.Errorf("Summaries returned %d hosts, want %d", len(sums), nHosts)
+		}
+		for i := range sums {
+			if sums[i].Host == "" {
+				t.Error("summary with empty host name")
+			}
+		}
+	})
+	reader(func() { reg.RefreshNow() })
+	reader(func() { reg.WaitSettled(10 * time.Millisecond) })
+
+	// Let the flapper finish its cycles, then release the readers.
+	time.Sleep(600 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// With the flapping over the fleet must converge back to all-up.
+	// WaitSettled alone is not enough — a down host counts as settled —
+	// so wait for the flapped host's reconnect explicitly.
+	if !reg.WaitHostState(flapName, HostUp, 5*time.Second) {
+		t.Fatalf("flapped host %s did not come back up", flapName)
+	}
+	if up := reg.WaitSettled(5 * time.Second); up != nHosts {
+		t.Fatalf("fleet did not re-settle after flapping: %d/%d up", up, nHosts)
+	}
+}
+
+// flapDaemon starts a daemon on sock. The flapper shuts intermediate
+// incarnations down itself; Shutdown is idempotent, so registering a
+// cleanup for every incarnation also reaps the final one.
+func flapDaemon(t *testing.T, sock string) *daemon.Daemon {
+	t.Helper()
+	d := daemon.New(logging.NewQuiet(logging.Error))
+	t.Cleanup(d.Shutdown)
+	srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{})
+	if err != nil {
+		t.Errorf("flap daemon: %v", err)
+		return d
+	}
+	srv.AddProgram(daemon.NewRemoteProgram(srv))
+	if err := srv.ListenUnix(sock, daemon.ServiceConfig{}); err != nil {
+		t.Errorf("flap daemon listen: %v", err)
+	}
+	return d
+}

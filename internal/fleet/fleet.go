@@ -18,12 +18,23 @@
 //     winner, retrying on another host when one dies mid-placement;
 //   - the Rebalancer (rebalance.go) watches load skew and drains hot
 //     hosts by live-migrating domains between daemons.
+//
+// The registry is built to scale to thousands of hosts in one process:
+// the host table is sharded (per-shard locks, so status reads and
+// refresh writes on different hosts never contend), connection health
+// and inventory polling run on a bounded pool of workers fed by a
+// due-time queue (instead of one goroutine per host), and every
+// placement decision reads compact per-host summaries (HostSummary)
+// maintained incrementally on refresh rather than deep inventory
+// clones.
 package fleet
 
 import (
+	"container/heap"
 	"fmt"
 	"math/rand"
 	"path"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -73,6 +84,10 @@ type Config struct {
 	// the remote driver's default. URIs that already carry the parameter
 	// are left alone.
 	CallTimeout time.Duration
+	// Workers bounds the fan-out of the shared poll/health worker pool:
+	// at most this many hosts are being connected or refreshed at any
+	// moment, however large the fleet. Default min(16, max(2, NumCPU)).
+	Workers int
 	// Seed fixes the jitter PRNG for reproducible chaos runs; 0 seeds
 	// from the configuration (still deterministic, just unchosen).
 	Seed   int64
@@ -95,6 +110,15 @@ func (c *Config) applyDefaults() {
 	}
 	if c.BackoffJitter < 0 {
 		c.BackoffJitter = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+		if c.Workers < 2 {
+			c.Workers = 2
+		}
+		if c.Workers > 16 {
+			c.Workers = 16
+		}
 	}
 	if c.Seed == 0 {
 		c.Seed = int64(len(c.Hosts)) + 1
@@ -120,46 +144,38 @@ func withCallTimeout(hostURI string, d time.Duration) string {
 	return fmt.Sprintf("%s%scall_timeout_ms=%d", hostURI, sep, d.Milliseconds())
 }
 
-// host is the registry's per-daemon record. Its connection is owned by
-// the host goroutine; consumers take a reference under the lock and
-// tolerate the connection failing underneath them (those failures are
-// the typed retryable kind).
+// host is the registry's per-daemon record. The connection is owned by
+// whichever pool worker is servicing the host; consumers take a
+// reference under the lock and tolerate the connection failing
+// underneath them (those failures are the typed retryable kind).
 type host struct {
 	name string
 	uri  string
+	idx  int // position in Registry.order and the summary cache
 
 	mu      sync.Mutex
 	conn    *core.Connect
 	state   HostState
 	lastErr error
 	inv     HostInventory
+	sum     HostSummary // aggregates mirrored from inv, O(1) to read
 
 	// sweep is the retained inventory scratch for BulkMonitorInto
 	// drivers: row storage and name strings survive between polls, so a
 	// steady-state sweep allocates almost nothing. sweepMu serializes
-	// refreshes (the poll loop and the rebalancer can overlap).
+	// refreshes (the poll worker and RefreshNow callers can overlap).
 	sweepMu sync.Mutex
 	sweep   core.NodeInventory
 
-	poke chan struct{} // event-driven "refresh now" signal
-}
+	// bo paces reconnect attempts. Only the worker currently servicing
+	// the host touches it; hand-off between workers is ordered by the
+	// due-queue lock.
+	bo backoffTimer
 
-func (h *host) connRef() (*core.Connect, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.state != HostUp || h.conn == nil {
-		return nil, core.Errorf(core.ErrHostUnreachable, "fleet: host %q is %s", h.name, h.state)
-	}
-	return h.conn, nil
-}
-
-// invalidate requests an immediate inventory refresh; callers must not
-// block (it runs on event-delivery goroutines).
-func (h *host) invalidate() {
-	select {
-	case h.poke <- struct{}{}:
-	default:
-	}
+	// Due-queue bookkeeping, guarded by Registry.qmu.
+	due     time.Time
+	heapIdx int  // index in the due-heap, -1 while being serviced
+	poked   bool // refresh requested while being serviced
 }
 
 // HostStatus is the externally visible health row for one host.
@@ -173,22 +189,60 @@ type HostStatus struct {
 	CPULoad float64
 }
 
+// numShards is the host-table shard count. 32 keeps per-shard maps tiny
+// even at thousands of hosts while costing nothing at three.
+const numShards = 32
+
+type shard struct {
+	mu    sync.RWMutex
+	hosts map[string]*host
+}
+
+func shardFor(name string) uint32 {
+	// FNV-1a; inlined to keep the hot host lookup allocation-free.
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return h % numShards
+}
+
 // Registry manages the pool of daemon connections and their cached
 // inventories.
 type Registry struct {
 	cfg Config
 	log *logging.Logger
 
-	mu     sync.Mutex
-	hosts  map[string]*host
-	order  []string
-	closed bool
+	shards [numShards]shard
+	order  []string // configuration order; immutable after New
 
+	// sums is the fleet-wide score cache: every host's compact summary,
+	// in configuration order, mirrored here on each inventory event
+	// (refresh, up/down flip, placement). The scheduler reads the whole
+	// fleet's placement state under one RWMutex instead of taking a
+	// thousand per-host locks per decision.
+	sumMu sync.RWMutex
+	sums  []HostSummary
+
+	// Due-time queue driving the worker pool: hosts ordered by when
+	// they next need attention (first connect, poll tick, backoff
+	// retry, event poke).
+	qmu    sync.Mutex
+	queue  dueHeap
+	closed bool
+	kick   chan struct{} // wakes the dispatcher after queue changes
+
+	work chan *host
 	stop chan struct{}
 	wg   sync.WaitGroup
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // backoff jitter; seeded for reproducibility
+
+	// now is the registry's clock; tests substitute a fake one to make
+	// scheduling deterministic.
+	now func() time.Time
 
 	// hookAfterDefine, when set by tests, runs between the define and
 	// start halves of a placement — the window where a dying daemon must
@@ -204,11 +258,16 @@ func New(cfg Config) (*Registry, error) {
 		return nil, core.Errorf(core.ErrInvalidArg, "fleet: no hosts configured")
 	}
 	r := &Registry{
-		cfg:   cfg,
-		log:   cfg.Log,
-		hosts: make(map[string]*host, len(cfg.Hosts)),
-		stop:  make(chan struct{}),
-		rng:   rand.New(rand.NewSource(cfg.Seed)), //nolint:gosec // jitter only
+		cfg:  cfg,
+		log:  cfg.Log,
+		kick: make(chan struct{}, 1),
+		work: make(chan *host),
+		stop: make(chan struct{}),
+		now:  time.Now,
+		rng:  rand.New(rand.NewSource(cfg.Seed)), //nolint:gosec // jitter only
+	}
+	for i := range r.shards {
+		r.shards[i].hosts = map[string]*host{}
 	}
 	for i, s := range cfg.Hosts {
 		u, err := uri.Parse(s)
@@ -216,14 +275,18 @@ func New(cfg Config) (*Registry, error) {
 			return nil, core.Errorf(core.ErrInvalidArg, "fleet: host %d: %v", i, err)
 		}
 		name := hostName(u, i)
-		if _, dup := r.hosts[name]; dup {
+		sh := &r.shards[shardFor(name)]
+		if _, dup := sh.hosts[name]; dup {
 			return nil, core.Errorf(core.ErrInvalidArg, "fleet: duplicate host %q", name)
 		}
 		s = withCallTimeout(s, cfg.CallTimeout)
-		h := &host{name: name, uri: s, poke: make(chan struct{}, 1)}
+		h := &host{name: name, uri: s, idx: i, heapIdx: -1}
+		h.bo = newBackoffTimer(cfg.BackoffMin, cfg.BackoffMax, cfg.BackoffJitter)
 		h.inv = HostInventory{Host: name, URI: s, State: HostConnecting}
-		r.hosts[name] = h
+		h.sum = HostSummary{Host: name, URI: s, State: HostConnecting}
+		sh.hosts[name] = h
 		r.order = append(r.order, name)
+		r.sums = append(r.sums, h.sum)
 	}
 	return r, nil
 }
@@ -250,33 +313,53 @@ func hostName(u *uri.URI, idx int) string {
 	return fmt.Sprintf("host%d", idx)
 }
 
-// Start launches the per-host connection managers.
+// lookup finds a host record by name through its shard.
+func (r *Registry) lookup(name string) *host {
+	sh := &r.shards[shardFor(name)]
+	sh.mu.RLock()
+	h := sh.hosts[name]
+	sh.mu.RUnlock()
+	return h
+}
+
+// Start launches the dispatcher and the bounded worker pool, and queues
+// every host for an immediate first connection attempt.
 func (r *Registry) Start() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	fleetHostsKnown.Add(int64(len(r.order)))
+	now := r.now()
+	r.qmu.Lock()
 	for _, name := range r.order {
-		h := r.hosts[name]
+		h := r.lookup(name)
+		h.due = now
+		heap.Push(&r.queue, h)
+	}
+	r.qmu.Unlock()
+	r.wg.Add(1)
+	go r.dispatch()
+	workers := r.cfg.Workers
+	if workers > len(r.order) {
+		workers = len(r.order)
+	}
+	for i := 0; i < workers; i++ {
 		r.wg.Add(1)
-		go r.runHost(h)
+		go r.worker()
 	}
 }
 
-// Close tears down every connection and stops the managers.
+// Close tears down every connection and stops the workers.
 func (r *Registry) Close() {
-	r.mu.Lock()
+	r.qmu.Lock()
 	if r.closed {
-		r.mu.Unlock()
+		r.qmu.Unlock()
 		return
 	}
 	r.closed = true
-	r.mu.Unlock()
+	r.qmu.Unlock()
 	close(r.stop)
 	r.wg.Wait()
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	fleetHostsKnown.Add(-int64(len(r.order)))
-	for _, h := range r.hosts {
+	for _, name := range r.order {
+		h := r.lookup(name)
 		h.mu.Lock()
 		if h.conn != nil {
 			h.conn.Close() //nolint:errcheck
@@ -286,89 +369,187 @@ func (r *Registry) Close() {
 			fleetHostsUp.Add(-1)
 		}
 		h.state = HostDown
+		h.inv.State = HostDown
+		h.sum.State = HostDown
 		h.mu.Unlock()
 	}
 }
 
-// runHost is the per-host manager: connect, poll until the connection
-// dies, reconnect with exponential backoff, forever (until Close).
-func (r *Registry) runHost(h *host) {
+// dispatch owns the due-queue: it hands each host whose due time has
+// arrived to a pool worker and sleeps until the next deadline
+// otherwise. Hosts are out of the queue while a worker services them
+// (heapIdx == -1) and re-enter when the worker is done, so a host is
+// never serviced twice concurrently.
+func (r *Registry) dispatch() {
 	defer r.wg.Done()
-	backoff := r.cfg.BackoffMin
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
 	for {
-		select {
-		case <-r.stop:
-			return
-		default:
+		r.qmu.Lock()
+		var next *host
+		wait := time.Duration(-1)
+		if len(r.queue) > 0 {
+			now := r.now()
+			if d := r.queue[0].due.Sub(now); d <= 0 {
+				next = heap.Pop(&r.queue).(*host)
+			} else {
+				wait = d
+			}
 		}
-		conn, err := core.Open(h.uri)
-		if err != nil {
-			r.setDown(h, err)
-			fleetReconnects.Inc()
+		r.qmu.Unlock()
+		if next != nil {
 			select {
+			case r.work <- next:
 			case <-r.stop:
 				return
-			case <-time.After(r.jittered(backoff)):
-			}
-			backoff *= 2
-			if backoff > r.cfg.BackoffMax {
-				backoff = r.cfg.BackoffMax
 			}
 			continue
 		}
-		backoff = r.cfg.BackoffMin
-		r.setUp(h, conn)
-		// Lifecycle events invalidate the cached inventory immediately,
-		// so placements see changes faster than the poll interval.
-		conn.SubscribeEvents("", nil, func(events.Event) { h.invalidate() }) //nolint:errcheck
-		if err := r.refresh(h, conn); err != nil && core.IsRetryable(err) {
-			r.setDown(h, err)
-			conn.Close() //nolint:errcheck
-			continue
+		if wait < 0 {
+			wait = time.Hour // empty queue: sleep until kicked
 		}
-		err = r.pollLoop(h, conn)
-		conn.Close()    //nolint:errcheck
-		if err == nil { // Close() requested
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-r.kick:
+		case <-timer.C:
+		case <-r.stop:
 			return
 		}
-		r.setDown(h, err)
 	}
 }
 
-// jittered adds up to BackoffJitter × d of seeded random slack to a
-// reconnect delay.
-func (r *Registry) jittered(d time.Duration) time.Duration {
-	if r.cfg.BackoffJitter <= 0 {
-		return d
+// kickDispatch nudges the dispatcher after the queue head may have
+// changed; it never blocks.
+func (r *Registry) kickDispatch() {
+	select {
+	case r.kick <- struct{}{}:
+	default:
 	}
+}
+
+// requeue schedules the host's next service time. A poke that arrived
+// while the host was being serviced pulls the deadline forward to now.
+func (r *Registry) requeue(h *host, due time.Time) {
+	r.qmu.Lock()
+	if r.closed {
+		r.qmu.Unlock()
+		return
+	}
+	if h.poked {
+		h.poked = false
+		now := r.now()
+		if due.After(now) {
+			due = now
+		}
+	}
+	h.due = due
+	if h.heapIdx < 0 {
+		heap.Push(&r.queue, h)
+	} else {
+		heap.Fix(&r.queue, h.heapIdx)
+	}
+	r.qmu.Unlock()
+	r.kickDispatch()
+}
+
+// pokeHost requests an immediate refresh of the host: if it is queued,
+// its deadline moves to now; if a worker is servicing it, the worker
+// requeues it immediately when done. Callers must not block (event
+// delivery goroutines land here).
+func (r *Registry) pokeHost(h *host) {
+	r.qmu.Lock()
+	if r.closed {
+		r.qmu.Unlock()
+		return
+	}
+	if h.heapIdx < 0 {
+		h.poked = true
+		r.qmu.Unlock()
+		return
+	}
+	now := r.now()
+	if h.due.After(now) {
+		h.due = now
+		heap.Fix(&r.queue, h.heapIdx)
+	}
+	r.qmu.Unlock()
+	r.kickDispatch()
+}
+
+// worker services hosts handed out by the dispatcher: one connection
+// attempt or one inventory refresh per turn, then the host goes back in
+// the queue with its next deadline.
+func (r *Registry) worker() {
+	defer r.wg.Done()
+	for {
+		select {
+		case h := <-r.work:
+			r.requeue(h, r.service(h))
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// service performs one unit of attention for the host and returns when
+// it next needs any: PollInterval after a good refresh, now for an
+// immediate reconnect after a freshly detected failure, or the jittered
+// backoff delay while the daemon stays unreachable.
+func (r *Registry) service(h *host) time.Time {
+	h.mu.Lock()
+	conn := h.conn
+	up := h.state == HostUp
+	h.mu.Unlock()
+
+	if up && conn != nil {
+		err := r.refresh(h, conn)
+		if err == nil {
+			return r.now().Add(r.cfg.PollInterval)
+		}
+		if core.IsRetryable(err) || core.IsCode(err, core.ErrConnectionClosed) {
+			conn.Close() //nolint:errcheck
+			r.setDown(h, err)
+			// Reconnect immediately once: the daemon may have bounced.
+			return r.now()
+		}
+		// Transient operation error (e.g. racing undefine): keep the
+		// host up, try again next tick.
+		r.log.Warnf("fleet", "host %s: inventory refresh: %v", h.name, err)
+		return r.now().Add(r.cfg.PollInterval)
+	}
+
+	conn, err := core.Open(h.uri)
+	if err != nil {
+		r.setDown(h, err)
+		fleetReconnects.Inc()
+		return r.now().Add(r.jittered(&h.bo))
+	}
+	h.bo.reset()
+	r.setUp(h, conn)
+	// Lifecycle events invalidate the cached inventory immediately,
+	// so placements see changes faster than the poll interval.
+	conn.SubscribeEvents("", nil, func(events.Event) { r.pokeHost(h) }) //nolint:errcheck
+	if err := r.refresh(h, conn); err != nil && core.IsRetryable(err) {
+		conn.Close() //nolint:errcheck
+		r.setDown(h, err)
+		return r.now().Add(r.jittered(&h.bo))
+	}
+	return r.now().Add(r.cfg.PollInterval)
+}
+
+// jittered draws the host's next backoff delay using the registry's
+// seeded PRNG.
+func (r *Registry) jittered(bo *backoffTimer) time.Duration {
 	r.rngMu.Lock()
 	f := r.rng.Float64()
 	r.rngMu.Unlock()
-	return d + time.Duration(float64(d)*r.cfg.BackoffJitter*f)
-}
-
-// pollLoop refreshes the host inventory on the poll interval and on
-// event pokes. It returns nil on shutdown and the failure when the
-// connection looks dead.
-func (r *Registry) pollLoop(h *host, conn *core.Connect) error {
-	t := time.NewTicker(r.cfg.PollInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-r.stop:
-			return nil
-		case <-t.C:
-		case <-h.poke:
-		}
-		if err := r.refresh(h, conn); err != nil {
-			if core.IsRetryable(err) || core.IsCode(err, core.ErrConnectionClosed) {
-				return err
-			}
-			// Transient operation error (e.g. racing undefine): keep the
-			// host up, try again next tick.
-			r.log.Warnf("fleet", "host %s: inventory refresh: %v", h.name, err)
-		}
-	}
+	return bo.next(f)
 }
 
 // readAttempts bounds how often a read-only inventory call is retried
@@ -406,7 +587,18 @@ func (r *Registry) refresh(h *host, conn *core.Connect) error {
 		Host: h.name, URI: h.uri, State: h.state, DriverType: h.inv.DriverType,
 		Node: node, Domains: records, Gen: h.inv.Gen + 1, CollectedAt: time.Now(),
 	}
+	h.sum = h.inv.Summary()
+	r.publishSum(h)
 	return nil
+}
+
+// publishSum mirrors h.sum into the fleet-wide summary cache. The
+// caller holds h.mu, which orders cache writes for the host; the lock
+// order is always h.mu then sumMu.
+func (r *Registry) publishSum(h *host) {
+	r.sumMu.Lock()
+	r.sums[h.idx] = h.sum
+	r.sumMu.Unlock()
 }
 
 // collectInventory gathers the node summary and domain records, bulk
@@ -485,6 +677,9 @@ func (r *Registry) setUp(h *host, conn *core.Connect) {
 	h.lastErr = nil
 	h.inv.State = HostUp
 	h.inv.DriverType = drvType
+	h.sum.State = HostUp
+	h.sum.DriverType = drvType
+	r.publishSum(h)
 	r.log.Infof("fleet", "host %s up (%s driver)", h.name, drvType)
 }
 
@@ -500,16 +695,16 @@ func (r *Registry) setDown(h *host, err error) {
 	h.lastErr = err
 	h.inv.State = HostDown
 	h.inv.Domains = nil
+	h.sum = h.inv.Summary()
+	r.publishSum(h)
 }
 
 // markDown records an externally observed host failure (a placement or
 // migration call failing retryably): the connection is closed so the
-// host goroutine's next poll notices and enters reconnect.
+// host's next poll notices and enters reconnect.
 func (r *Registry) markDown(name string, err error) {
-	r.mu.Lock()
-	h, ok := r.hosts[name]
-	r.mu.Unlock()
-	if !ok {
+	h := r.lookup(name)
+	if h == nil {
 		return
 	}
 	h.mu.Lock()
@@ -518,67 +713,80 @@ func (r *Registry) markDown(name string, err error) {
 	if conn != nil {
 		conn.Close() //nolint:errcheck
 	}
-	h.invalidate()
+	r.pokeHost(h)
 	_ = err
+}
+
+// notePlacement folds a just-placed domain into the host's cached
+// summary, so scheduling pressure is visible to the very next placement
+// decision, and pokes the host's poll so the authoritative per-domain
+// inventory follows asynchronously. The scheduler never waits on a
+// refresh round trip; callers that need the full inventory current call
+// RefreshNow themselves.
+func (r *Registry) notePlacement(name string, req Request) {
+	h := r.lookup(name)
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.sum.AllocMemKiB += req.MemKiB
+	h.sum.AllocVCPUs += req.VCPUs
+	h.sum.ActiveDomains++
+	h.sum.TotalDomains++
+	r.publishSum(h)
+	h.mu.Unlock()
+	r.pokeHost(h)
 }
 
 // Host returns the named host's live connection, or a retryable error
 // when the host is not up.
 func (r *Registry) Host(name string) (*core.Connect, error) {
-	r.mu.Lock()
-	h, ok := r.hosts[name]
-	r.mu.Unlock()
-	if !ok {
+	h := r.lookup(name)
+	if h == nil {
 		return nil, core.Errorf(core.ErrInvalidArg, "fleet: unknown host %q", name)
 	}
-	return h.connRef()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state != HostUp || h.conn == nil {
+		return nil, core.Errorf(core.ErrHostUnreachable, "fleet: host %q is %s", h.name, h.state)
+	}
+	return h.conn, nil
 }
 
 // Hosts lists the configured host names in configuration order.
 func (r *Registry) Hosts() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make([]string, len(r.order))
 	copy(out, r.order)
 	return out
 }
 
-// Status reports per-host health.
+// Status reports per-host health. It reads the cached summaries, so at
+// fleet scale it stays O(hosts) with no per-domain work.
 func (r *Registry) Status() []HostStatus {
-	invs := r.Inventory()
-	out := make([]HostStatus, 0, len(invs))
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, inv := range invs {
+	out := make([]HostStatus, 0, len(r.order))
+	for _, name := range r.order {
+		h := r.lookup(name)
+		h.mu.Lock()
 		st := HostStatus{
-			Name: inv.Host, URI: inv.URI, State: inv.State,
-			Domains: inv.ActiveDomains(), MemLoad: inv.MemLoad(), CPULoad: inv.CPULoad(),
+			Name: h.name, URI: h.uri, State: h.state,
+			Domains: h.sum.ActiveDomains, MemLoad: h.sum.MemLoad(), CPULoad: h.sum.CPULoad(),
 		}
-		if h, ok := r.hosts[inv.Host]; ok {
-			h.mu.Lock()
-			if h.lastErr != nil {
-				st.Err = h.lastErr.Error()
-			}
-			h.mu.Unlock()
+		if h.lastErr != nil {
+			st.Err = h.lastErr.Error()
 		}
+		h.mu.Unlock()
 		out = append(out, st)
 	}
 	return out
 }
 
 // Inventory snapshots every host's cached inventory, in configuration
-// order.
+// order. This deep-copies every domain record; scale-sensitive callers
+// (the scheduler, status displays) use Summaries instead.
 func (r *Registry) Inventory() []HostInventory {
-	r.mu.Lock()
-	order := make([]string, len(r.order))
-	copy(order, r.order)
-	hosts := make([]*host, 0, len(order))
-	for _, name := range order {
-		hosts = append(hosts, r.hosts[name])
-	}
-	r.mu.Unlock()
-	out := make([]HostInventory, 0, len(hosts))
-	for _, h := range hosts {
+	out := make([]HostInventory, 0, len(r.order))
+	for _, name := range r.order {
+		h := r.lookup(name)
 		h.mu.Lock()
 		out = append(out, h.inv.clone())
 		h.mu.Unlock()
@@ -586,17 +794,25 @@ func (r *Registry) Inventory() []HostInventory {
 	return out
 }
 
+// Summaries snapshots the compact per-host aggregates, in configuration
+// order: one lock and one memcpy of the score cache, however many
+// domains the fleet carries.
+func (r *Registry) Summaries() []HostSummary {
+	r.sumMu.RLock()
+	out := append([]HostSummary(nil), r.sums...)
+	r.sumMu.RUnlock()
+	return out
+}
+
 // RefreshNow synchronously refreshes the named hosts (all when none are
 // given), so callers that just mutated the fleet observe their writes.
 func (r *Registry) RefreshNow(names ...string) {
 	if len(names) == 0 {
-		names = r.Hosts()
+		names = r.order
 	}
 	for _, name := range names {
-		r.mu.Lock()
-		h, ok := r.hosts[name]
-		r.mu.Unlock()
-		if !ok {
+		h := r.lookup(name)
+		if h == nil {
 			continue
 		}
 		h.mu.Lock()
@@ -618,13 +834,16 @@ func (r *Registry) WaitSettled(timeout time.Duration) int {
 	deadline := time.Now().Add(timeout)
 	for {
 		settled, up := true, 0
-		for _, inv := range r.Inventory() {
-			switch inv.State {
+		for _, name := range r.order {
+			h := r.lookup(name)
+			h.mu.Lock()
+			switch h.state {
 			case HostUp:
 				up++
 			case HostConnecting:
 				settled = false
 			}
+			h.mu.Unlock()
 		}
 		if settled || time.Now().After(deadline) {
 			return up
@@ -636,12 +855,17 @@ func (r *Registry) WaitSettled(timeout time.Duration) int {
 // WaitHostState blocks until the named host reaches the wanted state,
 // reporting whether it did before the timeout.
 func (r *Registry) WaitHostState(name string, want HostState, timeout time.Duration) bool {
+	h := r.lookup(name)
+	if h == nil {
+		return false
+	}
 	deadline := time.Now().Add(timeout)
 	for {
-		for _, inv := range r.Inventory() {
-			if inv.Host == name && inv.State == want {
-				return true
-			}
+		h.mu.Lock()
+		got := h.state
+		h.mu.Unlock()
+		if got == want {
+			return true
 		}
 		if time.Now().After(deadline) {
 			return false
@@ -653,4 +877,21 @@ func (r *Registry) WaitHostState(name string, want HostState, timeout time.Durat
 // sortHostsByName is a small shared helper for deterministic output.
 func sortHostsByName(invs []HostInventory) {
 	sort.Slice(invs, func(i, j int) bool { return invs[i].Host < invs[j].Host })
+}
+
+// dueHeap is a min-heap of hosts ordered by their next service time.
+type dueHeap []*host
+
+func (q dueHeap) Len() int            { return len(q) }
+func (q dueHeap) Less(i, j int) bool  { return q[i].due.Before(q[j].due) }
+func (q dueHeap) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].heapIdx = i; q[j].heapIdx = j }
+func (q *dueHeap) Push(x interface{}) { h := x.(*host); h.heapIdx = len(*q); *q = append(*q, h) }
+func (q *dueHeap) Pop() interface{} {
+	old := *q
+	n := len(old)
+	h := old[n-1]
+	old[n-1] = nil
+	h.heapIdx = -1
+	*q = old[:n-1]
+	return h
 }

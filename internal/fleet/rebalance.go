@@ -68,18 +68,65 @@ type RebalanceResult struct {
 	Converged  bool // the simulated plan reached the threshold (or emptied the drain host)
 }
 
+// planHost is the planner's working state for one host: the compact
+// summary aggregates (kept incrementally current as simulated moves
+// apply) plus the domain records needed to pick what to move. Load and
+// free-memory reads are O(1), so each planning step costs O(hosts) +
+// O(domains on the host being drained) instead of rescanning every
+// domain record in the fleet per comparison.
+type planHost struct {
+	sum     HostSummary
+	domains []DomainRecord
+}
+
+func (p *planHost) load() float64   { return p.sum.Load() }
+func (p *planHost) freeMem() uint64 { return p.sum.FreeMemKiB() }
+func (p *planHost) up() bool        { return p.sum.State == HostUp }
+
+// loadWith projects the host's load with an extra active domain placed
+// on it — the arithmetic form of "clone, append, recompute".
+func (p *planHost) loadWith(memKiB uint64, vcpus int) float64 {
+	after := p.sum
+	after.AllocMemKiB += memKiB
+	after.AllocVCPUs += vcpus
+	return after.Load()
+}
+
+// planSkew is Skew over the planner's incrementally maintained state.
+func planSkew(sim []planHost) float64 {
+	min, max, n := 0.0, 0.0, 0
+	for i := range sim {
+		if !sim[i].up() {
+			continue
+		}
+		l := sim[i].load()
+		if n == 0 || l < min {
+			min = l
+		}
+		if n == 0 || l > max {
+			max = l
+		}
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	return max - min
+}
+
 // PlanRebalance computes the moves that bring a fleet snapshot under
 // the skew threshold (or drain the named host), simulating each move on
-// cloned inventories. It is pure — no connections are touched — so the
-// planner can be unit-tested and benchmarked on synthetic fleets; the
-// live Rebalance path executes exactly the plan this returns.
+// compact per-host state. It is pure — no connections are touched — so
+// the planner can be unit-tested and benchmarked on synthetic fleets;
+// the live Rebalance path executes exactly the plan this returns.
 func PlanRebalance(invs []HostInventory, opts RebalanceOptions) ([]Move, float64, float64, bool) {
 	opts.applyDefaults()
-	sim := make([]HostInventory, 0, len(invs))
+	sim := make([]planHost, len(invs))
 	for i := range invs {
-		sim = append(sim, invs[i].clone())
+		sim[i].sum = invs[i].Summary()
+		sim[i].domains = append([]DomainRecord(nil), invs[i].Domains...)
 	}
-	skewBefore := Skew(sim)
+	skewBefore := planSkew(sim)
 	var moves []Move
 	converged := false
 	for len(moves) < opts.MaxMigrations {
@@ -87,15 +134,17 @@ func PlanRebalance(invs []HostInventory, opts RebalanceOptions) ([]Move, float64
 		if opts.Drain != "" {
 			mv = planDrainMove(sim, opts.Drain)
 			if mv == nil {
-				converged = true // drain host is empty
+				// No move either because the drain host is empty (done) or
+				// because no target can take what is left (stuck).
+				converged = drainEmpty(sim, opts.Drain)
 				break
 			}
 		} else {
-			if Skew(sim) <= opts.SkewThreshold {
+			if planSkew(sim) <= opts.SkewThreshold {
 				converged = true
 				break
 			}
-			mv = planSkewMove(sim, opts.SkewThreshold)
+			mv = planSkewMove(sim)
 			if mv == nil {
 				break // no move improves the spread
 			}
@@ -103,22 +152,29 @@ func PlanRebalance(invs []HostInventory, opts RebalanceOptions) ([]Move, float64
 		applyMove(sim, *mv)
 		moves = append(moves, *mv)
 	}
-	if opts.Drain == "" && Skew(sim) <= opts.SkewThreshold {
+	if opts.Drain == "" && planSkew(sim) <= opts.SkewThreshold {
 		converged = true
 	}
-	return moves, skewBefore, Skew(sim), converged
+	return moves, skewBefore, planSkew(sim), converged
+}
+
+// drainEmpty reports whether the drain host has no active domains left
+// in the simulated state (vacuously true for unknown hosts).
+func drainEmpty(sim []planHost, drain string) bool {
+	src := findHost(sim, drain)
+	return src == nil || src.sum.ActiveDomains == 0
 }
 
 // planDrainMove picks the next domain to evacuate from the drain host:
 // largest domain first, each to the least-loaded host that fits.
-func planDrainMove(sim []HostInventory, drain string) *Move {
+func planDrainMove(sim []planHost, drain string) *Move {
 	src := findHost(sim, drain)
 	if src == nil {
 		return nil
 	}
 	var dom *DomainRecord
-	for i := range src.Domains {
-		d := &src.Domains[i]
+	for i := range src.domains {
+		d := &src.domains[i]
 		if !d.Active() {
 			continue
 		}
@@ -133,19 +189,19 @@ func planDrainMove(sim []HostInventory, drain string) *Move {
 	if dst == nil {
 		return nil
 	}
-	return &Move{Domain: dom.Name, From: drain, To: dst.Host, MemKiB: dom.MemKiB, VCPUs: dom.VCPUs}
+	return &Move{Domain: dom.Name, From: drain, To: dst.sum.Host, MemKiB: dom.MemKiB, VCPUs: dom.VCPUs}
 }
 
 // planSkewMove picks one move that narrows the load spread: the
 // smallest active domain on the hottest host whose relocation to the
 // coldest fitting host actually reduces skew.
-func planSkewMove(sim []HostInventory, threshold float64) *Move {
-	var hot *HostInventory
+func planSkewMove(sim []planHost) *Move {
+	var hot *planHost
 	for i := range sim {
-		if sim[i].State != HostUp {
+		if !sim[i].up() {
 			continue
 		}
-		if hot == nil || sim[i].Load() > hot.Load() {
+		if hot == nil || sim[i].load() > hot.load() {
 			hot = &sim[i]
 		}
 	}
@@ -155,8 +211,8 @@ func planSkewMove(sim []HostInventory, threshold float64) *Move {
 	// Smallest first: small moves converge without overshooting (a big
 	// domain bouncing between two hosts would thrash).
 	var dom *DomainRecord
-	for i := range hot.Domains {
-		d := &hot.Domains[i]
+	for i := range hot.domains {
+		d := &hot.domains[i]
 		if !d.Active() {
 			continue
 		}
@@ -167,66 +223,73 @@ func planSkewMove(sim []HostInventory, threshold float64) *Move {
 	if dom == nil {
 		return nil
 	}
-	dst := pickTarget(sim, hot.Host, dom.MemKiB)
+	dst := pickTarget(sim, hot.sum.Host, dom.MemKiB)
 	if dst == nil {
 		return nil
 	}
-	mv := Move{Domain: dom.Name, From: hot.Host, To: dst.Host, MemKiB: dom.MemKiB, VCPUs: dom.VCPUs}
 	// No-progress guard, judged pairwise: the destination must stay
 	// strictly below where the source started, or the move just swaps
 	// which host is hot (a giant domain bouncing between two hosts).
 	// Judging the global spread instead would deadlock on ties — with
 	// two equally hot hosts, no single move changes the global max.
-	srcBefore := hot.Load()
-	trial := []HostInventory{dst.clone()}
-	applyMove(trial, Move{Domain: dom.Name, To: dst.Host,
-		MemKiB: dom.MemKiB, VCPUs: dom.VCPUs})
-	if trial[0].Load() >= srcBefore {
+	if dst.loadWith(dom.MemKiB, dom.VCPUs) >= hot.load() {
 		return nil
 	}
-	return &mv
+	return &Move{Domain: dom.Name, From: hot.sum.Host, To: dst.sum.Host,
+		MemKiB: dom.MemKiB, VCPUs: dom.VCPUs}
 }
 
 // pickTarget returns the least-loaded up host (other than exclude) with
 // enough free memory, or nil.
-func pickTarget(sim []HostInventory, exclude string, memKiB uint64) *HostInventory {
-	var best *HostInventory
+func pickTarget(sim []planHost, exclude string, memKiB uint64) *planHost {
+	var best *planHost
 	for i := range sim {
-		inv := &sim[i]
-		if inv.State != HostUp || inv.Host == exclude {
+		ph := &sim[i]
+		if !ph.up() || ph.sum.Host == exclude {
 			continue
 		}
-		if inv.FreeMemKiB() < memKiB {
+		if ph.freeMem() < memKiB {
 			continue
 		}
-		if best == nil || inv.Load() < best.Load() ||
-			(inv.Load() == best.Load() && inv.Host < best.Host) {
-			best = inv
+		if best == nil || ph.load() < best.load() ||
+			(ph.load() == best.load() && ph.sum.Host < best.sum.Host) {
+			best = ph
 		}
 	}
 	return best
 }
 
-// applyMove updates the simulated inventories as if the move completed.
-func applyMove(sim []HostInventory, mv Move) {
+// applyMove updates the simulated state as if the move completed,
+// adjusting the summary aggregates in place.
+func applyMove(sim []planHost, mv Move) {
 	if src := findHost(sim, mv.From); src != nil {
-		for i := range src.Domains {
-			if src.Domains[i].Name == mv.Domain {
-				src.Domains = append(src.Domains[:i], src.Domains[i+1:]...)
+		for i := range src.domains {
+			if src.domains[i].Name == mv.Domain {
+				if src.domains[i].Active() {
+					src.sum.AllocMemKiB -= src.domains[i].MemKiB
+					src.sum.AllocVCPUs -= src.domains[i].VCPUs
+					src.sum.ActiveDomains--
+				}
+				src.sum.TotalDomains--
+				src.domains = append(src.domains[:i], src.domains[i+1:]...)
 				break
 			}
 		}
 	}
 	if dst := findHost(sim, mv.To); dst != nil {
-		dst.Domains = append(dst.Domains, DomainRecord{
+		dst.domains = append(dst.domains, DomainRecord{
 			Name: mv.Domain, State: core.DomainRunning, MemKiB: mv.MemKiB, VCPUs: mv.VCPUs,
 		})
+		dst.sum.AllocMemKiB += mv.MemKiB
+		dst.sum.AllocVCPUs += mv.VCPUs
+		dst.sum.ActiveDomains++
+		dst.sum.TotalDomains++
 	}
 }
 
-func findHost(sim []HostInventory, name string) *HostInventory {
+func findHost(sim []planHost, name string) *planHost {
 	for i := range sim {
-		if sim[i].Host == name {
+		if sim[i].sum.Host == name {
 			return &sim[i]
 		}
 	}

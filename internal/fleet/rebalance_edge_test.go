@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"testing"
+)
+
+// TestFleetPlanRebalanceEdgeCases drives the planner through the
+// degenerate fleet shapes where the only correct plan is no plan at
+// all, and asserts the shared invariant: the no-progress guard never
+// proposes a move that leaves the spread worse than it started.
+func TestFleetPlanRebalanceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		invs      []HostInventory
+		opts      RebalanceOptions
+		wantMoves int
+		converged bool
+	}{
+		{
+			// No hosts at all: nothing to plan, trivially converged.
+			name:      "empty-fleet",
+			invs:      nil,
+			opts:      RebalanceOptions{SkewThreshold: 0.1},
+			wantMoves: 0,
+			converged: true,
+		},
+		{
+			// One host carrying everything: skew needs two up hosts to be
+			// defined, so the pass converges without moving.
+			name: "single-host",
+			invs: []HostInventory{
+				synthHost("only", "test", 1000, 1000,
+					runningDom("a", 400, 1), runningDom("b", 400, 1)),
+			},
+			opts:      RebalanceOptions{SkewThreshold: 0.1},
+			wantMoves: 0,
+			converged: true,
+		},
+		{
+			// Draining while every other host is down: no target exists,
+			// so the plan is empty and explicitly not converged — the
+			// drain host still carries its domains.
+			name: "every-other-host-down-drain",
+			invs: []HostInventory{
+				synthHost("drainme", "test", 1000, 1000, runningDom("a", 100, 1)),
+				{Host: "down1", State: HostDown, DriverType: "test"},
+				{Host: "down2", State: HostDown, DriverType: "test"},
+			},
+			opts:      RebalanceOptions{Drain: "drainme"},
+			wantMoves: 0,
+			converged: false,
+		},
+		{
+			// Draining a host that is itself down: its cached inventory
+			// holds no domains, so the drain is vacuously complete.
+			name: "drain-host-down",
+			invs: []HostInventory{
+				{Host: "drainme", State: HostDown, DriverType: "test"},
+				synthHost("up", "test", 1000, 1000),
+			},
+			opts:      RebalanceOptions{Drain: "drainme"},
+			wantMoves: 0,
+			converged: true,
+		},
+		{
+			// Every host pinned with identical domains, spread above the
+			// threshold only pairwise: relocating any domain would push
+			// the target to the source's starting load, so the
+			// no-progress guard must refuse every move rather than swap
+			// which host is hot.
+			name: "all-domains-pinned-equal",
+			invs: []HostInventory{
+				synthHost("h0", "test", 1000, 1000,
+					runningDom("a", 400, 1), runningDom("b", 400, 1)),
+				synthHost("h1", "test", 1000, 1000, runningDom("c", 400, 1)),
+			},
+			opts:      RebalanceOptions{SkewThreshold: 0.2},
+			wantMoves: 0,
+			converged: false,
+		},
+		{
+			// Equal load everywhere: skew is zero, instantly converged.
+			name: "uniform-load",
+			invs: []HostInventory{
+				synthHost("h0", "test", 1000, 1000, runningDom("a", 300, 1)),
+				synthHost("h1", "test", 1000, 1000, runningDom("b", 300, 1)),
+				synthHost("h2", "test", 1000, 1000, runningDom("c", 300, 1)),
+			},
+			opts:      RebalanceOptions{SkewThreshold: 0.1},
+			wantMoves: 0,
+			converged: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			moves, before, after, converged := PlanRebalance(tc.invs, tc.opts)
+			if len(moves) != tc.wantMoves {
+				t.Fatalf("moves = %v, want %d", moves, tc.wantMoves)
+			}
+			if converged != tc.converged {
+				t.Fatalf("converged = %v, want %v", converged, tc.converged)
+			}
+			if after > before {
+				t.Fatalf("plan worsened skew: %.3f -> %.3f", before, after)
+			}
+		})
+	}
+}
+
+// TestFleetPlanRebalanceNeverWorsens fuzzes fleet shapes over a fixed
+// grid and checks the global invariant on every one: whatever the
+// planner proposes, simulated skew after the plan never exceeds skew
+// before it, and the move count respects the cap.
+func TestFleetPlanRebalanceNeverWorsens(t *testing.T) {
+	for hosts := 2; hosts <= 6; hosts++ {
+		for spread := 0; spread <= 4; spread++ {
+			invs := make([]HostInventory, 0, hosts)
+			for i := 0; i < hosts; i++ {
+				var doms []DomainRecord
+				// Host i carries i*spread domains of alternating sizes, so
+				// the grid covers balanced, skewed and empty shapes.
+				for j := 0; j < i*spread; j++ {
+					size := uint64(100 + 150*(j%3))
+					doms = append(doms, runningDom(
+						hostDomName(i, j), size, 1+j%2))
+				}
+				invs = append(invs, synthHost(hostGridName(i), "test", 4000, 1000, doms...))
+			}
+			moves, before, after, _ := PlanRebalance(invs, RebalanceOptions{
+				SkewThreshold: 0.05, MaxMigrations: 8,
+			})
+			if after > before {
+				t.Fatalf("hosts=%d spread=%d: plan worsened skew %.3f -> %.3f (moves %v)",
+					hosts, spread, before, after, moves)
+			}
+			if len(moves) > 8 {
+				t.Fatalf("hosts=%d spread=%d: %d moves exceeds cap", hosts, spread, len(moves))
+			}
+		}
+	}
+}
+
+func hostGridName(i int) string {
+	return string(rune('a'+i)) + "-host"
+}
+
+func hostDomName(i, j int) string {
+	return string(rune('a'+i)) + "-dom-" + string(rune('0'+j%10)) + string(rune('0'+j/10))
+}

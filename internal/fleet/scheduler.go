@@ -43,33 +43,35 @@ func ParseRequest(xmlDesc string) (Request, error) {
 // Policy scores candidate hosts for a request; the scheduler places on
 // the highest-scoring host and falls through the ranking on failure.
 // Score is only called for hosts that passed the capability and
-// capacity filters.
+// capacity filters. Policies see the compact per-host summary, never
+// the per-domain records, so scoring stays O(1) per host and the
+// scheduler never has to materialize full inventories.
 type Policy interface {
 	Name() string
-	Score(req Request, inv *HostInventory) float64
+	Score(req Request, sum *HostSummary) float64
 }
 
 type policyFunc struct {
 	name  string
-	score func(req Request, inv *HostInventory) float64
+	score func(req Request, sum *HostSummary) float64
 }
 
-func (p policyFunc) Name() string                                  { return p.name }
-func (p policyFunc) Score(req Request, inv *HostInventory) float64 { return p.score(req, inv) }
+func (p policyFunc) Name() string                                { return p.name }
+func (p policyFunc) Score(req Request, sum *HostSummary) float64 { return p.score(req, sum) }
 
 // Spread prefers the least-loaded host, keeping headroom everywhere —
 // the default policy.
 func Spread() Policy {
-	return policyFunc{name: "spread", score: func(req Request, inv *HostInventory) float64 {
-		return 1 - loadAfter(req, inv)
+	return policyFunc{name: "spread", score: func(req Request, sum *HostSummary) float64 {
+		return 1 - loadAfter(req, sum)
 	}}
 }
 
 // Pack prefers the most-loaded host that still fits, consolidating the
 // fleet onto few hosts so the rest can be drained or powered down.
 func Pack() Policy {
-	return policyFunc{name: "pack", score: func(req Request, inv *HostInventory) float64 {
-		return loadAfter(req, inv)
+	return policyFunc{name: "pack", score: func(req Request, sum *HostSummary) float64 {
+		return loadAfter(req, sum)
 	}}
 }
 
@@ -78,9 +80,9 @@ func Pack() Policy {
 // whichever resource their workloads contend on.
 func Weighted(cpuWeight, memWeight float64) Policy {
 	name := fmt.Sprintf("weighted(cpu=%g,mem=%g)", cpuWeight, memWeight)
-	return policyFunc{name: name, score: func(req Request, inv *HostInventory) float64 {
-		memFree := 1 - inv.MemLoad()
-		cpuFree := 1 - inv.CPULoad()
+	return policyFunc{name: name, score: func(req Request, sum *HostSummary) float64 {
+		memFree := 1 - sum.MemLoad()
+		cpuFree := 1 - sum.CPULoad()
 		return (cpuWeight*cpuFree + memWeight*memFree) / (cpuWeight + memWeight)
 	}}
 }
@@ -102,13 +104,13 @@ func PolicyByName(name string) (Policy, error) {
 
 // loadAfter projects the host's scalar load as if the request were
 // already placed there.
-func loadAfter(req Request, inv *HostInventory) float64 {
-	mem, cpu := inv.MemLoad(), inv.CPULoad()
-	if inv.Node.MemoryKiB > 0 {
-		mem += float64(req.MemKiB) / float64(inv.Node.MemoryKiB)
+func loadAfter(req Request, sum *HostSummary) float64 {
+	mem, cpu := sum.MemLoad(), sum.CPULoad()
+	if sum.MemoryKiB > 0 {
+		mem += float64(req.MemKiB) / float64(sum.MemoryKiB)
 	}
-	if inv.Node.CPUs > 0 {
-		cpu += float64(req.VCPUs) / float64(inv.Node.CPUs)
+	if sum.CPUs > 0 {
+		cpu += float64(req.VCPUs) / float64(sum.CPUs)
 	}
 	if mem > cpu {
 		return mem
@@ -116,24 +118,40 @@ func loadAfter(req Request, inv *HostInventory) float64 {
 	return cpu
 }
 
+// eligible reports whether a host summary can take the request: up,
+// matching driver capability, and with enough free memory.
+func eligible(req Request, sum *HostSummary) bool {
+	if sum.State != HostUp {
+		return false
+	}
+	if req.TypeName != "" && sum.DriverType != "" && sum.DriverType != req.TypeName {
+		return false
+	}
+	return sum.FreeMemKiB() >= req.MemKiB
+}
+
 // Candidates filters a fleet snapshot down to the hosts that can take
-// the request: up, matching driver capability, and with enough free
-// memory. It is a pure function so policies can be unit-tested and
+// the request. It is a pure function so policies can be unit-tested and
 // benchmarked on synthetic inventories.
 func Candidates(req Request, invs []HostInventory) []HostInventory {
 	out := make([]HostInventory, 0, len(invs))
 	for i := range invs {
-		inv := &invs[i]
-		if inv.State != HostUp {
-			continue
+		sum := invs[i].Summary()
+		if eligible(req, &sum) {
+			out = append(out, invs[i])
 		}
-		if req.TypeName != "" && inv.DriverType != "" && inv.DriverType != req.TypeName {
-			continue
+	}
+	return out
+}
+
+// CandidateSummaries filters a summary snapshot down to the hosts that
+// can take the request — the form the scheduler uses at fleet scale.
+func CandidateSummaries(req Request, sums []HostSummary) []HostSummary {
+	out := make([]HostSummary, 0, len(sums))
+	for i := range sums {
+		if eligible(req, &sums[i]) {
+			out = append(out, sums[i])
 		}
-		if inv.FreeMemKiB() < req.MemKiB {
-			continue
-		}
-		out = append(out, *inv)
 	}
 	return out
 }
@@ -141,14 +159,25 @@ func Candidates(req Request, invs []HostInventory) []HostInventory {
 // Rank orders the candidate hosts for a request best-first under the
 // given policy. Ties break on host name so rankings are deterministic.
 func Rank(p Policy, req Request, invs []HostInventory) []string {
-	cands := Candidates(req, invs)
+	sums := make([]HostSummary, len(invs))
+	for i := range invs {
+		sums[i] = invs[i].Summary()
+	}
+	return RankSummaries(p, req, sums)
+}
+
+// RankSummaries is Rank over compact summaries: O(hosts) filtering and
+// scoring plus the sort, with no per-domain work at all.
+func RankSummaries(p Policy, req Request, sums []HostSummary) []string {
 	type scored struct {
 		host  string
 		score float64
 	}
-	rows := make([]scored, 0, len(cands))
-	for i := range cands {
-		rows = append(rows, scored{cands[i].Host, p.Score(req, &cands[i])})
+	rows := make([]scored, 0, len(sums))
+	for i := range sums {
+		if eligible(req, &sums[i]) {
+			rows = append(rows, scored{sums[i].Host, p.Score(req, &sums[i])})
+		}
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].score != rows[j].score {
@@ -185,15 +214,41 @@ func (r *Registry) Schedule(xmlDesc string) (Placement, error) {
 		fleetPlacementFailures.Inc()
 		return Placement{}, err
 	}
-	ranked := Rank(r.cfg.Policy, req, r.Inventory())
-	if len(ranked) == 0 {
+	// Score the eligible hosts in one pass over the score cache, then
+	// select best-first by linear scan: the normal case tries one host,
+	// so a full O(n log n) sort of the fleet (the dominant cost at 1,000
+	// hosts) buys nothing.
+	type cand struct {
+		host  string
+		score float64
+	}
+	r.sumMu.RLock()
+	cands := make([]cand, 0, len(r.sums))
+	for i := range r.sums {
+		if eligible(req, &r.sums[i]) {
+			cands = append(cands, cand{r.sums[i].Host, r.cfg.Policy.Score(req, &r.sums[i])})
+		}
+	}
+	r.sumMu.RUnlock()
+	if len(cands) == 0 {
 		fleetPlacementFailures.Inc()
 		return Placement{}, core.Errorf(core.ErrOperationInvalid,
 			"fleet: no host can take %q (%d KiB, %d vcpus)", req.Name, req.MemKiB, req.VCPUs)
 	}
 
 	var p Placement
-	for _, hostName := range ranked {
+	for len(cands) > 0 {
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].score > cands[best].score ||
+				(cands[i].score == cands[best].score && cands[i].host < cands[best].host) {
+				best = i
+			}
+		}
+		hostName := cands[best].host
+		cands[best] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+
 		p.Attempts++
 		dom, err := r.placeOn(hostName, xmlDesc)
 		if err != nil {
@@ -212,7 +267,7 @@ func (r *Registry) Schedule(xmlDesc string) (Placement, error) {
 		p.Host = hostName
 		fleetPlacements.Inc()
 		fleetPlacementLatency.Observe(time.Since(start))
-		r.RefreshNow(hostName)
+		r.notePlacement(hostName, req)
 		return p, nil
 	}
 	fleetPlacementFailures.Inc()

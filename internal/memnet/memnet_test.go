@@ -1,0 +1,134 @@
+package memnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMemnetRoundTrip(t *testing.T) {
+	l, err := Listen("rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 5)
+		if _, err := c.Read(buf); err != nil {
+			return
+		}
+		c.Write(append([]byte("pong:"), buf...)) //nolint:errcheck
+	}()
+
+	c, err := Dial("rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.RemoteAddr().String(); got != "rt" {
+		t.Fatalf("client RemoteAddr = %q, want rt", got)
+	}
+	if got := c.RemoteAddr().Network(); got != "mem" {
+		t.Fatalf("network = %q, want mem", got)
+	}
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "pong:hello" {
+		t.Fatalf("echo = %q", buf)
+	}
+}
+
+func TestMemnetNameLifecycle(t *testing.T) {
+	if _, err := Dial("ghost"); err == nil {
+		t.Fatal("dial of unbound name succeeded")
+	}
+	l, err := Listen("lease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Listen("lease"); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+	if _, err := Dial("lease"); err == nil {
+		t.Fatal("dial after close succeeded")
+	}
+	// The name is free again.
+	l2, err := Listen("lease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+
+	if _, err := Listen(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestMemnetConcurrentDials(t *testing.T) {
+	l, err := Listen("many")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 32
+	accepted := make(chan struct{}, n)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+			accepted <- struct{}{}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial("many")
+			if err != nil {
+				t.Errorf("dial %d: %v", i, err)
+				return
+			}
+			c.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		<-accepted
+	}
+}
+
+func TestMemnetScaleNames(t *testing.T) {
+	// A thousand names coexist without fd or port pressure.
+	ls := make([]*Listener, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		l, err := Listen(fmt.Sprintf("node%04d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls = append(ls, l)
+	}
+	for _, l := range ls {
+		l.Close()
+	}
+}

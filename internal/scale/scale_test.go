@@ -1,0 +1,89 @@
+package scale
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/drivers/remote"
+	drvtest "repro/internal/drivers/test"
+	"repro/internal/fleet"
+	"repro/internal/logging"
+)
+
+func init() {
+	drvtest.Register(logging.NewQuiet(logging.Error))
+	remote.Register()
+}
+
+// TestScaleSmallFleet brings up a 10-daemon fleet over memnet, seeds it,
+// and exercises the full measurement surface the T8 benchmark records.
+func TestScaleSmallFleet(t *testing.T) {
+	f, err := Launch(Options{
+		Hosts:          10,
+		DomainsPerHost: 20,
+		PollInterval:   time.Hour, // refreshes driven explicitly
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	defer f.Close()
+
+	if got := len(f.Names); got != 10 {
+		t.Fatalf("Names = %d, want 10", got)
+	}
+	if f.SettleTime <= 0 {
+		t.Fatalf("SettleTime = %v, want > 0", f.SettleTime)
+	}
+	if err := f.SeedDomains(); err != nil {
+		t.Fatalf("SeedDomains: %v", err)
+	}
+	if got := f.Domains(); got != 200 {
+		t.Fatalf("Domains = %d, want 200", got)
+	}
+
+	lats, err := f.ScheduleProbes(16)
+	if err != nil {
+		t.Fatalf("ScheduleProbes: %v", err)
+	}
+	if len(lats) != 16 {
+		t.Fatalf("got %d latencies, want 16", len(lats))
+	}
+	if p99 := Percentile(lats, 99); p99 <= 0 {
+		t.Fatalf("p99 = %v, want > 0", p99)
+	}
+
+	// Probes landed through the scheduler, so the fleet now carries more
+	// active domains than the seed alone.
+	f.Reg.RefreshNow()
+	if got := f.Domains(); got != 216 {
+		t.Fatalf("Domains after probes = %d, want 216", got)
+	}
+
+	planDur, moves := f.PlanRebalance(fleet.RebalanceOptions{SkewThreshold: 0.01})
+	if planDur <= 0 {
+		t.Fatalf("plan duration = %v, want > 0", planDur)
+	}
+	_ = moves // a near-balanced fleet may legitimately need none
+
+	if b := f.RegistryBytes(); b == 0 {
+		t.Fatalf("RegistryBytes = 0, want > 0")
+	}
+}
+
+func TestScalePercentile(t *testing.T) {
+	lats := []time.Duration{5, 1, 4, 2, 3} // sorted: 1..5
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 3}, {99, 5}, {100, 5}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := Percentile(lats, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 99); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}

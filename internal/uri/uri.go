@@ -27,6 +27,10 @@ const (
 	TransportTLS   Transport = "tls"
 	TransportSSH   Transport = "ssh"
 	TransportLocal Transport = "local"
+	// TransportMem reaches an in-process daemon through a named memnet
+	// endpoint (the URI host is the endpoint name). Used by the scale
+	// harness to run very large simulated fleets in one process.
+	TransportMem Transport = "mem"
 )
 
 var validTransports = map[Transport]bool{
@@ -35,6 +39,7 @@ var validTransports = map[Transport]bool{
 	TransportTLS:   true,
 	TransportSSH:   true,
 	TransportLocal: true,
+	TransportMem:   true,
 }
 
 // URI is a parsed connection URI.
@@ -104,7 +109,7 @@ func Parse(s string) (*URI, error) {
 	// A remote transport without a host is only meaningful for unix/local.
 	if out.Host == "" {
 		switch out.Transport {
-		case TransportTCP, TransportTLS, TransportSSH:
+		case TransportTCP, TransportTLS, TransportSSH, TransportMem:
 			return nil, fmt.Errorf("uri: %q: transport %q requires a host", s, out.Transport)
 		}
 	}
@@ -114,7 +119,8 @@ func Parse(s string) (*URI, error) {
 // IsRemote reports whether the URI addresses a daemon rather than an
 // in-process driver: either a remote transport or a non-empty host.
 func (u *URI) IsRemote() bool {
-	if u.Transport == TransportTCP || u.Transport == TransportTLS || u.Transport == TransportSSH {
+	switch u.Transport {
+	case TransportTCP, TransportTLS, TransportSSH, TransportMem:
 		return true
 	}
 	if u.Transport == TransportUnix {

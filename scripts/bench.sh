@@ -1,12 +1,16 @@
 #!/bin/sh
 # bench.sh — regenerate the machine-readable fast-path metrics
-# (BENCH_6.json: codec, bulk sweep, per-domain scrape). Run on an
-# otherwise idle machine: the sweep numbers are wall-clock sensitive and
-# CPU contention inflates them badly.
+# (BENCH_7.json: codec, bulk sweep, per-domain scrape, mega-fleet scale
+# curve). Run on an otherwise idle machine: the sweep numbers are
+# wall-clock sensitive and CPU contention inflates them badly. The
+# fleet_scale section includes the 1,000-host / 100k-domain tier, so a
+# full run takes a minute or two; old BENCH_*.json files stay in place —
+# `benchreport --trajectory` merges them all into one history table.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=BENCH_6.json
+out=BENCH_7.json
 go run ./cmd/benchreport --json >"$out"
 echo "wrote $out"
+go run ./cmd/benchreport --trajectory

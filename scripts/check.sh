@@ -12,8 +12,8 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
 
 echo "== examples build (quickstart, monitoring, migration, loadbalance, statemgmt, fleet)"
 go build ./examples/...
@@ -35,5 +35,8 @@ go test . -run 'XXX' -bench . -benchtime=1x >/dev/null
 
 echo "== T9 smoke: one scrape benchmark pass (-benchtime=1x)"
 go test . -run 'XXX' -bench 'BenchmarkT9_Scrape' -benchtime=1x >/dev/null
+
+echo "== T8 smoke: mega-fleet 100-host tier (-benchtime=1x)"
+go test . -run 'XXX' -bench 'BenchmarkT8_MegaFleet/hosts-100/' -benchtime=1x >/dev/null
 
 echo "== OK"
