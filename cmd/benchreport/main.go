@@ -53,11 +53,12 @@ func main() {
 	all := map[string]func(){
 		"T1": tableT1, "T2": tableT2, "T2B": tableT2b, "T3": tableT3, "T4": tableT4,
 		"T5": tableT5, "T6": tableT6, "T7": tableT7, "T8": tableT8, "T9": tableT9,
-		"F1": figureF1, "F2": figureF2, "F3": figureF3, "F4": figureF4, "F5": figureF5,
+		"T10": tableT10,
+		"F1":  figureF1, "F2": figureF2, "F3": figureF3, "F4": figureF4, "F5": figureF5,
 		"R1": tableR1, "R2": tableR2,
 		"A3": ablationA3,
 	}
-	order := []string{"T1", "T2", "T2B", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "F1", "F2", "F3", "F4", "F5", "R1", "R2", "A3"}
+	order := []string{"T1", "T2", "T2B", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "F1", "F2", "F3", "F4", "F5", "R1", "R2", "A3"}
 	want := os.Args[1:]
 	if len(want) == 1 && want[0] == "--json" {
 		emitJSON()
@@ -488,6 +489,113 @@ func tableT8() {
 	}
 }
 
+// watchStats is one mode of the T10 watch-propagation measurement: a
+// 64-host fleet whose domains are toggled through a lifecycle change,
+// timing daemon-side change → registry summary update, plus the sweep
+// rate of the same fleet fully quiesced.
+type watchStats struct {
+	Mode             string
+	Hosts            int
+	PropP50Ns        int64
+	PropP99Ns        int64
+	SweepsPerOp      float64
+	IdleSweepsPerSec float64
+	WatchEvents      uint64
+	Resyncs          uint64
+}
+
+func benchWatch(mode string, disableWatch bool, poll time.Duration, samples int) watchStats {
+	core.ResetRegistryForTest()
+	drvtest.Register(quiet)
+	remote.Register()
+	const hosts = 64
+	f, err := scale.Launch(scale.Options{
+		Hosts:          hosts,
+		DomainsPerHost: 10,
+		PollInterval:   poll,
+		DisableWatch:   disableWatch,
+		Log:            quiet,
+	})
+	must(err)
+	defer func() {
+		f.Close()
+		core.ResetRegistryForTest()
+	}()
+	must(f.SeedDomains())
+	host := f.Names[0]
+	conn, err := f.Reg.Host(host)
+	must(err)
+	dom, err := conn.LookupDomain("d0000-0000")
+	must(err)
+	active := func() int {
+		for _, s := range f.Reg.Summaries() {
+			if s.Host == host {
+				return s.ActiveDomains
+			}
+		}
+		return -1
+	}
+	waitActive := func(want int) time.Duration {
+		t0 := time.Now()
+		for active() != want {
+			if time.Since(t0) > 30*time.Second {
+				must(fmt.Errorf("summary stuck at %d active, want %d", active(), want))
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		return time.Since(t0)
+	}
+	time.Sleep(300 * time.Millisecond) // drain seeding events and owed turns
+	base := active()
+
+	st0 := f.Reg.WatchStats()
+	lats := make([]time.Duration, 0, samples)
+	for i := 0; i < samples; i++ {
+		must(dom.Destroy())
+		lats = append(lats, waitActive(base-1))
+		must(dom.Create())
+		waitActive(base)
+	}
+	st1 := f.Reg.WatchStats()
+
+	const window = 500 * time.Millisecond
+	idle0 := f.Reg.WatchStats()
+	time.Sleep(window)
+	idle1 := f.Reg.WatchStats()
+
+	return watchStats{
+		Mode: mode, Hosts: hosts,
+		PropP50Ns:        int64(scale.Percentile(lats, 50)),
+		PropP99Ns:        int64(scale.Percentile(lats, 99)),
+		SweepsPerOp:      float64(st1.Sweeps-st0.Sweeps) / float64(samples),
+		IdleSweepsPerSec: float64(idle1.Sweeps-idle0.Sweeps) / window.Seconds(),
+		WatchEvents:      st1.WatchEvents - st0.WatchEvents,
+		Resyncs:          st1.Resyncs,
+	}
+}
+
+// t10Rows runs both T10 modes: the watch-stream reconcile loop with
+// polling effectively off, and the legacy poke-and-sweep baseline.
+func t10Rows() []watchStats {
+	return []watchStats{
+		benchWatch("watch", false, time.Hour, 30),
+		benchWatch("poll-100ms", true, 100*time.Millisecond, 30),
+	}
+}
+
+func tableT10() {
+	header("Table T10", "watch-stream propagation: event push vs legacy poke-and-sweep (64 hosts)",
+		fmt.Sprintf("%-12s %-12s %-12s %-11s %-14s %-8s %-8s",
+			"mode", "prop p50", "prop p99", "sweeps/op", "idle sweeps/s", "events", "resyncs"))
+	for _, st := range t10Rows() {
+		fmt.Printf("%-12s %-12s %-12s %-11.2f %-14.1f %-8d %-8d\n",
+			st.Mode,
+			time.Duration(st.PropP50Ns).Round(10*time.Microsecond),
+			time.Duration(st.PropP99Ns).Round(10*time.Microsecond),
+			st.SweepsPerOp, st.IdleSweepsPerSec, st.WatchEvents, st.Resyncs)
+	}
+}
+
 // emitJSON prints the fast-path metrics as JSON for scripts/bench.sh.
 func emitJSON() {
 	mar, unm := benchCodec()
@@ -520,8 +628,21 @@ func emitJSON() {
 			"registry_bytes":  st.RegistryBytes,
 		})
 	}
+	watchOut := make([]map[string]interface{}, 0, 2)
+	for _, st := range t10Rows() {
+		watchOut = append(watchOut, map[string]interface{}{
+			"mode":                st.Mode,
+			"hosts":               st.Hosts,
+			"prop_p50_ns":         st.PropP50Ns,
+			"prop_p99_ns":         st.PropP99Ns,
+			"sweeps_per_op":       st.SweepsPerOp,
+			"idle_sweeps_per_sec": st.IdleSweepsPerSec,
+			"watch_events":        st.WatchEvents,
+			"resyncs":             st.Resyncs,
+		})
+	}
 	out := map[string]interface{}{
-		"schema": "benchreport/v3",
+		"schema": "benchreport/v4",
 		"codec": map[string]interface{}{
 			"marshal_64rows":   mar,
 			"unmarshal_64rows": unm,
@@ -533,8 +654,9 @@ func emitJSON() {
 			"bulk_vs_single":       float64(bulk) / float64(single),
 			"bulk_vs_singles_gain": float64(singles) / float64(bulk),
 		},
-		"domain_scrape": scrapeOut,
-		"fleet_scale":   scaleOut,
+		"domain_scrape":     scrapeOut,
+		"fleet_scale":       scaleOut,
+		"watch_propagation": watchOut,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -554,8 +676,8 @@ func trajectory() {
 		return
 	}
 	header("Trajectory", "headline fast-path metrics across recorded benchmark runs",
-		fmt.Sprintf("%-14s %-14s %-12s %-12s %-14s %-14s %-12s",
-			"run", "schema", "marshal", "bulk sweep", "scrape 10k", "sched p99*", "plan*"))
+		fmt.Sprintf("%-14s %-14s %-12s %-12s %-14s %-14s %-12s %-12s",
+			"run", "schema", "marshal", "bulk sweep", "scrape 10k", "sched p99*", "plan*", "watch p99"))
 	fmt.Println("(* largest fleet_scale tier in the file)")
 	for _, file := range files {
 		raw, err := os.ReadFile(file)
@@ -576,8 +698,9 @@ func trajectory() {
 			sched = jsonDur(tier["schedule_p99_ns"])
 			plan = jsonDur(tier["plan_ns"])
 		}
-		fmt.Printf("%-14s %-14s %-12s %-12s %-14s %-14s %-12s\n",
-			strings.TrimSuffix(file, ".json"), schema, marshal, bulk, scrape, sched, plan)
+		watchP99 := jsonDur(jsonRowStrField(doc["watch_propagation"], "mode", "watch", "prop_p99_ns"))
+		fmt.Printf("%-14s %-14s %-12s %-12s %-14s %-14s %-12s %-12s\n",
+			strings.TrimSuffix(file, ".json"), schema, marshal, bulk, scrape, sched, plan, watchP99)
 	}
 }
 
@@ -593,6 +716,23 @@ func jsonDig(doc map[string]interface{}, keys ...string) interface{} {
 		cur = m[k]
 	}
 	return cur
+}
+
+// jsonRowStrField finds the array element whose string key equals want
+// and returns its field, or nil.
+func jsonRowStrField(arr interface{}, key, want, field string) interface{} {
+	rows, ok := arr.([]interface{})
+	if !ok {
+		return nil
+	}
+	for _, r := range rows {
+		if m, ok := r.(map[string]interface{}); ok {
+			if v, _ := m[key].(string); v == want {
+				return m[field]
+			}
+		}
+	}
+	return nil
 }
 
 // jsonRowField finds the array element whose key equals want and

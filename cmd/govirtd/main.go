@@ -106,6 +106,7 @@ func run() error {
 	d.Tracer().SetThreshold(time.Duration(cfg.SlowCallThresholdMs) * time.Millisecond)
 	d.SetCallTimeout(time.Duration(cfg.CallTimeoutMs) * time.Millisecond)
 	d.SetShutdownGrace(time.Duration(cfg.ShutdownGraceMs) * time.Millisecond)
+	d.SetEventStreamConfig(cfg.EventQueueDepth, time.Duration(cfg.EventCoalesceWindowMs)*time.Millisecond)
 	mgmt, err := d.AddServer("govirtd", cfg.MinWorkers, cfg.MaxWorkers, cfg.PrioWorkers,
 		daemon.ClientLimits{MaxClients: cfg.MaxClients, MaxUnauthClients: cfg.MaxUnauthClients})
 	if err != nil {

@@ -70,6 +70,7 @@ func init() {
 		{"attach-device", "hot-plug a device from an XML file", "attach-device <domain> <file.xml>", 2, cmdAttachDevice},
 		{"detach-device", "remove a device described by an XML file", "detach-device <domain> <file.xml>", 2, cmdDetachDevice},
 		{"event", "watch lifecycle events for a duration", "event [seconds]", 0, cmdEvent},
+		{"watch", "tail a sequenced watch stream (gap-detecting)", "watch [seconds [domain]]", 0, cmdWatch},
 		{"net-list", "list virtual networks", "net-list", 0, cmdNetList},
 		{"net-define", "define a network from an XML file", "net-define <file.xml>", 1, cmdNetDefine},
 		{"net-start", "start a network", "net-start <network>", 1, connOp(func(c *core.Connect, n string) error { return c.StartNetwork(n) }, "started")},
@@ -556,6 +557,40 @@ func cmdEvent(conn *core.Connect, args []string) error {
 	}
 	defer conn.UnsubscribeEvents(id) //nolint:errcheck
 	fmt.Printf("watching events for %ds...\n", secs)
+	time.Sleep(time.Duration(secs) * time.Second)
+	return nil
+}
+
+// cmdWatch tails a server-push watch stream: unlike "event" it rides
+// the sequenced EventSubscribe protocol when the connection is remote,
+// so dropped or coalesced frames are visible as flagged gaps instead of
+// silently missing lines.
+func cmdWatch(conn *core.Connect, args []string) error {
+	secs := 2
+	if len(args) > 0 {
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad duration %q", args[0])
+		}
+		secs = n
+	}
+	domain := ""
+	if len(args) > 1 {
+		domain = args[1]
+	}
+	handle, err := conn.WatchEvents(domain, nil, func(ev events.Event, gap bool) {
+		if gap {
+			fmt.Printf("gap        -- events lost; a consumer would resync here\n")
+		}
+		if ev.Type != 0 {
+			fmt.Printf("watch %-10s domain %s (%s) seq %d\n", ev.Type, ev.Domain, ev.Detail, ev.Seq)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	defer handle.Close() //nolint:errcheck
+	fmt.Printf("watching stream for %ds...\n", secs)
 	time.Sleep(time.Duration(secs) * time.Second)
 	return nil
 }

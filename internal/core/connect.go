@@ -251,6 +251,55 @@ func (c *Connect) UnsubscribeEvents(id int) error {
 	return nil
 }
 
+// WatchEvents opens a watch stream: sequenced lifecycle events filtered
+// to one domain name ("" for all) and an event-type set (nil for all),
+// with loss surfaced through the handler's gap flag. Remote connections
+// stream server-push frames (WatchSource); local drivers are adapted
+// from their event bus, whose synchronous in-process delivery never
+// gaps. ErrNoSupport when the driver delivers no events at all.
+func (c *Connect) WatchEvents(domain string, types []events.Type, h WatchHandler) (WatchHandle, error) {
+	d, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	if ws, ok := d.(WatchSource); ok {
+		return ws.WatchEvents(domain, types, h)
+	}
+	src, ok := d.(EventSource)
+	if !ok {
+		return nil, Errorf(ErrNoSupport, "driver %q does not deliver events", d.Type())
+	}
+	id := src.EventBus().Subscribe(domain, types, func(ev events.Event) { h(ev, false) })
+	return busWatch{bus: src.EventBus(), id: id}, nil
+}
+
+// busWatch adapts a local event-bus subscription to the WatchHandle
+// contract.
+type busWatch struct {
+	bus *events.Bus
+	id  int
+}
+
+// Close implements WatchHandle.
+func (w busWatch) Close() error {
+	w.bus.Unsubscribe(w.id)
+	return nil
+}
+
+// Alive reports transport liveness without a round trip: false once the
+// connection is closed or its driver (via ConnHealth) knows the
+// transport is gone. Drivers without ConnHealth are presumed alive.
+func (c *Connect) Alive() bool {
+	d, err := c.conn()
+	if err != nil {
+		return false
+	}
+	if h, ok := d.(ConnHealth); ok {
+		return h.Alive()
+	}
+	return true
+}
+
 // Domain is a handle on one domain.
 type Domain struct {
 	c    *Connect

@@ -51,6 +51,36 @@ type EventSource interface {
 	EventBus() *events.Bus
 }
 
+// WatchHandler receives watch-stream events. gap reports that one or
+// more events were lost since the previous delivery — a sequence jump
+// from server-side queue overflow, a frame lost in flight, or a
+// heartbeat revealing a lost tail. On gap the consumer should run one
+// bulk resync sweep instead of trusting its incremental state; when gap
+// accompanies a heartbeat, ev carries no event (Type is zero).
+type WatchHandler func(ev events.Event, gap bool)
+
+// WatchHandle is one open watch stream.
+type WatchHandle interface {
+	// Close tears the stream down. Safe to call more than once.
+	Close() error
+}
+
+// WatchSource is implemented by driver connections that deliver
+// sequenced, gap-detecting watch streams — the remote driver, over
+// EventSubscribe and ProcEventWatch frames. Local drivers don't need
+// it: Connect.WatchEvents adapts their event bus, which never gaps.
+type WatchSource interface {
+	WatchEvents(domain string, types []events.Type, h WatchHandler) (WatchHandle, error)
+}
+
+// ConnHealth is implemented by driver connections that can report
+// transport liveness without a round trip (the remote driver tracks its
+// RPC client's state; keepalive failures flip it). Connections not
+// implementing it are presumed alive.
+type ConnHealth interface {
+	Alive() bool
+}
+
 // NetworkSupport is implemented by drivers managing virtual networks.
 type NetworkSupport interface {
 	ListNetworks() ([]string, error)

@@ -124,6 +124,19 @@ func (c *Client) Send(h rpc.Header, payload []byte) error {
 	return c.conn.WriteMessage(h, payload)
 }
 
+// SendMarshal transmits an unsolicited message, XDR-encoding args
+// directly into the pooled frame buffer — the watch-stream event path
+// rides the same zero-copy writer as replies.
+func (c *Client) SendMarshal(h rpc.Header, args interface{}) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("daemon: client %d is closed", c.id)
+	}
+	c.mu.Unlock()
+	return c.conn.WriteMarshal(h, args)
+}
+
 // Close forcefully terminates the connection. The read loop notices and
 // runs the full cleanup path, so Close is safe from any goroutine — this
 // is the admin interface's client-disconnect primitive.

@@ -42,9 +42,13 @@ type Config struct {
 	SlowCallThresholdMs int    // slow-call tracing threshold; 0 disables
 
 	// Per-domain metrics export (needs MetricsAddress).
-	DomainMetricsURI        string // driver URI swept per scrape; "" disables
-	DomainMetricsStalenessMs int   // rendered-sweep reuse window
-	DomainMetricsMaxDomains  int   // cardinality cap on exported rows; 0 = unlimited
+	DomainMetricsURI         string // driver URI swept per scrape; "" disables
+	DomainMetricsStalenessMs int    // rendered-sweep reuse window
+	DomainMetricsMaxDomains  int    // cardinality cap on exported rows; 0 = unlimited
+
+	// Watch streams (see internal/watch).
+	EventQueueDepth       int // per-subscription queue depth
+	EventCoalesceWindowMs int // per-domain coalesce window; 0 disables
 
 	// Robustness.
 	StateDir        string // crash-safe object journal root; "" disables
@@ -79,6 +83,9 @@ func DefaultConfig() Config {
 
 		DomainMetricsStalenessMs: 1000,
 		DomainMetricsMaxDomains:  10000,
+
+		EventQueueDepth:       256,
+		EventCoalesceWindowMs: 10,
 	}
 }
 
@@ -169,6 +176,10 @@ func (c *Config) apply(key, value string) error {
 		return setInt(&c.DomainMetricsStalenessMs, value)
 	case "domain_metrics_max_domains":
 		return setInt(&c.DomainMetricsMaxDomains, value)
+	case "event_queue_depth":
+		return setInt(&c.EventQueueDepth, value)
+	case "event_coalesce_window_ms":
+		return setInt(&c.EventCoalesceWindowMs, value)
 	case "state_dir":
 		return setString(&c.StateDir, value)
 	case "call_timeout_ms":
@@ -220,6 +231,12 @@ func (c *Config) Validate() error {
 		if _, err := uri.Parse(c.DomainMetricsURI); err != nil {
 			return fmt.Errorf("daemon: domain_metrics: %v", err)
 		}
+	}
+	if c.EventQueueDepth < 1 {
+		return fmt.Errorf("daemon: event_queue_depth must be >= 1")
+	}
+	if c.EventCoalesceWindowMs < 0 {
+		return fmt.Errorf("daemon: event_coalesce_window_ms must be non-negative")
 	}
 	if c.CallTimeoutMs < 0 {
 		return fmt.Errorf("daemon: call_timeout_ms must be non-negative")

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"crypto/subtle"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/rpc"
 	"repro/internal/uri"
+	"repro/internal/watch"
 	"repro/internal/wire"
 )
 
@@ -31,6 +33,14 @@ type remoteState struct {
 	conn      *core.Connect
 	callbacks map[int32]int // client callback id -> bus subscription id
 	nextCB    int32
+	watches   map[int32]*watchSub // subscription id -> watch stream
+	nextSub   int32
+}
+
+// watchSub ties one watch subscriber queue to its bus subscription.
+type watchSub struct {
+	sub   *watch.Subscriber
+	busID int
 }
 
 // RemoteProgram dispatches the hypervisor management protocol. Each
@@ -55,6 +65,7 @@ func (p *RemoteProgram) IsPriority(proc uint32) bool {
 	case wire.ProcConnectOpen, wire.ProcConnectClose, wire.ProcGetType,
 		wire.ProcGetHostname, wire.ProcDomainList, wire.ProcDomainLookupByName,
 		wire.ProcDomainLookupByUUID, wire.ProcEventRegister, wire.ProcEventDeregister,
+		wire.ProcEventSubscribe, wire.ProcEventUnsubscribe,
 		wire.ProcAuthList, wire.ProcAuthSASLStart:
 		return true
 	}
@@ -70,12 +81,20 @@ func (p *RemoteProgram) ClientClosed(c *Client) {
 	st.conn = nil
 	callbacks := st.callbacks
 	st.callbacks = make(map[int32]int)
+	watches := st.watches
+	st.watches = make(map[int32]*watchSub)
 	st.mu.Unlock()
 	if conn != nil {
 		if src, ok := conn.Driver().(core.EventSource); ok {
 			for _, subID := range callbacks {
 				src.EventBus().Unsubscribe(subID)
 			}
+			for _, ws := range watches {
+				src.EventBus().Unsubscribe(ws.busID)
+			}
+		}
+		for _, ws := range watches {
+			ws.sub.Close()
 		}
 		conn.Close() //nolint:errcheck
 	}
@@ -83,7 +102,10 @@ func (p *RemoteProgram) ClientClosed(c *Client) {
 
 func (p *RemoteProgram) state(c *Client) *remoteState {
 	return c.ProgState(rpc.ProgramRemote, func() interface{} {
-		return &remoteState{callbacks: make(map[int32]int)}
+		return &remoteState{
+			callbacks: make(map[int32]int),
+			watches:   make(map[int32]*watchSub),
+		}
 	}).(*remoteState)
 }
 
@@ -348,6 +370,10 @@ func (p *RemoteProgram) Dispatch(c *Client, proc uint32, payload []byte) ([]byte
 		return p.eventRegister(c, payload)
 	case wire.ProcEventDeregister:
 		return p.eventDeregister(c, payload)
+	case wire.ProcEventSubscribe:
+		return p.eventSubscribe(c, payload)
+	case wire.ProcEventUnsubscribe:
+		return p.eventUnsubscribe(c, payload)
 	case wire.ProcSnapshotCreate:
 		var args wire.SnapshotCreateArgs
 		if err := rpc.Unmarshal(payload, &args); err != nil {
@@ -595,6 +621,97 @@ func (p *RemoteProgram) eventDeregister(c *Client, payload []byte) ([]byte, erro
 	if src, ok := conn.Driver().(core.EventSource); ok {
 		src.EventBus().Unsubscribe(subID)
 	}
+	return marshal(&struct{}{})
+}
+
+// clientSink pushes watch frames onto the client's connection over the
+// pooled marshal fast path. It runs on the subscriber's drainer
+// goroutine, never on the bus emitter.
+type clientSink struct{ c *Client }
+
+// SendEvent implements watch.Sink.
+func (s clientSink) SendEvent(ev *wire.WatchEvent) error {
+	return s.c.SendMarshal(rpc.Header{
+		Program:   rpc.ProgramRemote,
+		Version:   rpc.ProtocolVersion,
+		Procedure: wire.ProcEventWatch,
+		Type:      uint32(rpc.TypeEvent),
+	}, ev)
+}
+
+// eventSubscribe opens a watch stream: a bounded subscriber queue fed by
+// the driver's event bus and drained onto the connection as sequenced
+// ProcEventWatch frames.
+func (p *RemoteProgram) eventSubscribe(c *Client, payload []byte) ([]byte, error) {
+	var args wire.EventSubscribeArgs
+	if err := rpc.Unmarshal(payload, &args); err != nil {
+		return nil, badArgs(err)
+	}
+	conn, err := p.conn(c)
+	if err != nil {
+		return nil, err
+	}
+	src, ok := conn.Driver().(core.EventSource)
+	if !ok {
+		return nil, core.Errorf(core.ErrNoSupport, "driver does not deliver events")
+	}
+	depth, window := p.srv.EventStreamConfig()
+	st := p.state(c)
+	st.mu.Lock()
+	st.nextSub++
+	subID := st.nextSub
+	st.mu.Unlock()
+	sub := watch.New(watch.Config{
+		ID:       subID,
+		Depth:    depth,
+		Coalesce: window,
+		Sink:     clientSink{c},
+	})
+	var types []events.Type
+	for _, t := range args.Types {
+		types = append(types, events.Type(t))
+	}
+	busID := src.EventBus().Subscribe(args.Domain, types, sub.Enqueue)
+	st.mu.Lock()
+	// A teardown that raced the subscribe must not leak the stream.
+	if st.conn == nil {
+		st.mu.Unlock()
+		src.EventBus().Unsubscribe(busID)
+		sub.Close()
+		return nil, core.Errorf(core.ErrNoConnect, "connection closed during subscription")
+	}
+	st.watches[subID] = &watchSub{sub: sub, busID: busID}
+	st.mu.Unlock()
+	return marshal(&wire.EventSubscribeReply{
+		SubscriptionID: subID,
+		QueueDepth:     uint32(sub.Depth()),
+		CoalesceMs:     uint32(sub.Coalesce() / time.Millisecond),
+	})
+}
+
+func (p *RemoteProgram) eventUnsubscribe(c *Client, payload []byte) ([]byte, error) {
+	var args wire.EventUnsubscribeArgs
+	if err := rpc.Unmarshal(payload, &args); err != nil {
+		return nil, badArgs(err)
+	}
+	conn, err := p.conn(c)
+	if err != nil {
+		return nil, err
+	}
+	st := p.state(c)
+	st.mu.Lock()
+	ws, ok := st.watches[args.SubscriptionID]
+	if ok {
+		delete(st.watches, args.SubscriptionID)
+	}
+	st.mu.Unlock()
+	if !ok {
+		return nil, core.Errorf(core.ErrInvalidArg, "no subscription %d", args.SubscriptionID)
+	}
+	if src, ok := conn.Driver().(core.EventSource); ok {
+		src.EventBus().Unsubscribe(ws.busID)
+	}
+	ws.sub.Close()
 	return marshal(&struct{}{})
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/memnet"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
+	"repro/internal/watch"
 )
 
 // replyBufPool recycles reply payload buffers between a Program's
@@ -82,6 +83,12 @@ type Server struct {
 	dispatchStats sync.Map            // uint64(program)<<32|proc → *procStat
 	callTimeout   atomic.Int64        // per-call dispatch deadline in nanos; 0 = none
 
+	// Watch-stream subscriber bounds handed to every new subscription
+	// (see internal/watch). Resolved values: depth >= 1, coalesce >= 0
+	// (0 = coalescing disabled).
+	eventQueueDepth atomic.Int64
+	eventCoalesce   atomic.Int64 // nanos
+
 	mu         sync.Mutex
 	clients    map[uint64]*Client
 	nextClient uint64
@@ -98,7 +105,7 @@ type Server struct {
 }
 
 func newServer(name string, pool *Workerpool, limits ClientLimits, log *logging.Logger) *Server {
-	return &Server{
+	s := &Server{
 		name:     name,
 		log:      log,
 		pool:     pool,
@@ -107,6 +114,9 @@ func newServer(name string, pool *Workerpool, limits ClientLimits, log *logging.
 		programs: make(map[uint32]Program),
 		creds:    make(map[string]string),
 	}
+	s.eventQueueDepth.Store(watch.DefaultDepth)
+	s.eventCoalesce.Store(int64(watch.DefaultCoalesceWindow))
+	return s
 }
 
 // Name returns the server name.
@@ -119,6 +129,27 @@ func (s *Server) SetCallTimeout(d time.Duration) { s.callTimeout.Store(int64(d))
 
 // CallTimeout returns the per-call dispatch deadline (zero = none).
 func (s *Server) CallTimeout() time.Duration { return time.Duration(s.callTimeout.Load()) }
+
+// SetEventStreamConfig adjusts the subscriber-queue bounds applied to
+// watch streams opened after the call. depth <= 0 restores the default
+// depth; window < 0 restores the default coalesce window, zero disables
+// coalescing. Existing subscriptions keep their bounds.
+func (s *Server) SetEventStreamConfig(depth int, window time.Duration) {
+	if depth <= 0 {
+		depth = watch.DefaultDepth
+	}
+	if window < 0 {
+		window = watch.DefaultCoalesceWindow
+	}
+	s.eventQueueDepth.Store(int64(depth))
+	s.eventCoalesce.Store(int64(window))
+}
+
+// EventStreamConfig returns the subscriber-queue bounds for new watch
+// streams.
+func (s *Server) EventStreamConfig() (depth int, window time.Duration) {
+	return int(s.eventQueueDepth.Load()), time.Duration(s.eventCoalesce.Load())
+}
 
 // Pool exposes the server's workerpool (admin interface).
 func (s *Server) Pool() *Workerpool { return s.pool }
@@ -548,6 +579,9 @@ type Daemon struct {
 
 	callTimeout   atomic.Int64 // default dispatch deadline for new servers
 	shutdownGrace atomic.Int64 // drain budget used by Shutdown
+
+	eventQueueDepth atomic.Int64 // watch queue depth for new servers
+	eventCoalesce   atomic.Int64 // watch coalesce window nanos for new servers
 }
 
 // New creates an empty daemon around the given logger, reporting into
@@ -565,6 +599,8 @@ func NewWithTelemetry(log *logging.Logger, reg *telemetry.Registry) *Daemon {
 		log = logging.NewQuiet(logging.Error)
 	}
 	d := &Daemon{log: log, metrics: reg, servers: make(map[string]*Server)}
+	d.eventQueueDepth.Store(watch.DefaultDepth)
+	d.eventCoalesce.Store(int64(watch.DefaultCoalesceWindow))
 	if reg != nil {
 		d.tracer = telemetry.NewTracer(slowCallRing, telemetry.DefaultSlowCallThreshold)
 		// Slow calls surface as structured warnings under their own
@@ -603,6 +639,7 @@ func (d *Daemon) AddServer(name string, min, max, prio int, limits ClientLimits)
 	s.metrics = d.metrics
 	s.tracer = d.tracer
 	s.SetCallTimeout(time.Duration(d.callTimeout.Load()))
+	s.SetEventStreamConfig(int(d.eventQueueDepth.Load()), time.Duration(d.eventCoalesce.Load()))
 	d.mu.Lock()
 	if _, dup := d.servers[name]; dup {
 		d.mu.Unlock()
@@ -647,6 +684,29 @@ func (d *Daemon) SetCallTimeout(timeout time.Duration) {
 	d.mu.Unlock()
 	for _, s := range servers {
 		s.SetCallTimeout(timeout)
+	}
+}
+
+// SetEventStreamConfig sets the watch-stream subscriber bounds applied
+// to every current and future server of this daemon. depth <= 0 and
+// window < 0 restore the defaults; window zero disables coalescing.
+func (d *Daemon) SetEventStreamConfig(depth int, window time.Duration) {
+	if depth <= 0 {
+		depth = watch.DefaultDepth
+	}
+	if window < 0 {
+		window = watch.DefaultCoalesceWindow
+	}
+	d.eventQueueDepth.Store(int64(depth))
+	d.eventCoalesce.Store(int64(window))
+	d.mu.Lock()
+	servers := make([]*Server, 0, len(d.servers))
+	for _, s := range d.servers {
+		servers = append(servers, s)
+	}
+	d.mu.Unlock()
+	for _, s := range servers {
+		s.SetEventStreamConfig(depth, window)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -37,6 +38,9 @@ type Conn struct {
 	client *rpc.Client
 	bus    *events.Bus
 	cbID   int32 // server-side callback id, 0 when unregistered
+
+	wmu     sync.Mutex
+	watches map[int32]*watchSub // server subscription id -> open stream
 }
 
 var (
@@ -45,6 +49,8 @@ var (
 	_ core.NetworkSupport = (*Conn)(nil)
 	_ core.StorageSupport = (*Conn)(nil)
 	_ core.BulkMonitor    = (*Conn)(nil)
+	_ core.WatchSource    = (*Conn)(nil)
+	_ core.ConnHealth     = (*Conn)(nil)
 )
 
 // Open dials the daemon named by the URI, authenticates if the service
@@ -219,22 +225,124 @@ func (c *Conn) call(proc uint32, args, ret interface{}) error {
 	return core.Errorf(core.ErrRPC, "%v", err)
 }
 
-// handleEvent decodes unsolicited lifecycle events onto the local bus.
+// handleEvent decodes unsolicited server frames: legacy lifecycle
+// events re-emit onto the local bus, watch-stream frames go through
+// per-subscription sequence tracking. It runs on the client's reader
+// goroutine, so watch handlers must not block.
 func (c *Conn) handleEvent(proc uint32, payload []byte) {
-	if proc != wire.ProcEventLifecycle {
-		return
+	switch proc {
+	case wire.ProcEventLifecycle:
+		var ev wire.LifecycleEvent
+		if err := rpc.Unmarshal(payload, &ev); err != nil {
+			return
+		}
+		c.bus.Emit(events.Event{
+			Type:   events.Type(ev.Type),
+			Domain: ev.Domain,
+			UUID:   ev.UUID,
+			Detail: ev.Detail,
+		})
+	case wire.ProcEventWatch:
+		c.handleWatchFrame(payload)
 	}
-	var ev wire.LifecycleEvent
-	if err := rpc.Unmarshal(payload, &ev); err != nil {
-		return
-	}
-	c.bus.Emit(events.Event{
-		Type:   events.Type(ev.Type),
-		Domain: ev.Domain,
-		UUID:   ev.UUID,
-		Detail: ev.Detail,
-	})
 }
+
+// handleWatchFrame routes one watch frame to its stream, detecting
+// sequence gaps. The per-subscription stream starts at sequence 1, so a
+// first frame above 1 is already a gap — events queued between the
+// server-side subscribe and the first delivered frame can never be lost
+// silently. Heartbeats (Type 0) only reach the handler when they reveal
+// a gap; a heartbeat confirming the last seen sequence is absorbed.
+func (c *Conn) handleWatchFrame(payload []byte) {
+	var ev wire.WatchEvent
+	if err := rpc.Unmarshal(payload, &ev); err != nil {
+		return // corrupt frame; the sequence gap it leaves triggers a resync
+	}
+	c.wmu.Lock()
+	ws, ok := c.watches[ev.SubscriptionID]
+	if !ok {
+		c.wmu.Unlock()
+		return
+	}
+	var gap, deliver bool
+	if ev.Type == 0 { // heartbeat: carries the last assigned seq
+		gap = ev.Seq != ws.lastSeq
+		if ev.Seq > ws.lastSeq {
+			ws.lastSeq = ev.Seq
+		}
+		deliver = gap
+	} else {
+		gap = ev.Seq != ws.lastSeq+1
+		ws.lastSeq = ev.Seq
+		deliver = true
+	}
+	h := ws.handler
+	c.wmu.Unlock()
+	if deliver {
+		h(events.Event{
+			Type:   events.Type(ev.Type),
+			Domain: ev.Domain,
+			UUID:   ev.UUID,
+			Detail: ev.Detail,
+			Seq:    ev.Seq,
+		}, gap)
+	}
+}
+
+// watchSub is one open watch stream on the client side.
+type watchSub struct {
+	conn    *Conn
+	id      int32
+	handler core.WatchHandler
+	lastSeq uint64
+}
+
+// Close implements core.WatchHandle.
+func (w *watchSub) Close() error {
+	w.conn.wmu.Lock()
+	_, open := w.conn.watches[w.id]
+	delete(w.conn.watches, w.id)
+	w.conn.wmu.Unlock()
+	if !open {
+		return nil
+	}
+	return w.conn.call(wire.ProcEventUnsubscribe, &wire.EventUnsubscribeArgs{SubscriptionID: w.id}, nil)
+}
+
+// WatchEvents implements core.WatchSource: it opens a server-push watch
+// stream. The handler runs on the connection's reader goroutine and
+// must not block; gap deliveries mean events were lost and the consumer
+// should resync. A stream does not survive the connection — after a
+// reconnect the consumer subscribes again on the new connection (and
+// resyncs, since anything may have happened in between).
+func (c *Conn) WatchEvents(domain string, types []events.Type, h core.WatchHandler) (core.WatchHandle, error) {
+	if h == nil {
+		return nil, core.Errorf(core.ErrInvalidArg, "watch handler must not be nil")
+	}
+	wtypes := make([]uint32, len(types))
+	for i, t := range types {
+		wtypes[i] = uint32(t)
+	}
+	var reply wire.EventSubscribeReply
+	if err := c.call(wire.ProcEventSubscribe, &wire.EventSubscribeArgs{
+		Domain: domain, Types: wtypes,
+	}, &reply); err != nil {
+		return nil, err
+	}
+	ws := &watchSub{conn: c, id: reply.SubscriptionID, handler: h}
+	c.wmu.Lock()
+	if c.watches == nil {
+		c.watches = make(map[int32]*watchSub)
+	}
+	c.watches[reply.SubscriptionID] = ws
+	c.wmu.Unlock()
+	return ws, nil
+}
+
+// Alive implements core.ConnHealth: false once the transport failed
+// (read error, keepalive timeout) or the connection was closed. One
+// atomic load — checking an idle connection's health costs no traffic.
+func (c *Conn) Alive() bool { return c.client.Alive() }
 
 // EventBus implements core.EventSource.
 func (c *Conn) EventBus() *events.Bus { return c.bus }

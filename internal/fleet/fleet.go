@@ -38,10 +38,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/events"
 	"repro/internal/logging"
 	"repro/internal/uri"
 )
@@ -93,6 +93,12 @@ type Config struct {
 	Seed   int64
 	Policy Policy // placement policy (default Spread())
 	Log    *logging.Logger
+	// DisableWatch forces the registry back to pure interval polling:
+	// every host is swept each PollInterval and lifecycle events only
+	// pull the next sweep forward. By default the registry rides
+	// server-push watch streams instead (see watch.go): events patch the
+	// cached inventory directly and steady-state sweeps stop entirely.
+	DisableWatch bool
 }
 
 func (c *Config) applyDefaults() {
@@ -166,6 +172,18 @@ type host struct {
 	// refreshes (the poll worker and RefreshNow callers can overlap).
 	sweepMu sync.Mutex
 	sweep   core.NodeInventory
+
+	// Watch-stream reconcile state (see watch.go), guarded by mu. In
+	// watch mode events patch inv/sum in place; needResync records that a
+	// sequence gap made the incremental state untrustworthy (one bulk
+	// sweep is owed, however many gaps piled up), and pending holds
+	// domains whose events alone couldn't produce a full record.
+	watch      core.WatchHandle
+	watching   bool
+	needResync bool
+	pending    map[string]struct{}
+	recIdx     map[string]int // name → inv.Domains index, built lazily
+	patchGen   uint64         // bumped by every event patch
 
 	// bo paces reconnect attempts. Only the worker currently servicing
 	// the host touches it; hand-off between workers is ordered by the
@@ -243,6 +261,14 @@ type Registry struct {
 	// now is the registry's clock; tests substitute a fake one to make
 	// scheduling deterministic.
 	now func() time.Time
+
+	// Reconcile accounting, snapshotted by WatchStats. Tests assert the
+	// watch-mode guarantees (idle quiescence, one-event-hop propagation)
+	// against these rather than the process-global telemetry counters.
+	nSweeps  atomic.Uint64
+	nEvents  atomic.Uint64
+	nResyncs atomic.Uint64
+	nFetches atomic.Uint64
 
 	// hookAfterDefine, when set by tests, runs between the define and
 	// start halves of a placement — the window where a dying daemon must
@@ -365,6 +391,11 @@ func (r *Registry) Close() {
 			h.conn.Close() //nolint:errcheck
 			h.conn = nil
 		}
+		if h.watch != nil {
+			h.watch.Close() //nolint:errcheck
+			h.watch = nil
+		}
+		h.watching = false
 		if h.state == HostUp {
 			fleetHostsUp.Add(-1)
 		}
@@ -505,9 +536,13 @@ func (r *Registry) service(h *host) time.Time {
 	h.mu.Lock()
 	conn := h.conn
 	up := h.state == HostUp
+	watching := h.watching
 	h.mu.Unlock()
 
 	if up && conn != nil {
+		if watching {
+			return r.serviceWatch(h, conn)
+		}
 		err := r.refresh(h, conn)
 		if err == nil {
 			return r.now().Add(r.cfg.PollInterval)
@@ -532,9 +567,14 @@ func (r *Registry) service(h *host) time.Time {
 	}
 	h.bo.reset()
 	r.setUp(h, conn)
-	// Lifecycle events invalidate the cached inventory immediately,
-	// so placements see changes faster than the poll interval.
-	conn.SubscribeEvents("", nil, func(events.Event) { r.pokeHost(h) }) //nolint:errcheck
+	if err := r.startWatch(h, conn); err != nil {
+		// Subscribing to events failed outright: the transport is
+		// already suspect, so treat it like a failed connect instead of
+		// running blind on a connection that just dropped a call.
+		conn.Close() //nolint:errcheck
+		r.setDown(h, err)
+		return r.now().Add(r.jittered(&h.bo))
+	}
 	if err := r.refresh(h, conn); err != nil && core.IsRetryable(err) {
 		conn.Close() //nolint:errcheck
 		r.setDown(h, err)
@@ -574,6 +614,10 @@ func retryRead[T any](f func() (T, error)) (out T, err error) {
 // sweep falls back to the per-domain loop.
 func (r *Registry) refresh(h *host, conn *core.Connect) error {
 	fleetPolls.Inc()
+	r.nSweeps.Add(1)
+	h.mu.Lock()
+	gen0 := h.patchGen
+	h.mu.Unlock()
 	d := conn.Driver()
 	h.sweepMu.Lock()
 	node, records, err := r.collectInventory(d, &h.sweep)
@@ -582,13 +626,24 @@ func (r *Registry) refresh(h *host, conn *core.Connect) error {
 		return err
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.inv = HostInventory{
 		Host: h.name, URI: h.uri, State: h.state, DriverType: h.inv.DriverType,
 		Node: node, Domains: records, Gen: h.inv.Gen + 1, CollectedAt: time.Now(),
 	}
+	h.recIdx = nil // sweep replaced the record slice wholesale
 	h.sum = h.inv.Summary()
 	r.publishSum(h)
+	// A watch event patched the cache while the sweep was in flight: the
+	// snapshot just installed may predate that patch, so owe the host
+	// one more sweep rather than trust it.
+	raced := h.watching && h.patchGen != gen0
+	if raced {
+		h.needResync = true
+	}
+	h.mu.Unlock()
+	if raced {
+		r.pokeHost(h)
+	}
 	return nil
 }
 
@@ -685,7 +740,6 @@ func (r *Registry) setUp(h *host, conn *core.Connect) {
 
 func (r *Registry) setDown(h *host, err error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.state == HostUp {
 		fleetHostsUp.Add(-1)
 		r.log.Warnf("fleet", "host %s down: %v", h.name, err)
@@ -695,8 +749,20 @@ func (r *Registry) setDown(h *host, err error) {
 	h.lastErr = err
 	h.inv.State = HostDown
 	h.inv.Domains = nil
+	watch := h.watch
+	h.watch = nil
+	h.watching = false
+	h.needResync = false
+	h.pending = nil
+	h.recIdx = nil
 	h.sum = h.inv.Summary()
 	r.publishSum(h)
+	h.mu.Unlock()
+	if watch != nil {
+		// Best-effort: the transport underneath is usually already dead,
+		// and a closed stream stops delivering stale callbacks.
+		watch.Close() //nolint:errcheck
+	}
 }
 
 // markDown records an externally observed host failure (a placement or

@@ -21,4 +21,10 @@ var (
 	fleetPolls               = telemetry.Default.Counter("fleet_inventory_polls_total")
 	fleetBulkPolls           = telemetry.Default.Counter("fleet_inventory_bulk_polls_total")
 	fleetBulkFallbacks       = telemetry.Default.Counter("fleet_inventory_bulk_fallbacks_total")
+
+	// Watch-driven reconciliation (watch.go).
+	fleetWatchEvents  = telemetry.Default.Counter("fleet_watch_events_total")
+	fleetWatchGaps    = telemetry.Default.Counter("fleet_watch_gaps_total")
+	fleetWatchResyncs = telemetry.Default.Counter("watch_resyncs_total")
+	fleetWatchFetches = telemetry.Default.Counter("fleet_watch_fetches_total")
 )

@@ -1,0 +1,324 @@
+package fleet
+
+// Watch-driven reconciliation. In its default mode the registry does
+// not poll: each host connection opens a server-push watch stream
+// (core.Connect.WatchEvents) and lifecycle events patch the cached
+// inventory and summary directly, so a change on a daemon is visible to
+// the scheduler one event-hop later with no RPC issued. The periodic
+// service turn degenerates to a traffic-free liveness check; a full
+// sweep runs only on (re)connect, on an explicit RefreshNow, or when
+// the stream reports a sequence gap — and however many gaps pile up
+// between turns, the host owes exactly one resync sweep.
+//
+// Events that cannot produce a complete record on their own (defined,
+// started-while-unknown, migrated: the event carries no sizing) park
+// the domain on a pending set; the next service turn resolves the whole
+// set with one targeted bulk DomainListInfo call.
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/events"
+)
+
+// WatchStats is a point-in-time snapshot of the registry's reconcile
+// accounting. Tests assert the watch-mode guarantees against it — a
+// quiesced fleet performs zero sweeps across a poll window, a lifecycle
+// change lands without one — because unlike the process-global
+// telemetry counters it is scoped to a single Registry.
+type WatchStats struct {
+	Sweeps          uint64 // full inventory sweeps (connect, poll, resync)
+	WatchEvents     uint64 // events folded into cached state
+	Resyncs         uint64 // sweeps owed to detected stream gaps
+	TargetedFetches uint64 // bulk fetches for event-incomplete records
+}
+
+// WatchStats returns the registry's reconcile accounting.
+func (r *Registry) WatchStats() WatchStats {
+	return WatchStats{
+		Sweeps:          r.nSweeps.Load(),
+		WatchEvents:     r.nEvents.Load(),
+		Resyncs:         r.nResyncs.Load(),
+		TargetedFetches: r.nFetches.Load(),
+	}
+}
+
+// startWatch attaches the host's event feed to a fresh connection.
+//
+// Default mode opens a watch stream whose events patch the cached
+// inventory in place; frame loss and queue overflow surface through the
+// handler's gap flag and are answered with one bulk resync. With
+// Config.DisableWatch the legacy bus subscription merely pulls the next
+// sweep forward. Either way the subscription error is checked (it used
+// to be silently dropped): ErrNoSupport degrades to plain interval
+// polling, anything else is returned so the caller tears the connection
+// down and retries with backoff instead of running blind.
+func (r *Registry) startWatch(h *host, conn *core.Connect) error {
+	if r.cfg.DisableWatch {
+		_, err := conn.SubscribeEvents("", nil, func(events.Event) { r.pokeHost(h) })
+		if err != nil && !core.IsCode(err, core.ErrNoSupport) {
+			return err
+		}
+		return nil
+	}
+	handle, err := conn.WatchEvents("", nil, func(ev events.Event, gap bool) {
+		r.onWatchEvent(h, ev, gap)
+	})
+	if err != nil {
+		if core.IsCode(err, core.ErrNoSupport) {
+			return nil // driver delivers no events; polling covers it
+		}
+		return err
+	}
+	h.mu.Lock()
+	h.watch = handle
+	h.watching = true
+	h.needResync = false
+	h.pending = nil
+	h.mu.Unlock()
+	return nil
+}
+
+// serviceWatch is one watch-mode service turn. Steady state costs no
+// RPC at all: the turn checks transport liveness from client-side
+// state, performs the one owed resync sweep if a gap was detected,
+// drains the targeted-fetch set, and sleeps another PollInterval.
+func (r *Registry) serviceWatch(h *host, conn *core.Connect) time.Time {
+	if !conn.Alive() {
+		conn.Close() //nolint:errcheck
+		r.setDown(h, core.Errorf(core.ErrConnectionClosed, "fleet: watch transport lost"))
+		return r.now() // reconnect immediately once
+	}
+	h.mu.Lock()
+	resync := h.needResync
+	h.needResync = false
+	var names []string
+	if resync {
+		h.pending = nil // the full sweep supersedes targeted fetches
+	} else if len(h.pending) > 0 {
+		names = make([]string, 0, len(h.pending))
+		for n := range h.pending {
+			names = append(names, n)
+		}
+		h.pending = nil
+	}
+	h.mu.Unlock()
+
+	var err error
+	switch {
+	case resync:
+		r.nResyncs.Add(1)
+		fleetWatchResyncs.Inc()
+		err = r.refresh(h, conn)
+	case len(names) > 0:
+		sort.Strings(names)
+		err = r.fetchPending(h, conn, names)
+	default:
+		return r.now().Add(r.cfg.PollInterval) // idle: zero RPC
+	}
+	if err == nil {
+		return r.now().Add(r.cfg.PollInterval)
+	}
+	if core.IsRetryable(err) || core.IsCode(err, core.ErrConnectionClosed) {
+		conn.Close() //nolint:errcheck
+		r.setDown(h, err)
+		return r.now()
+	}
+	// Transient operation error: owe the host a sweep instead of
+	// trusting whatever state the half-finished reconcile left behind.
+	r.log.Warnf("fleet", "host %s: watch reconcile: %v", h.name, err)
+	h.mu.Lock()
+	h.needResync = true
+	h.mu.Unlock()
+	return r.now().Add(r.cfg.PollInterval)
+}
+
+// onWatchEvent is the watch-stream callback. It runs on the
+// connection's event-delivery goroutine and must not block, so it only
+// patches cached state and pulls the host's service turn forward.
+func (r *Registry) onWatchEvent(h *host, ev events.Event, gap bool) {
+	if gap {
+		fleetWatchGaps.Inc()
+		h.mu.Lock()
+		if h.watching {
+			h.needResync = true
+		}
+		h.mu.Unlock()
+		r.pokeHost(h)
+		if ev.Type == 0 {
+			return // heartbeat-revealed gap carries no event to apply
+		}
+	}
+	r.nEvents.Add(1)
+	fleetWatchEvents.Inc()
+	r.applyWatchEvent(h, ev)
+}
+
+// applyWatchEvent folds one lifecycle event into the host's cached
+// inventory and summary — the one-event-hop path: by the time the
+// handler returns, Summaries reflects the change and no RPC was issued.
+func (r *Registry) applyWatchEvent(h *host, ev events.Event) {
+	h.mu.Lock()
+	if !h.watching || h.state != HostUp {
+		h.mu.Unlock()
+		return // stream outlived the host's up-phase; resync covers it
+	}
+	h.patchGen++
+	changed, unknown := false, false
+	switch ev.Type {
+	case events.EventUndefined:
+		changed = h.removeRecord(ev.Domain)
+	case events.EventStopped, events.EventShutdown:
+		changed, unknown = h.patchState(ev.Domain, core.DomainShutoff)
+	case events.EventCrashed:
+		changed, unknown = h.patchState(ev.Domain, core.DomainCrashed)
+	case events.EventSuspended:
+		changed, unknown = h.patchState(ev.Domain, core.DomainPaused)
+	case events.EventResumed, events.EventStarted:
+		changed, unknown = h.patchState(ev.Domain, core.DomainRunning)
+	default:
+		// Defined, migrated, or a future type: the record's sizing
+		// cannot be derived from the event alone.
+		unknown = true
+	}
+	fetch := unknown && ev.Domain != ""
+	if fetch {
+		if h.pending == nil {
+			h.pending = make(map[string]struct{})
+		}
+		h.pending[ev.Domain] = struct{}{}
+	}
+	if changed {
+		h.inv.Gen++
+		h.sum.Gen = h.inv.Gen
+		r.publishSum(h)
+	}
+	h.mu.Unlock()
+	if fetch {
+		r.pokeHost(h)
+	}
+}
+
+// fetchPending resolves domains whose events alone couldn't produce a
+// full record: one bulk DomainListInfo call for exactly those names,
+// merged into the cached inventory. Names the host no longer reports
+// are treated as undefined.
+func (r *Registry) fetchPending(h *host, conn *core.Connect, names []string) error {
+	r.nFetches.Add(1)
+	fleetWatchFetches.Inc()
+	d := conn.Driver()
+	rows, err := retryRead(func() ([]core.NamedDomainInfo, error) {
+		return core.ListDomainInfo(d, 0, names)
+	})
+	if err != nil {
+		return err
+	}
+	got := make(map[string]core.DomainInfo, len(rows))
+	for _, row := range rows {
+		got[row.Name] = row.Info
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, name := range names {
+		info, ok := got[name]
+		if !ok {
+			h.removeRecord(name)
+			continue
+		}
+		h.upsertRecord(DomainRecord{
+			Name: name, State: info.State, MemKiB: info.MemKiB,
+			MaxMemKiB: info.MaxMemKiB, VCPUs: info.VCPUs, CPUTimeNs: info.CPUTimeNs,
+		})
+	}
+	h.inv.Gen++
+	h.inv.CollectedAt = time.Now()
+	h.sum = h.inv.Summary()
+	r.publishSum(h)
+	return nil
+}
+
+// recordIndex returns the domain's position in h.inv.Domains, building
+// the name index lazily on the first patch after each sweep (sweeps
+// replace the record slice wholesale and simply drop the index).
+// Caller holds h.mu.
+func (h *host) recordIndex(name string) int {
+	if h.recIdx == nil {
+		h.recIdx = make(map[string]int, len(h.inv.Domains))
+		for i := range h.inv.Domains {
+			h.recIdx[h.inv.Domains[i].Name] = i
+		}
+	}
+	if i, ok := h.recIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// patchState flips a known record to the given state, maintaining the
+// summary's allocation aggregates incrementally; unknown reports that
+// no record exists (the caller schedules a targeted fetch). Caller
+// holds h.mu.
+func (h *host) patchState(name string, st core.DomainState) (changed, unknown bool) {
+	i := h.recordIndex(name)
+	if i < 0 {
+		return false, true
+	}
+	rec := &h.inv.Domains[i]
+	if rec.State == st {
+		return false, false
+	}
+	wasActive := rec.Active()
+	rec.State = st
+	if isActive := rec.Active(); isActive != wasActive {
+		if isActive {
+			h.sum.ActiveDomains++
+			h.sum.AllocMemKiB += rec.MemKiB
+			h.sum.AllocVCPUs += rec.VCPUs
+		} else {
+			h.sum.ActiveDomains--
+			h.sum.AllocMemKiB -= rec.MemKiB
+			h.sum.AllocVCPUs -= rec.VCPUs
+		}
+	}
+	return true, false
+}
+
+// removeRecord deletes a domain's record (swap-delete; record order is
+// not meaningful) and rolls its contribution out of the summary.
+// Caller holds h.mu.
+func (h *host) removeRecord(name string) bool {
+	i := h.recordIndex(name)
+	if i < 0 {
+		return false
+	}
+	rec := h.inv.Domains[i]
+	if rec.Active() {
+		h.sum.ActiveDomains--
+		h.sum.AllocMemKiB -= rec.MemKiB
+		h.sum.AllocVCPUs -= rec.VCPUs
+	}
+	h.sum.TotalDomains--
+	last := len(h.inv.Domains) - 1
+	if i != last {
+		h.inv.Domains[i] = h.inv.Domains[last]
+		h.recIdx[h.inv.Domains[i].Name] = i
+	}
+	h.inv.Domains = h.inv.Domains[:last]
+	delete(h.recIdx, name)
+	return true
+}
+
+// upsertRecord installs a freshly fetched row, replacing any existing
+// record for the name. The caller recomputes h.sum wholesale
+// afterwards, so no aggregate maintenance happens here. Caller holds
+// h.mu.
+func (h *host) upsertRecord(rec DomainRecord) {
+	if i := h.recordIndex(rec.Name); i >= 0 {
+		h.inv.Domains[i] = rec
+		return
+	}
+	h.inv.Domains = append(h.inv.Domains, rec)
+	h.recIdx[rec.Name] = len(h.inv.Domains) - 1
+}

@@ -1,0 +1,273 @@
+package fleet
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultpoint"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// fleetActive sums ActiveDomains across the cached summaries.
+func fleetActive(r *Registry) int {
+	n := 0
+	for _, s := range r.Summaries() {
+		n += s.ActiveDomains
+	}
+	return n
+}
+
+// TestWatchIdleTraffic is the acceptance test for the watch-mode
+// steady state: once a fleet has settled and its domains are known, a
+// quiesced registry performs zero inventory sweeps and zero targeted
+// fetches across a window many poll intervals long — the service turns
+// still run, but they only check client-side transport liveness.
+func TestWatchIdleTraffic(t *testing.T) {
+	registerDrivers(t)
+	dir := t.TempDir()
+	const nHosts = 3
+	var uris []string
+	for i := 0; i < nHosts; i++ {
+		sock := filepath.Join(dir, fmt.Sprintf("idle%d.sock", i))
+		startFleetDaemon(t, sock)
+		uris = append(uris, emptyURI(sock))
+	}
+	reg, err := New(fastConfig(uris...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Start()
+	defer reg.Close()
+	if up := reg.WaitSettled(5 * time.Second); up != nHosts {
+		t.Fatalf("%d hosts up, want %d", up, nHosts)
+	}
+
+	// Put one domain on every host through the registry's own
+	// connections, then let the events land and the pending fetches
+	// drain.
+	for i, name := range reg.Hosts() {
+		conn, err := reg.Host(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.CreateDomainXML(testXML(fmt.Sprintf("idle%d", i), 256, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "seeded domains visible", func() bool {
+		return fleetActive(reg) == nHosts
+	})
+	time.Sleep(5 * reg.cfg.PollInterval) // drain any owed fetch/resync turns
+
+	base := reg.WatchStats()
+	time.Sleep(20 * reg.cfg.PollInterval) // the idle window under test
+	got := reg.WatchStats()
+
+	if got.Sweeps != base.Sweeps {
+		t.Errorf("idle fleet performed %d inventory sweeps over %v",
+			got.Sweeps-base.Sweeps, 20*reg.cfg.PollInterval)
+	}
+	if got.TargetedFetches != base.TargetedFetches {
+		t.Errorf("idle fleet performed %d targeted fetches", got.TargetedFetches-base.TargetedFetches)
+	}
+	for _, st := range reg.Status() {
+		if st.State != HostUp {
+			t.Errorf("host %s is %s after the idle window", st.Name, st.State)
+		}
+	}
+	if fleetActive(reg) != nHosts {
+		t.Errorf("cached state decayed while idle: %d active domains, want %d",
+			fleetActive(reg), nHosts)
+	}
+}
+
+// TestWatchOneEventHop verifies propagation latency in event hops: a
+// lifecycle change on a daemon must reach the registry's summaries via
+// the watch stream alone — no sweep and no targeted fetch in between.
+func TestWatchOneEventHop(t *testing.T) {
+	registerDrivers(t)
+	sock := filepath.Join(t.TempDir(), "hop.sock")
+	startFleetDaemon(t, sock)
+	reg, err := New(fastConfig(emptyURI(sock)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Start()
+	defer reg.Close()
+	if up := reg.WaitSettled(5 * time.Second); up != 1 {
+		t.Fatalf("%d hosts up, want 1", up)
+	}
+	conn, err := reg.Host(reg.Hosts()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.CreateDomainXML(testXML("hop0", 512, 2)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "domain visible", func() bool { return fleetActive(reg) == 1 })
+	time.Sleep(5 * reg.cfg.PollInterval) // quiesce: drain fetches and owed sweeps
+
+	base := reg.WatchStats()
+	dom, err := conn.LookupDomain("hop0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dom.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "stop to propagate", func() bool { return fleetActive(reg) == 0 })
+	got := reg.WatchStats()
+
+	if got.Sweeps != base.Sweeps {
+		t.Errorf("change propagated via %d sweeps, want pure event patch", got.Sweeps-base.Sweeps)
+	}
+	if got.TargetedFetches != base.TargetedFetches {
+		t.Errorf("change propagated via %d targeted fetches, want pure event patch",
+			got.TargetedFetches-base.TargetedFetches)
+	}
+	if got.WatchEvents == base.WatchEvents {
+		t.Error("no watch event recorded for the lifecycle change")
+	}
+	// The allocation must have been rolled out of the summary, not just
+	// the count.
+	sum := reg.Summaries()[0]
+	if sum.AllocMemKiB != 0 || sum.AllocVCPUs != 0 || sum.TotalDomains != 1 {
+		t.Errorf("summary after stop: alloc=%dKiB/%dvcpu total=%d, want 0/0/1",
+			sum.AllocMemKiB, sum.AllocVCPUs, sum.TotalDomains)
+	}
+}
+
+// TestChaosWatchUnderFrameDrop churns a three-daemon watch-driven
+// fleet while 10% of server-side event sends are silently dropped
+// (fixed seed). Dropped frames must surface as sequence gaps and be
+// repaired by bulk resync sweeps: once the churn stops, the cached
+// inventory converges to the daemons' authoritative state with zero
+// lost domains.
+func TestChaosWatchUnderFrameDrop(t *testing.T) {
+	registerDrivers(t)
+	dir := t.TempDir()
+	const nHosts, perHost, rounds = 3, 4, 5
+	var uris []string
+	for i := 0; i < nHosts; i++ {
+		sock := filepath.Join(dir, fmt.Sprintf("drop%d.sock", i))
+		startFleetDaemon(t, sock)
+		uris = append(uris, emptyURI(sock))
+	}
+	cfg := fastConfig(uris...)
+	cfg.Seed = 11
+	reg, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Start()
+	defer reg.Close()
+	if up := reg.WaitSettled(5 * time.Second); up != nHosts {
+		t.Fatalf("%d hosts up, want %d", up, nHosts)
+	}
+	domName := func(hi, di int) string { return fmt.Sprintf("cw%d-%02d", hi, di) }
+	for hi, name := range reg.Hosts() {
+		conn, err := reg.Host(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for di := 0; di < perHost; di++ {
+			if _, err := conn.CreateDomainXML(testXML(domName(hi, di), 256, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitFor(t, 10*time.Second, "seed to land", func() bool {
+		return fleetActive(reg) == nHosts*perHost
+	})
+
+	// Arm the fault plane: every tenth watch-stream send (events and
+	// heartbeats alike) vanishes before reaching the wire.
+	faultpoint.Default.Set("watch.send", faultpoint.Spec{
+		Mode: faultpoint.ModeDrop, Prob: 0.10,
+	})
+	faultpoint.Default.Arm(11)
+	defer faultpoint.Default.Disarm()
+
+	// Churn: suspend/resume every domain repeatedly. The calls
+	// themselves are unfaulted — only their event notifications drop —
+	// so every operation succeeds while the registry's picture decays.
+	for round := 0; round < rounds; round++ {
+		for hi, name := range reg.Hosts() {
+			conn, err := reg.Host(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for di := 0; di < perHost; di++ {
+				dom, err := conn.LookupDomain(domName(hi, di))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := dom.Suspend(); err != nil {
+					t.Fatal(err)
+				}
+				if err := dom.Resume(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	fires := faultpoint.Default.Fires("watch.send")
+	faultpoint.Default.Disarm()
+	if fires == 0 {
+		t.Fatal("no watch sends dropped — the chaos pass tested nothing")
+	}
+
+	// One clean lifecycle pulse per host: its sequence number reveals
+	// any tail still missing from the churn phase, turning silent loss
+	// into a gap and a resync.
+	for hi, name := range reg.Hosts() {
+		conn, err := reg.Host(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dom, err := conn.LookupDomain(domName(hi, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dom.Suspend(); err != nil {
+			t.Fatal(err)
+		}
+		if err := dom.Resume(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Converge: every cached record running again, none lost.
+	waitFor(t, 20*time.Second, "fleet to converge after frame drops", func() bool {
+		total, running := 0, 0
+		for _, inv := range reg.Inventory() {
+			total += len(inv.Domains)
+			for _, d := range inv.Domains {
+				if d.State == core.DomainRunning {
+					running++
+				}
+			}
+		}
+		return total == nHosts*perHost && running == nHosts*perHost
+	})
+	st := reg.WatchStats()
+	t.Logf("chaos watch: fires=%d events=%d resyncs=%d sweeps=%d fetches=%d",
+		fires, st.WatchEvents, st.Resyncs, st.Sweeps, st.TargetedFetches)
+	if st.Resyncs == 0 {
+		t.Error("no resync sweeps ran — dropped frames never surfaced as gaps")
+	}
+}

@@ -137,6 +137,12 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
+// Alive reports whether the client is still usable: false after Close
+// or once the transport failed (read error, keepalive timeout — any
+// path through failAll). One atomic load, no round trip, so health
+// checks of idle connections stay traffic-free.
+func (c *Client) Alive() bool { return !c.closed.Load() }
+
 func (c *Client) shard(serial uint32) *pendingShard {
 	return &c.shards[serial%pendingShards]
 }

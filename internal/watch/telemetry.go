@@ -1,0 +1,24 @@
+package watch
+
+import "repro/internal/telemetry"
+
+// Event-path metrics, reported to the process-wide registry so they
+// surface through virtadminx metrics and the Prometheus exposition
+// alongside the daemon's other counters.
+var (
+	// eventsDelivered counts watch event frames handed to connection
+	// sinks (heartbeats excluded).
+	eventsDelivered = telemetry.Default.Counter("events_delivered_total")
+	// eventsDropped counts events discarded by drop-oldest backpressure.
+	eventsDropped = telemetry.Default.Counter("events_dropped_total")
+	// eventsCoalesced counts events absorbed into an already-queued slot
+	// for the same domain.
+	eventsCoalesced = telemetry.Default.Counter("events_coalesced_total")
+	// heartbeatsSent counts trailing Type-0 frames.
+	heartbeatsSent = telemetry.Default.Counter("events_heartbeats_total")
+	// queueDepth is the number of events queued across every live
+	// subscriber.
+	queueDepth = telemetry.Default.Gauge("watch_queue_depth")
+	// subscribersGauge is the number of live watch subscriptions.
+	subscribersGauge = telemetry.Default.Gauge("watch_subscribers")
+)

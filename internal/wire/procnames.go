@@ -64,7 +64,10 @@ var procNames = map[uint32]string{
 	ProcDeviceDetach:       "DeviceDetach",
 	ProcDomainListInfo:     "DomainListInfo",
 	ProcNodeInventory:      "NodeInventory",
+	ProcEventSubscribe:     "EventSubscribe",
+	ProcEventUnsubscribe:   "EventUnsubscribe",
 	ProcEventLifecycle:     "EventLifecycle",
+	ProcEventWatch:         "EventWatch",
 }
 
 func init() {

@@ -69,11 +69,18 @@ const (
 	ProcDeviceDetach
 	ProcDomainListInfo
 	ProcNodeInventory
+	ProcEventSubscribe
+	ProcEventUnsubscribe
 )
 
 // ProcEventLifecycle is the procedure number of unsolicited lifecycle
 // event messages (server → client).
 const ProcEventLifecycle uint32 = 1000
+
+// ProcEventWatch is the procedure number of watch-stream event frames
+// (server → client): sequenced, queue-bounded lifecycle notifications
+// established with ProcEventSubscribe.
+const ProcEventWatch uint32 = 1001
 
 // ConnectOpenArgs carries the effective URI the client wants the daemon
 // to open with its server-side drivers.
@@ -235,6 +242,47 @@ type LifecycleEvent struct {
 	UUID       string
 	Detail     string
 	Seq        uint64
+}
+
+// EventSubscribeArgs opens a watch stream on the connection: sequenced
+// lifecycle events filtered to one domain name ("" for all) and an
+// event-type set (empty for all), delivered as TypeEvent frames with
+// the ProcEventWatch procedure number.
+type EventSubscribeArgs struct {
+	Domain string
+	Types  []uint32
+}
+
+// EventSubscribeReply returns the server-side subscription id plus the
+// effective queue bounds, so the client knows how much loss-free burst
+// the stream absorbs before events start coalescing and dropping.
+type EventSubscribeReply struct {
+	SubscriptionID int32
+	QueueDepth     uint32
+	CoalesceMs     uint32
+}
+
+// EventUnsubscribeArgs tears a watch stream down.
+type EventUnsubscribeArgs struct {
+	SubscriptionID int32
+}
+
+// WatchEvent is the payload of watch-stream event frames. Seq is
+// assigned per subscription when the event is queued and the stream
+// delivers queued events in order, so a receiver that observes Seq jump
+// by more than one knows events were lost (queue overflow server-side,
+// or a frame lost in flight) and can run one resync sweep. A frame with
+// Type 0 is a heartbeat: it carries the last assigned Seq and no event,
+// closing the tail-loss window after a burst.
+type WatchEvent struct {
+	SubscriptionID int32
+	Seq            uint64
+	Type           uint32
+	Domain         string
+	UUID           string
+	Detail         string
+	BusSeq         uint64 // emitting bus's own sequence number
+	Coalesced      uint32 // earlier same-domain events absorbed into this frame
 }
 
 // SnapshotCreateArgs captures a snapshot of a domain.

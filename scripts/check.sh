@@ -21,6 +21,9 @@ go build ./examples/...
 echo "== fleet gate: go test -run TestFleet -race ./internal/fleet"
 go test -run TestFleet -race ./internal/fleet
 
+echo "== watch gate: go test -run 'TestWatch' -race (watch, rpc, remote, fleet)"
+go test -race -run 'TestWatch' ./internal/watch ./internal/rpc ./internal/drivers/remote ./internal/fleet
+
 echo "== fleet smoke: 2 daemons, 4 domains, assert spread (examples/fleet exits non-zero on failure)"
 go run ./examples/fleet -hosts 2 -domains 4 -drain=false >/dev/null
 
@@ -38,5 +41,8 @@ go test . -run 'XXX' -bench 'BenchmarkT9_Scrape' -benchtime=1x >/dev/null
 
 echo "== T8 smoke: mega-fleet 100-host tier (-benchtime=1x)"
 go test . -run 'XXX' -bench 'BenchmarkT8_MegaFleet/hosts-100/' -benchtime=1x >/dev/null
+
+echo "== T10 smoke: watch propagation, both modes (-benchtime=1x)"
+go test . -run 'XXX' -bench 'BenchmarkT10_WatchPropagation' -benchtime=1x >/dev/null
 
 echo "== OK"
