@@ -34,6 +34,7 @@ import (
 	"repro/internal/logging"
 	"repro/internal/migrate"
 	"repro/internal/nodeinfo"
+	"repro/internal/qos"
 	"repro/internal/rpc"
 	"repro/internal/scale"
 	"repro/internal/telemetry"
@@ -1369,6 +1370,139 @@ func BenchmarkT10_WatchPropagation(b *testing.B) {
 						st1.Sweeps-st0.Sweeps, window)
 				}
 			})
+		})
+	}
+}
+
+// startQoSBenchDaemon brings up a daemon whose unix listener requires
+// SASL, with the given class specs installed (none = admission control
+// off), and returns a URI builder for per-user connections.
+func startQoSBenchDaemon(b *testing.B, creds map[string]string, specs []string, watermark int) func(user, pass, extra string) string {
+	b.Helper()
+	core.ResetRegistryForTest()
+	drvtest.Register(quiet)
+	remote.Register()
+	d := daemon.New(quiet)
+	srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{MaxClients: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.AddProgram(daemon.NewRemoteProgram(srv))
+	srv.SetCredentials(creds)
+	if len(specs) > 0 {
+		classes, err := qos.ParseClasses(specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.SetQoS(qos.NewEngine(qos.Config{Classes: classes, ShedWatermark: watermark}))
+	}
+	sock := filepath.Join(b.TempDir(), "q.sock")
+	if err := srv.ListenUnix(sock, daemon.ServiceConfig{AuthSASL: true}); err != nil {
+		b.Fatal(err)
+	}
+	esc := strings.ReplaceAll(sock, "/", "%2F")
+	b.Cleanup(func() {
+		d.Shutdown()
+		core.ResetRegistryForTest()
+	})
+	return func(user, pass, extra string) string {
+		return fmt.Sprintf("test+unix://%s@/default?socket=%s&password=%s%s", user, esc, pass, extra)
+	}
+}
+
+// BenchmarkT11_QoSOverhead prices admission control on the
+// authenticated unix fast path: the T6 op mix with no engine installed
+// versus QoS enabled but unthrottled (huge rate, no ACL, no inflight
+// cap). Budget: under 2% added latency and zero extra allocs/op
+// (Table T11).
+func BenchmarkT11_QoSOverhead(b *testing.B) {
+	creds := map[string]string{"bench": "pw"}
+	for _, mode := range []string{"qos-off", "qos-on"} {
+		b.Run(mode, func(b *testing.B) {
+			var specs []string
+			if mode == "qos-on" {
+				specs = []string{"gold rate_limit_calls_per_s=100000000 burst=100000000 priority=7 users=bench"}
+			}
+			mkURI := startQoSBenchDaemon(b, creds, specs, 0)
+			conn, err := core.Open(mkURI("bench", "pw", ""))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			dom, err := conn.LookupDomain("test")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := conn.Hostname(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dom.Info(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkT11_NoisyNeighbor measures a well-behaved tenant's latency
+// alone versus with a flooding tenant being rejected at 20x its class
+// rate limit on the same daemon, reporting the p99 alongside the mean
+// (Table T11). Admission control should keep the two curves close.
+func BenchmarkT11_NoisyNeighbor(b *testing.B) {
+	creds := map[string]string{"good": "gx", "noisy": "nx"}
+	specs := []string{
+		"silver rate_limit_calls_per_s=100000000 burst=100000000 priority=7 users=good",
+		"bronze rate_limit_calls_per_s=50 burst=10 priority=2 users=noisy",
+	}
+	for _, mode := range []string{"alone", "flooded"} {
+		b.Run(mode, func(b *testing.B) {
+			mkURI := startQoSBenchDaemon(b, creds, specs, 64)
+			conn, err := core.Open(mkURI("good", "gx", ""))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			var stop chan struct{}
+			var flooderDone sync.WaitGroup
+			if mode == "flooded" {
+				noisy, err := core.Open(mkURI("noisy", "nx", "&overload_retry_ms=0"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer noisy.Close()
+				stop = make(chan struct{})
+				flooderDone.Add(1)
+				go func() {
+					defer flooderDone.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						noisy.Hostname() //nolint:errcheck // rejections are the point
+						time.Sleep(time.Millisecond)
+					}
+				}()
+			}
+			lats := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				if _, err := conn.Hostname(); err != nil {
+					b.Fatal(err)
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			b.StopTimer()
+			if stop != nil {
+				close(stop)
+				flooderDone.Wait()
+			}
+			b.ReportMetric(float64(scale.Percentile(lats, 99))/1e6, "p99-ms")
 		})
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/logging"
 	"repro/internal/migrate"
 	"repro/internal/nodeinfo"
+	"repro/internal/qos"
 	"repro/internal/rpc"
 	"repro/internal/scale"
 	"repro/internal/telemetry"
@@ -53,12 +54,12 @@ func main() {
 	all := map[string]func(){
 		"T1": tableT1, "T2": tableT2, "T2B": tableT2b, "T3": tableT3, "T4": tableT4,
 		"T5": tableT5, "T6": tableT6, "T7": tableT7, "T8": tableT8, "T9": tableT9,
-		"T10": tableT10,
-		"F1":  figureF1, "F2": figureF2, "F3": figureF3, "F4": figureF4, "F5": figureF5,
+		"T10": tableT10, "T11": tableT11,
+		"F1": figureF1, "F2": figureF2, "F3": figureF3, "F4": figureF4, "F5": figureF5,
 		"R1": tableR1, "R2": tableR2,
 		"A3": ablationA3,
 	}
-	order := []string{"T1", "T2", "T2B", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "F1", "F2", "F3", "F4", "F5", "R1", "R2", "A3"}
+	order := []string{"T1", "T2", "T2B", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "F1", "F2", "F3", "F4", "F5", "R1", "R2", "A3"}
 	want := os.Args[1:]
 	if len(want) == 1 && want[0] == "--json" {
 		emitJSON()
@@ -596,6 +597,151 @@ func tableT10() {
 	}
 }
 
+// qosStats is the T11 measurement: the admission-control tax on the
+// authenticated unix fast path, and tenant isolation under a flooding
+// neighbor.
+type qosStats struct {
+	OffNs, OnNs           int64
+	OffAllocs, OnAllocs   int64
+	AloneP50Ns, AloneP99Ns int64
+	FloodP50Ns, FloodP99Ns int64
+	FloodSent, FloodRejected uint64
+}
+
+// qosDaemon brings up a daemon whose unix listener requires SASL, with
+// the given class specs installed (none = admission control off).
+func qosDaemon(specs []string, watermark int) (mk func(user, pass, extra string) string, cleanup func()) {
+	core.ResetRegistryForTest()
+	drvtest.Register(quiet)
+	remote.Register()
+	d := daemon.New(quiet)
+	srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{MaxClients: 64})
+	must(err)
+	srv.AddProgram(daemon.NewRemoteProgram(srv))
+	srv.SetCredentials(map[string]string{"bench": "pw", "good": "gx", "noisy": "nx"})
+	if len(specs) > 0 {
+		classes, err := qos.ParseClasses(specs)
+		must(err)
+		srv.SetQoS(qos.NewEngine(qos.Config{Classes: classes, ShedWatermark: watermark}))
+	}
+	dir, err := os.MkdirTemp("", "benchreport-qos")
+	must(err)
+	sock := filepath.Join(dir, "q.sock")
+	must(srv.ListenUnix(sock, daemon.ServiceConfig{AuthSASL: true}))
+	esc := strings.ReplaceAll(sock, "/", "%2F")
+	return func(user, pass, extra string) string {
+			return fmt.Sprintf("test+unix://%s@/default?socket=%s&password=%s%s", user, esc, pass, extra)
+		}, func() {
+			d.Shutdown()
+			os.RemoveAll(dir)
+			core.ResetRegistryForTest()
+		}
+}
+
+func benchQoS() qosStats {
+	var st qosStats
+	// Fast-path tax: the T6 op mix with no engine vs QoS enabled but
+	// unthrottled.
+	fastpath := func(specs []string) (int64, int64) {
+		mk, cleanup := qosDaemon(specs, 0)
+		defer cleanup()
+		conn, err := core.Open(mk("bench", "pw", ""))
+		must(err)
+		defer conn.Close()
+		dom, err := conn.LookupDomain("test")
+		must(err)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := conn.Hostname(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dom.Info(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return res.NsPerOp(), res.AllocsPerOp()
+	}
+	st.OffNs, st.OffAllocs = fastpath(nil)
+	st.OnNs, st.OnAllocs = fastpath([]string{
+		"gold rate_limit_calls_per_s=100000000 burst=100000000 priority=7 users=bench",
+	})
+
+	// Noisy neighbor: a well-behaved tenant's latency distribution alone
+	// vs with a flooding tenant being rejected on the same daemon.
+	specs := []string{
+		"silver rate_limit_calls_per_s=100000000 burst=100000000 priority=7 users=good",
+		"bronze rate_limit_calls_per_s=50 burst=10 priority=2 users=noisy",
+	}
+	probe := func(flooded bool) (int64, int64) {
+		mk, cleanup := qosDaemon(specs, 64)
+		defer cleanup()
+		conn, err := core.Open(mk("good", "gx", ""))
+		must(err)
+		defer conn.Close()
+		var stop chan struct{}
+		var done sync.WaitGroup
+		if flooded {
+			noisy, err := core.Open(mk("noisy", "nx", "&overload_retry_ms=0"))
+			must(err)
+			defer noisy.Close()
+			stop = make(chan struct{})
+			done.Add(1)
+			go func() {
+				defer done.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					st.FloodSent++
+					if _, err := noisy.Hostname(); err != nil {
+						st.FloodRejected++
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}()
+		}
+		const samples = 2000
+		lats := make([]time.Duration, 0, samples)
+		for i := 0; i < samples; i++ {
+			t0 := time.Now()
+			_, err := conn.Hostname()
+			must(err)
+			lats = append(lats, time.Since(t0))
+		}
+		if stop != nil {
+			close(stop)
+			done.Wait()
+		}
+		return int64(scale.Percentile(lats, 50)), int64(scale.Percentile(lats, 99))
+	}
+	st.AloneP50Ns, st.AloneP99Ns = probe(false)
+	st.FloodP50Ns, st.FloodP99Ns = probe(true)
+	return st
+}
+
+func tableT11() {
+	header("Table T11", "multi-tenant QoS: admission tax on the fast path, noisy-neighbor isolation",
+		fmt.Sprintf("%-26s %-16s %-16s %-12s", "case", "baseline", "with QoS", "delta"))
+	st := benchQoS()
+	fmt.Printf("%-26s %-16s %-16s %-12s\n", "fastpath/op-mix",
+		time.Duration(st.OffNs), time.Duration(st.OnNs),
+		fmt.Sprintf("%+.1f%%", 100*float64(st.OnNs-st.OffNs)/float64(st.OffNs)))
+	fmt.Printf("%-26s %-16d %-16d %-12d\n", "fastpath/allocs-op",
+		st.OffAllocs, st.OnAllocs, st.OnAllocs-st.OffAllocs)
+	fmt.Printf("%-26s %-16s %-16s %-12s\n", "good-tenant/p50 (flood)",
+		time.Duration(st.AloneP50Ns), time.Duration(st.FloodP50Ns),
+		fmt.Sprintf("%+.1f%%", 100*float64(st.FloodP50Ns-st.AloneP50Ns)/float64(st.AloneP50Ns)))
+	fmt.Printf("%-26s %-16s %-16s %-12s\n", "good-tenant/p99 (flood)",
+		time.Duration(st.AloneP99Ns), time.Duration(st.FloodP99Ns),
+		fmt.Sprintf("%+.1f%%", 100*float64(st.FloodP99Ns-st.AloneP99Ns)/float64(st.AloneP99Ns)))
+	fmt.Printf("flooder: %d calls sent, %d rejected with typed overload errors\n",
+		st.FloodSent, st.FloodRejected)
+}
+
 // emitJSON prints the fast-path metrics as JSON for scripts/bench.sh.
 func emitJSON() {
 	mar, unm := benchCodec()
@@ -641,8 +787,9 @@ func emitJSON() {
 			"resyncs":             st.Resyncs,
 		})
 	}
+	qst := benchQoS()
 	out := map[string]interface{}{
-		"schema": "benchreport/v4",
+		"schema": "benchreport/v5",
 		"codec": map[string]interface{}{
 			"marshal_64rows":   mar,
 			"unmarshal_64rows": unm,
@@ -657,6 +804,19 @@ func emitJSON() {
 		"domain_scrape":     scrapeOut,
 		"fleet_scale":       scaleOut,
 		"watch_propagation": watchOut,
+		"qos_overhead": map[string]interface{}{
+			"fastpath_off_ns":     qst.OffNs,
+			"fastpath_on_ns":      qst.OnNs,
+			"fastpath_off_allocs": qst.OffAllocs,
+			"fastpath_on_allocs":  qst.OnAllocs,
+			"overhead_frac":       float64(qst.OnNs-qst.OffNs) / float64(qst.OffNs),
+			"good_p50_alone_ns":   qst.AloneP50Ns,
+			"good_p99_alone_ns":   qst.AloneP99Ns,
+			"good_p50_flooded_ns": qst.FloodP50Ns,
+			"good_p99_flooded_ns": qst.FloodP99Ns,
+			"flood_sent":          qst.FloodSent,
+			"flood_rejected":      qst.FloodRejected,
+		},
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

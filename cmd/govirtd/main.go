@@ -26,6 +26,7 @@ import (
 	"repro/internal/drivers/xen"
 	"repro/internal/faultpoint"
 	"repro/internal/logging"
+	"repro/internal/qos"
 	"repro/internal/telemetry"
 )
 
@@ -115,6 +116,18 @@ func run() error {
 	mgmt.AddProgram(daemon.NewRemoteProgram(mgmt))
 	if len(cfg.SASLCredentials) > 0 {
 		mgmt.SetCredentials(cfg.SASLCredentials)
+	}
+	if len(cfg.QoSClasses) > 0 {
+		classes, err := qos.ParseClasses(cfg.QoSClasses)
+		if err != nil {
+			return err // Validate already vetted these; defensive
+		}
+		mgmt.SetQoS(qos.NewEngine(qos.Config{
+			Classes:       classes,
+			ShedWatermark: cfg.QoSShedWatermark,
+		}))
+		log.Infof("daemon", "admission control enabled: %d class(es), shed watermark %d",
+			len(classes), cfg.QoSShedWatermark)
 	}
 
 	if err := os.MkdirAll(filepath.Dir(cfg.UnixSocketPath), 0o755); err != nil {

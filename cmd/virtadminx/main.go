@@ -83,6 +83,10 @@ func run(argv []string) error {
 		return metrics(conn, args[1:])
 	case "slow-calls":
 		return slowCalls(conn)
+	case "qos":
+		return needArgs(args, 2, func() error { return qosInfo(conn, args[1]) })
+	case "qos-set":
+		return needArgs(args, 2, func() error { return qosSet(conn, args[1], args[2:]) })
 	default:
 		return fmt.Errorf("unknown command %q (try \"help\")", args[0])
 	}
@@ -108,6 +112,7 @@ Monitoring commands:
   dmn-log-info                      show logging level, filters, outputs
   metrics [--all]                   show call counts and dispatch latencies
   slow-calls                        show the recent slow-call ring
+  qos <server>                      show admission classes, quotas and rejection counts
   domain-metrics <uri> [--prom]     per-domain stats from one bulk sweep of a driver URI
 
 Management commands:
@@ -115,6 +120,11 @@ Management commands:
   srv-clients-set <server> [--max-clients N] [--max-unauth-clients N]
   client-disconnect <server> <id>   force-close a client connection
   dmn-log-define [--level N] [--filters "..."] [--outputs "..."]
+  qos-set <server> --class "spec" [--class "spec" ...] [--watermark N]
+  qos-set <server> --disable       remove admission control
+
+A --class spec is the qos_classes grammar, e.g.
+  "bronze rate_limit_calls_per_s=50 burst=10 max_inflight_calls=4 priority=2 users=eve"
 `)
 }
 
@@ -440,6 +450,88 @@ func slowCalls(conn *admin.Connect) error {
 			time.Unix(0, c.StartUnix).Format("15:04:05.000"),
 			time.Duration(c.QueueNs), time.Duration(c.TotalNs))
 	}
+	return nil
+}
+
+func qosInfo(conn *admin.Connect, server string) error {
+	r, err := conn.QoS(server)
+	if err != nil {
+		return err
+	}
+	if !r.Enabled {
+		fmt.Println("QoS: disabled")
+		return nil
+	}
+	fmt.Printf("QoS: enabled, shed watermark %d\n\n", r.ShedWatermark)
+	fmt.Printf(" %-10s %8s %6s %8s %8s %8s %8s  %s\n",
+		"Class", "Inflight", "Queued", "rej:rate", "rej:acl", "rej:infl", "rej:shed", "Spec")
+	fmt.Println(" " + strings.Repeat("-", 110))
+	for _, cl := range r.Classes {
+		name := cl.Spec
+		if i := strings.IndexByte(name, ' '); i > 0 {
+			name = name[:i]
+		}
+		fmt.Printf(" %-10s %8d %6d %8d %8d %8d %8d  %s\n",
+			name, cl.Inflight, cl.Queued,
+			cl.RejectedRate, cl.RejectedACL, cl.RejectedInflight, cl.RejectedShed, cl.Spec)
+	}
+	return nil
+}
+
+func qosSet(conn *admin.Connect, server string, args []string) error {
+	var specs []string
+	watermark := -1
+	disable := false
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "--class":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--class needs a spec string")
+			}
+			specs = append(specs, args[i+1])
+			i++
+		case "--watermark":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--watermark needs a value")
+			}
+			v, err := strconv.Atoi(args[i+1])
+			if err != nil || v < 0 {
+				return fmt.Errorf("--watermark: bad value %q", args[i+1])
+			}
+			watermark = v
+			i++
+		case "--disable":
+			disable = true
+		default:
+			return fmt.Errorf("unknown flag %q", args[i])
+		}
+	}
+	if disable {
+		if len(specs) > 0 || watermark >= 0 {
+			return fmt.Errorf("--disable cannot be combined with --class or --watermark")
+		}
+		if err := conn.DisableQoS(server); err != nil {
+			return err
+		}
+		fmt.Printf("QoS disabled on server %s\n", server)
+		return nil
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("nothing to set; pass --class (repeatable) or --disable")
+	}
+	if watermark < 0 {
+		// Keep the server's current watermark when only classes change.
+		if cur, err := conn.QoS(server); err == nil && cur.Enabled {
+			watermark = int(cur.ShedWatermark)
+		} else {
+			watermark = 0
+		}
+	}
+	if err := conn.SetQoS(server, specs, watermark); err != nil {
+		return err
+	}
+	fmt.Printf("QoS updated on server %s: %d class(es), shed watermark %d\n",
+		server, len(specs), watermark)
 	return nil
 }
 

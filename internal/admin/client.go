@@ -214,3 +214,28 @@ func (c *Connect) SlowCalls() (*SlowCallsReply, error) {
 	}
 	return &r, nil
 }
+
+// QoS retrieves a server's admission-control state: whether QoS is
+// enabled, the shed watermark and every class's spec plus live
+// accounting.
+func (c *Connect) QoS(server string) (*QoSReply, error) {
+	var r QoSReply
+	if err := c.call(ProcQoSGet, &ServerArgs{Server: server}, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// SetQoS atomically replaces a server's admission configuration with
+// the given class specs and shed watermark. Specs use the qos_classes
+// grammar; the daemon validates them as a set before installing.
+func (c *Connect) SetQoS(server string, specs []string, shedWatermark int) error {
+	return c.call(ProcQoSSet, &QoSSetArgs{
+		Server: server, Specs: specs, ShedWatermark: uint32(shedWatermark),
+	}, nil)
+}
+
+// DisableQoS removes admission control from a server.
+func (c *Connect) DisableQoS(server string) error {
+	return c.call(ProcQoSSet, &QoSSetArgs{Server: server, Disable: true}, nil)
+}

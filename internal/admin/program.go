@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/logging"
+	"repro/internal/qos"
 	"repro/internal/rpc"
 	"repro/internal/typedparams"
 )
@@ -92,6 +93,10 @@ func (p *Program) Dispatch(c *daemon.Client, proc uint32, payload []byte) ([]byt
 		return p.serverMetrics()
 	case ProcServerSlowCalls:
 		return p.serverSlowCalls()
+	case ProcQoSGet:
+		return p.qosGet(payload)
+	case ProcQoSSet:
+		return p.qosSet(payload)
 	default:
 		return nil, core.Errorf(core.ErrNoSupport, "unknown admin procedure %d", proc)
 	}
@@ -335,6 +340,59 @@ func (p *Program) serverSlowCalls() ([]byte, error) {
 		}
 	}
 	return marshal(&out)
+}
+
+func (p *Program) qosGet(payload []byte) ([]byte, error) {
+	srv, err := p.server(payload)
+	if err != nil {
+		return nil, err
+	}
+	eng := srv.QoS()
+	if eng == nil {
+		return marshal(&QoSReply{})
+	}
+	snaps := eng.Snapshot()
+	out := QoSReply{
+		Enabled:       true,
+		ShedWatermark: uint32(eng.ShedWatermark()),
+		Classes:       make([]QoSClassInfo, len(snaps)),
+	}
+	for i, s := range snaps {
+		out.Classes[i] = QoSClassInfo{
+			Spec:             s.Config.Spec(),
+			Inflight:         s.Inflight,
+			Queued:           s.Queued,
+			RejectedRate:     s.Rejected[qos.ReasonRate],
+			RejectedACL:      s.Rejected[qos.ReasonACL],
+			RejectedInflight: s.Rejected[qos.ReasonInflight],
+			RejectedShed:     s.Rejected[qos.ReasonShed],
+		}
+	}
+	return marshal(&out)
+}
+
+func (p *Program) qosSet(payload []byte) ([]byte, error) {
+	var args QoSSetArgs
+	if err := rpc.Unmarshal(payload, &args); err != nil {
+		return nil, badArgs(err)
+	}
+	srv, err := p.serverByName(args.Server)
+	if err != nil {
+		return nil, err
+	}
+	if args.Disable {
+		srv.SetQoS(nil)
+		return marshal(&struct{}{})
+	}
+	classes, err := qos.ParseClasses(args.Specs)
+	if err != nil {
+		return nil, core.Errorf(core.ErrInvalidArg, "%v", err)
+	}
+	srv.SetQoS(qos.NewEngine(qos.Config{
+		Classes:       classes,
+		ShedWatermark: int(args.ShedWatermark),
+	}))
+	return marshal(&struct{}{})
 }
 
 func marshal(v interface{}) ([]byte, error) {

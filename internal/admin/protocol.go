@@ -31,6 +31,8 @@ const (
 	ProcLogOutputsSet
 	ProcServerMetrics
 	ProcServerSlowCalls
+	ProcQoSGet
+	ProcQoSSet
 )
 
 func init() {
@@ -53,6 +55,8 @@ func init() {
 		ProcLogOutputsSet:    "LogOutputsSet",
 		ProcServerMetrics:    "ServerMetrics",
 		ProcServerSlowCalls:  "ServerSlowCalls",
+		ProcQoSGet:           "QoSGet",
+		ProcQoSSet:           "QoSSet",
 	})
 }
 
@@ -307,4 +311,34 @@ type SlowCallsReply struct {
 	Slow        uint64
 	ThresholdNs int64
 	Calls       []SlowCallRecord
+}
+
+// QoSClassInfo is one admission class: its canonical spec string (the
+// same grammar qos_classes accepts) plus live accounting.
+type QoSClassInfo struct {
+	Spec             string
+	Inflight         int64
+	Queued           int64
+	RejectedRate     uint64
+	RejectedACL      uint64
+	RejectedInflight uint64
+	RejectedShed     uint64
+}
+
+// QoSReply returns a server's admission-control state.
+type QoSReply struct {
+	Enabled       bool
+	ShedWatermark uint32
+	Classes       []QoSClassInfo
+}
+
+// QoSSetArgs replaces a server's admission configuration wholesale: the
+// complete class list plus shed watermark, installed atomically as a
+// new engine. Disable removes admission control entirely (Specs and
+// ShedWatermark are then ignored).
+type QoSSetArgs struct {
+	Server        string
+	Specs         []string
+	ShedWatermark uint32
+	Disable       bool
 }

@@ -1,0 +1,82 @@
+package admin_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestQoSAdminGetSetRoundTrip(t *testing.T) {
+	td := startDaemon(t)
+
+	// Fresh daemon: admission control is off.
+	rep, err := td.adm.QoS("govirtd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Enabled || len(rep.Classes) != 0 {
+		t.Fatalf("QoS enabled on a fresh daemon: %+v", rep)
+	}
+
+	// Install two classes live and read them back.
+	specs := []string{
+		"gold rate_limit_calls_per_s=500 burst=100 priority=8 users=alice",
+		"bronze rate_limit_calls_per_s=20 max_inflight_calls=4 users=bob",
+	}
+	if err := td.adm.SetQoS("govirtd", specs, 64); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = td.adm.QoS("govirtd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Enabled || rep.ShedWatermark != 64 {
+		t.Fatalf("engine not installed: %+v", rep)
+	}
+	// The engine synthesizes the implicit default class alongside the
+	// two configured ones.
+	if len(rep.Classes) != 3 {
+		t.Fatalf("classes %d: %+v", len(rep.Classes), rep.Classes)
+	}
+	var sawGold bool
+	for _, c := range rep.Classes {
+		if strings.HasPrefix(c.Spec, "gold ") {
+			sawGold = true
+			if !strings.Contains(c.Spec, "rate_limit_calls_per_s=500") ||
+				!strings.Contains(c.Spec, "users=alice") {
+				t.Fatalf("gold spec lost fields: %q", c.Spec)
+			}
+			if c.Inflight != 0 || c.RejectedRate != 0 {
+				t.Fatalf("fresh class has nonzero counters: %+v", c)
+			}
+		}
+	}
+	if !sawGold {
+		t.Fatalf("gold class missing from %+v", rep.Classes)
+	}
+
+	// A malformed spec is rejected wholesale; the previous engine stays.
+	err = td.adm.SetQoS("govirtd", []string{"bad"}, 0)
+	if !core.IsCode(err, core.ErrInvalidArg) {
+		t.Fatalf("malformed spec: %v", err)
+	}
+	rep, _ = td.adm.QoS("govirtd")
+	if !rep.Enabled || len(rep.Classes) != 3 {
+		t.Fatalf("failed update clobbered the engine: %+v", rep)
+	}
+
+	// Disable removes the engine entirely.
+	if err := td.adm.DisableQoS("govirtd"); err != nil {
+		t.Fatal(err)
+	}
+	rep, _ = td.adm.QoS("govirtd")
+	if rep.Enabled {
+		t.Fatalf("QoS still enabled after disable: %+v", rep)
+	}
+
+	// Unknown server fails cleanly.
+	if _, err := td.adm.QoS("ghost"); !core.IsCode(err, core.ErrAdmin) {
+		t.Fatalf("unknown server: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // ErrorCode classifies API errors so they survive the RPC boundary and
@@ -35,6 +36,8 @@ const (
 	ErrAdmin
 	ErrHostUnreachable // the managing daemon itself is down or lost mid-call
 	ErrTimedOut        // the call exceeded its deadline; the op may have run
+	ErrOverloaded      // admission control rejected the call before dispatch; retry after backoff
+	ErrAccessDenied    // policy forbids this client the procedure or object
 )
 
 var codeNames = map[ErrorCode]string{
@@ -56,6 +59,8 @@ var codeNames = map[ErrorCode]string{
 	ErrAdmin:            "admin operation failed",
 	ErrHostUnreachable:  "host unreachable",
 	ErrTimedOut:         "operation timed out",
+	ErrOverloaded:       "overloaded",
+	ErrAccessDenied:     "access denied",
 }
 
 func (c ErrorCode) String() string {
@@ -69,11 +74,34 @@ func (c ErrorCode) String() string {
 type Error struct {
 	Code    ErrorCode
 	Message string
+
+	// RetryAfter is the server's backoff hint on ErrOverloaded
+	// rejections: how long to wait before the call is worth repeating.
+	// Zero means no hint. It rides the RPC error frame, so remote
+	// callers see the same hint the daemon computed.
+	RetryAfter time.Duration
 }
 
 // Errorf constructs an Error with a formatted message.
 func Errorf(code ErrorCode, format string, args ...interface{}) *Error {
 	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Overloadedf constructs an ErrOverloaded rejection carrying a
+// retry-after hint. Admission control rejects before dispatch, so the
+// operation never ran and repeating it after the hint is always safe.
+func Overloadedf(retryAfter time.Duration, format string, args ...interface{}) *Error {
+	return &Error{Code: ErrOverloaded, Message: fmt.Sprintf(format, args...), RetryAfter: retryAfter}
+}
+
+// RetryAfterOf extracts the backoff hint from err, unwrapping as
+// needed; errors without one report zero.
+func RetryAfterOf(err error) time.Duration {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.RetryAfter
+	}
+	return 0
 }
 
 func (e *Error) Error() string {
@@ -101,9 +129,13 @@ func IsCode(err error, code ErrorCode) bool { return CodeOf(err) == code }
 // would fail identically anywhere. Multi-host schedulers use it to
 // decide between retrying the same request on a different host and
 // propagating the failure to the caller.
+// ErrOverloaded is retryable too: the daemon is alive but shedding, the
+// call was rejected before dispatch, and the error carries a
+// RetryAfter hint — callers should delay by the hint (see RetryAfterOf)
+// rather than hot-retry, and must not treat the host as down.
 func IsRetryable(err error) bool {
 	switch CodeOf(err) {
-	case ErrHostUnreachable, ErrNoConnect:
+	case ErrHostUnreachable, ErrNoConnect, ErrOverloaded:
 		return true
 	default:
 		return false

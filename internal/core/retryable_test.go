@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestQoSRetryableMatrix pins IsRetryable over the complete error-code
+// enum: exactly the host-level codes (daemon unreachable, never
+// connected) plus admission rejections are retryable — everything else
+// would fail identically on any host and must propagate.
+func TestQoSRetryableMatrix(t *testing.T) {
+	cases := []struct {
+		code ErrorCode
+		want bool
+	}{
+		{ErrInternal, false},
+		{ErrNoSupport, false},
+		{ErrInvalidArg, false},
+		{ErrOperationInvalid, false},
+		{ErrNoConnect, true},
+		{ErrNoDomain, false},
+		{ErrDuplicate, false},
+		{ErrNoNetwork, false},
+		{ErrNoStoragePool, false},
+		{ErrNoStorageVol, false},
+		{ErrAuthFailed, false},
+		{ErrRPC, false},
+		{ErrConnectionClosed, false},
+		{ErrXML, false},
+		{ErrMigrate, false},
+		{ErrAdmin, false},
+		{ErrHostUnreachable, true},
+		{ErrTimedOut, false},
+		{ErrOverloaded, true},
+		{ErrAccessDenied, false},
+	}
+	// The table must stay exhaustive: a new code added to the enum
+	// without a row here fails loudly instead of silently defaulting.
+	if last := ErrAccessDenied; len(cases) != int(last) {
+		t.Fatalf("matrix covers %d codes but the enum has %d — add the new code", len(cases), int(last))
+	}
+	for _, tc := range cases {
+		err := Errorf(tc.code, "probe")
+		if got := IsRetryable(err); got != tc.want {
+			t.Errorf("IsRetryable(%v) = %v, want %v", tc.code, got, tc.want)
+		}
+		// Wrapping must not change the verdict.
+		wrapped := fmt.Errorf("outer: %w", err)
+		if got := IsRetryable(wrapped); got != tc.want {
+			t.Errorf("IsRetryable(wrapped %v) = %v, want %v", tc.code, got, tc.want)
+		}
+	}
+	if IsRetryable(nil) {
+		t.Error("IsRetryable(nil) must be false")
+	}
+	if IsRetryable(fmt.Errorf("plain")) {
+		t.Error("IsRetryable(non-API error) must be false")
+	}
+}
+
+func TestQoSRetryAfterOf(t *testing.T) {
+	err := Overloadedf(75*time.Millisecond, "class %q throttled", "bronze")
+	if !IsCode(err, ErrOverloaded) || !IsRetryable(err) {
+		t.Fatalf("Overloadedf produced %v", err)
+	}
+	if got := RetryAfterOf(err); got != 75*time.Millisecond {
+		t.Fatalf("RetryAfterOf = %v", got)
+	}
+	if got := RetryAfterOf(fmt.Errorf("wrap: %w", err)); got != 75*time.Millisecond {
+		t.Fatalf("RetryAfterOf through wrap = %v", got)
+	}
+	if got := RetryAfterOf(Errorf(ErrNoDomain, "x")); got != 0 {
+		t.Fatalf("RetryAfterOf without hint = %v", got)
+	}
+	if got := RetryAfterOf(nil); got != 0 {
+		t.Fatalf("RetryAfterOf(nil) = %v", got)
+	}
+}

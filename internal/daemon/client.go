@@ -89,6 +89,15 @@ func (c *Client) Authenticated() bool {
 	return c.authenticated
 }
 
+// authState returns the auth flag and SASL identity in one lock
+// acquisition, for the per-call dispatch path where auth gating and QoS
+// class resolution both need them.
+func (c *Client) authState() (bool, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.authenticated, c.identity.SASLUser
+}
+
 func (c *Client) setAuthenticated(saslUser string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/faultpoint"
+	"repro/internal/qos"
 	"repro/internal/uri"
 )
 
@@ -55,10 +56,20 @@ type Config struct {
 	CallTimeoutMs   int    // per-call dispatch deadline; 0 disables
 	ShutdownGraceMs int    // in-flight drain budget on shutdown
 
+	// Multi-tenant QoS (see internal/qos): per-class admission specs
+	// and the queue-depth watermark above which queued low-priority
+	// calls are shed. Empty QoSClasses disables admission control.
+	QoSClasses       []string
+	QoSShedWatermark int
+
 	// Debug: deterministic fault injection (see internal/faultpoint).
 	// Production configurations leave these empty.
 	FaultInjection string // "site:mode:prob[:delay_ms],..." spec list
 	FaultSeed      int    // PRNG seed the registry is armed with
+
+	// qosLine remembers the config line where qos_classes appeared, so
+	// Validate can point at it when a spec fails full parsing.
+	qosLine int
 }
 
 // DefaultConfig returns the shipped defaults.
@@ -86,6 +97,8 @@ func DefaultConfig() Config {
 
 		EventQueueDepth:       256,
 		EventCoalesceWindowMs: 10,
+
+		QoSShedWatermark: 128,
 	}
 }
 
@@ -107,6 +120,9 @@ func ParseConfig(text string) (Config, error) {
 		value = strings.TrimSpace(value)
 		if err := cfg.apply(key, value); err != nil {
 			return cfg, fmt.Errorf("daemon: config line %d: %v", lineNo+1, err)
+		}
+		if key == "qos_classes" {
+			cfg.qosLine = lineNo + 1
 		}
 	}
 	if err := cfg.Validate(); err != nil {
@@ -186,6 +202,15 @@ func (c *Config) apply(key, value string) error {
 		return setInt(&c.CallTimeoutMs, value)
 	case "shutdown_grace_ms":
 		return setInt(&c.ShutdownGraceMs, value)
+	case "qos_classes":
+		entries, err := parseList(value)
+		if err != nil {
+			return err
+		}
+		c.QoSClasses = entries
+		return nil
+	case "qos_shed_watermark":
+		return setInt(&c.QoSShedWatermark, value)
 	case "fault_injection":
 		return setString(&c.FaultInjection, value)
 	case "fault_seed":
@@ -247,6 +272,20 @@ func (c *Config) Validate() error {
 	if c.FaultInjection != "" {
 		if _, err := faultpoint.ParseSpecs(c.FaultInjection); err != nil {
 			return fmt.Errorf("daemon: fault_injection: %v", err)
+		}
+	}
+	if c.QoSShedWatermark < 0 {
+		return fmt.Errorf("daemon: qos_shed_watermark must be non-negative")
+	}
+	if len(c.QoSClasses) > 0 {
+		// Full spec validation — duplicate class names, zero-rate
+		// classes, malformed keys — pointing at the qos_classes line
+		// when the config came from a file.
+		if _, err := qos.ParseClasses(c.QoSClasses); err != nil {
+			if c.qosLine > 0 {
+				return fmt.Errorf("daemon: config line %d: qos_classes: %v", c.qosLine, err)
+			}
+			return fmt.Errorf("daemon: qos_classes: %v", err)
 		}
 	}
 	return nil

@@ -1,0 +1,199 @@
+package daemon_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/qos"
+)
+
+// setQoS installs an admission engine on the daemon's management server.
+func setQoS(t *testing.T, d *daemon.Daemon, watermark int, specs ...string) {
+	t.Helper()
+	srv, ok := d.Server("govirtd")
+	if !ok {
+		t.Fatal("no govirtd server")
+	}
+	classes, err := qos.ParseClasses(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetQoS(qos.NewEngine(qos.Config{Classes: classes, ShedWatermark: watermark}))
+}
+
+// TestQoSRateLimitTypedRejection drives a unix client into its class
+// rate limit and checks the rejection contract: a typed retryable
+// overload error carrying a retry-after hint, on a connection that
+// stays fully usable.
+func TestQoSRateLimitTypedRejection(t *testing.T) {
+	sock, _, d := startDaemon(t, daemon.ClientLimits{}, nil)
+	// Anonymous unix clients share the default principal; throttle it.
+	setQoS(t, d, 0, "default rate_limit_calls_per_s=2 burst=4")
+
+	// overload_retry_ms=0 turns off the driver's transparent retry so
+	// the typed error surfaces to the caller.
+	conn, err := core.Open(unixURI(sock) + "&overload_retry_ms=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var overErr error
+	for i := 0; i < 10; i++ {
+		if _, err := conn.Hostname(); err != nil {
+			overErr = err
+			break
+		}
+	}
+	if overErr == nil {
+		t.Fatal("no rejection after 10 calls against burst 4")
+	}
+	if !core.IsCode(overErr, core.ErrOverloaded) {
+		t.Fatalf("rejection not typed ErrOverloaded: %v", overErr)
+	}
+	if !core.IsRetryable(overErr) {
+		t.Fatalf("overload rejection must be retryable: %v", overErr)
+	}
+	ra := core.RetryAfterOf(overErr)
+	if ra <= 0 || ra > time.Second {
+		t.Fatalf("retry-after hint %v outside (0, 1s]", ra)
+	}
+	// The connection was never torn down: after honoring the hint the
+	// same connection serves calls again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		time.Sleep(ra)
+		if _, err := conn.Hostname(); err == nil {
+			break
+		} else if !core.IsCode(err, core.ErrOverloaded) {
+			t.Fatalf("connection degraded after rejection: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("token never refilled")
+		}
+	}
+}
+
+// TestQoSACLDeniedOverWire checks procedure/object allowlists at the
+// dispatch gate: denied procedures fail with ErrAccessDenied before
+// reaching the driver, and the connection survives.
+func TestQoSACLDeniedOverWire(t *testing.T) {
+	sock, _, d := startDaemon(t, daemon.ClientLimits{}, nil)
+	setQoS(t, d, 0,
+		"default rate_limit_calls_per_s=1000 acl=ConnectOpen|ConnectClose|GetHostname|DomainLookupByName@test")
+
+	conn, err := core.Open(unixURI(sock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Hostname(); err != nil {
+		t.Fatalf("allowlisted procedure rejected: %v", err)
+	}
+	// GetVersion is not on the allowlist.
+	if _, err := conn.Version(); !core.IsCode(err, core.ErrAccessDenied) {
+		t.Fatalf("want ErrAccessDenied for GetVersion, got %v", err)
+	}
+	if core.IsRetryable(core.Errorf(core.ErrAccessDenied, "x")) {
+		t.Fatal("ACL denial must not be retryable")
+	}
+	// Object-scoped rule: the lookup's leading string is matched against
+	// the rule's object pattern.
+	if _, err := conn.LookupDomain("test"); err != nil {
+		t.Fatalf("allowlisted object rejected: %v", err)
+	}
+	if _, err := conn.LookupDomain("other"); !core.IsCode(err, core.ErrAccessDenied) {
+		t.Fatalf("want ErrAccessDenied for object %q, got %v", "other", err)
+	}
+	// Denials do not degrade the connection.
+	if _, err := conn.Hostname(); err != nil {
+		t.Fatalf("connection degraded after denial: %v", err)
+	}
+}
+
+// TestQoSSASLUserClassMapping ties SASL identities to classes over TCP:
+// the throttled user is rejected while the unthrottled one sails
+// through on the same daemon.
+func TestQoSSASLUserClassMapping(t *testing.T) {
+	_, tcpAddr, d := startDaemon(t, daemon.ClientLimits{},
+		map[string]string{"admin": "secret", "ops": "hunter2"})
+	setQoS(t, d, 0,
+		"gold rate_limit_calls_per_s=1000 users=admin",
+		"bronze rate_limit_calls_per_s=2 burst=6 users=ops")
+
+	goldURI := strings.Replace(tcpURI(tcpAddr, "?password=secret"), "test+tcp://", "test+tcp://admin@", 1)
+	bronzeURI := strings.Replace(tcpURI(tcpAddr, "?password=hunter2&overload_retry_ms=0"), "test+tcp://", "test+tcp://ops@", 1)
+
+	gold, err := core.Open(goldURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gold.Close()
+	bronze, err := core.Open(bronzeURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bronze.Close()
+
+	var bronzeRejected bool
+	for i := 0; i < 15; i++ {
+		if _, err := bronze.Hostname(); err != nil {
+			if !core.IsCode(err, core.ErrOverloaded) {
+				t.Fatalf("bronze rejection wrong type: %v", err)
+			}
+			bronzeRejected = true
+			break
+		}
+	}
+	if !bronzeRejected {
+		t.Fatal("bronze user never throttled")
+	}
+	// The gold user is unaffected by the noisy bronze neighbor.
+	for i := 0; i < 20; i++ {
+		if _, err := gold.Hostname(); err != nil {
+			t.Fatalf("gold call %d failed: %v", i, err)
+		}
+	}
+}
+
+// TestQoSLiveEngineSwap replaces the admission engine under an open
+// connection: the client is re-resolved against the new engine on its
+// next call, and removing the engine lifts all limits.
+func TestQoSLiveEngineSwap(t *testing.T) {
+	sock, _, d := startDaemon(t, daemon.ClientLimits{}, nil)
+	srv, _ := d.Server("govirtd")
+
+	conn, err := core.Open(unixURI(sock) + "&overload_retry_ms=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// No engine: unlimited.
+	for i := 0; i < 10; i++ {
+		if _, err := conn.Hostname(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Install a restrictive engine live; the open connection picks it up.
+	setQoS(t, d, 0, "default rate_limit_calls_per_s=1 burst=2")
+	var rejected bool
+	for i := 0; i < 10; i++ {
+		if _, err := conn.Hostname(); core.IsCode(err, core.ErrOverloaded) {
+			rejected = true
+			break
+		}
+	}
+	if !rejected {
+		t.Fatal("live-installed engine not enforced on existing connection")
+	}
+	// Remove it: the same connection is unlimited again.
+	srv.SetQoS(nil)
+	for i := 0; i < 10; i++ {
+		if _, err := conn.Hostname(); err != nil {
+			t.Fatalf("call after engine removal: %v", err)
+		}
+	}
+}

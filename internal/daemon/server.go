@@ -12,6 +12,7 @@ import (
 	"repro/internal/faultpoint"
 	"repro/internal/logging"
 	"repro/internal/memnet"
+	"repro/internal/qos"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
 	"repro/internal/watch"
@@ -89,6 +90,10 @@ type Server struct {
 	eventQueueDepth atomic.Int64
 	eventCoalesce   atomic.Int64 // nanos
 
+	// Admission engine enforced between frame decode and dispatch.
+	// Replaced wholesale on config updates; nil = QoS disabled.
+	qosEng atomic.Pointer[qos.Engine]
+
 	mu         sync.Mutex
 	clients    map[uint64]*Client
 	nextClient uint64
@@ -121,6 +126,24 @@ func newServer(name string, pool *Workerpool, limits ClientLimits, log *logging.
 
 // Name returns the server name.
 func (s *Server) Name() string { return s.name }
+
+// SetQoS installs (or with nil, removes) the admission engine enforced
+// between frame decode and dispatch. The engine is swapped atomically;
+// in-flight calls admitted under the old engine settle against it, new
+// calls resolve classes from the new one. The pool's shed watermark
+// follows the engine's.
+func (s *Server) SetQoS(eng *qos.Engine) {
+	if eng != nil {
+		eng.Instrument(s.metrics)
+		s.pool.SetShedWatermark(eng.ShedWatermark())
+	} else {
+		s.pool.SetShedWatermark(0)
+	}
+	s.qosEng.Store(eng)
+}
+
+// QoS returns the installed admission engine (nil = QoS disabled).
+func (s *Server) QoS() *qos.Engine { return s.qosEng.Load() }
 
 // SetCallTimeout bounds every dispatched call: a call that has not
 // replied within d (queue wait included) is answered with ErrTimedOut;
@@ -341,6 +364,15 @@ func (s *Server) accept(nc net.Conn, cfg ServiceConfig) {
 // release as soon as the program's Dispatch returns (Unmarshal copies
 // everything it keeps out of the payload).
 func (s *Server) serveClient(c *Client) {
+	// QoS state is resolved lazily and cached across calls: serveClient
+	// is the connection's only reader, so plain locals suffice. The
+	// cache invalidates when the engine pointer changes (live config
+	// update) or the SASL identity changes (authentication completed).
+	var (
+		qsEng  *qos.Engine
+		qsUser string
+		qs     *qos.ClientState
+	)
 	for {
 		f, err := c.conn.ReadFrame()
 		if err != nil {
@@ -375,13 +407,33 @@ func (s *Server) serveClient(c *Client) {
 			s.replyError(c, h, core.Errorf(core.ErrNoSupport, "unsupported protocol version %d", h.Version))
 			continue
 		}
-		if !c.Authenticated() && !isAuthProc(h.Procedure) {
+		authed, saslUser := c.authState()
+		if !authed && !isAuthProc(h.Procedure) {
 			f.Release()
 			s.replyError(c, h, core.Errorf(core.ErrAuthFailed, "authentication required"))
 			continue
 		}
+		// Admission control: resolve the client's class and apply
+		// ACL, rate limit and inflight quota before any resources are
+		// committed — a rejected call costs one error reply.
+		var cqs *qos.ClientState
+		if eng := s.qosEng.Load(); eng != nil {
+			if qs == nil || eng != qsEng || saslUser != qsUser {
+				qsEng, qsUser = eng, saslUser
+				qs = eng.Resolve(saslUser)
+			}
+			if aerr := qosAdmit(qs, h, f.Payload); aerr != nil {
+				f.Release()
+				s.replyError(c, h, aerr)
+				continue
+			}
+			cqs = qs
+		}
 		if spec, ok := faultpoint.Default.Eval("daemon.kill"); ok && spec.Mode == faultpoint.ModeKill {
 			f.Release()
+			if cqs != nil {
+				cqs.EndCall() // the admitted call never dispatches
+			}
 			s.log.Warnf("daemon.server", "server %s: injected kill", s.name)
 			go s.Kill()
 			return
@@ -410,10 +462,36 @@ func (s *Server) serveClient(c *Client) {
 			})
 		}
 		enqueued := time.Now()
-		job := func() {
+		// One closure serves both outcomes — run or shed — so the QoS
+		// path allocates exactly what the plain path always has: this
+		// closure, and nothing else.
+		job := func(shed bool, wait time.Duration) {
+			if cqs != nil {
+				cqs.MarkDequeued()
+			}
+			if shed {
+				frame.Release()
+				if timer != nil {
+					timer.Stop()
+				}
+				var serr error
+				if cqs != nil {
+					serr = cqs.RejectShed()
+					cqs.EndCall()
+				} else {
+					serr = core.Overloadedf(qos.ShedRetryHint, "queued call shed under overload")
+				}
+				if replied == nil || replied.CompareAndSwap(false, true) {
+					s.replyError(c, hdr, serr)
+				}
+				return
+			}
 			start := time.Now()
 			reply, err := prog.Dispatch(c, hdr.Procedure, frame.Payload)
 			frame.Release()
+			if cqs != nil {
+				cqs.EndCall()
+			}
 			if st != nil {
 				st.calls.Inc()
 				st.latency.Observe(time.Since(start))
@@ -445,8 +523,24 @@ func (s *Server) serveClient(c *Client) {
 			}
 			putReplyBuf(reply)
 		}
-		if err := s.pool.Submit(job, prog.IsPriority(hdr.Procedure)); err != nil {
+		priority := prog.IsPriority(hdr.Procedure)
+		shedPrio := int8(5)
+		var maxWait time.Duration
+		if cqs != nil {
+			// Control-plane classes ride the priority workers for every
+			// procedure, so they stay responsive while ordinary workers
+			// are saturated by data-plane tenants.
+			priority = priority || cqs.Control()
+			shedPrio = cqs.ShedPriority()
+			maxWait = cqs.MaxQueueWait()
+			cqs.MarkQueued()
+		}
+		if err := s.pool.SubmitQoS(job, priority, shedPrio, maxWait); err != nil {
 			frame.Release() // the job never ran
+			if cqs != nil {
+				cqs.MarkDequeued()
+				cqs.EndCall()
+			}
 			if timer != nil {
 				timer.Stop()
 			}
@@ -457,13 +551,43 @@ func (s *Server) serveClient(c *Client) {
 	}
 }
 
+// qosAdmit applies the resolved class's checks to one decoded call, in
+// authorization-then-throttle order: ACL (auth handshake procedures are
+// exempt, they gate everything else), token-bucket rate limit, inflight
+// quota. On admission the inflight slot is held; every downstream path
+// must release it via EndCall.
+func qosAdmit(qs *qos.ClientState, h rpc.Header, payload []byte) error {
+	if qs.HasACL() && !isAuthProc(h.Procedure) {
+		var obj []byte
+		if qs.NeedObject() {
+			obj, _ = rpc.PeekString(payload)
+		}
+		if name := rpc.ProcName(h.Program, h.Procedure); !qs.Allow(name, obj) {
+			return qs.RejectACL(name)
+		}
+	}
+	if retry, ok := qs.TakeToken(time.Now()); !ok {
+		return qs.RejectRate(retry)
+	}
+	if !qs.TryInflight() {
+		return qs.RejectInflight()
+	}
+	return nil
+}
+
 func (s *Server) replyError(c *Client, h rpc.Header, err error) {
 	out := h
 	out.Type = uint32(rpc.TypeReply)
 	out.Status = uint32(rpc.StatusError)
+	var retryMs uint32
+	if ra := core.RetryAfterOf(err); ra > 0 {
+		// Round up so sub-millisecond hints survive the wire encoding.
+		retryMs = uint32((ra + time.Millisecond - 1) / time.Millisecond)
+	}
 	payload, merr := rpc.AppendMarshal(getReplyBuf(), &rpc.ErrorPayload{
-		Code:    uint32(core.CodeOf(err)),
-		Message: err.Error(),
+		Code:         uint32(core.CodeOf(err)),
+		Message:      err.Error(),
+		RetryAfterMs: retryMs,
 	})
 	if merr != nil {
 		putReplyBuf(payload)

@@ -15,11 +15,24 @@ import (
 // Job is one unit of work for a workerpool.
 type Job func()
 
+// ShedJob is a QoS-managed job. The pool invokes it exactly once: with
+// shed=false to run the call normally, or shed=true when admission
+// control evicted it — either at submit time to make room under the
+// shed watermark, or at dequeue when it out-waited its class's
+// max_queue_wait bound. Both ways it receives the time the call spent
+// queued.
+type ShedJob func(shed bool, wait time.Duration)
+
 // queuedJob is a job with its enqueue time, so dequeuing can report how
-// long the job sat in the queue.
+// long the job sat in the queue. Exactly one of job/sjob is set; a slot
+// with both nil is the tombstone of a watermark-shed entry and is
+// skipped by workers.
 type queuedJob struct {
-	job Job
-	at  time.Time
+	job     Job
+	sjob    ShedJob
+	at      time.Time
+	maxWait time.Duration // shed when queued longer than this; 0 = never
+	prio    int8          // shed priority; lower sheds first
 }
 
 // PoolParams are the tunable attributes of a workerpool. NWorkers,
@@ -51,17 +64,19 @@ type Workerpool struct {
 	prioHead  int
 	waitObs   func(wait time.Duration, priority bool)
 
-	minWorkers  int
-	maxWorkers  int
-	prioTarget  int
-	nWorkers    int // live ordinary workers
-	nPrio       int // live priority workers
-	busy        int // ordinary workers running a job
-	prioBusy    int
-	quitting    bool
-	jobsDone    uint64
-	prioDone    uint64
-	spawnsTotal uint64
+	minWorkers    int
+	maxWorkers    int
+	prioTarget    int
+	shedWatermark int // ordinary-queue depth triggering eviction; 0 = off
+	nWorkers      int // live ordinary workers
+	nPrio         int // live priority workers
+	busy          int // ordinary workers running a job
+	prioBusy      int
+	quitting      bool
+	jobsDone      uint64
+	prioDone      uint64
+	spawnsTotal   uint64
+	shedTotal     uint64
 }
 
 // NewWorkerpool creates and starts a pool. min workers are spawned
@@ -162,17 +177,38 @@ func (p *Workerpool) ordinaryWorker() {
 			p.cond.Wait()
 			continue
 		}
+		if qj.job == nil && qj.sjob == nil {
+			continue // tombstone of a watermark-shed entry
+		}
 		p.busy++
 		obs := p.waitObs
 		p.mu.Unlock()
-		if obs != nil {
-			obs(time.Since(qj.at), priority)
-		}
-		qj.job()
+		shed := runQueued(qj, priority, obs)
 		p.mu.Lock()
 		p.busy--
 		p.jobsDone++
+		if shed {
+			p.shedTotal++
+		}
 	}
+}
+
+// runQueued observes the job's queue wait and runs it. A QoS-managed
+// job that out-waited its class bound runs in shed mode; its wait is
+// observed all the same, so shed calls still appear in the queue-wait
+// histogram rather than vanishing from it.
+func runQueued(qj queuedJob, priority bool, obs func(time.Duration, bool)) bool {
+	wait := time.Since(qj.at)
+	if obs != nil {
+		obs(wait, priority)
+	}
+	if qj.sjob != nil {
+		shed := qj.maxWait > 0 && wait > qj.maxWait
+		qj.sjob(shed, wait)
+		return shed
+	}
+	qj.job()
+	return false
 }
 
 func (p *Workerpool) priorityWorker() {
@@ -188,16 +224,19 @@ func (p *Workerpool) priorityWorker() {
 			continue
 		}
 		qj := p.popPriorityLocked()
+		if qj.job == nil && qj.sjob == nil {
+			continue
+		}
 		p.prioBusy++
 		obs := p.waitObs
 		p.mu.Unlock()
-		if obs != nil {
-			obs(time.Since(qj.at), true)
-		}
-		qj.job()
+		shed := runQueued(qj, true, obs)
 		p.mu.Lock()
 		p.prioBusy--
 		p.prioDone++
+		if shed {
+			p.shedTotal++
+		}
 	}
 }
 
@@ -225,6 +264,92 @@ func (p *Workerpool) Submit(job Job, priority bool) error {
 	}
 	p.cond.Broadcast()
 	return nil
+}
+
+// SubmitQoS enqueues a QoS-managed job carrying its class's shed
+// priority and queue-wait bound. When the ordinary queue sits at or
+// above the shed watermark, the lowest-priority sheddable queued entry
+// below the arriving call's priority is evicted to make room — its
+// ShedJob runs immediately with shed=true and its recorded queue wait
+// (so the wait histogram sees shed calls too). If the arriving call is
+// itself the lowest priority, it is shed instead of growing the queue.
+// Priority submissions bypass the watermark: control-plane classes must
+// stay admittable under exactly the overload that triggers shedding.
+func (p *Workerpool) SubmitQoS(job ShedJob, priority bool, shedPrio int8, maxWait time.Duration) error {
+	if job == nil {
+		return fmt.Errorf("daemon: nil job")
+	}
+	var victim queuedJob
+	p.mu.Lock()
+	if p.quitting {
+		p.mu.Unlock()
+		return fmt.Errorf("daemon: workerpool is shut down")
+	}
+	obs := p.waitObs
+	if !priority && p.shedWatermark > 0 && p.ordLen() >= p.shedWatermark {
+		if i, ok := p.findVictimLocked(shedPrio); ok {
+			victim = p.queue[i]
+			p.queue[i] = queuedJob{} // tombstone; workers skip it
+			p.shedTotal++
+		} else {
+			p.shedTotal++
+			p.mu.Unlock()
+			if obs != nil {
+				obs(0, priority)
+			}
+			job(true, 0)
+			return nil
+		}
+	}
+	qj := queuedJob{sjob: job, at: time.Now(), maxWait: maxWait, prio: shedPrio}
+	if priority {
+		p.prioQueue = append(p.prioQueue, qj)
+	} else {
+		p.queue = append(p.queue, qj)
+	}
+	freeOrdinary := p.nWorkers - p.busy
+	if freeOrdinary <= p.ordLen()+p.prioLen()-1 && p.nWorkers < p.maxWorkers {
+		p.spawnOrdinaryLocked()
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if victim.sjob != nil {
+		wait := time.Since(victim.at)
+		if obs != nil {
+			obs(wait, false)
+		}
+		victim.sjob(true, wait)
+	}
+	return nil
+}
+
+// findVictimLocked picks the ordinary-queue entry to evict: the
+// sheddable (QoS-managed) queued call with the lowest shed priority
+// strictly below the arriving call's. Plain Submit entries and
+// tombstones are never victims.
+func (p *Workerpool) findVictimLocked(below int8) (int, bool) {
+	best, found := 0, false
+	for i := p.qhead; i < len(p.queue); i++ {
+		qj := &p.queue[i]
+		if qj.sjob == nil || qj.prio >= below {
+			continue
+		}
+		if !found || qj.prio < p.queue[best].prio {
+			best, found = i, true
+		}
+	}
+	return best, found
+}
+
+// SetShedWatermark sets the ordinary-queue depth at which SubmitQoS
+// starts evicting lowest-priority queued work; 0 disables eviction.
+func (p *Workerpool) SetShedWatermark(depth int) {
+	if depth < 0 {
+		depth = 0
+	}
+	p.mu.Lock()
+	p.shedWatermark = depth
+	p.mu.Unlock()
 }
 
 // Params returns a snapshot of the pool's attributes.
@@ -278,6 +403,7 @@ type PoolStats struct {
 	OrdinaryDone uint64 // jobs completed by ordinary workers
 	PriorityDone uint64 // jobs completed by priority workers
 	Spawns       uint64 // workers ever spawned
+	Shed         uint64 // QoS jobs shed (watermark eviction or queue-wait bound)
 	QueueLen     int    // ordinary jobs waiting
 	PrioQueueLen int    // priority jobs waiting
 	Busy         int    // ordinary workers running a job
@@ -292,6 +418,7 @@ func (p *Workerpool) Stats() PoolStats {
 		OrdinaryDone: p.jobsDone,
 		PriorityDone: p.prioDone,
 		Spawns:       p.spawnsTotal,
+		Shed:         p.shedTotal,
 		QueueLen:     p.ordLen(),
 		PrioQueueLen: p.prioLen(),
 		Busy:         p.busy,

@@ -33,11 +33,18 @@ const DefaultSocketPath = "/var/run/govirt/govirt-sock"
 // forever — the exact failure mode the chaos suite injects.
 const DefaultCallTimeout = 30 * time.Second
 
+// DefaultOverloadRetryCap bounds how long the driver sleeps to honor a
+// server retry-after hint before surfacing the typed ErrOverloaded to
+// the caller instead. Overridden by the "overload_retry_ms" URI
+// parameter; 0 disables the retry entirely.
+const DefaultOverloadRetryCap = 100 * time.Millisecond
+
 // Conn is the remote driver connection.
 type Conn struct {
-	client *rpc.Client
-	bus    *events.Bus
-	cbID   int32 // server-side callback id, 0 when unregistered
+	client        *rpc.Client
+	bus           *events.Bus
+	cbID          int32         // server-side callback id, 0 when unregistered
+	overloadRetry time.Duration // retry-after honor cap; 0 = never retry
 
 	wmu     sync.Mutex
 	watches map[int32]*watchSub // server subscription id -> open stream
@@ -64,7 +71,7 @@ func Open(u *uri.URI) (*Conn, error) {
 		remoteConnErrors.Inc()
 		return nil, err
 	}
-	c := &Conn{bus: events.NewBus()}
+	c := &Conn{bus: events.NewBus(), overloadRetry: overloadRetryFor(u)}
 	c.client = rpc.NewClientKeepalive(nc, rpc.ProgramRemote, c.handleEvent, keepaliveFor(u))
 	c.client.SetCallTimeout(callTimeoutFor(u))
 	// "write_coalesce=N" batches outgoing frames through an N-byte
@@ -114,6 +121,19 @@ func keepaliveFor(u *uri.URI) rpc.KeepaliveConfig {
 		cfg.Count = n
 	}
 	return cfg
+}
+
+// overloadRetryFor derives the retry-after honor cap from the URI;
+// "overload_retry_ms=0" disables retrying so callers observe every
+// rejection (the fleet manager prefers that: it has its own backoff).
+func overloadRetryFor(u *uri.URI) time.Duration {
+	if v, ok := u.Param("overload_retry_ms"); ok {
+		ms, err := strconv.Atoi(v)
+		if err == nil && ms >= 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	return DefaultOverloadRetryCap
 }
 
 // callTimeoutFor derives the per-call deadline from the URI;
@@ -205,7 +225,23 @@ func (c *Conn) authenticate(u *uri.URI) error {
 // Transport-level failures (the daemon died or became unreachable
 // mid-call) surface as the typed, retryable ErrHostUnreachable so a
 // multi-host scheduler can distinguish host-down from operation-invalid.
+// An ErrOverloaded admission rejection is retried once after the
+// server's retry-after hint when the hint fits under the driver's honor
+// cap: the rejection happened before dispatch, so the operation never
+// ran and repeating it is always safe.
 func (c *Conn) call(proc uint32, args, ret interface{}) error {
+	err := c.callOnce(proc, args, ret)
+	if cap := c.overloadRetry; cap > 0 && core.IsCode(err, core.ErrOverloaded) {
+		if ra := core.RetryAfterOf(err); ra > 0 && ra <= cap {
+			remoteOverloadRetries.Inc()
+			time.Sleep(ra)
+			err = c.callOnce(proc, args, ret)
+		}
+	}
+	return err
+}
+
+func (c *Conn) callOnce(proc uint32, args, ret interface{}) error {
 	start := time.Now()
 	err := c.client.Call(proc, args, ret)
 	callLatency(proc).Observe(time.Since(start))
@@ -216,7 +252,11 @@ func (c *Conn) call(proc uint32, args, ret interface{}) error {
 	remoteCallErrs.Inc()
 	var re *rpc.RemoteError
 	if errors.As(err, &re) {
-		return &core.Error{Code: core.ErrorCode(re.Code), Message: re.Message}
+		cerr := &core.Error{Code: core.ErrorCode(re.Code), Message: re.Message}
+		if re.RetryAfterMs > 0 {
+			cerr.RetryAfter = time.Duration(re.RetryAfterMs) * time.Millisecond
+		}
+		return cerr
 	}
 	var te *rpc.TransportError
 	if errors.As(err, &te) {

@@ -18,6 +18,10 @@ var (
 	remoteConnects   = telemetry.Default.Counter("remote_connects_total")
 	remoteConnErrors = telemetry.Default.Counter("remote_connect_failures_total")
 
+	// Calls retried after an ErrOverloaded rejection whose retry-after
+	// hint fit under the driver's cap.
+	remoteOverloadRetries = telemetry.Default.Counter("remote_overload_retries_total")
+
 	// Per-procedure latency histograms, created on first use.
 	callLatencies sync.Map // proc uint32 → *telemetry.Histogram
 )

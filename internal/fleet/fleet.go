@@ -547,6 +547,13 @@ func (r *Registry) service(h *host) time.Time {
 		if err == nil {
 			return r.now().Add(r.cfg.PollInterval)
 		}
+		if core.IsCode(err, core.ErrOverloaded) {
+			// The daemon is alive but shedding our class: admission
+			// rejected the sweep before dispatch. Tearing down the
+			// connection would only add reconnect load to an overloaded
+			// host — keep it up and poll again after the server's hint.
+			return r.overloadDelay(h, err)
+		}
 		if core.IsRetryable(err) || core.IsCode(err, core.ErrConnectionClosed) {
 			conn.Close() //nolint:errcheck
 			r.setDown(h, err)
@@ -576,11 +583,27 @@ func (r *Registry) service(h *host) time.Time {
 		return r.now().Add(r.jittered(&h.bo))
 	}
 	if err := r.refresh(h, conn); err != nil && core.IsRetryable(err) {
+		if core.IsCode(err, core.ErrOverloaded) {
+			return r.overloadDelay(h, err)
+		}
 		conn.Close() //nolint:errcheck
 		r.setDown(h, err)
 		return r.now().Add(r.jittered(&h.bo))
 	}
 	return r.now().Add(r.cfg.PollInterval)
+}
+
+// overloadDelay schedules the host's next attention after an admission
+// rejection: the later of the server's retry-after hint and the normal
+// poll interval. The host stays up — cached state keeps serving reads.
+func (r *Registry) overloadDelay(h *host, err error) time.Time {
+	fleetOverloadBackoffs.Inc()
+	d := core.RetryAfterOf(err)
+	if d < r.cfg.PollInterval {
+		d = r.cfg.PollInterval
+	}
+	r.log.Warnf("fleet", "host %s: overloaded, backing off %v: %v", h.name, d, err)
+	return r.now().Add(d)
 }
 
 // jittered draws the host's next backoff delay using the registry's
@@ -601,7 +624,13 @@ const readAttempts = 3
 
 func retryRead[T any](f func() (T, error)) (out T, err error) {
 	for i := 0; i < readAttempts; i++ {
-		if out, err = f(); err == nil || !core.IsRetryable(err) {
+		out, err = f()
+		if err == nil || !core.IsRetryable(err) {
+			return out, err
+		}
+		if core.IsCode(err, core.ErrOverloaded) {
+			// Admission rejection: hot-retrying would spend the host's
+			// tokens faster; surface it so the poll loop backs off.
 			return out, err
 		}
 	}
@@ -886,7 +915,8 @@ func (r *Registry) RefreshNow(names ...string) {
 		up := h.state == HostUp
 		h.mu.Unlock()
 		if up && conn != nil {
-			if err := r.refresh(h, conn); err != nil && core.IsRetryable(err) {
+			err := r.refresh(h, conn)
+			if err != nil && core.IsRetryable(err) && !core.IsCode(err, core.ErrOverloaded) {
 				r.markDown(name, err)
 			}
 		}

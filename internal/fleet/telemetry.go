@@ -22,6 +22,11 @@ var (
 	fleetBulkPolls           = telemetry.Default.Counter("fleet_inventory_bulk_polls_total")
 	fleetBulkFallbacks       = telemetry.Default.Counter("fleet_inventory_bulk_fallbacks_total")
 
+	// Polls deferred because the host's daemon answered ErrOverloaded:
+	// the host stays up and the registry backs off by the server's
+	// retry-after hint instead of tearing the connection down.
+	fleetOverloadBackoffs = telemetry.Default.Counter("fleet_overload_backoffs_total")
+
 	// Watch-driven reconciliation (watch.go).
 	fleetWatchEvents  = telemetry.Default.Counter("fleet_watch_events_total")
 	fleetWatchGaps    = telemetry.Default.Counter("fleet_watch_gaps_total")

@@ -121,6 +121,16 @@ func (r *Registry) serviceWatch(h *host, conn *core.Connect) time.Time {
 	if err == nil {
 		return r.now().Add(r.cfg.PollInterval)
 	}
+	if core.IsCode(err, core.ErrOverloaded) {
+		// Admission rejected the reconcile before dispatch: nothing was
+		// applied, so owe the host a sweep (the drained pending set must
+		// not be lost) and back off by the server's hint — without
+		// touching the connection or the watch stream.
+		h.mu.Lock()
+		h.needResync = true
+		h.mu.Unlock()
+		return r.overloadDelay(h, err)
+	}
 	if core.IsRetryable(err) || core.IsCode(err, core.ErrConnectionClosed) {
 		conn.Close() //nolint:errcheck
 		r.setDown(h, err)

@@ -1,0 +1,253 @@
+// Package qos implements per-client admission control and quality of
+// service for the daemon: client classes resolved from authenticated
+// identity, token-bucket rate limits with retry-after hints, ACLs on
+// procedure and object, per-client inflight quotas, and the shed policy
+// applied when the dispatch queue crosses its watermark. The daemon
+// enforces all of it between frame decode and workerpool submit, so a
+// rejected call costs one error reply and never occupies a worker.
+package qos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ClassConfig describes one admission class. Classes are defined in
+// govirtd.conf (qos_classes) as compact spec strings and resolved from
+// the connection's SASL identity; anonymous or unmatched clients share
+// the reserved "default" class.
+type ClassConfig struct {
+	Name string
+
+	// Rate is the token-bucket refill in calls per second; every
+	// configured class must set it > 0 (the implicit default class is
+	// the only unlimited one). Burst is the bucket depth, defaulting to
+	// max(1, Rate).
+	Rate  float64
+	Burst float64
+
+	// MaxInflight caps this client's admitted-but-unfinished calls
+	// (queued or running); 0 = unlimited.
+	MaxInflight int
+
+	// MaxQueueWait sheds a queued call that waited longer than this
+	// before running, answering ErrOverloaded instead of a stale
+	// dispatch; 0 = never.
+	MaxQueueWait time.Duration
+
+	// Priority orders classes for watermark shedding (0..9, lowest
+	// sheds first). Default 5.
+	Priority int
+
+	// Control marks a control-plane class whose calls run on the
+	// workerpool's priority workers regardless of procedure, so the
+	// class stays responsive while ordinary workers are saturated.
+	Control bool
+
+	// Users lists the SASL usernames resolving to this class.
+	Users []string
+
+	// ACL is the procedure/object allowlist; empty allows everything.
+	ACL []Rule
+}
+
+// Rule is one ACL allowlist entry: a procedure-name pattern and an
+// optional object (name/UUID) pattern, both supporting a trailing '*'
+// wildcard. A rule with an object pattern only matches calls that
+// carry an object.
+type Rule struct {
+	Proc   string
+	Object string // "" = any object (including none)
+}
+
+// match reports whether pat matches s; a trailing '*' matches any
+// suffix, a bare "*" matches anything.
+func match(pat, s string) bool {
+	if pat == "*" {
+		return true
+	}
+	if n := len(pat); n > 0 && pat[n-1] == '*' {
+		return len(s) >= n-1 && s[:n-1] == pat[:n-1]
+	}
+	return pat == s
+}
+
+// matchBytes is match against an unconverted byte view (the object
+// peeked from the encoded payload), so the ACL check allocates nothing.
+func matchBytes(pat string, s []byte) bool {
+	if pat == "*" {
+		return true
+	}
+	if n := len(pat); n > 0 && pat[n-1] == '*' {
+		return len(s) >= n-1 && string(s[:n-1]) == pat[:n-1]
+	}
+	return len(s) == len(pat) && string(s) == pat
+}
+
+// DefaultClassName is the reserved class shared by anonymous clients
+// and authenticated users no class claims. When qos_classes doesn't
+// define it, an implicit unlimited default is synthesized so enabling
+// QoS for one tenant never locks everyone else out.
+const DefaultClassName = "default"
+
+// ParseClass parses one class spec: the class name followed by
+// space-separated key=value tokens, e.g.
+//
+//	bronze rate_limit_calls_per_s=50 burst=10 max_inflight_calls=4 priority=2 users=eve|mallory acl=Domain*|ConnectGetHostname@vm-*
+//
+// Keys: rate_limit_calls_per_s (required, > 0), burst,
+// max_inflight_calls, max_queue_wait_ms, priority (0..9), control
+// (0/1), users (|-separated SASL names), acl (|-separated
+// ProcPattern[@ObjectPattern] allow rules).
+func ParseClass(spec string) (ClassConfig, error) {
+	fields := strings.Fields(spec)
+	if len(fields) == 0 {
+		return ClassConfig{}, fmt.Errorf("qos: empty class spec")
+	}
+	cfg := ClassConfig{Name: fields[0], Priority: 5}
+	if strings.ContainsRune(cfg.Name, '=') {
+		return cfg, fmt.Errorf("qos: class spec must start with the class name, got %q", cfg.Name)
+	}
+	for _, tok := range fields[1:] {
+		key, value, found := strings.Cut(tok, "=")
+		if !found {
+			return cfg, fmt.Errorf("qos: class %q: expected key=value, got %q", cfg.Name, tok)
+		}
+		var err error
+		switch key {
+		case "rate_limit_calls_per_s":
+			cfg.Rate, err = strconv.ParseFloat(value, 64)
+		case "burst":
+			cfg.Burst, err = strconv.ParseFloat(value, 64)
+		case "max_inflight_calls":
+			cfg.MaxInflight, err = strconv.Atoi(value)
+		case "max_queue_wait_ms":
+			var ms int
+			ms, err = strconv.Atoi(value)
+			cfg.MaxQueueWait = time.Duration(ms) * time.Millisecond
+		case "priority":
+			cfg.Priority, err = strconv.Atoi(value)
+		case "control":
+			switch value {
+			case "0":
+				cfg.Control = false
+			case "1":
+				cfg.Control = true
+			default:
+				err = fmt.Errorf("expected 0 or 1, got %q", value)
+			}
+		case "users":
+			cfg.Users = splitPipe(value)
+		case "acl":
+			for _, e := range splitPipe(value) {
+				proc, obj, _ := strings.Cut(e, "@")
+				if proc == "" {
+					return cfg, fmt.Errorf("qos: class %q: acl entry %q has no procedure pattern", cfg.Name, e)
+				}
+				cfg.ACL = append(cfg.ACL, Rule{Proc: proc, Object: obj})
+			}
+		default:
+			return cfg, fmt.Errorf("qos: class %q: unknown key %q", cfg.Name, key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("qos: class %q: %s: %v", cfg.Name, key, err)
+		}
+	}
+	if cfg.Rate <= 0 {
+		return cfg, fmt.Errorf("qos: class %q: rate_limit_calls_per_s must be > 0", cfg.Name)
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.Rate
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.MaxInflight < 0 {
+		return cfg, fmt.Errorf("qos: class %q: max_inflight_calls must be non-negative", cfg.Name)
+	}
+	if cfg.MaxQueueWait < 0 {
+		return cfg, fmt.Errorf("qos: class %q: max_queue_wait_ms must be non-negative", cfg.Name)
+	}
+	if cfg.Priority < 0 || cfg.Priority > 9 {
+		return cfg, fmt.Errorf("qos: class %q: priority %d outside [0,9]", cfg.Name, cfg.Priority)
+	}
+	return cfg, nil
+}
+
+// ParseClasses parses a qos_classes list, rejecting duplicate class
+// names and users claimed by more than one class.
+func ParseClasses(specs []string) ([]ClassConfig, error) {
+	out := make([]ClassConfig, 0, len(specs))
+	seen := make(map[string]bool, len(specs))
+	owner := make(map[string]string)
+	for _, spec := range specs {
+		cfg, err := ParseClass(spec)
+		if err != nil {
+			return nil, err
+		}
+		if seen[cfg.Name] {
+			return nil, fmt.Errorf("qos: duplicate class %q", cfg.Name)
+		}
+		seen[cfg.Name] = true
+		for _, u := range cfg.Users {
+			if prev, claimed := owner[u]; claimed {
+				return nil, fmt.Errorf("qos: user %q claimed by classes %q and %q", u, prev, cfg.Name)
+			}
+			owner[u] = cfg.Name
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+// Spec renders the class back into its canonical spec-string form, so
+// the admin interface round-trips exactly what config parsing accepts.
+func (c ClassConfig) Spec() string {
+	var b strings.Builder
+	b.WriteString(c.Name)
+	fmt.Fprintf(&b, " rate_limit_calls_per_s=%s", trimFloat(c.Rate))
+	fmt.Fprintf(&b, " burst=%s", trimFloat(c.Burst))
+	if c.MaxInflight > 0 {
+		fmt.Fprintf(&b, " max_inflight_calls=%d", c.MaxInflight)
+	}
+	if c.MaxQueueWait > 0 {
+		fmt.Fprintf(&b, " max_queue_wait_ms=%d", c.MaxQueueWait/time.Millisecond)
+	}
+	fmt.Fprintf(&b, " priority=%d", c.Priority)
+	if c.Control {
+		b.WriteString(" control=1")
+	}
+	if len(c.Users) > 0 {
+		users := append([]string(nil), c.Users...)
+		sort.Strings(users)
+		b.WriteString(" users=" + strings.Join(users, "|"))
+	}
+	if len(c.ACL) > 0 {
+		entries := make([]string, len(c.ACL))
+		for i, r := range c.ACL {
+			entries[i] = r.Proc
+			if r.Object != "" {
+				entries[i] += "@" + r.Object
+			}
+		}
+		b.WriteString(" acl=" + strings.Join(entries, "|"))
+	}
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}
+
+func splitPipe(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, "|") {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

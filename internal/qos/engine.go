@@ -1,0 +1,314 @@
+package qos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Reject reasons, the reason label of daemon_qos_rejected_total.
+type Reason int
+
+// Rejection reasons in counter order.
+const (
+	ReasonRate Reason = iota
+	ReasonACL
+	ReasonInflight
+	ReasonShed
+	nReasons
+)
+
+var reasonNames = [nReasons]string{"rate", "acl", "inflight", "shed"}
+
+func (r Reason) String() string { return reasonNames[r] }
+
+// Retry-after hints for rejections whose wait isn't computable from a
+// token bucket: an inflight-quota rejection clears as soon as one of
+// the client's own calls finishes, a shed clears when the queue
+// drains below the watermark.
+const (
+	InflightRetryHint = 5 * time.Millisecond
+	ShedRetryHint     = 20 * time.Millisecond
+)
+
+// Config configures an Engine.
+type Config struct {
+	Classes []ClassConfig
+
+	// ShedWatermark is the ordinary-queue depth above which the
+	// lowest-priority queued call is shed to admit a higher-priority
+	// one (0 disables watermark eviction; per-class max_queue_wait_ms
+	// still applies).
+	ShedWatermark int
+}
+
+// classState is one class's runtime state shared by every client the
+// class resolves: aggregate gauges, rejection counters, and the
+// precomputed rejection messages so the reject path does no
+// per-event formatting.
+type classState struct {
+	cfg        ClassConfig
+	interval   float64 // nanos per token; 0 = unlimited
+	burst      float64
+	needObject bool // some ACL rule constrains the object
+
+	inflight atomic.Int64 // admitted calls not yet finished (queued or running)
+	queued   atomic.Int64 // admitted calls still waiting in the pool queue
+	rejects  [nReasons]atomic.Uint64
+
+	msgRate     string
+	msgInflight string
+	msgShed     string
+}
+
+// ClientState is the per-connection admission state: the resolved
+// class plus this client's own token bucket and inflight count. The
+// bucket is touched only by the connection's serve goroutine; the
+// inflight counter is shared with workerpool goroutines, hence atomic.
+type ClientState struct {
+	cls *classState
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	inflight atomic.Int64
+}
+
+// Engine resolves client identities to classes and owns the class
+// runtime state. Engines are immutable after construction — a config
+// change installs a whole new engine (clients re-resolve on their next
+// call), so no admission-path lock is ever taken engine-wide.
+type Engine struct {
+	classes   []*classState
+	byUser    map[string]*classState
+	def       *classState
+	watermark int
+}
+
+// NewEngine builds an engine from parsed class configs. When no class
+// is named "default" an implicit unlimited default is synthesized for
+// anonymous and unmatched clients.
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{
+		byUser:    make(map[string]*classState),
+		watermark: cfg.ShedWatermark,
+	}
+	for _, cc := range cfg.Classes {
+		cs := newClassState(cc)
+		e.classes = append(e.classes, cs)
+		for _, u := range cc.Users {
+			e.byUser[u] = cs
+		}
+		if cc.Name == DefaultClassName {
+			e.def = cs
+		}
+	}
+	if e.def == nil {
+		e.def = newClassState(ClassConfig{Name: DefaultClassName, Priority: 5})
+		e.classes = append(e.classes, e.def)
+	}
+	return e
+}
+
+func newClassState(cc ClassConfig) *classState {
+	cs := &classState{cfg: cc}
+	if cc.Rate > 0 {
+		cs.interval = float64(time.Second) / cc.Rate
+		cs.burst = cc.Burst
+		if cs.burst <= 0 {
+			cs.burst = 1
+		}
+	}
+	for _, r := range cc.ACL {
+		if r.Object != "" {
+			cs.needObject = true
+		}
+	}
+	cs.msgRate = fmt.Sprintf("client class %q over its rate limit", cc.Name)
+	cs.msgInflight = fmt.Sprintf("client class %q at max inflight calls (%d)", cc.Name, cc.MaxInflight)
+	cs.msgShed = fmt.Sprintf("queued call shed under overload (class %q)", cc.Name)
+	return cs
+}
+
+// ShedWatermark returns the configured queue-depth watermark.
+func (e *Engine) ShedWatermark() int { return e.watermark }
+
+// Resolve maps an authenticated SASL identity (empty for anonymous
+// clients) to its class and returns fresh per-client state. The daemon
+// caches the result per connection; a full bucket greets every new
+// client.
+func (e *Engine) Resolve(saslUser string) *ClientState {
+	cls := e.def
+	if saslUser != "" {
+		if c, ok := e.byUser[saslUser]; ok {
+			cls = c
+		}
+	}
+	return &ClientState{cls: cls}
+}
+
+// ClassSnapshot is one class's point-in-time admission accounting.
+type ClassSnapshot struct {
+	Config   ClassConfig
+	Inflight int64
+	Queued   int64
+	Rejected [4]uint64 // indexed by Reason
+}
+
+// Snapshot reports every class's live state, in config order.
+func (e *Engine) Snapshot() []ClassSnapshot {
+	out := make([]ClassSnapshot, len(e.classes))
+	for i, cs := range e.classes {
+		snap := ClassSnapshot{
+			Config:   cs.cfg,
+			Inflight: cs.inflight.Load(),
+			Queued:   cs.queued.Load(),
+		}
+		for r := Reason(0); r < nReasons; r++ {
+			snap.Rejected[r] = cs.rejects[r].Load()
+		}
+		out[i] = snap
+	}
+	return out
+}
+
+// Instrument registers the engine's per-class gauges and rejection
+// counters: daemon_qos_inflight{class=...}, daemon_qos_queued{class=...}
+// and daemon_qos_rejected_total{client=...,reason=...}. Function
+// metrics read the class atomics directly, and re-registering the same
+// class names (a live config update) replaces the samplers, so stale
+// engines stop being read.
+func (e *Engine) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, cs := range e.classes {
+		cs := cs
+		reg.GaugeFunc(fmt.Sprintf("daemon_qos_inflight{class=%q}", cs.cfg.Name), cs.inflight.Load)
+		reg.GaugeFunc(fmt.Sprintf("daemon_qos_queued{class=%q}", cs.cfg.Name), cs.queued.Load)
+		for r := Reason(0); r < nReasons; r++ {
+			ctr := &cs.rejects[r]
+			reg.CounterFunc(
+				fmt.Sprintf("daemon_qos_rejected_total{client=%q,reason=%q}", cs.cfg.Name, r),
+				ctr.Load)
+		}
+	}
+}
+
+// ClassName returns the resolved class name.
+func (st *ClientState) ClassName() string { return st.cls.cfg.Name }
+
+// Control reports whether the class runs on priority workers.
+func (st *ClientState) Control() bool { return st.cls.cfg.Control }
+
+// ShedPriority returns the class priority for watermark eviction.
+func (st *ClientState) ShedPriority() int8 { return int8(st.cls.cfg.Priority) }
+
+// MaxQueueWait returns the class's queue-wait shed bound (0 = none).
+func (st *ClientState) MaxQueueWait() time.Duration { return st.cls.cfg.MaxQueueWait }
+
+// HasACL reports whether the class constrains procedures at all.
+func (st *ClientState) HasACL() bool { return len(st.cls.cfg.ACL) > 0 }
+
+// NeedObject reports whether some ACL rule needs the call's object.
+func (st *ClientState) NeedObject() bool { return st.cls.needObject }
+
+// Allow evaluates the class ACL against a procedure name and the
+// call's object bytes (nil when the call carries none). Allocation
+// free: patterns compare against the raw payload view.
+func (st *ClientState) Allow(procName string, object []byte) bool {
+	for _, r := range st.cls.cfg.ACL {
+		if !match(r.Proc, procName) {
+			continue
+		}
+		if r.Object == "" || matchBytes(r.Object, object) {
+			return true
+		}
+	}
+	return false
+}
+
+// TakeToken draws one token from the client's bucket. When the bucket
+// is empty it reports false plus how long until the next token — the
+// retry-after hint transported to the client.
+func (st *ClientState) TakeToken(now time.Time) (time.Duration, bool) {
+	c := st.cls
+	if c.interval == 0 {
+		return 0, true
+	}
+	st.mu.Lock()
+	if st.last.IsZero() {
+		st.tokens = c.burst
+	} else {
+		st.tokens += float64(now.Sub(st.last)) / c.interval
+		if st.tokens > c.burst {
+			st.tokens = c.burst
+		}
+	}
+	st.last = now
+	if st.tokens >= 1 {
+		st.tokens--
+		st.mu.Unlock()
+		return 0, true
+	}
+	wait := time.Duration((1 - st.tokens) * c.interval)
+	st.mu.Unlock()
+	return wait, false
+}
+
+// TryInflight admits one call against the client's inflight quota,
+// reporting false at the cap. Paired with EndCall.
+func (st *ClientState) TryInflight() bool {
+	max := int64(st.cls.cfg.MaxInflight)
+	if n := st.inflight.Add(1); max > 0 && n > max {
+		st.inflight.Add(-1)
+		return false
+	}
+	st.cls.inflight.Add(1)
+	return true
+}
+
+// EndCall releases the inflight slot taken by TryInflight. It runs as
+// soon as dispatch returns (or the call is shed), so the quota
+// measures worker occupancy, not reply flushing.
+func (st *ClientState) EndCall() {
+	st.inflight.Add(-1)
+	st.cls.inflight.Add(-1)
+}
+
+// MarkQueued/MarkDequeued maintain the class queued gauge around the
+// workerpool queue.
+func (st *ClientState) MarkQueued()   { st.cls.queued.Add(1) }
+func (st *ClientState) MarkDequeued() { st.cls.queued.Add(-1) }
+
+// RejectRate counts and builds the rate-limit rejection with its
+// computed retry-after hint.
+func (st *ClientState) RejectRate(retryAfter time.Duration) error {
+	st.cls.rejects[ReasonRate].Add(1)
+	return &core.Error{Code: core.ErrOverloaded, Message: st.cls.msgRate, RetryAfter: retryAfter}
+}
+
+// RejectInflight counts and builds the inflight-quota rejection.
+func (st *ClientState) RejectInflight() error {
+	st.cls.rejects[ReasonInflight].Add(1)
+	return &core.Error{Code: core.ErrOverloaded, Message: st.cls.msgInflight, RetryAfter: InflightRetryHint}
+}
+
+// RejectACL counts and builds the access-denied rejection.
+func (st *ClientState) RejectACL(procName string) error {
+	st.cls.rejects[ReasonACL].Add(1)
+	return core.Errorf(core.ErrAccessDenied,
+		"procedure %s denied for client class %q", procName, st.cls.cfg.Name)
+}
+
+// RejectShed counts and builds the shed rejection for a queued call
+// evicted under overload.
+func (st *ClientState) RejectShed() error {
+	st.cls.rejects[ReasonShed].Add(1)
+	return &core.Error{Code: core.ErrOverloaded, Message: st.cls.msgShed, RetryAfter: ShedRetryHint}
+}

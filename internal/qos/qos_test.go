@@ -1,0 +1,230 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQoSParseClass(t *testing.T) {
+	spec := "gold rate_limit_calls_per_s=500 burst=100 max_inflight_calls=32 " +
+		"max_queue_wait_ms=200 priority=8 control=1 users=alice|bob " +
+		"acl=Domain*|ConnectGetHostname@vm-*"
+	cfg, err := ParseClass(spec)
+	if err != nil {
+		t.Fatalf("ParseClass: %v", err)
+	}
+	if cfg.Name != "gold" || cfg.Rate != 500 || cfg.Burst != 100 {
+		t.Fatalf("rate fields wrong: %+v", cfg)
+	}
+	if cfg.MaxInflight != 32 || cfg.MaxQueueWait != 200*time.Millisecond {
+		t.Fatalf("quota fields wrong: %+v", cfg)
+	}
+	if cfg.Priority != 8 || !cfg.Control {
+		t.Fatalf("priority fields wrong: %+v", cfg)
+	}
+	if len(cfg.Users) != 2 || cfg.Users[0] != "alice" || cfg.Users[1] != "bob" {
+		t.Fatalf("users wrong: %v", cfg.Users)
+	}
+	if len(cfg.ACL) != 2 || cfg.ACL[0] != (Rule{Proc: "Domain*"}) ||
+		cfg.ACL[1] != (Rule{Proc: "ConnectGetHostname", Object: "vm-*"}) {
+		t.Fatalf("acl wrong: %v", cfg.ACL)
+	}
+
+	// The canonical rendering must round-trip through the parser.
+	back, err := ParseClass(cfg.Spec())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", cfg.Spec(), err)
+	}
+	if back.Spec() != cfg.Spec() {
+		t.Fatalf("spec not canonical: %q vs %q", back.Spec(), cfg.Spec())
+	}
+}
+
+func TestQoSParseClassErrors(t *testing.T) {
+	cases := []struct {
+		spec, want string
+	}{
+		{"", "empty class spec"},
+		{"rate_limit_calls_per_s=5", "must start with the class name"},
+		{"gold", "rate_limit_calls_per_s must be > 0"},
+		{"gold rate_limit_calls_per_s=0", "rate_limit_calls_per_s must be > 0"},
+		{"gold rate_limit_calls_per_s=-3", "rate_limit_calls_per_s must be > 0"},
+		{"gold rate_limit_calls_per_s=5 bogus=1", `unknown key "bogus"`},
+		{"gold rate_limit_calls_per_s=5 priority=10", "outside [0,9]"},
+		{"gold rate_limit_calls_per_s=5 control=2", "expected 0 or 1"},
+		{"gold rate_limit_calls_per_s=5 max_inflight_calls=-1", "non-negative"},
+		{"gold rate_limit_calls_per_s=5 acl=@vm-1", "no procedure pattern"},
+	}
+	for _, tc := range cases {
+		_, err := ParseClass(tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseClass(%q) = %v, want error containing %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+func TestQoSParseClassesDuplicates(t *testing.T) {
+	_, err := ParseClasses([]string{
+		"gold rate_limit_calls_per_s=5",
+		"gold rate_limit_calls_per_s=9",
+	})
+	if err == nil || !strings.Contains(err.Error(), `duplicate class "gold"`) {
+		t.Fatalf("duplicate class not rejected: %v", err)
+	}
+	_, err = ParseClasses([]string{
+		"gold rate_limit_calls_per_s=5 users=alice",
+		"bronze rate_limit_calls_per_s=5 users=alice",
+	})
+	if err == nil || !strings.Contains(err.Error(), `user "alice" claimed by classes`) {
+		t.Fatalf("duplicate user not rejected: %v", err)
+	}
+}
+
+func TestQoSResolve(t *testing.T) {
+	classes, err := ParseClasses([]string{
+		"gold rate_limit_calls_per_s=100 users=alice",
+		"bronze rate_limit_calls_per_s=5 users=eve",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(Config{Classes: classes})
+	if got := e.Resolve("alice").ClassName(); got != "gold" {
+		t.Fatalf("alice resolved to %q", got)
+	}
+	if got := e.Resolve("eve").ClassName(); got != "bronze" {
+		t.Fatalf("eve resolved to %q", got)
+	}
+	// Anonymous and unclaimed users share the implicit unlimited default.
+	for _, user := range []string{"", "mallory"} {
+		st := e.Resolve(user)
+		if st.ClassName() != DefaultClassName {
+			t.Fatalf("user %q resolved to %q", user, st.ClassName())
+		}
+		if _, ok := st.TakeToken(time.Now()); !ok {
+			t.Fatalf("implicit default class must be unlimited")
+		}
+	}
+	// A configured "default" class replaces the implicit one.
+	classes2, _ := ParseClasses([]string{"default rate_limit_calls_per_s=1 burst=1"})
+	e2 := NewEngine(Config{Classes: classes2})
+	st := e2.Resolve("")
+	now := time.Now()
+	if _, ok := st.TakeToken(now); !ok {
+		t.Fatal("first token must be granted")
+	}
+	if _, ok := st.TakeToken(now); ok {
+		t.Fatal("configured default class must throttle")
+	}
+}
+
+func TestQoSTokenBucket(t *testing.T) {
+	classes, _ := ParseClasses([]string{"c rate_limit_calls_per_s=10 burst=3 users=u"})
+	st := NewEngine(Config{Classes: classes}).Resolve("u")
+
+	base := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, ok := st.TakeToken(base); !ok {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	retry, ok := st.TakeToken(base)
+	if ok {
+		t.Fatal("4th token granted beyond burst")
+	}
+	// At 10 calls/s a token refills every 100ms; the hint must say so.
+	if retry <= 0 || retry > 150*time.Millisecond {
+		t.Fatalf("retry-after hint %v outside (0, 150ms]", retry)
+	}
+	// After the hinted wait the bucket has refilled exactly one token.
+	later := base.Add(retry)
+	if _, ok := st.TakeToken(later); !ok {
+		t.Fatal("token denied after waiting the hinted interval")
+	}
+	if _, ok := st.TakeToken(later); ok {
+		t.Fatal("second token granted without waiting")
+	}
+}
+
+func TestQoSInflight(t *testing.T) {
+	classes, _ := ParseClasses([]string{"c rate_limit_calls_per_s=1000 max_inflight_calls=2 users=u"})
+	e := NewEngine(Config{Classes: classes})
+	st := e.Resolve("u")
+	if !st.TryInflight() || !st.TryInflight() {
+		t.Fatal("quota denied below the cap")
+	}
+	if st.TryInflight() {
+		t.Fatal("quota granted beyond the cap")
+	}
+	st.EndCall()
+	if !st.TryInflight() {
+		t.Fatal("quota denied after a slot freed")
+	}
+	st.EndCall()
+	st.EndCall()
+	// The per-class aggregate tracked every admit/release.
+	for _, s := range e.Snapshot() {
+		if s.Config.Name == "c" && s.Inflight != 0 {
+			t.Fatalf("class inflight gauge leaked: %d", s.Inflight)
+		}
+	}
+}
+
+func TestQoSACL(t *testing.T) {
+	classes, _ := ParseClasses([]string{
+		"c rate_limit_calls_per_s=1000 users=u acl=Domain*|ConnectGetHostname@vm-*",
+	})
+	st := NewEngine(Config{Classes: classes}).Resolve("u")
+	if !st.HasACL() || !st.NeedObject() {
+		t.Fatal("ACL flags wrong")
+	}
+	cases := []struct {
+		proc string
+		obj  string
+		want bool
+	}{
+		{"DomainCreate", "", true},           // prefix rule, object-free
+		{"DomainCreate", "anything", true},   // object irrelevant to rule 1
+		{"ConnectGetHostname", "vm-1", true}, // object rule matches
+		{"ConnectGetHostname", "db-1", false},
+		{"ConnectGetHostname", "", false}, // object rule needs an object
+		{"NetworkList", "", false},
+	}
+	for _, tc := range cases {
+		var obj []byte
+		if tc.obj != "" {
+			obj = []byte(tc.obj)
+		}
+		if got := st.Allow(tc.proc, obj); got != tc.want {
+			t.Errorf("Allow(%q, %q) = %v, want %v", tc.proc, tc.obj, got, tc.want)
+		}
+	}
+	// A class without rules allows everything and skips the object peek.
+	free := NewEngine(Config{}).Resolve("")
+	if free.HasACL() || free.NeedObject() {
+		t.Fatal("default class must not constrain procedures")
+	}
+}
+
+func TestQoSRejectAccounting(t *testing.T) {
+	classes, _ := ParseClasses([]string{"c rate_limit_calls_per_s=5 users=u"})
+	e := NewEngine(Config{Classes: classes})
+	st := e.Resolve("u")
+	if err := st.RejectRate(42 * time.Millisecond); err == nil {
+		t.Fatal("RejectRate returned nil")
+	}
+	st.RejectACL("DomainCreate") //nolint:errcheck
+	st.RejectInflight()          //nolint:errcheck
+	st.RejectShed()              //nolint:errcheck
+	st.RejectShed()              //nolint:errcheck
+	for _, s := range e.Snapshot() {
+		if s.Config.Name != "c" {
+			continue
+		}
+		want := [4]uint64{ReasonRate: 1, ReasonACL: 1, ReasonInflight: 1, ReasonShed: 2}
+		if s.Rejected != want {
+			t.Fatalf("reject counters = %v, want %v", s.Rejected, want)
+		}
+	}
+}

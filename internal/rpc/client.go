@@ -400,7 +400,7 @@ func (c *Client) CallContext(ctx context.Context, procedure uint32, args interfa
 		if err != nil {
 			return fmt.Errorf("rpc: proc %d failed with undecodable error: %v", procedure, err)
 		}
-		return &RemoteError{Code: ep.Code, Message: ep.Message}
+		return &RemoteError{Code: ep.Code, Message: ep.Message, RetryAfterMs: ep.RetryAfterMs}
 	}
 	var uerr error
 	if ret != nil {
@@ -414,9 +414,12 @@ func (c *Client) CallContext(ctx context.Context, procedure uint32, args interfa
 }
 
 // RemoteError is a server-reported failure with its transported code.
+// RetryAfterMs carries the server's backoff hint on overload
+// rejections (0 = none).
 type RemoteError struct {
-	Code    uint32
-	Message string
+	Code         uint32
+	Message      string
+	RetryAfterMs uint32
 }
 
 func (e *RemoteError) Error() string {

@@ -64,10 +64,31 @@ const MaxMessageLen = 16 * 1024 * 1024
 // rather than pinning megabytes per idle connection.
 const maxPooledFrame = 64 * 1024
 
-// ErrorPayload carries a failure across the wire.
+// ErrorPayload carries a failure across the wire. RetryAfterMs is the
+// server's backoff hint on overload rejections (0 = none); it travels
+// with every error frame so admission control can pace clients without
+// a side channel.
 type ErrorPayload struct {
-	Code    uint32
-	Message string
+	Code         uint32
+	Message      string
+	RetryAfterMs uint32
+}
+
+// PeekString returns the first XDR string or opaque field of an
+// encoded payload without decoding or copying — a view into the
+// payload bytes. Admission ACL checks use it to read the object name
+// or UUID leading nearly every management call before committing to a
+// full decode. Reports false when the payload doesn't start with a
+// well-formed length-prefixed field.
+func PeekString(payload []byte) ([]byte, bool) {
+	if len(payload) < 4 {
+		return nil, false
+	}
+	n := binary.BigEndian.Uint32(payload)
+	if uint64(n) > uint64(len(payload)-4) {
+		return nil, false
+	}
+	return payload[4 : 4+n], true
 }
 
 // Frame is one received message backed by a pooled buffer. Payload

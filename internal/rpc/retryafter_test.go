@@ -1,0 +1,61 @@
+package rpc
+
+import (
+	"testing"
+)
+
+// TestQoSRetryAfterRoundTrip pins that the retry-after hint survives
+// the error-frame wire encoding: what the daemon marshals into an
+// ErrorPayload comes back out of the client-side decode bit-exact.
+func TestQoSRetryAfterRoundTrip(t *testing.T) {
+	for _, ms := range []uint32{0, 1, 75, 100000} {
+		in := ErrorPayload{Code: 18, Message: "overloaded: class \"bronze\" over its rate limit", RetryAfterMs: ms}
+		buf, err := Marshal(&in)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var out ErrorPayload
+		if err := Unmarshal(buf, &out); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if out != in {
+			t.Fatalf("round trip lost data: %+v vs %+v", out, in)
+		}
+		re := &RemoteError{Code: out.Code, Message: out.Message, RetryAfterMs: out.RetryAfterMs}
+		if re.RetryAfterMs != ms {
+			t.Fatalf("RemoteError dropped the hint: %d vs %d", re.RetryAfterMs, ms)
+		}
+	}
+}
+
+// TestQoSPeekString covers the alloc-free payload peek the ACL check
+// uses to read a call's leading object string.
+func TestQoSPeekString(t *testing.T) {
+	type nameArgs struct{ Name string }
+	buf, err := Marshal(&nameArgs{Name: "vm-17"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := PeekString(buf)
+	if !ok || string(got) != "vm-17" {
+		t.Fatalf("PeekString = %q, %v", got, ok)
+	}
+
+	// Structs that do not lead with a string yield garbage-or-nothing,
+	// never a panic: a length prefix larger than the payload reports
+	// false.
+	if _, ok := PeekString(nil); ok {
+		t.Fatal("PeekString(nil) reported ok")
+	}
+	if _, ok := PeekString([]byte{0, 0}); ok {
+		t.Fatal("PeekString(short) reported ok")
+	}
+	if _, ok := PeekString([]byte{0xff, 0xff, 0xff, 0xff}); ok {
+		t.Fatal("PeekString(oversized length) reported ok")
+	}
+	// Empty leading string: valid, empty view.
+	buf, _ = Marshal(&nameArgs{})
+	if got, ok := PeekString(buf); !ok || len(got) != 0 {
+		t.Fatalf("PeekString(empty string) = %q, %v", got, ok)
+	}
+}

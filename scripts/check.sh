@@ -30,6 +30,9 @@ go run ./examples/fleet -hosts 2 -domains 4 -drain=false >/dev/null
 echo "== chaos gate: go test -race -run 'TestChaos' ./..."
 go test -race -run 'TestChaos' ./...
 
+echo "== qos gate: admission control, ACLs, noisy-tenant isolation"
+go test -race -run 'TestQoS|TestChaosNoisyTenant' ./...
+
 echo "== exposition lint: Prometheus format + scrape allocation gates"
 go test -race -run 'TestExposition|TestScrapeAllocs|TestDomainCollector' ./internal/telemetry
 
@@ -44,5 +47,8 @@ go test . -run 'XXX' -bench 'BenchmarkT8_MegaFleet/hosts-100/' -benchtime=1x >/d
 
 echo "== T10 smoke: watch propagation, both modes (-benchtime=1x)"
 go test . -run 'XXX' -bench 'BenchmarkT10_WatchPropagation' -benchtime=1x >/dev/null
+
+echo "== T11 smoke: QoS fast-path overhead + noisy neighbor (-benchtime=1x)"
+go test . -run 'XXX' -bench 'BenchmarkT11_' -benchtime=1x >/dev/null
 
 echo "== OK"
