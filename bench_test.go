@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -563,9 +564,9 @@ func BenchmarkF3_Migration(b *testing.B) {
 			b.Run(name, func(b *testing.B) {
 				var last migrate.Result
 				for i := 0; i < b.N; i++ {
-					res, err := migrate.Estimate(memGiB*1024*1024, dirty, core.MigrateOptions{
-						BandwidthMBps: 1000, MaxDowntimeMs: 300, MaxIterations: 30,
-					})
+					res, err := migrate.Estimate(
+						migrate.Workload{MemKiB: memGiB * 1024 * 1024, DirtyPagesSec: dirty},
+						core.MigrateOptions{BandwidthMBps: 1000, MaxDowntimeMs: 300, MaxIterations: 30})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -1505,4 +1506,120 @@ func BenchmarkT11_NoisyNeighbor(b *testing.B) {
 			b.ReportMetric(float64(scale.Percentile(lats, 99))/1e6, "p99-ms")
 		})
 	}
+}
+
+// BenchmarkT12_Migration sweeps the live-migration pipeline across
+// dirty rate × stream count × mode (Table T12): pre-copy shows total
+// time improving monotonically with streams, auto-convergence rescues
+// dirty rates that never converge on the raw link, and post-copy keeps
+// downtime at the switch-over constant regardless of dirty rate. The
+// wire cases push a real migration at an in-process daemon over memnet,
+// with and without injected packet loss on the migrate.stream site.
+func BenchmarkT12_Migration(b *testing.B) {
+	const memKiB = 1024 * 1024 // 1 GiB
+	for _, dirty := range []uint64{10_000, 100_000, 300_000} {
+		for _, streams := range []int{1, 2, 4, 8} {
+			for _, mode := range []string{"precopy", "autoconverge", "postcopy"} {
+				name := fmt.Sprintf("dirty-%dpps/streams-%d/%s", dirty, streams, mode)
+				b.Run(name, func(b *testing.B) {
+					opts := core.MigrateOptions{
+						BandwidthMBps: 1000, MaxDowntimeMs: 300, ParallelStreams: streams,
+					}
+					switch mode {
+					case "autoconverge":
+						opts.AutoConverge = true
+					case "postcopy":
+						opts.PostCopy = true
+					}
+					var last migrate.Result
+					for i := 0; i < b.N; i++ {
+						res, err := migrate.Estimate(
+							migrate.Workload{MemKiB: memKiB, DirtyPagesSec: dirty}, opts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = res
+					}
+					b.ReportMetric(last.TotalTimeMs(), "sim-total-ms")
+					b.ReportMetric(last.DowntimeMs(), "sim-downtime-ms")
+					b.ReportMetric(float64(last.Iterations), "iterations")
+					b.ReportMetric(boolMetric(last.Converged), "converged")
+					b.ReportMetric(float64(last.ThrottleSteps), "throttle-steps")
+					b.ReportMetric(float64(last.PostCopyFaults), "postcopy-faults")
+				})
+			}
+		}
+	}
+
+	// Wire leg: the chunks cross the pooled RPC frame path into a real
+	// daemon; packet loss on the stream site forces retransmits.
+	for _, prob := range []float64{0, 0.05} {
+		b.Run(fmt.Sprintf("wire/streams-4/drop-%d", int(prob*100+0.5)), func(b *testing.B) {
+			qemu.Register(quiet)
+			remote.Register()
+			d := daemon.New(quiet)
+			srv, err := d.AddServer("govirtd", 2, 8, 2, daemon.ClientLimits{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.AddProgram(daemon.NewRemoteProgram(srv))
+			ep := fmt.Sprintf("t12-%d", t12Seq.Add(1))
+			if err := srv.ListenMem(ep, daemon.ServiceConfig{}); err != nil {
+				b.Fatal(err)
+			}
+			defer d.Shutdown()
+			dst, err := core.Open(fmt.Sprintf("qsim+mem://%s/system", ep))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dst.Close()
+			src := core.OpenWith(&uri.URI{Driver: "qsim", Path: "/system"}, driverConn(b, "qsim"))
+
+			if prob > 0 {
+				faultpoint.Default.Set(migrate.FaultSiteStream, faultpoint.Spec{
+					Mode: faultpoint.ModeDrop, Prob: prob,
+				})
+				faultpoint.Default.Arm(42)
+				b.Cleanup(faultpoint.Default.Disarm)
+			}
+
+			var last migrate.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := fmt.Sprintf("t12mig%d", i)
+				xml := fmt.Sprintf(`<domain type='qsim'><name>%s</name><description>cpu_util=0.5 dirty_pages_sec=50000</description><memory unit='MiB'>512</memory><vcpu>2</vcpu><os><type arch='x86_64'>hvm</type></os></domain>`, name)
+				b.StopTimer()
+				dom, err := src.CreateDomainXML(xml)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := migrate.Migrate(dom, dst, core.MigrateOptions{
+					ParallelStreams: 4, AutoConverge: true, UndefineSource: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+				b.StopTimer()
+				if rd, err := dst.LookupDomain(name); err == nil {
+					rd.Destroy()  //nolint:errcheck
+					rd.Undefine() //nolint:errcheck
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(last.TotalTimeMs(), "sim-total-ms")
+			b.ReportMetric(float64(last.RetransmitKiB), "retransmit-KiB")
+		})
+	}
+}
+
+var t12Seq atomic.Int64
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }

@@ -54,12 +54,12 @@ func main() {
 	all := map[string]func(){
 		"T1": tableT1, "T2": tableT2, "T2B": tableT2b, "T3": tableT3, "T4": tableT4,
 		"T5": tableT5, "T6": tableT6, "T7": tableT7, "T8": tableT8, "T9": tableT9,
-		"T10": tableT10, "T11": tableT11,
+		"T10": tableT10, "T11": tableT11, "T12": tableT12,
 		"F1": figureF1, "F2": figureF2, "F3": figureF3, "F4": figureF4, "F5": figureF5,
 		"R1": tableR1, "R2": tableR2,
 		"A3": ablationA3,
 	}
-	order := []string{"T1", "T2", "T2B", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "F1", "F2", "F3", "F4", "F5", "R1", "R2", "A3"}
+	order := []string{"T1", "T2", "T2B", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "T12", "F1", "F2", "F3", "F4", "F5", "R1", "R2", "A3"}
 	want := os.Args[1:]
 	if len(want) == 1 && want[0] == "--json" {
 		emitJSON()
@@ -742,6 +742,55 @@ func tableT11() {
 		st.FloodSent, st.FloodRejected)
 }
 
+// t12Row is one cell of the migration-pipeline sweep (Table T12).
+type t12Row struct {
+	Dirty   uint64
+	Streams int
+	Mode    string
+	Res     migrate.Result
+}
+
+// t12Rows sweeps the migration pipeline model: a calm and a hot dirty
+// rate, across stream counts, in all three modes. The hot rate is
+// chosen so single-stream pre-copy cannot converge on the link.
+func t12Rows() []t12Row {
+	const memKiB = 1024 * 1024 // 1 GiB guest
+	rows := make([]t12Row, 0, 24)
+	for _, dirty := range []uint64{10_000, 300_000} {
+		for _, streams := range []int{1, 2, 4, 8} {
+			for _, mode := range []string{"precopy", "autoconverge", "postcopy"} {
+				opts := core.MigrateOptions{
+					BandwidthMBps: 1000, MaxDowntimeMs: 300, ParallelStreams: streams,
+				}
+				switch mode {
+				case "autoconverge":
+					opts.AutoConverge = true
+				case "postcopy":
+					opts.PostCopy = true
+				}
+				res, err := migrate.Estimate(
+					migrate.Workload{MemKiB: memKiB, DirtyPagesSec: dirty}, opts)
+				must(err)
+				rows = append(rows, t12Row{Dirty: dirty, Streams: streams, Mode: mode, Res: res})
+			}
+		}
+	}
+	return rows
+}
+
+func tableT12() {
+	header("Table T12", "live-migration pipeline: dirty rate × streams × mode (1 GiB guest, 1000 MB/s link)",
+		fmt.Sprintf("%-14s %-8s %-13s %-7s %-12s %-12s %-10s %-9s %s",
+			"dirty pg/s", "streams", "mode", "iters", "total", "downtime", "converged", "throttle", "faults"))
+	for _, r := range t12Rows() {
+		fmt.Printf("%-14d %-8d %-13s %-7d %-12s %-12s %-10v %-9d %d\n",
+			r.Dirty, r.Streams, r.Mode, r.Res.Iterations,
+			fmt.Sprintf("%.0f ms", r.Res.TotalTimeMs()),
+			fmt.Sprintf("%.1f ms", r.Res.DowntimeMs()),
+			r.Res.Converged, r.Res.ThrottleSteps, r.Res.PostCopyFaults)
+	}
+}
+
 // emitJSON prints the fast-path metrics as JSON for scripts/bench.sh.
 func emitJSON() {
 	mar, unm := benchCodec()
@@ -787,9 +836,23 @@ func emitJSON() {
 			"resyncs":             st.Resyncs,
 		})
 	}
+	migOut := make([]map[string]interface{}, 0, 24)
+	for _, r := range t12Rows() {
+		migOut = append(migOut, map[string]interface{}{
+			"dirty_pages_sec": r.Dirty,
+			"streams":         r.Streams,
+			"mode":            r.Mode,
+			"iterations":      r.Res.Iterations,
+			"total_ns":        r.Res.TotalTimeNs,
+			"downtime_ns":     r.Res.DowntimeNs,
+			"converged":       r.Res.Converged,
+			"throttle_steps":  r.Res.ThrottleSteps,
+			"postcopy_faults": r.Res.PostCopyFaults,
+		})
+	}
 	qst := benchQoS()
 	out := map[string]interface{}{
-		"schema": "benchreport/v5",
+		"schema": "benchreport/v6",
 		"codec": map[string]interface{}{
 			"marshal_64rows":   mar,
 			"unmarshal_64rows": unm,
@@ -804,6 +867,7 @@ func emitJSON() {
 		"domain_scrape":     scrapeOut,
 		"fleet_scale":       scaleOut,
 		"watch_propagation": watchOut,
+		"migration":         migOut,
 		"qos_overhead": map[string]interface{}{
 			"fastpath_off_ns":     qst.OffNs,
 			"fastpath_on_ns":      qst.OnNs,
@@ -1164,9 +1228,8 @@ func figureF3() {
 		fmt.Sprintf("%-10s %-14s %-7s %-14s %-14s %s", "mem", "dirty pg/s", "iters", "total", "downtime", "converged"))
 	for _, memGiB := range []uint64{1, 4, 16} {
 		for _, dirty := range []uint64{1_000, 100_000, 1_000_000} {
-			res, err := migrate.Estimate(memGiB*1024*1024, dirty, core.MigrateOptions{
-				BandwidthMBps: 1000, MaxDowntimeMs: 300, MaxIterations: 30,
-			})
+			res, err := migrate.Estimate(migrate.Workload{MemKiB: memGiB * 1024 * 1024, DirtyPagesSec: dirty},
+				core.MigrateOptions{BandwidthMBps: 1000, MaxDowntimeMs: 300, MaxIterations: 30})
 			must(err)
 			fmt.Printf("%-10s %-14d %-7d %-14s %-14s %v\n",
 				fmt.Sprintf("%d GiB", memGiB), dirty, res.Iterations,

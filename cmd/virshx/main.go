@@ -57,7 +57,7 @@ func init() {
 		{"dumpxml", "print a domain's XML definition", "dumpxml <domain>", 1, cmdDumpXML},
 		{"setmem", "balloon a domain's memory", "setmem <domain> <KiB>", 2, cmdSetMem},
 		{"setvcpus", "change a domain's vCPU count", "setvcpus <domain> <count>", 2, cmdSetVCPUs},
-		{"migrate", "live-migrate a domain to another URI", "migrate <domain> <dest-uri> [bandwidthMBps [maxDowntimeMs]]", 2, cmdMigrate},
+		{"migrate", "live-migrate a domain to another URI", "migrate <domain> <dest-uri> [bandwidthMBps [maxDowntimeMs]] [--streams N] [--auto-converge] [--postcopy]", 2, cmdMigrate},
 		{"snapshot-create", "snapshot a domain's current state", "snapshot-create <domain> [name]", 1, cmdSnapshotCreate},
 		{"snapshot-list", "list a domain's snapshots", "snapshot-list <domain>", 1, cmdSnapshotList},
 		{"snapshot-revert", "revert a domain to a snapshot", "snapshot-revert <domain> <snapshot>", 2, cmdSnapshotRevert},
@@ -375,26 +375,55 @@ func cmdMigrate(conn *core.Connect, args []string) error {
 	}
 	defer dst.Close()
 	opts := core.MigrateOptions{}
-	if len(args) > 2 {
-		bw, err := strconv.ParseUint(args[2], 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad bandwidth %q", args[2])
+	pos := 0
+	for i := 2; i < len(args); i++ {
+		switch args[i] {
+		case "--streams":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--streams needs a value")
+			}
+			n, err := strconv.Atoi(args[i+1])
+			if err != nil || n < 1 {
+				return fmt.Errorf("--streams: bad value %q", args[i+1])
+			}
+			opts.ParallelStreams = n
+			i++
+		case "--auto-converge":
+			opts.AutoConverge = true
+		case "--postcopy":
+			opts.PostCopy = true
+		default:
+			n, err := strconv.ParseUint(args[i], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad argument %q", args[i])
+			}
+			switch pos {
+			case 0:
+				opts.BandwidthMBps = n
+			case 1:
+				opts.MaxDowntimeMs = n
+			default:
+				return fmt.Errorf("too many arguments")
+			}
+			pos++
 		}
-		opts.BandwidthMBps = bw
-	}
-	if len(args) > 3 {
-		dt, err := strconv.ParseUint(args[3], 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad downtime %q", args[3])
-		}
-		opts.MaxDowntimeMs = dt
 	}
 	res, err := migrate.Migrate(dom, dst, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Migration complete: %d iterations, %.1f ms total, %.1f ms downtime, %d KiB transferred, converged=%v\n",
-		res.Iterations, res.TotalTimeMs(), res.DowntimeMs(), res.TransferredKiB, res.Converged)
+	fmt.Printf("Migration complete (%s, %d stream(s)): %d iterations, %.1f ms total, %.1f ms downtime, %d KiB transferred, converged=%v\n",
+		res.Mode, res.Streams, res.Iterations, res.TotalTimeMs(), res.DowntimeMs(), res.TransferredKiB, res.Converged)
+	if res.ThrottleSteps > 0 {
+		fmt.Printf("Auto-convergence throttled the source %d step(s), peaking at %.0f%%\n",
+			res.ThrottleSteps, res.MaxThrottle*100)
+	}
+	if res.Mode == migrate.ModePostCopy {
+		fmt.Printf("Post-copy pulled %d faulted page(s) after switch-over\n", res.PostCopyFaults)
+	}
+	if res.RetransmitKiB > 0 {
+		fmt.Printf("Retransmitted %d KiB after stream loss\n", res.RetransmitKiB)
+	}
 	return nil
 }
 

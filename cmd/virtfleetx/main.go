@@ -146,6 +146,9 @@ Commands:
     --skew <x>                target load spread (default from config, 0.2)
     --max <n>                 migration cap for the pass
     --concurrency <n>         parallel migrations
+    --streams <n>             parallel transfer streams per migration
+    --auto-converge           throttle source vCPUs if pre-copy cannot converge
+    --postcopy                switch after one round, pull the rest on demand
     --dry-run                 plan only, do not migrate
   simulate [flags]            stand up an in-process mega-fleet of fake
                               daemons over memory transports and measure
@@ -346,6 +349,18 @@ func cmdRebalance(reg *fleet.Registry, fileCfg fleet.FileConfig, args []string) 
 				return fmt.Errorf("--concurrency: bad value %q", args[i+1])
 			}
 			i++
+		case "--streams":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--streams needs a value")
+			}
+			if _, err := fmt.Sscanf(args[i+1], "%d", &opts.Migrate.ParallelStreams); err != nil {
+				return fmt.Errorf("--streams: bad value %q", args[i+1])
+			}
+			i++
+		case "--auto-converge":
+			opts.Migrate.AutoConverge = true
+		case "--postcopy":
+			opts.Migrate.PostCopy = true
 		case "--dry-run":
 			dryRun = true
 		default:

@@ -232,6 +232,41 @@ type MachineAccess interface {
 	Machine(name string) (*hyper.Machine, error)
 }
 
+// MigrateChunk is one page-chunk delivery to a migration sink. Stream
+// identifies which of the sender's parallel streams carried it, Pages is
+// the chunk's page count (the authoritative accounting), and Data a
+// representative payload so the chunk exercises the real frame path.
+// Priority marks a post-copy demand-fault pull, which rides the priority
+// stream rather than the background copy streams.
+type MigrateChunk struct {
+	Cookie   uint64
+	Stream   int
+	Round    int
+	Pages    uint64
+	Priority bool
+	Data     []byte
+}
+
+// MigrationSink is implemented by drivers that can receive live-migration
+// page traffic for a prepared (defined) destination domain. Like
+// BulkMonitor it is optional: the migration engine falls back to a pure
+// timing model when the interface is absent or the peer daemon answers
+// ErrNoSupport. A local driver accounts chunks directly against the
+// destination machine; the remote driver forwards them over dedicated
+// wire procedures so the pooled RPC frame path carries the load.
+//
+// The protocol is prepare → N× pages → finish. MigratePrepare registers
+// the transfer against an already-defined destination domain and returns
+// a cookie scoping the subsequent calls. MigrateFinish(cookie, false)
+// abandons the transfer (abort path); finish-with-commit completes it.
+// During post-copy the destination machine's page-presence model is
+// advanced by every chunk that arrives after the domain started.
+type MigrationSink interface {
+	MigratePrepare(domain string, totalPages uint64, streams int) (uint64, error)
+	MigratePages(ch *MigrateChunk) error
+	MigrateFinish(cookie uint64, commit bool) error
+}
+
 // DriverFactory opens a driver connection for a parsed URI.
 type DriverFactory func(u *uri.URI) (DriverConn, error)
 

@@ -38,6 +38,7 @@ const (
 	ErrTimedOut        // the call exceeded its deadline; the op may have run
 	ErrOverloaded      // admission control rejected the call before dispatch; retry after backoff
 	ErrAccessDenied    // policy forbids this client the procedure or object
+	ErrPostCopy        // post-copy pull stream died mid-copy; source was resumed, destination undone
 )
 
 var codeNames = map[ErrorCode]string{
@@ -61,6 +62,7 @@ var codeNames = map[ErrorCode]string{
 	ErrTimedOut:         "operation timed out",
 	ErrOverloaded:       "overloaded",
 	ErrAccessDenied:     "access denied",
+	ErrPostCopy:         "post-copy migration failure",
 }
 
 func (c ErrorCode) String() string {

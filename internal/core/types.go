@@ -107,8 +107,27 @@ const (
 
 // MigrateOptions tunes a live migration.
 type MigrateOptions struct {
-	BandwidthMBps  uint64 // transfer bandwidth; 0 = 1000
+	BandwidthMBps  uint64 // transfer link bandwidth; 0 = 1000
 	MaxDowntimeMs  uint64 // convergence target; 0 = 300
 	MaxIterations  int    // pre-copy rounds before forced stop-and-copy; 0 = 30
 	UndefineSource bool   // remove the source definition after success
+
+	// ParallelStreams splits every copy round across N concurrent
+	// transfer streams. Aggregate throughput grows monotonically with N
+	// but is bounded by the link: each stream pays a fixed per-stream
+	// protocol overhead, so the gain flattens as N rises. 0 = 1.
+	ParallelStreams int
+
+	// AutoConverge progressively throttles the source vCPUs when the
+	// dirty rate outruns effective bandwidth for consecutive rounds, so
+	// otherwise non-convergent workloads still meet the downtime target.
+	// The throttle is restored on switch-over or abort.
+	AutoConverge bool
+
+	// PostCopy switches execution to the destination after one pre-copy
+	// round and fault-pulls missing pages on demand: downtime is bounded
+	// by the switch-over handshake regardless of dirty rate, traded
+	// against a longer total time and a pull-stream failure mode
+	// (ErrPostCopy).
+	PostCopy bool
 }

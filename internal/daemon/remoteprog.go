@@ -66,7 +66,11 @@ func (p *RemoteProgram) IsPriority(proc uint32) bool {
 		wire.ProcGetHostname, wire.ProcDomainList, wire.ProcDomainLookupByName,
 		wire.ProcDomainLookupByUUID, wire.ProcEventRegister, wire.ProcEventDeregister,
 		wire.ProcEventSubscribe, wire.ProcEventUnsubscribe,
-		wire.ProcAuthList, wire.ProcAuthSASLStart:
+		wire.ProcAuthList, wire.ProcAuthSASLStart,
+		// Migration control and post-copy demand-fault pulls must not
+		// queue behind a flood of background page chunks: the pull
+		// stream is what bounds guest stalls after switch-over.
+		wire.ProcMigratePrepare, wire.ProcMigratePagePull, wire.ProcMigrateFinish:
 		return true
 	}
 	return false
@@ -496,6 +500,47 @@ func (p *RemoteProgram) Dispatch(c *Client, proc uint32, payload []byte) ([]byte
 			Node    wire.NodeInfoReply
 			Domains []core.NamedDomainInfo
 		}{nodeInfoToWire(inv.Node), inv.Domains})
+	case wire.ProcMigratePrepare:
+		var args wire.MigratePrepareArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		ms, err := migrationSink(conn)
+		if err != nil {
+			return nil, err
+		}
+		cookie, err := ms.MigratePrepare(args.Domain, args.TotalPages, int(args.Streams))
+		if err != nil {
+			return nil, err
+		}
+		return marshal(&wire.MigratePrepareReply{Cookie: cookie})
+	case wire.ProcMigratePages, wire.ProcMigratePagePull:
+		var args wire.MigratePagesArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		ms, err := migrationSink(conn)
+		if err != nil {
+			return nil, err
+		}
+		return voidReply(ms.MigratePages(&core.MigrateChunk{
+			Cookie:   args.Cookie,
+			Stream:   int(args.Stream),
+			Round:    int(args.Round),
+			Pages:    args.Pages,
+			Priority: proc == wire.ProcMigratePagePull,
+			Data:     args.Data,
+		}))
+	case wire.ProcMigrateFinish:
+		var args wire.MigrateFinishArgs
+		if err := rpc.Unmarshal(payload, &args); err != nil {
+			return nil, badArgs(err)
+		}
+		ms, err := migrationSink(conn)
+		if err != nil {
+			return nil, err
+		}
+		return voidReply(ms.MigrateFinish(args.Cookie, args.Commit))
 	default:
 		return nil, core.Errorf(core.ErrNoSupport, "unknown procedure %d", proc)
 	}
@@ -513,6 +558,14 @@ func managedSaveDrv(conn *core.Connect) (core.ManagedSaveSupport, error) {
 	ms, ok := conn.Driver().(core.ManagedSaveSupport)
 	if !ok {
 		return nil, core.Errorf(core.ErrNoSupport, "driver does not support managed save")
+	}
+	return ms, nil
+}
+
+func migrationSink(conn *core.Connect) (core.MigrationSink, error) {
+	ms, ok := conn.Driver().(core.MigrationSink)
+	if !ok {
+		return nil, core.Errorf(core.ErrNoSupport, "driver does not support inbound migration")
 	}
 	return ms, nil
 }

@@ -109,6 +109,11 @@ type Base struct {
 	store     *statestore.Store // nil unless a state root is configured
 	scope     string            // persistence namespace under the state root
 	replaying bool              // journal replay in progress; suppress re-saves
+
+	// Inbound live-migration transfers (migratesink.go).
+	migMu      sync.Mutex
+	migrations map[uint64]*inboundMigration
+	migCookie  uint64
 }
 
 var (
@@ -117,6 +122,7 @@ var (
 	_ core.MachineAccess  = (*Base)(nil)
 	_ core.NetworkSupport = (*Base)(nil)
 	_ core.StorageSupport = (*Base)(nil)
+	_ core.MigrationSink  = (*Base)(nil)
 )
 
 // New builds a driver base around the given hooks.

@@ -27,6 +27,14 @@ type FileConfig struct {
 
 	MigrateBandwidthMBps uint64
 	MigrateMaxDowntimeMs uint64
+	MigrateStreams       int  // parallel transfer streams per migration; 0 = 1
+	MigrateAutoConverge  bool // throttle source vCPUs when pre-copy cannot converge
+	MigratePostCopy      bool // switch after one round, pull the rest on demand
+
+	// migrateStreamsLine remembers the config line where migrate_streams
+	// appeared, so Validate can point at it when the value is out of
+	// range.
+	migrateStreamsLine int
 }
 
 // DefaultFileConfig returns the shipped defaults.
@@ -59,6 +67,9 @@ func ParseFileConfig(text string) (FileConfig, error) {
 		value = strings.TrimSpace(value)
 		if err := cfg.apply(key, value); err != nil {
 			return cfg, fmt.Errorf("fleet: config line %d: %v", lineNo+1, err)
+		}
+		if key == "migrate_streams" {
+			cfg.migrateStreamsLine = lineNo + 1
 		}
 	}
 	if err := cfg.Validate(); err != nil {
@@ -102,6 +113,12 @@ func (c *FileConfig) apply(key, value string) error {
 		return setUint(&c.MigrateBandwidthMBps, value)
 	case "migrate_max_downtime_ms":
 		return setUint(&c.MigrateMaxDowntimeMs, value)
+	case "migrate_streams":
+		return setInt(&c.MigrateStreams, value)
+	case "migrate_auto_converge":
+		return setBool(&c.MigrateAutoConverge, value)
+	case "migrate_postcopy":
+		return setBool(&c.MigratePostCopy, value)
 	default:
 		return fmt.Errorf("unknown key %q", key)
 	}
@@ -130,6 +147,13 @@ func (c *FileConfig) Validate() error {
 	}
 	if c.RebalanceConcurrency < 1 {
 		return fmt.Errorf("fleet: rebalance_concurrency must be >= 1")
+	}
+	if c.MigrateStreams < 0 || c.MigrateStreams > 64 {
+		if c.migrateStreamsLine > 0 {
+			return fmt.Errorf("fleet: config line %d: migrate_streams %d outside [0, 64]",
+				c.migrateStreamsLine, c.MigrateStreams)
+		}
+		return fmt.Errorf("fleet: migrate_streams %d outside [0, 64]", c.MigrateStreams)
 	}
 	return nil
 }
@@ -162,8 +186,11 @@ func (c *FileConfig) RebalanceConfig() RebalanceOptions {
 		MaxMigrations: c.RebalanceMaxMigrations,
 		Concurrency:   c.RebalanceConcurrency,
 		Migrate: core.MigrateOptions{
-			BandwidthMBps: c.MigrateBandwidthMBps,
-			MaxDowntimeMs: c.MigrateMaxDowntimeMs,
+			BandwidthMBps:   c.MigrateBandwidthMBps,
+			MaxDowntimeMs:   c.MigrateMaxDowntimeMs,
+			ParallelStreams: c.MigrateStreams,
+			AutoConverge:    c.MigrateAutoConverge,
+			PostCopy:        c.MigratePostCopy,
 		},
 	}
 }
@@ -191,6 +218,23 @@ func setUint(dst *uint64, value string) error {
 		return fmt.Errorf("expected a non-negative integer, got %q", value)
 	}
 	*dst = n
+	return nil
+}
+
+func setBool(dst *bool, value string) error {
+	switch strings.ToLower(value) {
+	case "on", "yes", "y":
+		*dst = true
+		return nil
+	case "off", "no", "n":
+		*dst = false
+		return nil
+	}
+	b, err := strconv.ParseBool(value)
+	if err != nil {
+		return fmt.Errorf("expected a boolean, got %q", value)
+	}
+	*dst = b
 	return nil
 }
 

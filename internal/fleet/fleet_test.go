@@ -218,6 +218,9 @@ rebalance_skew = 0.3
 rebalance_max_migrations = 4
 rebalance_concurrency = 2
 migrate_bandwidth_mbps = 500
+migrate_streams = 4
+migrate_auto_converge = on
+migrate_postcopy = false
 `
 	cfg, err := ParseFileConfig(text)
 	if err != nil {
@@ -237,6 +240,9 @@ migrate_bandwidth_mbps = 500
 	if ro.SkewThreshold != 0.3 || ro.MaxMigrations != 4 || ro.Migrate.BandwidthMBps != 500 {
 		t.Fatalf("rebalance options = %+v", ro)
 	}
+	if ro.Migrate.ParallelStreams != 4 || !ro.Migrate.AutoConverge || ro.Migrate.PostCopy {
+		t.Fatalf("migrate options = %+v", ro.Migrate)
+	}
 
 	for _, bad := range []string{
 		"bogus_key = 1",
@@ -244,10 +250,18 @@ migrate_bandwidth_mbps = 500
 		"rebalance_skew = 2.0",
 		"poll_interval_ms = 0",
 		`hosts = [oops]`,
+		"migrate_streams = -1",
+		"migrate_auto_converge = maybe",
 	} {
 		if _, err := ParseFileConfig(bad); err == nil {
 			t.Fatalf("config %q accepted", bad)
 		}
+	}
+
+	// Out-of-range migrate_streams errors carry the offending line.
+	_, err = ParseFileConfig("policy = \"spread\"\nmigrate_streams = 100")
+	if err == nil || !strings.Contains(err.Error(), "config line 2: migrate_streams") {
+		t.Fatalf("out-of-range migrate_streams: %v", err)
 	}
 }
 

@@ -342,7 +342,7 @@ func (r *Registry) Rebalance(ctx context.Context, opts RebalanceOptions) (Rebala
 		go func(mv Move) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rec := r.executeMove(mv, opts.Migrate)
+			rec := r.executeMove(ctx, mv, opts.Migrate)
 			mu.Lock()
 			res.Migrations = append(res.Migrations, rec)
 			mu.Unlock()
@@ -378,8 +378,11 @@ func (r *Registry) Rebalance(ctx context.Context, opts RebalanceOptions) (Rebala
 	return res, nil
 }
 
-// executeMove drives one live migration between two fleet hosts.
-func (r *Registry) executeMove(mv Move, opts core.MigrateOptions) MigrationRecord {
+// executeMove drives one live migration between two fleet hosts. The
+// rebalance context flows into the migration, so cancelling a rebalance
+// aborts in-flight transfers cleanly (sources resume, destinations are
+// undone).
+func (r *Registry) executeMove(ctx context.Context, mv Move, opts core.MigrateOptions) MigrationRecord {
 	rec := MigrationRecord{Domain: mv.Domain, From: mv.From, To: mv.To}
 	srcConn, err := r.Host(mv.From)
 	if err != nil {
@@ -400,7 +403,7 @@ func (r *Registry) executeMove(mv Move, opts core.MigrateOptions) MigrationRecor
 		return rec
 	}
 	opts.UndefineSource = true
-	rec.Result, rec.Err = migrate.Migrate(dom, dstConn, opts)
+	rec.Result, rec.Err = migrate.MigrateContext(ctx, dom, dstConn, opts)
 	if rec.Err != nil {
 		fleetRebalanceFailures.Inc()
 		r.log.Warnf("fleet", "migrate %s %s->%s: %v", mv.Domain, mv.From, mv.To, rec.Err)

@@ -369,3 +369,91 @@ func must(t *testing.T, err error) {
 		t.Fatal(err)
 	}
 }
+
+// TestMigrationThrottle: the vCPU throttle scales both CPU time and
+// dirty production, clamps to [0, 0.99], and is cleared on teardown —
+// but NOT by ResetDirty, which the migration loop calls every round.
+func TestMigrationThrottle(t *testing.T) {
+	cfg := testConfig("thr")
+	cfg.DirtyPagesSec = 50_000
+	free, _ := NewMachine(cfg)
+	slow, _ := NewMachine(cfg)
+	must(t, free.Start())
+	must(t, slow.Start())
+	slow.SetMigrationThrottle(0.8)
+	if got := slow.MigrationThrottle(); got != 0.8 {
+		t.Fatalf("throttle %v", got)
+	}
+
+	const step = 100_000_000 // 100 ms
+	for i := 0; i < 5; i++ {
+		free.RunFor(step)
+		slow.RunFor(step)
+	}
+	if f, s := free.Stats().CPUTimeNs, slow.Stats().CPUTimeNs; s >= f {
+		t.Fatalf("throttled cpu %d not below free-running %d", s, f)
+	}
+	if f, s := free.DirtyPageCount(), slow.DirtyPageCount(); s >= f {
+		t.Fatalf("throttled dirty %d not below free-running %d", s, f)
+	}
+
+	slow.ResetDirty()
+	if got := slow.MigrationThrottle(); got != 0.8 {
+		t.Fatalf("ResetDirty cleared the throttle: %v", got)
+	}
+
+	slow.SetMigrationThrottle(5)
+	if got := slow.MigrationThrottle(); got != 0.99 {
+		t.Fatalf("clamp: %v", got)
+	}
+	slow.SetMigrationThrottle(-1)
+	if got := slow.MigrationThrottle(); got != 0 {
+		t.Fatalf("negative throttle: %v", got)
+	}
+	slow.SetMigrationThrottle(0.5)
+	must(t, slow.Destroy())
+	if got := slow.MigrationThrottle(); got != 0 {
+		t.Fatalf("Destroy left throttle %v", got)
+	}
+}
+
+// TestPostCopyPresence: after BeginPostCopy the machine tracks missing
+// pages, accrues demand faults while running with partial memory, and
+// leaves post-copy mode when the set drains.
+func TestPostCopyPresence(t *testing.T) {
+	cfg := testConfig("pc")
+	cfg.MemKiB = 64 * 1024 // 16384 pages
+	cfg.DirtyPagesSec = 100_000
+	m, _ := NewMachine(cfg)
+
+	// Post-copy needs a running destination guest.
+	if err := m.BeginPostCopy(0); err == nil {
+		t.Fatal("BeginPostCopy on a shut-off machine")
+	}
+	must(t, m.Start())
+	must(t, m.BeginPostCopy(4096))
+	if !m.InPostCopy() || m.MissingPages() != 16384-4096 {
+		t.Fatalf("missing %d", m.MissingPages())
+	}
+
+	m.RunFor(500_000_000)
+	if m.PostCopyFaults() == 0 {
+		t.Fatal("no faults with 3/4 of memory missing")
+	}
+
+	m.MarkPresent(8000)
+	if m.MissingPages() != 16384-4096-8000 {
+		t.Fatalf("missing %d after marking", m.MissingPages())
+	}
+	m.MarkPresent(1 << 40) // over-marking clamps and completes
+	if m.InPostCopy() || m.MissingPages() != 0 {
+		t.Fatalf("post-copy not complete: missing %d", m.MissingPages())
+	}
+
+	// Complete machines fault no more.
+	before := m.PostCopyFaults()
+	m.RunFor(500_000_000)
+	if m.PostCopyFaults() != before {
+		t.Fatal("faults accrued after post-copy completed")
+	}
+}

@@ -159,6 +159,17 @@ type Machine struct {
 	hotCovered  float64 // expected unique dirty pages in the hot set
 	coldCovered float64 // expected unique dirty pages outside it
 
+	// Migration support. throttle is the auto-convergence vCPU throttle
+	// fraction [0, 0.99]: while set, RunFor scales both guest CPU
+	// progress and dirty-page production by (1 - throttle). The
+	// page-presence model backs post-copy: while postCopy is set the
+	// machine runs with only presentPages of its memory resident and
+	// access to the missing set raises demand faults.
+	throttle     float64
+	postCopy     bool
+	presentPages uint64
+	pcFaults     uint64
+
 	latency latencyModel
 }
 
@@ -300,6 +311,7 @@ func (m *Machine) Shutdown() error {
 	m.id = -1
 	m.simTimeNs += m.latency.Shutdown
 	m.clearDirtyLocked()
+	m.resetMigrationLocked()
 	return nil
 }
 
@@ -313,6 +325,7 @@ func (m *Machine) Destroy() error {
 		m.id = -1
 		m.simTimeNs += m.latency.Destroy
 		m.clearDirtyLocked()
+		m.resetMigrationLocked()
 		return nil
 	default:
 		return fmt.Errorf("hyper: machine %s: cannot destroy from state %q", m.cfg.Name, m.state)
@@ -375,7 +388,8 @@ func (m *Machine) RunFor(ns uint64) {
 		return
 	}
 	m.simTimeNs += ns
-	m.cpuTimeNs += uint64(float64(ns) * m.cfg.CPUUtil * float64(m.vcpus))
+	eff := 1 - m.throttle
+	m.cpuTimeNs += uint64(float64(ns) * m.cfg.CPUUtil * eff * float64(m.vcpus))
 	secs := float64(ns) / 1e9
 	if m.cfg.BlockIOPS > 0 {
 		reqs := uint64(float64(m.cfg.BlockIOPS) * secs)
@@ -392,7 +406,14 @@ func (m *Machine) RunFor(ns uint64) {
 		m.txBytes += (pkts - pkts/2) * 1400
 	}
 	if m.cfg.DirtyPagesSec > 0 && m.totalPages > 0 {
-		m.dirtyLocked(float64(m.cfg.DirtyPagesSec) * secs)
+		m.dirtyLocked(float64(m.cfg.DirtyPagesSec) * eff * secs)
+	}
+	if m.postCopy && m.totalPages > 0 && m.presentPages < m.totalPages {
+		// Memory accesses landing in the missing set raise demand
+		// faults. The write rate is the model's access-rate proxy, so
+		// the fault rate is the miss fraction of it.
+		frac := float64(m.totalPages-m.presentPages) / float64(m.totalPages)
+		m.pcFaults += uint64(float64(m.cfg.DirtyPagesSec)*eff*secs*frac + 0.5)
 	}
 }
 
@@ -445,8 +466,98 @@ func (m *Machine) clearDirtyLocked() {
 	m.hotCovered, m.coldCovered = 0, 0
 }
 
+// resetMigrationLocked drops migration state when the machine powers
+// off: a later boot starts unthrottled with full memory resident.
+func (m *Machine) resetMigrationLocked() {
+	m.throttle = 0
+	m.postCopy = false
+	m.presentPages = 0
+}
+
 // TotalPages returns the number of memory pages backing the machine.
 func (m *Machine) TotalPages() uint64 { return m.totalPages }
+
+// SetMigrationThrottle sets the auto-convergence vCPU throttle: while
+// frac > 0, RunFor scales guest CPU progress and dirty-page production
+// by (1 - frac). The migration engine ratchets it up when the dirty rate
+// outruns bandwidth and must restore it to zero on switch-over or abort.
+// frac is clamped to [0, 0.99] so the guest never stops entirely.
+func (m *Machine) SetMigrationThrottle(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 0.99 {
+		frac = 0.99
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.throttle = frac
+}
+
+// MigrationThrottle returns the current auto-convergence throttle.
+func (m *Machine) MigrationThrottle() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.throttle
+}
+
+// BeginPostCopy switches a running machine into post-copy mode: only
+// presentPages of its memory are resident and RunFor raises demand
+// faults proportional to the missing fraction until the rest arrives.
+func (m *Machine) BeginPostCopy(presentPages uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state != StateRunning {
+		return fmt.Errorf("hyper: machine %s: cannot enter post-copy from state %q", m.cfg.Name, m.state)
+	}
+	if presentPages > m.totalPages {
+		presentPages = m.totalPages
+	}
+	m.postCopy = true
+	m.presentPages = presentPages
+	return nil
+}
+
+// MarkPresent records pages arriving from the migration source during
+// post-copy. Presence is clamped to the machine size; post-copy mode
+// ends automatically once every page is resident.
+func (m *Machine) MarkPresent(pages uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.postCopy {
+		return
+	}
+	m.presentPages += pages
+	if m.presentPages >= m.totalPages {
+		m.presentPages = m.totalPages
+		m.postCopy = false
+	}
+}
+
+// InPostCopy reports whether the machine is running with partial memory.
+func (m *Machine) InPostCopy() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.postCopy
+}
+
+// MissingPages returns how many pages are not yet resident (0 outside
+// post-copy).
+func (m *Machine) MissingPages() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.postCopy {
+		return 0
+	}
+	return m.totalPages - m.presentPages
+}
+
+// PostCopyFaults returns the cumulative demand-fault count.
+func (m *Machine) PostCopyFaults() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pcFaults
+}
 
 // Stats returns a consistent snapshot of the machine accounting.
 func (m *Machine) Stats() Stats {

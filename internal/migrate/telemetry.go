@@ -1,0 +1,30 @@
+package migrate
+
+import "repro/internal/telemetry"
+
+// Migration metrics. They live in the Default registry so they surface
+// through every existing export path (the Prometheus text endpoint,
+// `virtadminx metrics` against an in-process daemon, fleet aggregation
+// and telemetry.Default.Snapshot()) without new plumbing. Estimate runs
+// do not touch the counters: only real migrations (Migrate /
+// MigrateContext) count, so the numbers mean "guests moved", not
+// "parameter sweeps executed".
+var (
+	migStarted   = telemetry.Default.Counter("migration_started_total")
+	migConverged = telemetry.Default.Counter("migration_converged_total")
+	migPostCopy  = telemetry.Default.Counter("migration_postcopy_total")
+	migFailed    = telemetry.Default.Counter("migration_failed_total")
+
+	// Modelled durations of completed migrations.
+	migDowntime  = telemetry.Default.Histogram("migration_downtime_seconds")
+	migTotalTime = telemetry.Default.Histogram("migration_total_seconds")
+
+	// Transfer-path detail: wire chunks pushed to the destination sink,
+	// chunks retransmitted after an injected drop on migrate.stream,
+	// post-copy demand-fault pull batches, and auto-convergence
+	// throttle escalations.
+	migChunksTx  = telemetry.Default.Counter("migration_chunks_tx_total")
+	migRetrans   = telemetry.Default.Counter("migration_retransmits_total")
+	migPulls     = telemetry.Default.Counter("migration_fault_pulls_total")
+	migThrottles = telemetry.Default.Counter("migration_throttle_steps_total")
+)

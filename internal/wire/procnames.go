@@ -66,6 +66,10 @@ var procNames = map[uint32]string{
 	ProcNodeInventory:      "NodeInventory",
 	ProcEventSubscribe:     "EventSubscribe",
 	ProcEventUnsubscribe:   "EventUnsubscribe",
+	ProcMigratePrepare:     "MigratePrepare",
+	ProcMigratePages:       "MigratePages",
+	ProcMigratePagePull:    "MigratePagePull",
+	ProcMigrateFinish:      "MigrateFinish",
 	ProcEventLifecycle:     "EventLifecycle",
 	ProcEventWatch:         "EventWatch",
 }

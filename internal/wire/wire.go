@@ -71,6 +71,10 @@ const (
 	ProcNodeInventory
 	ProcEventSubscribe
 	ProcEventUnsubscribe
+	ProcMigratePrepare
+	ProcMigratePages
+	ProcMigratePagePull
+	ProcMigrateFinish
 )
 
 // ProcEventLifecycle is the procedure number of unsolicited lifecycle
@@ -356,4 +360,39 @@ type DomainListInfoReply struct {
 type NodeInventoryReply struct {
 	Node    NodeInfoReply
 	Domains []DomainInfoRow
+}
+
+// MigratePrepareArgs registers an inbound live migration against an
+// already-defined destination domain. TotalPages sizes the receiver's
+// page accounting; Streams announces how many parallel copy streams the
+// source will use.
+type MigratePrepareArgs struct {
+	Domain     string
+	TotalPages uint64
+	Streams    uint32
+}
+
+// MigratePrepareReply returns the cookie scoping the transfer's
+// subsequent MigratePages/MigrateFinish calls.
+type MigratePrepareReply struct {
+	Cookie uint64
+}
+
+// MigratePagesArgs carries one page chunk of a live migration. Pages is
+// the authoritative accounting; Data is a representative payload so the
+// chunk crosses the pooled frame path like real memory would. The same
+// payload serves ProcMigratePages (background copy streams) and
+// ProcMigratePagePull (post-copy demand faults on the priority stream).
+type MigratePagesArgs struct {
+	Cookie uint64
+	Stream uint32
+	Round  uint32
+	Pages  uint64
+	Data   []byte
+}
+
+// MigrateFinishArgs completes (Commit) or abandons an inbound migration.
+type MigrateFinishArgs struct {
+	Cookie uint64
+	Commit bool
 }

@@ -76,6 +76,10 @@ func TestAllPayloadsRoundTrip(t *testing.T) {
 		&wire.SASLStartReply{Complete: true, Data: []byte{}},
 		&wire.SnapshotCreateArgs{Domain: "d", XML: "<domainsnapshot/>"},
 		&wire.SnapshotArgs{Domain: "d", Name: "s"},
+		&wire.MigratePrepareArgs{Domain: "d", TotalPages: 1 << 20, Streams: 8},
+		&wire.MigratePrepareReply{Cookie: 0xfeed},
+		&wire.MigratePagesArgs{Cookie: 0xfeed, Stream: 3, Round: 2, Pages: 16384, Data: []byte{9, 8, 7}},
+		&wire.MigrateFinishArgs{Cookie: 0xfeed, Commit: true},
 	}
 	for _, p := range payloads {
 		roundTrip(t, p)

@@ -1,8 +1,8 @@
 #!/bin/sh
 # bench.sh — regenerate the machine-readable fast-path metrics
-# (BENCH_9.json: codec, bulk sweep, per-domain scrape, mega-fleet scale
-# curve, watch-stream propagation, QoS admission overhead). Run on an
-# otherwise idle machine:
+# (BENCH_10.json: codec, bulk sweep, per-domain scrape, mega-fleet scale
+# curve, watch-stream propagation, QoS admission overhead, migration
+# pipeline sweep). Run on an otherwise idle machine:
 # the sweep numbers are
 # wall-clock sensitive and CPU contention inflates them badly. The
 # fleet_scale section includes the 1,000-host / 100k-domain tier, so a
@@ -12,7 +12,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=BENCH_9.json
+out=BENCH_10.json
 go run ./cmd/benchreport --json >"$out"
 echo "wrote $out"
 go run ./cmd/benchreport --trajectory

@@ -51,4 +51,10 @@ go test . -run 'XXX' -bench 'BenchmarkT10_WatchPropagation' -benchtime=1x >/dev/
 echo "== T11 smoke: QoS fast-path overhead + noisy neighbor (-benchtime=1x)"
 go test . -run 'XXX' -bench 'BenchmarkT11_' -benchtime=1x >/dev/null
 
+echo "== migrate gate: pipeline, streams, auto-converge, post-copy, chaos abort"
+go test -race -run 'TestMigrat|TestPreCopy|TestThrottleLadder|TestChaosMigrateAbort|TestPostCopy' ./internal/migrate ./internal/hyper
+
+echo "== T12 smoke: migration pipeline sweep + wire leg (-benchtime=1x)"
+go test . -run 'XXX' -bench 'BenchmarkT12_Migration' -benchtime=1x >/dev/null
+
 echo "== OK"
